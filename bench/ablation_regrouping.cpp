@@ -1,0 +1,93 @@
+// Ablation: inter-array data regrouping on a direct-mapped cache.
+//
+// The Figure 3 footnote blames the Exemplar's 3w6r dip on "excessive cache
+// conflicts because it accesses 6 large arrays on a direct-mapped cache".
+// Regrouping (paper Section 4 / Ding's dissertation) interleaves arrays
+// accessed together, collapsing six conflicting streams into one: the
+// conflicts -- and the bandwidth they waste -- disappear.
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "bwc/ir/dsl.h"
+#include "bwc/model/measure.h"
+#include "bwc/support/table.h"
+#include "bwc/transform/regrouping.h"
+
+namespace {
+
+using namespace bwc;
+using namespace bwc::ir::dsl;
+
+/// The 3w6r kernel as an IR program: six arrays, three also written,
+/// swept `passes` times (regrouping's packing prologue amortizes over
+/// repeated sweeps, as in a real iterative application).
+ir::Program three_w_six_r(std::int64_t n, std::int64_t passes) {
+  ir::Program p("3w6r");
+  std::vector<ir::ArrayId> arrays;
+  for (int k = 0; k < 6; ++k)
+    arrays.push_back(p.add_array("a" + std::to_string(k), {n}));
+  p.add_scalar("acc");
+  p.mark_output_scalar("acc");
+
+  // acc-feeding read of the three read-only arrays, update of the rest.
+  ir::StmtList body;
+  ir::ExprPtr sum = at(arrays[3], v("i"));
+  sum = std::move(sum) + at(arrays[4], v("i"));
+  sum = std::move(sum) + at(arrays[5], v("i"));
+  body.push_back(assign("acc", sref("acc") + sum->clone()));
+  for (int k = 0; k < 3; ++k) {
+    body.push_back(assign(arrays[static_cast<std::size_t>(k)], {v("i")},
+                          at(arrays[static_cast<std::size_t>(k)], v("i")) *
+                                  lit(0.5) +
+                              sum->clone()));
+  }
+  ir::StmtList sweep;
+  sweep.push_back(loop_b("i", 1, n, std::move(body)));
+  p.append(loop_b("t", 1, passes, std::move(sweep)));
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: inter-array regrouping vs direct-mapped conflicts "
+      "(3w6r as a program)");
+
+  const std::int64_t n = 100000;
+  const ir::Program original = three_w_six_r(n, /*passes=*/4);
+  const transform::RegroupingResult regrouped =
+      transform::regroup_all(original);
+
+  TextTable t("Simulated Exemplar (direct-mapped, random page placement)");
+  t.set_header({"version", "mem traffic", "predicted ms", "checksum"});
+  const machine::MachineModel exemplar = bench::exemplar();
+  const auto before = model::measure(original, exemplar);
+  const auto after = model::measure(regrouped.program, exemplar);
+  t.add_row({"six separate arrays",
+             fmt_bytes(static_cast<double>(before.profile.memory_bytes())),
+             fmt_fixed(before.time.total_s * 1e3, 2),
+             fmt_fixed(before.exec.checksum, 3)});
+  t.add_row({"regrouped (interleaved)",
+             fmt_bytes(static_cast<double>(after.profile.memory_bytes())),
+             fmt_fixed(after.time.total_s * 1e3, 2),
+             fmt_fixed(after.exec.checksum, 3)});
+  std::cout << t.render();
+  for (const auto& a : regrouped.actions) std::cout << "  - " << a << "\n";
+
+  std::cout << "\nregrouping collapses six page-aligned streams into two, "
+               "eliminating the direct-mapped\npage collisions ("
+            << fmt_fixed(before.time.total_s / after.time.total_s, 2)
+            << "x) -- the fix for the Figure 3 footnote's 3w6r pathology.\n";
+
+  const machine::MachineModel o2k = bench::o2k();
+  const auto b2 = model::measure(original, o2k);
+  const auto a2 = model::measure(regrouped.program, o2k);
+  std::cout << "on the 2-way Origin2000 model: "
+            << fmt_fixed(b2.time.total_s * 1e3, 2) << " -> "
+            << fmt_fixed(a2.time.total_s * 1e3, 2)
+            << " ms (the scaled 2 KB L1 also suffers aligned-stream "
+               "conflicts that regrouping removes).\n";
+  return 0;
+}

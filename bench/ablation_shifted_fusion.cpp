@@ -1,0 +1,54 @@
+// Ablation: fusion with loop alignment (shifted fusion).
+//
+// A Jacobi-style sweep chain defeats plain fusion outright: every sweep
+// reads its predecessor's output at offset +1, which reverses a dependence
+// under aligned fusion. Delaying each consumer by one iteration (loop
+// alignment / software pipelining the chain) legalizes the fusion, and the
+// whole chain collapses to one pass over memory.
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "bwc/core/optimizer.h"
+#include "bwc/model/measure.h"
+#include "bwc/support/table.h"
+#include "bwc/workloads/extra_programs.h"
+
+int main() {
+  using namespace bwc;
+  bench::print_header(
+      "Ablation: loop alignment on a 4-sweep Jacobi chain (n = 200000)");
+
+  const ir::Program p = workloads::jacobi_chain(200000, 4);
+  const machine::MachineModel machine = bench::o2k();
+
+  struct Variant {
+    const char* name;
+    bool shift;
+  };
+  TextTable t("Simulated Origin2000");
+  t.set_header({"fusion", "partitions", "mem traffic", "predicted ms",
+                "speedup"});
+  double base_time = 0.0;
+  for (const Variant& variant :
+       {Variant{"plain (paper)", false}, Variant{"with alignment", true}}) {
+    core::OptimizerOptions opts;
+    opts.allow_shifted_fusion = variant.shift;
+    opts.reduce_storage = false;
+    opts.eliminate_stores = false;
+    const auto r = core::optimize(p, opts);
+    const auto m = model::measure(r.program, machine);
+    if (base_time == 0.0) base_time = m.time.total_s;
+    t.add_row({variant.name, std::to_string(r.plan.num_partitions),
+               fmt_bytes(static_cast<double>(m.profile.memory_bytes())),
+               fmt_fixed(m.time.total_s * 1e3, 2),
+               fmt_fixed(base_time / m.time.total_s, 2) + "x"});
+  }
+  std::cout << t.render();
+  std::cout
+      << "\nreading: the sweeps' +1 reads make every adjacent pair "
+         "fusion-preventing under the paper's\nmodel; alignment is the "
+         "natural extension that recovers the fusion -- the chain runs in "
+         "one\nmemory pass, u/v streamed once instead of once per sweep.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each binary regenerates one table or figure of the paper's evaluation.
+// The substrate is the simulated memory hierarchy plus the bandwidth-bound
+// timing model; absolute numbers differ from the 1999 hardware, but the
+// shapes (who wins, by what factor, where crossovers fall) are the claims
+// under reproduction. See EXPERIMENTS.md for paper-vs-measured records.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "bwc/machine/machine_model.h"
+#include "bwc/machine/timing.h"
+#include "bwc/memsim/hierarchy.h"
+#include "bwc/runtime/recorder.h"
+
+namespace bwc::bench {
+
+/// Cache scale divisor used throughout: paper-scale working-set/cache
+/// ratios at tractable simulation sizes (balance is scale-invariant).
+inline constexpr std::uint64_t kCacheScale = 16;
+
+inline machine::MachineModel o2k() {
+  return machine::origin2000_r10k().scaled(kCacheScale);
+}
+inline machine::MachineModel exemplar() {
+  return machine::exemplar_pa8000().scaled(kCacheScale);
+}
+
+/// Run `workload(rec)` to steady state on the machine's hierarchy: one
+/// warm-up pass, then one measured pass. Returns the measured profile.
+template <typename Fn>
+machine::ExecutionProfile steady_state_profile(
+    const machine::MachineModel& machine, Fn&& workload) {
+  memsim::MemoryHierarchy h = machine.make_hierarchy();
+  {
+    runtime::Recorder warmup(&h);
+    workload(warmup);
+  }
+  h.reset_stats();
+  runtime::Recorder rec(&h);
+  workload(rec);
+  return rec.profile();
+}
+
+/// Single cold pass (for programs that run once, like the paper examples).
+template <typename Fn>
+machine::ExecutionProfile cold_profile(const machine::MachineModel& machine,
+                                       Fn&& workload) {
+  memsim::MemoryHierarchy h = machine.make_hierarchy();
+  runtime::Recorder rec(&h);
+  workload(rec);
+  return rec.profile();
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bwc::bench

@@ -1,0 +1,90 @@
+// Figure 2: Ratios of bandwidth demand to supply, and the CPU-utilization
+// bound they imply.
+//
+// Paper values (Origin2000): conv 1.6/1.3/6.5, dmxpy 2.1/2.1/10.5,
+// mm-jki 6.0/2.1/7.4, FFT 2.1/0.8/3.4, NAS/SP 2.7/1.6/6.1,
+// Sweep3D 3.8/2.3/9.8. Memory is the worst-provisioned level everywhere;
+// dmxpy's CPU utilization is bounded at 9.5%, SP at 16%, Sweep3D at 10%.
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "bwc/model/balance.h"
+#include "bwc/workloads/kernels.h"
+#include "bwc/workloads/sp_proxy.h"
+#include "bwc/workloads/sweep3d_proxy.h"
+
+int main() {
+  using namespace bwc;
+  bench::print_header(
+      "Figure 2: demand/supply ratios and CPU utilization bounds "
+      "(simulated Origin2000)");
+
+  const machine::MachineModel machine = bench::o2k();
+  std::vector<model::ProgramBalance> rows;
+
+  {
+    workloads::AddressSpace space;
+    workloads::Convolution conv(200000, 3, space);
+    rows.push_back(model::ProgramBalance::from_profile(
+        "convolution", bench::steady_state_profile(machine, [&](auto& rec) {
+          conv.run(rec);
+        })));
+  }
+  {
+    workloads::AddressSpace space;
+    workloads::Dmxpy dmxpy(120000, 16, space);
+    rows.push_back(model::ProgramBalance::from_profile(
+        "dmxpy", bench::steady_state_profile(machine, [&](auto& rec) {
+          dmxpy.run(rec);
+        })));
+  }
+  {
+    workloads::AddressSpace space;
+    workloads::MatMul mm(384, space);
+    rows.push_back(model::ProgramBalance::from_profile(
+        "mm-jki (-O2)", bench::steady_state_profile(machine, [&](auto& rec) {
+          mm.reset_c();
+          mm.run_jki(rec);
+        })));
+  }
+  {
+    workloads::AddressSpace space;
+    workloads::Fft fft(131072, space);
+    rows.push_back(model::ProgramBalance::from_profile(
+        "FFT", bench::steady_state_profile(
+                   machine, [&](auto& rec) { fft.run(rec); })));
+  }
+  {
+    workloads::AddressSpace space;
+    workloads::SpProxy sp(24, space);
+    rows.push_back(model::ProgramBalance::from_profile(
+        "NAS/SP (proxy)", bench::steady_state_profile(machine, [&](auto& rec) {
+          sp.step(rec);
+        })));
+  }
+  {
+    workloads::AddressSpace space;
+    workloads::Sweep3dProxy sweep(28, 6, space);
+    rows.push_back(model::ProgramBalance::from_profile(
+        "Sweep3D (proxy)",
+        bench::steady_state_profile(machine,
+                                    [&](auto& rec) { sweep.sweep(rec); })));
+  }
+
+  std::cout << model::render_ratio_table(rows, machine::origin2000_r10k());
+
+  // The headline claims of Section 2.2.
+  int memory_worst = 0;
+  for (const auto& b : rows) {
+    const auto ratios =
+        model::demand_supply_ratios(b, machine::origin2000_r10k());
+    if (ratios[2] >= ratios[0] && ratios[2] >= ratios[1]) ++memory_worst;
+  }
+  std::cout << "\nmemory boundary is the worst-provisioned level for "
+            << memory_worst << "/" << rows.size()
+            << " applications (paper: all except blocked mm)\n"
+            << "paper ratios (mem): conv 6.5, dmxpy 10.5, mm 7.4, FFT 3.4, "
+               "SP 6.1, Sweep3D 9.8\n";
+  return 0;
+}

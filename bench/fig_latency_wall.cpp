@@ -1,0 +1,59 @@
+// Section 1's argument, quantified: latency tolerance converges to the
+// bandwidth wall.
+//
+// "When CPU simultaneously fetches two data items from memory, the actual
+// latency per access is halved, but the memory bandwidth consumption is
+// doubled. Since actual latency is the inverse of the consumed bandwidth,
+// memory latency cannot be fully tolerated without infinite bandwidth."
+//
+// Sweep the non-blocking/prefetch overlap depth k for a stride-1 kernel:
+// predicted time falls as 1/k while latency dominates, then flatlines at
+// the bandwidth bound -- the point past which only *bandwidth reduction*
+// (the paper's compiler) helps.
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "bwc/machine/latency_model.h"
+#include "bwc/support/table.h"
+#include "bwc/workloads/stride_kernels.h"
+
+int main() {
+  using namespace bwc;
+  bench::print_header(
+      "Latency tolerance vs the bandwidth wall (1w2r kernel, Origin2000)");
+
+  workloads::AddressSpace space;
+  workloads::StrideKernel kernel({"1w2r", 1, 2}, 150000, space);
+  const machine::MachineModel full = machine::origin2000_r10k();
+  const auto profile = bench::steady_state_profile(
+      bench::o2k(), [&](auto& rec) { kernel.run(rec); });
+
+  const machine::LatencyModel lm = machine::default_latency(full);
+  const std::vector<double> overlaps = {1, 2, 4, 8, 16, 32, 64};
+  const auto sweep =
+      machine::latency_tolerance_sweep(profile, full, lm, overlaps);
+
+  TextTable t("Predicted time vs outstanding-miss depth k");
+  t.set_header({"overlap k", "latency term (ms)", "bandwidth bound (ms)",
+                "total (ms)", "limited by"});
+  for (std::size_t i = 0; i < overlaps.size(); ++i) {
+    const auto& p = sweep[i];
+    t.add_row({fmt_fixed(overlaps[i], 0),
+               fmt_fixed(p.latency_term_s * 1e3, 2),
+               fmt_fixed(p.bandwidth_bound_s * 1e3, 2),
+               fmt_fixed(p.total_s * 1e3, 2),
+               p.bandwidth_limited ? "bandwidth" : "latency"});
+  }
+  std::cout << t.render();
+
+  const double blocking = sweep.front().total_s;
+  const double wall = sweep.back().total_s;
+  std::cout << "\nblocking cache: " << fmt_fixed(blocking * 1e3, 2)
+            << " ms; infinite-overlap floor: " << fmt_fixed(wall * 1e3, 2)
+            << " ms (" << fmt_fixed(blocking / wall, 1)
+            << "x is all latency tolerance can ever buy here).\n"
+            << "Past the crossover, every further gain must come from "
+               "consuming less bandwidth -- the paper's compiler.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Section 2.3's machine-design claim: "To fully utilize a processor of
+// comparable speed as MIPS R10K on Origin2000, a machine would need 3.4 to
+// 10.5 times of the 300 MB/s memory bandwidth of Origin2000. Therefore, a
+// machine must have 1.02 GB/s to 3.15 GB/s of memory bandwidth, far
+// exceeding the capacity of current machines."
+//
+// This binary computes, for each measured application, the memory
+// bandwidth required for full CPU utilization, and the speedup a given
+// bandwidth upgrade would deliver.
+#include "bench_common.h"
+
+#include <algorithm>
+#include <iostream>
+
+#include "bwc/model/prediction.h"
+#include "bwc/support/table.h"
+#include "bwc/workloads/kernels.h"
+#include "bwc/workloads/sweep3d_proxy.h"
+
+int main() {
+  using namespace bwc;
+  bench::print_header(
+      "Required memory bandwidth for full CPU utilization (Origin2000)");
+
+  const machine::MachineModel full = machine::origin2000_r10k();
+  const machine::MachineModel scaled = bench::o2k();
+
+  struct App {
+    std::string name;
+    machine::ExecutionProfile profile;
+  };
+  std::vector<App> apps;
+  {
+    workloads::AddressSpace space;
+    workloads::Convolution conv(200000, 3, space);
+    apps.push_back({"convolution", bench::steady_state_profile(
+                                       scaled, [&](auto& rec) {
+                                         conv.run(rec);
+                                       })});
+  }
+  {
+    workloads::AddressSpace space;
+    workloads::Dmxpy dmxpy(120000, 16, space);
+    apps.push_back({"dmxpy", bench::steady_state_profile(
+                                 scaled, [&](auto& rec) { dmxpy.run(rec); })});
+  }
+  {
+    workloads::AddressSpace space;
+    workloads::Sweep3dProxy sweep(28, 6, space);
+    apps.push_back({"Sweep3D (proxy)",
+                    bench::steady_state_profile(
+                        scaled, [&](auto& rec) { sweep.sweep(rec); })});
+  }
+
+  TextTable t("Bandwidth requirements and upgrade payoff");
+  t.set_header({"application", "needed (MB/s)", "vs machine",
+                "speedup @2x bw", "speedup @10x bw"});
+  double lo = 1e18, hi = 0;
+  for (const auto& app : apps) {
+    const auto balance =
+        model::ProgramBalance::from_profile(app.name, app.profile);
+    const double need = model::required_memory_bandwidth_mbps(balance, full);
+    lo = std::min(lo, need);
+    hi = std::max(hi, need);
+    t.add_row({app.name, fmt_fixed(need, 0),
+               fmt_fixed(need / full.memory_bandwidth_mbps(), 1) + "x",
+               fmt_fixed(model::speedup_from_memory_bandwidth(
+                             app.profile, full,
+                             2 * full.memory_bandwidth_mbps()),
+                         2) +
+                   "x",
+               fmt_fixed(model::speedup_from_memory_bandwidth(
+                             app.profile, full,
+                             10 * full.memory_bandwidth_mbps()),
+                         2) +
+                   "x"});
+  }
+  std::cout << t.render();
+  std::cout << "\nrequired range: " << fmt_fixed(lo / 1000.0, 2) << " - "
+            << fmt_fixed(hi / 1000.0, 2)
+            << " GB/s (paper: 1.02 - 3.15 GB/s for its application set)\n";
+
+  // And the tuning report for the worst offender.
+  std::cout << "\n"
+            << model::render_tuning_report(
+                   model::tuning_report(apps[1].profile, full));
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Section 2.3: bandwidth utilization of NAS/SP's major subroutines.
+//
+// Paper: "5 out of its 7 major computation subroutines utilized 84% or
+// higher of the memory bandwidth of Origin2000" -- i.e. the full
+// application, not just kernels, runs pinned at the memory-bandwidth
+// limit; only the flop-heavy line solves sit below it.
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "bwc/support/table.h"
+#include "bwc/workloads/sp_proxy.h"
+
+int main() {
+  using namespace bwc;
+  bench::print_header(
+      "Section 2.3: SP subroutine memory-bandwidth utilization "
+      "(simulated Origin2000)");
+
+  workloads::AddressSpace space;
+  workloads::SpProxy sp(24, space);
+  const machine::MachineModel scaled = bench::o2k();
+  const machine::MachineModel full = machine::origin2000_r10k();
+
+  TextTable t("Per-subroutine bandwidth utilization");
+  t.set_header({"subroutine", "bytes/flop (mem)", "utilization", ">= 84%?"});
+  int saturated = 0;
+  for (int s = 0; s < workloads::SpProxy::kSubroutines; ++s) {
+    const auto profile = bench::steady_state_profile(
+        scaled, [&](auto& rec) { sp.run_subroutine(s, rec); });
+    const double util =
+        machine::memory_bandwidth_utilization(profile, full);
+    const double balance = static_cast<double>(profile.memory_bytes()) /
+                           static_cast<double>(profile.flops);
+    if (util >= 0.84) ++saturated;
+    t.add_row({workloads::SpProxy::subroutine_names()[
+                   static_cast<std::size_t>(s)],
+               fmt_fixed(balance, 2), fmt_fixed(util * 100.0, 1) + "%",
+               util >= 0.84 ? "yes" : "no"});
+  }
+  std::cout << t.render();
+  std::cout << "\n" << saturated << "/7 subroutines at >= 84% utilization "
+            << "(paper: 5/7)\n";
+  return 0;
+}

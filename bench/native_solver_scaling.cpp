@@ -1,0 +1,83 @@
+// Complexity claims of Section 3.1, measured.
+//
+// The paper proves two-partitioning polynomial ("cubic to the number of
+// arrays, linear to the number of loops") and general multi-partitioning
+// NP-complete. This google-benchmark binary times the solvers as the
+// graph grows: the exact enumeration's Bell-number blow-up against the
+// polynomial min-cut two-partitioning and the heuristics.
+#include <benchmark/benchmark.h>
+
+#include "bwc/fusion/solvers.h"
+#include "bwc/support/prng.h"
+
+namespace {
+
+using namespace bwc;
+
+/// Random fusion graph with exactly one fusion-preventing pair (the
+/// paper's restricted two-partitioning form), so every solver applies.
+fusion::FusionGraph make_graph(int loops, int arrays, std::uint64_t seed) {
+  Prng rng(seed);
+  std::vector<std::vector<int>> pins(static_cast<std::size_t>(arrays));
+  for (auto& p : pins) {
+    for (int l = 0; l < loops; ++l) {
+      if (rng.chance(0.4)) p.push_back(l);
+    }
+    if (p.empty())
+      p.push_back(static_cast<int>(rng.uniform(
+          static_cast<std::uint64_t>(loops))));
+  }
+  return fusion::graph_from_spec(loops, pins, /*deps=*/{},
+                                 /*preventing=*/{{0, loops - 1}});
+}
+
+void BM_ExactEnumeration(benchmark::State& state) {
+  const int loops = static_cast<int>(state.range(0));
+  const auto g = make_graph(loops, loops, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fusion::exact_enumeration(g, 16).cost);
+  }
+  state.SetLabel("Bell(" + std::to_string(loops) + ") partitions");
+}
+BENCHMARK(BM_ExactEnumeration)->DenseRange(4, 11)->Unit(benchmark::kMicrosecond);
+
+void BM_TwoPartitionMinCut(benchmark::State& state) {
+  const int loops = static_cast<int>(state.range(0));
+  const auto g = make_graph(loops, loops, 42);
+  for (auto _ : state) {
+    auto plan = fusion::exact_two_partition(g);
+    benchmark::DoNotOptimize(plan.has_value() ? plan->cost : -1);
+  }
+}
+BENCHMARK(BM_TwoPartitionMinCut)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GreedyFusion(benchmark::State& state) {
+  const int loops = static_cast<int>(state.range(0));
+  const auto g = make_graph(loops, loops, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fusion::greedy_fusion(g).cost);
+  }
+}
+BENCHMARK(BM_GreedyFusion)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RecursiveBisection(benchmark::State& state) {
+  const int loops = static_cast<int>(state.range(0));
+  const auto g = make_graph(loops, loops, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fusion::recursive_bisection(g).cost);
+  }
+}
+BENCHMARK(BM_RecursiveBisection)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Fusion playground: drive the bandwidth-minimal fusion solvers on an
+// abstract fusion graph, no IR required.
+//
+// Scenario: an image-processing pipeline of eight passes over a handful of
+// planes, with a histogram barrier that cannot fuse with the final
+// normalization pass. Which passes should share a loop to minimize the
+// total number of planes streamed from memory?
+//
+//   ./build/examples/fusion_playground
+#include <iostream>
+
+#include "bwc/fusion/solvers.h"
+#include "bwc/support/table.h"
+
+int main() {
+  using namespace bwc;
+
+  // Loops (passes):      0 decode, 1 denoise, 2 gradient, 3 histogram,
+  //                      4 equalize, 5 blend, 6 sharpen, 7 encode
+  // Arrays (planes): pins = which passes touch them.
+  const std::vector<std::vector<int>> planes = {
+      /*raw      */ {0},
+      /*luma     */ {0, 1, 2, 3, 4},
+      /*denoised */ {1, 5},
+      /*grad     */ {2, 5, 6},
+      /*hist     */ {3, 4},
+      /*equalized*/ {4, 5},
+      /*blended  */ {5, 6, 7},
+      /*out      */ {6, 7},
+  };
+  // Producer -> consumer dependences along the pipeline.
+  const std::vector<std::pair<int, int>> deps = {
+      {0, 1}, {0, 2}, {0, 3}, {3, 4}, {1, 5}, {2, 5},
+      {4, 5}, {5, 6}, {6, 7},
+  };
+  // The histogram pass must fully complete before equalization can start
+  // (a reduction barrier): fusion-preventing.
+  const std::vector<std::pair<int, int>> preventing = {{3, 4}};
+
+  const fusion::FusionGraph g =
+      fusion::graph_from_spec(8, planes, deps, preventing);
+
+  const char* pass_names[] = {"decode",   "denoise", "gradient", "histogram",
+                              "equalize", "blend",   "sharpen",  "encode"};
+  auto show = [&](const fusion::FusionPlan& plan) {
+    std::string out;
+    for (const auto& group : plan.groups()) {
+      out += "[";
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        if (i) out += "+";
+        out += pass_names[group[i]];
+      }
+      out += "] ";
+    }
+    return out;
+  };
+
+  TextTable t("Planes streamed from memory under each fusion strategy");
+  t.set_header({"solver", "schedule", "planes streamed"});
+  const auto none = fusion::no_fusion(g);
+  t.add_row({"no fusion", show(none), std::to_string(none.cost)});
+  const auto exact = fusion::exact_enumeration(g);
+  t.add_row({"bandwidth-minimal (exact)", show(exact),
+             std::to_string(exact.cost)});
+  const auto greedy = fusion::greedy_fusion(g);
+  t.add_row({"greedy", show(greedy), std::to_string(greedy.cost)});
+  const auto bisect = fusion::recursive_bisection(g);
+  t.add_row({"recursive bisection", show(bisect),
+             std::to_string(bisect.cost)});
+  const auto ew = fusion::edge_weighted_baseline(g);
+  t.add_row({"edge-weighted baseline", show(ew), std::to_string(ew.cost)});
+  std::cout << t.render();
+
+  std::cout << "\nEvery plane streamed costs one full pass of memory "
+               "bandwidth; the exact plan\nsaves "
+            << (none.cost - exact.cost) << "/" << none.cost
+            << " of the pipeline's traffic while honoring the histogram "
+               "barrier.\n";
+  return 0;
+}

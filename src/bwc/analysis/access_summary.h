@@ -1,0 +1,68 @@
+// Per-loop access summaries: which arrays and scalars a top-level loop nest
+// reads and writes, and with which affine subscripts. This is the raw
+// material for fusion-graph construction, dependence testing and liveness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bwc/ir/program.h"
+
+namespace bwc::analysis {
+
+/// All subscript tuples with which one loop references one array.
+struct ArrayAccess {
+  ir::ArrayId array = ir::kInvalidArray;
+  std::vector<std::vector<ir::Affine>> reads;
+  std::vector<std::vector<ir::Affine>> writes;
+
+  bool has_reads() const { return !reads.empty(); }
+  bool has_writes() const { return !writes.empty(); }
+};
+
+/// How a loop touches one scalar.
+struct ScalarAccess {
+  bool read = false;
+  bool written = false;
+  /// Every write is of the reduction form s = s (+|min|max) expr with s not
+  /// otherwise used in expr. Additive reductions of the same scalar may be
+  /// fused without a fusion-preventing constraint.
+  bool reduction_only = true;
+  ir::BinOp reduction_op = ir::BinOp::kAdd;
+};
+
+/// Summary of one top-level loop nest.
+struct LoopSummary {
+  int top_index = -1;  // position in Program::top()
+  /// Loop variables outer-to-inner along the leftmost nest spine.
+  std::vector<std::string> loop_vars;
+  std::vector<std::int64_t> lowers;  // per nest level
+  std::vector<std::int64_t> uppers;
+  /// True when the nest is "perfect enough": every loop level holds either
+  /// exactly one inner loop or only non-loop statements.
+  bool simple_nest = true;
+  bool has_guards = false;
+
+  std::map<ir::ArrayId, ArrayAccess> arrays;
+  std::map<std::string, ScalarAccess> scalars;
+
+  int depth() const { return static_cast<int>(loop_vars.size()); }
+  std::int64_t trip_count() const;
+  /// Arrays referenced at all (read or write).
+  std::vector<ir::ArrayId> touched_arrays() const;
+};
+
+/// Summarize the loop at Program::top()[top_index] (must be a loop).
+LoopSummary summarize_loop(const ir::Program& program, int top_index);
+
+/// Summarize any top-level statement; non-loop statements yield a depth-0
+/// summary containing just their accesses (used by liveness analysis).
+LoopSummary summarize_statement(const ir::Program& program, int top_index);
+
+/// Summaries of all top-level loops, in program order.
+std::vector<LoopSummary> summarize_program(const ir::Program& program);
+
+}  // namespace bwc::analysis

@@ -1,0 +1,417 @@
+#include "bwc/analysis/dependence.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "bwc/support/error.h"
+
+namespace bwc::analysis {
+
+namespace {
+
+constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min() / 4;
+constexpr std::int64_t kPosInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+/// Closed integer interval; empty when lo > hi.
+struct Interval {
+  std::int64_t lo = kNegInf;
+  std::int64_t hi = kPosInf;
+  bool empty() const { return lo > hi; }
+  bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+  Interval intersect(const Interval& o) const {
+    return {std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+};
+
+/// How the two loops' iteration spaces are aligned level by level.
+struct Alignment {
+  FusionCompat kind = FusionCompat::kIncompatible;
+  int depth = 0;  // fused nest depth
+  /// Level variables of A and B at each fused level; empty string when the
+  /// promoted loop has no variable at that level.
+  std::vector<std::string> a_vars, b_vars;
+  /// Iteration ranges of each loop at each fused level (promoted loops get
+  /// a singleton range at level 0).
+  std::vector<Interval> a_ranges, b_ranges;
+  std::int64_t promote_value = 0;
+};
+
+/// Build the alignment for a candidate structural relationship; nullopt
+/// when the shapes do not match that relationship.
+std::optional<Alignment> try_align(const LoopSummary& a, const LoopSummary& b,
+                                   FusionCompat kind,
+                                   std::int64_t promote_value = 0) {
+  Alignment al;
+  al.kind = kind;
+  switch (kind) {
+    case FusionCompat::kIdentical: {
+      if (a.depth() != b.depth() || a.depth() == 0) return std::nullopt;
+      if (a.lowers != b.lowers || a.uppers != b.uppers) return std::nullopt;
+      al.depth = a.depth();
+      for (int d = 0; d < al.depth; ++d) {
+        al.a_vars.push_back(a.loop_vars[static_cast<std::size_t>(d)]);
+        al.b_vars.push_back(b.loop_vars[static_cast<std::size_t>(d)]);
+        al.a_ranges.push_back({a.lowers[static_cast<std::size_t>(d)],
+                               a.uppers[static_cast<std::size_t>(d)]});
+        al.b_ranges.push_back({b.lowers[static_cast<std::size_t>(d)],
+                               b.uppers[static_cast<std::size_t>(d)]});
+      }
+      return al;
+    }
+    case FusionCompat::kOuterUnion: {
+      if (a.depth() != b.depth() || a.depth() < 2) return std::nullopt;
+      // Inner levels must match exactly; outer ranges differ.
+      for (int d = 1; d < a.depth(); ++d) {
+        if (a.lowers[static_cast<std::size_t>(d)] !=
+                b.lowers[static_cast<std::size_t>(d)] ||
+            a.uppers[static_cast<std::size_t>(d)] !=
+                b.uppers[static_cast<std::size_t>(d)])
+          return std::nullopt;
+      }
+      al.depth = a.depth();
+      for (int d = 0; d < al.depth; ++d) {
+        al.a_vars.push_back(a.loop_vars[static_cast<std::size_t>(d)]);
+        al.b_vars.push_back(b.loop_vars[static_cast<std::size_t>(d)]);
+        al.a_ranges.push_back({a.lowers[static_cast<std::size_t>(d)],
+                               a.uppers[static_cast<std::size_t>(d)]});
+        al.b_ranges.push_back({b.lowers[static_cast<std::size_t>(d)],
+                               b.uppers[static_cast<std::size_t>(d)]});
+      }
+      return al;
+    }
+    case FusionCompat::kPromoteA:
+    case FusionCompat::kPromoteB: {
+      const LoopSummary& deep = kind == FusionCompat::kPromoteA ? b : a;
+      const LoopSummary& shallow = kind == FusionCompat::kPromoteA ? a : b;
+      if (deep.depth() != shallow.depth() + 1 || shallow.depth() < 1)
+        return std::nullopt;
+      // The shallow loop must match the deep loop's inner levels.
+      for (int d = 0; d < shallow.depth(); ++d) {
+        if (shallow.lowers[static_cast<std::size_t>(d)] !=
+                deep.lowers[static_cast<std::size_t>(d + 1)] ||
+            shallow.uppers[static_cast<std::size_t>(d)] !=
+                deep.uppers[static_cast<std::size_t>(d + 1)])
+          return std::nullopt;
+      }
+      al.depth = deep.depth();
+      al.promote_value = promote_value;
+      for (int d = 0; d < al.depth; ++d) {
+        const Interval deep_range = {deep.lowers[static_cast<std::size_t>(d)],
+                                     deep.uppers[static_cast<std::size_t>(d)]};
+        std::string deep_var = deep.loop_vars[static_cast<std::size_t>(d)];
+        std::string shallow_var =
+            d == 0 ? std::string()
+                   : shallow.loop_vars[static_cast<std::size_t>(d - 1)];
+        const Interval shallow_range =
+            d == 0 ? Interval{promote_value, promote_value} : deep_range;
+        if (kind == FusionCompat::kPromoteA) {
+          al.a_vars.push_back(shallow_var);
+          al.b_vars.push_back(deep_var);
+          al.a_ranges.push_back(shallow_range);
+          al.b_ranges.push_back(deep_range);
+        } else {
+          al.a_vars.push_back(deep_var);
+          al.b_vars.push_back(shallow_var);
+          al.a_ranges.push_back(deep_range);
+          al.b_ranges.push_back(shallow_range);
+        }
+      }
+      return al;
+    }
+    case FusionCompat::kShifted:
+    case FusionCompat::kIncompatible:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// Classification of one subscript: constant, var-at-level+offset, or other.
+struct SubInfo {
+  enum Kind { kConst, kLevelVar, kOpaque } kind = kOpaque;
+  std::int64_t constant = 0;  // for kConst
+  int level = -1;             // for kLevelVar
+  std::int64_t offset = 0;    // for kLevelVar
+};
+
+SubInfo classify(const ir::Affine& sub, const std::vector<std::string>& vars) {
+  SubInfo info;
+  if (sub.is_constant()) {
+    info.kind = SubInfo::kConst;
+    info.constant = sub.constant_term();
+    return info;
+  }
+  const auto var = sub.single_var();
+  if (var.has_value() && sub.coeff(*var) == 1) {
+    for (int d = 0; d < static_cast<int>(vars.size()); ++d) {
+      if (vars[static_cast<std::size_t>(d)] == *var) {
+        info.kind = SubInfo::kLevelVar;
+        info.level = d;
+        info.offset = sub.constant_term();
+        return info;
+      }
+    }
+  }
+  info.kind = SubInfo::kOpaque;
+  return info;
+}
+
+/// Per-level delta = I_B - I_A intervals for one reference pair; returns
+/// nullopt when the pair provably touches disjoint elements, and sets
+/// `opaque` when the subscripts defeat the analysis.
+std::optional<std::vector<Interval>> pair_deltas(
+    const std::vector<ir::Affine>& ref_a, const std::vector<ir::Affine>& ref_b,
+    const Alignment& al, bool* opaque) {
+  *opaque = false;
+  if (ref_a.size() != ref_b.size()) {
+    *opaque = true;
+    return std::vector<Interval>();
+  }
+
+  // Start from the unconstrained deltas implied by the iteration ranges.
+  std::vector<Interval> delta(static_cast<std::size_t>(al.depth));
+  std::vector<Interval> a_iter(static_cast<std::size_t>(al.depth));
+  std::vector<Interval> b_iter(static_cast<std::size_t>(al.depth));
+  for (int d = 0; d < al.depth; ++d) {
+    a_iter[static_cast<std::size_t>(d)] = al.a_ranges[static_cast<std::size_t>(d)];
+    b_iter[static_cast<std::size_t>(d)] = al.b_ranges[static_cast<std::size_t>(d)];
+  }
+
+  for (std::size_t dim = 0; dim < ref_a.size(); ++dim) {
+    const SubInfo sa = classify(ref_a[dim], al.a_vars);
+    const SubInfo sb = classify(ref_b[dim], al.b_vars);
+    if (sa.kind == SubInfo::kOpaque || sb.kind == SubInfo::kOpaque) {
+      *opaque = true;
+      return std::vector<Interval>();
+    }
+    if (sa.kind == SubInfo::kConst && sb.kind == SubInfo::kConst) {
+      if (sa.constant != sb.constant) return std::nullopt;  // disjoint
+      continue;
+    }
+    if (sa.kind == SubInfo::kLevelVar && sb.kind == SubInfo::kLevelVar) {
+      if (sa.level != sb.level) {
+        *opaque = true;  // cross-level coupling: give up
+        return std::vector<Interval>();
+      }
+      // j_a + off_a == j_b + off_b  =>  delta = off_a - off_b, exactly.
+      const std::int64_t d = sa.offset - sb.offset;
+      const std::size_t lvl = static_cast<std::size_t>(sa.level);
+      delta[lvl] = delta[lvl].intersect({d, d});
+      if (delta[lvl].empty()) return std::nullopt;
+      continue;
+    }
+    // Constant against level variable: pins one side's iteration value.
+    if (sa.kind == SubInfo::kConst) {
+      const std::size_t lvl = static_cast<std::size_t>(sb.level);
+      const std::int64_t jb = sa.constant - sb.offset;
+      b_iter[lvl] = b_iter[lvl].intersect({jb, jb});
+      if (b_iter[lvl].empty()) return std::nullopt;
+    } else {
+      const std::size_t lvl = static_cast<std::size_t>(sa.level);
+      const std::int64_t ja = sb.constant - sa.offset;
+      a_iter[lvl] = a_iter[lvl].intersect({ja, ja});
+      if (a_iter[lvl].empty()) return std::nullopt;
+    }
+  }
+
+  // Fold iteration-range knowledge into the deltas.
+  for (int d = 0; d < al.depth; ++d) {
+    const std::size_t lvl = static_cast<std::size_t>(d);
+    const Interval range_delta = {b_iter[lvl].lo - a_iter[lvl].hi,
+                                  b_iter[lvl].hi - a_iter[lvl].lo};
+    delta[lvl] = delta[lvl].intersect(range_delta);
+    if (delta[lvl].empty()) return std::nullopt;
+  }
+  return delta;
+}
+
+/// Can the delta vector be lexicographically negative?
+bool possibly_lex_negative(const std::vector<Interval>& delta) {
+  bool prefix_zero_possible = true;
+  for (const Interval& iv : delta) {
+    if (prefix_zero_possible && iv.lo < 0) return true;
+    prefix_zero_possible = prefix_zero_possible && iv.contains(0);
+    if (!prefix_zero_possible) return false;
+  }
+  return false;
+}
+
+/// Does fusing under this alignment reverse any cross-loop dependence?
+bool violates(const LoopSummary& a, const LoopSummary& b,
+              const Alignment& al) {
+  for (const auto& [array, access_a] : a.arrays) {
+    const auto it = b.arrays.find(array);
+    if (it == b.arrays.end()) continue;
+    const ArrayAccess& access_b = it->second;
+
+    auto check_pairs = [&al](const std::vector<std::vector<ir::Affine>>& refs_a,
+                             const std::vector<std::vector<ir::Affine>>& refs_b)
+        -> bool {
+      for (const auto& ra : refs_a) {
+        for (const auto& rb : refs_b) {
+          bool opaque = false;
+          const auto delta = pair_deltas(ra, rb, al, &opaque);
+          if (opaque) return true;  // conservative
+          if (!delta.has_value()) continue;  // disjoint elements
+          if (possibly_lex_negative(*delta)) return true;
+        }
+      }
+      return false;
+    };
+
+    // Flow (A writes, B reads), anti (A reads, B writes), output (both
+    // write): all use the same lex-negative test.
+    if (check_pairs(access_a.writes, access_b.reads)) return true;
+    if (check_pairs(access_a.reads, access_b.writes)) return true;
+    if (check_pairs(access_a.writes, access_b.writes)) return true;
+  }
+  return false;
+}
+
+/// Scalar interactions: returns {dependent, preventing}.
+std::pair<bool, bool> scalar_relation(const LoopSummary& a,
+                                      const LoopSummary& b) {
+  bool dependent = false;
+  bool preventing = false;
+  for (const auto& [name, sa] : a.scalars) {
+    const auto it = b.scalars.find(name);
+    if (it == b.scalars.end()) continue;
+    const ScalarAccess& sb = it->second;
+    const bool a_writes = sa.written;
+    const bool b_writes = sb.written;
+    if (!a_writes && !b_writes) continue;  // read-read: no constraint
+    dependent = true;
+    // Matching additive reductions on both sides commute and may fuse.
+    const bool both_reductions = a_writes && b_writes && sa.reduction_only &&
+                                 sb.reduction_only && !sa.read && !sb.read &&
+                                 sa.reduction_op == sb.reduction_op;
+    if (both_reductions) continue;
+    // Writer/reader or writer/writer in any other shape: interleaving the
+    // iterations would expose partial values.
+    preventing = true;
+  }
+  return {dependent, preventing};
+}
+
+}  // namespace
+
+std::optional<std::int64_t> min_fusion_shift(const LoopSummary& a,
+                                             const LoopSummary& b,
+                                             std::int64_t max_shift) {
+  if (a.depth() != 1 || b.depth() != 1) return std::nullopt;
+  if (a.lowers != b.lowers || a.uppers != b.uppers) return std::nullopt;
+  const auto [scalar_dep, scalar_prevent] = scalar_relation(a, b);
+  (void)scalar_dep;
+  if (scalar_prevent) return std::nullopt;
+
+  const auto al = try_align(a, b, FusionCompat::kIdentical);
+  if (!al.has_value()) return std::nullopt;
+
+  // Shifting B later by s adds s to every delta; the minimal legal shift
+  // is the largest -delta.lo over all dependence-carrying reference pairs.
+  std::int64_t required = 0;
+  for (const auto& [array, access_a] : a.arrays) {
+    const auto it = b.arrays.find(array);
+    if (it == b.arrays.end()) continue;
+    const ArrayAccess& access_b = it->second;
+
+    auto scan_pairs = [&](const std::vector<std::vector<ir::Affine>>& refs_a,
+                          const std::vector<std::vector<ir::Affine>>& refs_b)
+        -> bool {
+      for (const auto& ra : refs_a) {
+        for (const auto& rb : refs_b) {
+          bool opaque = false;
+          const auto delta = pair_deltas(ra, rb, *al, &opaque);
+          if (opaque) return false;
+          if (!delta.has_value()) continue;  // disjoint elements
+          const Interval& iv = delta->front();
+          if (iv.lo <= kNegInf / 2) return false;  // unbounded backwards
+          required = std::max(required, -iv.lo);
+        }
+      }
+      return true;
+    };
+    if (!scan_pairs(access_a.writes, access_b.reads)) return std::nullopt;
+    if (!scan_pairs(access_a.reads, access_b.writes)) return std::nullopt;
+    if (!scan_pairs(access_a.writes, access_b.writes)) return std::nullopt;
+  }
+  if (required > max_shift) return std::nullopt;
+  return required;
+}
+
+bool interchange_legal(const LoopSummary& s) {
+  if (s.depth() < 2) return false;
+  const auto al = try_align(s, s, FusionCompat::kIdentical);
+  if (!al.has_value()) return false;
+
+  for (const auto& [array, access] : s.arrays) {
+    if (!access.has_writes()) continue;
+    auto check = [&](const std::vector<std::vector<ir::Affine>>& refs_a,
+                     const std::vector<std::vector<ir::Affine>>& refs_b) {
+      for (const auto& ra : refs_a) {
+        for (const auto& rb : refs_b) {
+          bool opaque = false;
+          const auto delta = pair_deltas(ra, rb, *al, &opaque);
+          if (opaque) return false;
+          if (!delta.has_value()) continue;
+          const Interval& outer = (*delta)[0];
+          const Interval& inner = (*delta)[1];
+          // A (+, -) distance vector flips lex-negative under interchange.
+          if (outer.hi > 0 && inner.lo < 0) return false;
+        }
+      }
+      return true;
+    };
+    if (!check(access.writes, access.reads)) return false;
+    if (!check(access.reads, access.writes)) return false;
+    if (!check(access.writes, access.writes)) return false;
+  }
+  return true;
+}
+
+PairAnalysis analyze_pair(const LoopSummary& a, const LoopSummary& b) {
+  PairAnalysis result;
+
+  // Shared arrays and array dependences.
+  for (const auto& [array, access_a] : a.arrays) {
+    const auto it = b.arrays.find(array);
+    if (it == b.arrays.end()) continue;
+    result.shared_arrays.push_back(array);
+    if (access_a.has_writes() || it->second.has_writes())
+      result.dependent = true;
+  }
+
+  const auto [scalar_dep, scalar_prevent] = scalar_relation(a, b);
+  result.dependent = result.dependent || scalar_dep;
+
+  // Try alignments from the most natural to the most contorted; take the
+  // first one that does not reverse a dependence.
+  std::vector<std::pair<FusionCompat, std::int64_t>> candidates = {
+      {FusionCompat::kIdentical, 0},
+      {FusionCompat::kOuterUnion, 0},
+  };
+  if (b.depth() == a.depth() - 1 && a.depth() >= 2) {
+    candidates.push_back({FusionCompat::kPromoteB, a.uppers[0]});
+    candidates.push_back({FusionCompat::kPromoteB, a.lowers[0]});
+  }
+  if (a.depth() == b.depth() - 1 && b.depth() >= 2) {
+    // Try the last outer iteration first (matches the promote-to-last
+    // choice used when multiple loops fuse into one group).
+    candidates.push_back({FusionCompat::kPromoteA, b.uppers[0]});
+    candidates.push_back({FusionCompat::kPromoteA, b.lowers[0]});
+  }
+
+  for (const auto& [kind, promote] : candidates) {
+    const auto al = try_align(a, b, kind, promote);
+    if (!al.has_value()) continue;
+    if (scalar_prevent) break;  // scalars block fusion under any alignment
+    if (violates(a, b, *al)) continue;
+    result.compat = kind;
+    result.promote_value = al->promote_value;
+    break;
+  }
+
+  result.fusion_preventing = result.compat == FusionCompat::kIncompatible;
+  return result;
+}
+
+}  // namespace bwc::analysis

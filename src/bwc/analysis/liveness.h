@@ -1,0 +1,41 @@
+// Program-level array liveness.
+//
+// Store elimination (paper Section 3.3) needs to know, for every array,
+// which top-level statement performs the *last* use: once all uses are
+// completed inside one fused loop and the array is not a program output,
+// its writebacks can be removed.
+#pragma once
+
+#include <vector>
+
+#include "bwc/ir/program.h"
+
+namespace bwc::analysis {
+
+struct ArrayLiveness {
+  ir::ArrayId array = ir::kInvalidArray;
+  /// Top-level statement indices that read / write the array, in order.
+  std::vector<int> reading_stmts;
+  std::vector<int> writing_stmts;
+  /// The array is an observable program output.
+  bool is_output = false;
+
+  int first_access() const;
+  int last_access() const;
+  int last_read() const;
+  int last_write() const;
+
+  /// Dead after statement `top_index`: not an output and never accessed by
+  /// any later top-level statement.
+  bool dead_after(int top_index) const;
+
+  /// The array's new values are never observable: it is not an output and
+  /// no read ever follows a write (every read happens in or before the
+  /// statement of the first write -- conservatively, statement-granular).
+  bool stores_unobserved() const;
+};
+
+/// Liveness for every array of the program (indexed by ArrayId).
+std::vector<ArrayLiveness> analyze_liveness(const ir::Program& program);
+
+}  // namespace bwc::analysis

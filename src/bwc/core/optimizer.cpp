@@ -1,0 +1,122 @@
+#include "bwc/core/optimizer.h"
+
+#include <sstream>
+
+#include "bwc/fusion/solvers.h"
+#include "bwc/support/error.h"
+#include "bwc/transform/fuse.h"
+#include "bwc/transform/interchange.h"
+#include "bwc/transform/storage_reduction.h"
+#include "bwc/transform/scalar_replacement.h"
+#include "bwc/transform/store_elimination.h"
+
+namespace bwc::core {
+
+OptimizeResult optimize(const ir::Program& program,
+                        const OptimizerOptions& options) {
+  OptimizeResult result;
+  result.program = program.clone();
+
+  if (options.auto_interchange) {
+    transform::InterchangeResult ir = transform::auto_interchange(
+        result.program);
+    if (!ir.interchanged.empty()) {
+      result.program = std::move(ir.program);
+      result.log.push_back(
+          "interchange: swapped " + std::to_string(ir.interchanged.size()) +
+          " nest(s) to stride-1 order");
+    }
+  }
+
+  if (options.solver != FusionSolver::kNone) {
+    fusion::FusionGraphOptions graph_options;
+    graph_options.allow_shifted_fusion = options.allow_shifted_fusion;
+    const fusion::FusionGraph graph =
+        fusion::build_fusion_graph(result.program, graph_options);
+    switch (options.solver) {
+      case FusionSolver::kBest:
+        result.plan = fusion::best_fusion(graph);
+        break;
+      case FusionSolver::kExact:
+        result.plan = fusion::exact_enumeration(graph);
+        break;
+      case FusionSolver::kGreedy:
+        result.plan = fusion::greedy_fusion(graph);
+        break;
+      case FusionSolver::kBisection:
+        result.plan = fusion::recursive_bisection(graph);
+        break;
+      case FusionSolver::kEdgeWeighted:
+        result.plan = fusion::edge_weighted_baseline(graph);
+        break;
+      case FusionSolver::kNone:
+        break;
+    }
+    const fusion::FusionPlan unfused = fusion::no_fusion(graph);
+    if (result.plan.num_partitions < graph.node_count()) {
+      result.program =
+          transform::apply_fusion(result.program, graph, result.plan);
+      std::ostringstream os;
+      os << "fusion (" << result.plan.solver << "): " << graph.node_count()
+         << " loops -> " << result.plan.num_partitions
+         << " partitions; arrays loaded " << unfused.cost << " -> "
+         << result.plan.cost;
+      result.log.push_back(os.str());
+    } else {
+      result.log.push_back("fusion: no profitable fusion found");
+    }
+  }
+
+  if (options.reduce_storage) {
+    transform::StorageReductionResult sr =
+        transform::reduce_storage(result.program);
+    if (!sr.actions.empty()) {
+      result.program = std::move(sr.program);
+      for (const auto& a : sr.actions)
+        result.log.push_back("storage reduction: " + a);
+      std::ostringstream os;
+      os << "storage reduction: referenced array bytes "
+         << sr.referenced_bytes_before << " -> " << sr.referenced_bytes_after;
+      result.log.push_back(os.str());
+    } else {
+      result.log.push_back("storage reduction: no candidate arrays");
+    }
+  }
+
+  if (options.eliminate_stores) {
+    transform::StoreEliminationResult se =
+        transform::eliminate_stores(result.program);
+    if (!se.eliminated.empty()) {
+      std::ostringstream os;
+      os << "store elimination: removed writebacks to";
+      for (ir::ArrayId a : se.eliminated)
+        os << " " << se.program.array(a).name;
+      result.program = std::move(se.program);
+      result.log.push_back(os.str());
+    } else {
+      result.log.push_back("store elimination: no candidate arrays");
+    }
+  }
+
+  if (options.scalar_replacement) {
+    transform::ScalarReplacementResult sr =
+        transform::replace_scalars(result.program);
+    if (!sr.actions.empty()) {
+      result.program = std::move(sr.program);
+      for (const auto& a : sr.actions)
+        result.log.push_back("scalar replacement: " + a);
+    } else {
+      result.log.push_back("scalar replacement: no stencil candidates");
+    }
+  }
+
+  return result;
+}
+
+std::string render_log(const OptimizeResult& result) {
+  std::ostringstream os;
+  for (const auto& line : result.log) os << "  - " << line << "\n";
+  return os.str();
+}
+
+}  // namespace bwc::core

@@ -1,0 +1,58 @@
+// BandwidthOptimizer: the paper's compiler strategy as one entry point.
+//
+// Pipeline (paper Section 3): bandwidth-minimal loop fusion organizes the
+// global computation to minimize total memory transfer; storage reduction
+// shrinks localized arrays; store elimination removes writebacks to arrays
+// whose uses complete inside the fused loop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bwc/fusion/fusion_graph.h"
+#include "bwc/ir/program.h"
+
+namespace bwc::core {
+
+enum class FusionSolver {
+  kBest,          // exact when small, best heuristic otherwise
+  kExact,         // exact enumeration (throws beyond 12 loops)
+  kGreedy,
+  kBisection,     // recursive min-cut bisection
+  kEdgeWeighted,  // prior-work baseline objective
+  kNone,          // skip fusion
+};
+
+struct OptimizerOptions {
+  FusionSolver solver = FusionSolver::kBest;
+  bool reduce_storage = true;
+  bool eliminate_stores = true;
+  /// Fusion with alignment: allow fusing loops separated by a bounded
+  /// forward dependence distance by delaying the consumer (kShifted).
+  bool allow_shifted_fusion = false;
+  /// Run the loop-interchange heuristic before fusion: 2-deep nests that
+  /// traverse column-major data row-by-row are swapped to stride-1 order
+  /// when legal.
+  bool auto_interchange = false;
+  /// After the bandwidth passes, keep stencil-reused array elements in
+  /// rotating scalars (Callahan-Cocke-Kennedy register reuse): reduces
+  /// register<->L1 traffic, the paper's second most critical resource.
+  bool scalar_replacement = false;
+};
+
+struct OptimizeResult {
+  ir::Program program;
+  /// Plan actually applied (empty assignment when fusion was skipped).
+  fusion::FusionPlan plan;
+  /// Human-readable log of what each pass did.
+  std::vector<std::string> log;
+};
+
+/// Run the bandwidth-reduction pipeline on a program.
+OptimizeResult optimize(const ir::Program& program,
+                        const OptimizerOptions& options = {});
+
+/// Render the log as a bulleted block.
+std::string render_log(const OptimizeResult& result);
+
+}  // namespace bwc::core

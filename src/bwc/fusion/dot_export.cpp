@@ -1,0 +1,86 @@
+#include "bwc/fusion/dot_export.h"
+
+#include <sstream>
+
+#include "bwc/support/error.h"
+
+namespace bwc::fusion {
+
+namespace {
+
+std::string node_label(const std::vector<std::string>& labels, int v) {
+  if (!labels.empty()) {
+    BWC_CHECK(v >= 0 && v < static_cast<int>(labels.size()),
+              "label list does not cover node");
+    return labels[static_cast<std::size_t>(v)];
+  }
+  return "L" + std::to_string(v);
+}
+
+void emit_loop_node(std::ostringstream& os,
+                    const std::vector<std::string>& labels, int v,
+                    const char* indent) {
+  os << indent << "loop" << v << " [label=\"" << node_label(labels, v)
+     << "\", shape=box, style=filled, fillcolor=\"#dce6f4\"];\n";
+}
+
+void emit_edges(std::ostringstream& os, const FusionGraph& g) {
+  // Hyper-edges: one diamond per array, connected to its pins.
+  for (int e = 0; e < g.sharing.edge_count(); ++e) {
+    const std::string label = g.sharing.label(e).empty()
+                                  ? "a" + std::to_string(e)
+                                  : g.sharing.label(e);
+    os << "  array" << e << " [label=\"" << label
+       << "\", shape=diamond, fontsize=10, style=filled, "
+          "fillcolor=\"#f4ecd2\"];\n";
+    for (int v : g.sharing.pins(e)) {
+      os << "  array" << e << " -- loop" << v << " [color=\"#999999\"];\n";
+    }
+  }
+  // Dependence edges.
+  for (int u = 0; u < g.node_count(); ++u) {
+    for (int v : g.deps.successors(u)) {
+      os << "  loop" << u << " -- loop" << v
+         << " [dir=forward, color=\"#2a6f4e\", penwidth=1.5];\n";
+    }
+  }
+  // Fusion-preventing constraints.
+  for (const auto& [u, v] : g.preventing) {
+    os << "  loop" << u << " -- loop" << v
+       << " [style=dashed, color=\"#b03030\", penwidth=1.5];\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const FusionGraph& graph,
+                   const std::vector<std::string>& loop_labels) {
+  std::ostringstream os;
+  os << "graph fusion {\n  rankdir=LR;\n";
+  for (int v = 0; v < graph.node_count(); ++v)
+    emit_loop_node(os, loop_labels, v, "  ");
+  emit_edges(os, graph);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const FusionGraph& graph, const FusionPlan& plan,
+                   const std::vector<std::string>& loop_labels) {
+  BWC_CHECK(static_cast<int>(plan.assignment.size()) == graph.node_count(),
+            "plan does not match graph");
+  std::ostringstream os;
+  os << "graph fusion_plan {\n  rankdir=LR;\n";
+  const auto groups = plan.groups();
+  for (std::size_t p = 0; p < groups.size(); ++p) {
+    os << "  subgraph cluster_" << p << " {\n"
+       << "    label=\"partition " << p << "\";\n"
+       << "    style=rounded;\n    color=\"#6080a0\";\n";
+    for (int v : groups[p]) emit_loop_node(os, loop_labels, v, "    ");
+    os << "  }\n";
+  }
+  emit_edges(os, graph);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace bwc::fusion

@@ -1,0 +1,23 @@
+// Graphviz export of fusion graphs and plans, for documentation and
+// debugging. Hyper-edges are rendered as small array nodes connected to
+// every loop that accesses them (the standard hyper-graph drawing);
+// dependence edges are solid arrows, fusion-preventing constraints are
+// dashed red; a plan clusters nodes by partition.
+#pragma once
+
+#include <string>
+
+#include "bwc/fusion/fusion_graph.h"
+
+namespace bwc::fusion {
+
+/// DOT source for the fusion graph. `loop_labels` may be empty (nodes are
+/// then labeled L0, L1, ...) or provide one label per node.
+std::string to_dot(const FusionGraph& graph,
+                   const std::vector<std::string>& loop_labels = {});
+
+/// DOT source with the plan's partitions drawn as clusters.
+std::string to_dot(const FusionGraph& graph, const FusionPlan& plan,
+                   const std::vector<std::string>& loop_labels = {});
+
+}  // namespace bwc::fusion

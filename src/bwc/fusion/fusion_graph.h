@@ -1,0 +1,101 @@
+// The fusion graph (paper Section 3.1.1 / Problem 3.2).
+//
+// Nodes are the top-level loops of a program. Three kinds of relations:
+//   - hyper-edges: one per array, connecting every loop that accesses it
+//     ("the traditional definition of an edge is inadequate for modeling
+//     data sharing because the same data can be shared by more than two
+//     loops");
+//   - directed dependence edges (producer loop -> consumer loop);
+//   - undirected fusion-preventing constraints.
+//
+// The bandwidth cost of a partitioning is the sum over partitions of the
+// number of distinct arrays accessed inside -- equivalently the total
+// "length" of all hyper-edges (number of partitions each spans). Minimizing
+// it minimizes total memory transfer, assuming arrays too large for cache
+// reuse across disjoint loops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bwc/analysis/access_summary.h"
+#include "bwc/analysis/dependence.h"
+#include "bwc/graph/digraph.h"
+#include "bwc/graph/hypergraph.h"
+#include "bwc/ir/program.h"
+
+namespace bwc::fusion {
+
+struct FusionGraph {
+  /// node i corresponds to Program::top()[loop_tops[i]].
+  std::vector<int> loop_tops;
+  std::vector<analysis::LoopSummary> summaries;
+
+  /// Data sharing: nodes = loops, one hyper-edge per accessed array with
+  /// unit weight; edge_arrays maps hyper-edge index -> ArrayId.
+  graph::Hypergraph sharing;
+  std::vector<ir::ArrayId> edge_arrays;
+  /// Parallel hyper-graph whose edge weights are array byte sizes, for
+  /// transfer-volume (rather than array-count) costs.
+  graph::Hypergraph sharing_bytes;
+
+  /// Dependence edges between loop nodes (producer -> consumer).
+  graph::Digraph deps;
+  /// Fusion-preventing pairs (i < j), undirected.
+  std::vector<std::pair<int, int>> preventing;
+  /// Pairwise analysis for i < j: pair_info[i][j - i - 1].
+  std::vector<std::vector<analysis::PairAnalysis>> pair_info;
+
+  int node_count() const { return static_cast<int>(loop_tops.size()); }
+  const analysis::PairAnalysis& pair(int i, int j) const;
+  bool is_preventing(int i, int j) const;
+};
+
+struct FusionGraphOptions {
+  /// Fusion with alignment: a pair whose only obstacle is a bounded
+  /// forward dependence distance (consumer reads a[i+s]) is marked
+  /// kShifted instead of fusion-preventing; the code generator delays the
+  /// consumer by s iterations. Off by default (matches the paper).
+  bool allow_shifted_fusion = false;
+  std::int64_t max_shift = 8;
+};
+
+/// Build the fusion graph of a program's top-level loops.
+FusionGraph build_fusion_graph(const ir::Program& program,
+                               const FusionGraphOptions& options = {});
+
+/// A partitioning of the fusion graph: assignment[node] = partition id,
+/// with partition ids 0..num_partitions-1 forming a valid execution order.
+struct FusionPlan {
+  std::vector<int> assignment;
+  int num_partitions = 0;
+  /// Bandwidth cost: total hyper-edge length = sum over partitions of the
+  /// number of distinct arrays accessed inside (the paper's objective).
+  std::int64_t cost = 0;
+  /// Same objective weighted by array byte sizes (total bytes loaded).
+  std::int64_t bytes_cost = 0;
+  /// Which solver produced the plan, for reporting.
+  std::string solver;
+
+  /// Nodes of each partition in node order.
+  std::vector<std::vector<int>> groups() const;
+};
+
+/// Is this assignment legal: no fusion-preventing pair co-partitioned, and
+/// the partition-contracted dependence graph is acyclic with partition ids
+/// increasing along every dependence edge. Optionally reports the reason.
+bool plan_is_valid(const FusionGraph& graph, const std::vector<int>& assignment,
+                   std::string* why = nullptr);
+
+/// Renumber partition ids into a valid execution order (topological order
+/// of the contracted dependence graph, ties broken by first node). Throws
+/// when the contracted graph is cyclic.
+std::vector<int> normalize_order(const FusionGraph& graph,
+                                 const std::vector<int>& assignment);
+
+/// Complete a plan from a raw assignment: normalizes order, computes costs.
+FusionPlan finish_plan(const FusionGraph& graph, std::vector<int> assignment,
+                       std::string solver);
+
+}  // namespace bwc::fusion

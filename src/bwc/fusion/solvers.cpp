@@ -1,0 +1,379 @@
+#include "bwc/fusion/solvers.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "bwc/graph/hyper_cut.h"
+#include "bwc/support/error.h"
+
+namespace bwc::fusion {
+
+namespace {
+
+/// Cost of an assignment under the edge-weighted (baseline) objective:
+/// total number of shared arrays across partition boundaries, counted per
+/// loop pair (the Gao / Kennedy-McKinley edge weights).
+std::int64_t edge_weighted_cost(const FusionGraph& g,
+                                const std::vector<int>& assignment) {
+  std::int64_t cost = 0;
+  const int n = g.node_count();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (assignment[static_cast<std::size_t>(i)] ==
+          assignment[static_cast<std::size_t>(j)])
+        continue;
+      cost += static_cast<std::int64_t>(g.pair(i, j).shared_arrays.size());
+    }
+  }
+  return cost;
+}
+
+/// Enumerate set partitions (restricted growth strings) with preventing
+/// pruning; calls `visit` on every complete legal-looking assignment
+/// (full validity still checked by the caller).
+void enumerate_partitions(const FusionGraph& g,
+                          const std::function<void(const std::vector<int>&)>&
+                              visit) {
+  const int n = g.node_count();
+  std::vector<int> assignment(static_cast<std::size_t>(n), -1);
+  std::function<void(int, int)> recurse = [&](int v, int used) {
+    if (v == n) {
+      visit(assignment);
+      return;
+    }
+    for (int p = 0; p <= used && p < n; ++p) {
+      bool ok = true;
+      for (int u = 0; u < v && ok; ++u) {
+        if (assignment[static_cast<std::size_t>(u)] == p &&
+            g.is_preventing(u, v))
+          ok = false;
+      }
+      if (!ok) continue;
+      assignment[static_cast<std::size_t>(v)] = p;
+      recurse(v + 1, std::max(used, p + 1));
+    }
+    assignment[static_cast<std::size_t>(v)] = -1;
+  };
+  recurse(0, 0);
+}
+
+/// Exact search minimizing an arbitrary objective over valid assignments.
+FusionPlan exact_minimize(
+    const FusionGraph& g, int max_nodes, const std::string& solver,
+    const std::function<std::int64_t(const std::vector<int>&)>& objective) {
+  BWC_CHECK(g.node_count() <= max_nodes,
+            "exact fusion enumeration limited to " +
+                std::to_string(max_nodes) + " loops (problem is NP-complete)");
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  std::vector<int> best_assignment;
+  enumerate_partitions(g, [&](const std::vector<int>& assignment) {
+    if (!plan_is_valid(g, assignment)) return;
+    const std::int64_t c = objective(assignment);
+    if (c < best) {
+      best = c;
+      best_assignment = assignment;
+    }
+  });
+  BWC_CHECK(!best_assignment.empty() || g.node_count() == 0,
+            "no valid partitioning exists");
+  if (g.node_count() == 0) {
+    FusionPlan p;
+    p.solver = solver;
+    return p;
+  }
+  return finish_plan(g, best_assignment, solver);
+}
+
+}  // namespace
+
+FusionPlan no_fusion(const FusionGraph& graph) {
+  std::vector<int> assignment(static_cast<std::size_t>(graph.node_count()));
+  std::iota(assignment.begin(), assignment.end(), 0);
+  if (graph.node_count() == 0) {
+    FusionPlan p;
+    p.solver = "none";
+    return p;
+  }
+  return finish_plan(graph, std::move(assignment), "none");
+}
+
+std::optional<FusionPlan> exact_two_partition(const FusionGraph& graph) {
+  if (graph.preventing.size() != 1) return std::nullopt;
+  const auto [s, t] = graph.preventing.front();
+
+  // Weighted hyper-graph: the data-sharing edges plus heavy dependence
+  // enforcement triples (paper Section 3.1.2, last paragraph).
+  graph::Hypergraph h(graph.node_count());
+  for (int e = 0; e < graph.sharing.edge_count(); ++e)
+    h.add_edge(graph.sharing.pins(e), graph.sharing.weight(e));
+  const std::int64_t heavy = graph.sharing.total_weight() + 1;
+  for (int u = 0; u < graph.node_count(); ++u) {
+    for (int v : graph.deps.successors(u)) {
+      h.add_edge({s, u}, heavy);
+      h.add_edge({u, v}, heavy);
+      h.add_edge({v, t}, heavy);
+    }
+  }
+
+  const graph::HyperCutResult cut = graph::min_hyperedge_cut(h, s, t);
+  std::vector<int> assignment(static_cast<std::size_t>(graph.node_count()), 1);
+  for (int v : cut.source_side) assignment[static_cast<std::size_t>(v)] = 0;
+  if (!plan_is_valid(graph, assignment)) return std::nullopt;
+  return finish_plan(graph, std::move(assignment), "exact-two-partition");
+}
+
+FusionPlan exact_enumeration(const FusionGraph& graph, int max_nodes) {
+  return exact_minimize(graph, max_nodes, "exact",
+                        [&graph](const std::vector<int>& a) {
+                          return graph::partition_cost(graph.sharing, a);
+                        });
+}
+
+FusionPlan exact_enumeration_weighted(const FusionGraph& graph,
+                                      int max_nodes) {
+  return exact_minimize(
+      graph, max_nodes, "exact-weighted",
+      [&graph](const std::vector<int>& a) {
+        return graph::partition_cost(graph.sharing_bytes, a);
+      });
+}
+
+FusionPlan greedy_fusion(const FusionGraph& graph) {
+  const int n = graph.node_count();
+  if (n == 0) {
+    FusionPlan p;
+    p.solver = "greedy";
+    return p;
+  }
+  std::vector<int> assignment(static_cast<std::size_t>(n), -1);
+  std::vector<std::set<ir::ArrayId>> partition_arrays;
+  std::vector<std::vector<int>> members;
+
+  for (int v = 0; v < n; ++v) {
+    const auto& arrays =
+        graph.summaries[static_cast<std::size_t>(v)].touched_arrays();
+
+    // Earliest partition v may join: after every producer's partition.
+    int min_partition = 0;
+    for (int u : graph.deps.predecessors(v))
+      min_partition =
+          std::max(min_partition, assignment[static_cast<std::size_t>(u)]);
+
+    int best_partition = -1;
+    std::int64_t best_delta = std::numeric_limits<std::int64_t>::max();
+    for (int p = min_partition;
+         p < static_cast<int>(partition_arrays.size()); ++p) {
+      bool ok = true;
+      for (int u : members[static_cast<std::size_t>(p)]) {
+        if (graph.is_preventing(u, v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      std::int64_t delta = 0;
+      for (ir::ArrayId a : arrays) {
+        if (partition_arrays[static_cast<std::size_t>(p)].count(a) == 0)
+          ++delta;
+      }
+      // Prefer the latest partition on ties (keeps groups compact).
+      if (delta < best_delta ||
+          (delta == best_delta && p > best_partition)) {
+        best_delta = delta;
+        best_partition = p;
+      }
+    }
+    const std::int64_t new_cost = static_cast<std::int64_t>(arrays.size());
+    if (best_partition < 0 || best_delta >= new_cost) {
+      best_partition = static_cast<int>(partition_arrays.size());
+      partition_arrays.emplace_back();
+      members.emplace_back();
+    }
+    assignment[static_cast<std::size_t>(v)] = best_partition;
+    members[static_cast<std::size_t>(best_partition)].push_back(v);
+    for (ir::ArrayId a : arrays)
+      partition_arrays[static_cast<std::size_t>(best_partition)].insert(a);
+  }
+  return finish_plan(graph, std::move(assignment), "greedy");
+}
+
+FusionPlan recursive_bisection(const FusionGraph& graph) {
+  const int n = graph.node_count();
+  if (n == 0) {
+    FusionPlan p;
+    p.solver = "bisection";
+    return p;
+  }
+  std::vector<int> assignment(static_cast<std::size_t>(n), 0);
+  int next_partition = 0;
+
+  std::function<void(const std::vector<int>&)> split =
+      [&](const std::vector<int>& nodes) {
+        // Find a fusion-preventing pair inside this group.
+        int s = -1, t = -1;
+        for (std::size_t i = 0; i < nodes.size() && s < 0; ++i) {
+          for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+            if (graph.is_preventing(nodes[i], nodes[j])) {
+              s = nodes[i];
+              t = nodes[j];
+              break;
+            }
+          }
+        }
+        if (s < 0) {
+          const int p = next_partition++;
+          for (int v : nodes) assignment[static_cast<std::size_t>(v)] = p;
+          return;
+        }
+
+        // Induced hyper-graph over this group with heavy dependence edges.
+        std::vector<int> local_of(static_cast<std::size_t>(n), -1);
+        for (std::size_t i = 0; i < nodes.size(); ++i)
+          local_of[static_cast<std::size_t>(nodes[i])] = static_cast<int>(i);
+        graph::Hypergraph h(static_cast<int>(nodes.size()));
+        for (int e = 0; e < graph.sharing.edge_count(); ++e) {
+          std::vector<int> pins;
+          for (int v : graph.sharing.pins(e)) {
+            if (local_of[static_cast<std::size_t>(v)] >= 0)
+              pins.push_back(local_of[static_cast<std::size_t>(v)]);
+          }
+          if (!pins.empty())
+            h.add_edge(std::move(pins), graph.sharing.weight(e));
+        }
+        const std::int64_t heavy = graph.sharing.total_weight() + 1;
+        const int ls = local_of[static_cast<std::size_t>(s)];
+        const int lt = local_of[static_cast<std::size_t>(t)];
+        for (int u = 0; u < n; ++u) {
+          if (local_of[static_cast<std::size_t>(u)] < 0) continue;
+          for (int v : graph.deps.successors(u)) {
+            if (local_of[static_cast<std::size_t>(v)] < 0) continue;
+            h.add_edge({ls, local_of[static_cast<std::size_t>(u)]}, heavy);
+            h.add_edge({local_of[static_cast<std::size_t>(u)],
+                        local_of[static_cast<std::size_t>(v)]},
+                       heavy);
+            h.add_edge({local_of[static_cast<std::size_t>(v)], lt}, heavy);
+          }
+        }
+
+        const graph::HyperCutResult cut = graph::min_hyperedge_cut(h, ls, lt);
+        std::vector<int> first, second;
+        std::vector<bool> in_first(nodes.size(), false);
+        for (int lv : cut.source_side)
+          in_first[static_cast<std::size_t>(lv)] = true;
+        for (std::size_t i = 0; i < nodes.size(); ++i)
+          (in_first[i] ? first : second).push_back(nodes[i]);
+        split(first);
+        split(second);
+      };
+
+  std::vector<int> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  split(all);
+
+  // Bisection order may disagree with dependence order in corner cases;
+  // fall back to greedy when the plan cannot be normalized.
+  try {
+    return finish_plan(graph, std::move(assignment), "bisection");
+  } catch (const Error&) {
+    FusionPlan p = greedy_fusion(graph);
+    p.solver = "bisection(greedy-fallback)";
+    return p;
+  }
+}
+
+FusionPlan edge_weighted_baseline(const FusionGraph& graph) {
+  if (graph.node_count() <= 12) {
+    FusionPlan plan = exact_minimize(
+        graph, 12, "edge-weighted",
+        [&graph](const std::vector<int>& a) {
+          // Prefer fewer partitions on equal cut weight, like the published
+          // greedy-fusion heuristics that fuse whenever legal.
+          return edge_weighted_cost(graph, a) * 64 +
+                 *std::max_element(a.begin(), a.end());
+        });
+    return plan;
+  }
+  FusionPlan plan = greedy_fusion(graph);
+  plan.solver = "edge-weighted(greedy)";
+  return plan;
+}
+
+FusionPlan best_fusion(const FusionGraph& graph) {
+  if (graph.node_count() <= 12) {
+    FusionPlan plan = exact_enumeration(graph);
+    plan.solver = "best(exact)";
+    return plan;
+  }
+  FusionPlan a = recursive_bisection(graph);
+  FusionPlan b = greedy_fusion(graph);
+  FusionPlan best = a.cost <= b.cost ? std::move(a) : std::move(b);
+  best.solver = "best(" + best.solver + ")";
+  return best;
+}
+
+FusionGraph graph_from_spec(int num_loops,
+                            const std::vector<std::vector<int>>& array_pins,
+                            const std::vector<std::pair<int, int>>& dep_edges,
+                            const std::vector<std::pair<int, int>>& preventing,
+                            const std::vector<std::int64_t>& array_bytes) {
+  BWC_CHECK(num_loops >= 0, "loop count must be non-negative");
+  BWC_CHECK(array_bytes.empty() || array_bytes.size() == array_pins.size(),
+            "array_bytes must match array_pins");
+  FusionGraph g;
+  g.loop_tops.resize(static_cast<std::size_t>(num_loops));
+  std::iota(g.loop_tops.begin(), g.loop_tops.end(), 0);
+  g.summaries.resize(static_cast<std::size_t>(num_loops));
+  g.sharing = graph::Hypergraph(num_loops);
+  g.sharing_bytes = graph::Hypergraph(num_loops);
+  g.deps = graph::Digraph(num_loops);
+
+  for (std::size_t k = 0; k < array_pins.size(); ++k) {
+    const ir::ArrayId id = static_cast<ir::ArrayId>(k);
+    g.sharing.add_edge(array_pins[k], 1);
+    g.sharing_bytes.add_edge(
+        array_pins[k], array_bytes.empty() ? 1 : array_bytes[k]);
+    g.edge_arrays.push_back(id);
+    // Populate summaries' touched arrays so greedy_fusion can run on specs.
+    for (int loop : array_pins[k]) {
+      auto& access =
+          g.summaries[static_cast<std::size_t>(loop)].arrays[id];
+      access.array = id;
+    }
+  }
+  for (const auto& [u, v] : dep_edges) g.deps.add_edge(u, v);
+
+  // Pairwise info: mark preventing pairs; everything else fusable.
+  g.pair_info.resize(static_cast<std::size_t>(num_loops));
+  for (int i = 0; i < num_loops; ++i) {
+    for (int j = i + 1; j < num_loops; ++j) {
+      analysis::PairAnalysis pa;
+      pa.compat = analysis::FusionCompat::kIdentical;
+      pa.fusion_preventing = false;
+      pa.dependent = g.deps.has_edge(i, j);
+      for (std::size_t k = 0; k < array_pins.size(); ++k) {
+        const auto& pins = array_pins[k];
+        const bool has_i = std::find(pins.begin(), pins.end(), i) != pins.end();
+        const bool has_j = std::find(pins.begin(), pins.end(), j) != pins.end();
+        if (has_i && has_j)
+          pa.shared_arrays.push_back(static_cast<ir::ArrayId>(k));
+      }
+      g.pair_info[static_cast<std::size_t>(i)].push_back(std::move(pa));
+    }
+  }
+  for (const auto& [u, v] : preventing) {
+    const int i = std::min(u, v);
+    const int j = std::max(u, v);
+    BWC_CHECK(i >= 0 && j < num_loops && i != j, "bad preventing pair");
+    auto& pa = g.pair_info[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j - i - 1)];
+    pa.fusion_preventing = true;
+    pa.compat = analysis::FusionCompat::kIncompatible;
+    g.preventing.emplace_back(i, j);
+  }
+  return g;
+}
+
+}  // namespace bwc::fusion

@@ -1,0 +1,76 @@
+// Solvers for the bandwidth-minimal fusion problem.
+//
+// The paper gives (a) a polynomial exact algorithm for the restricted
+// two-partitioning form -- one fusion-preventing edge, solved by a minimal
+// cut on the data-sharing hyper-graph with dependences enforced by heavy
+// hyper-edges -- and (b) an NP-completeness proof for the general
+// multi-partition form, which therefore gets exact enumeration for small
+// graphs and heuristics (greedy, recursive bisection) beyond. The prior
+// edge-weighted formulation of Gao et al. / Kennedy & McKinley is included
+// as the comparison baseline; the paper's Figure 4 shows it is *not*
+// bandwidth-optimal (8 arrays loaded vs 7).
+#pragma once
+
+#include <optional>
+
+#include "bwc/fusion/fusion_graph.h"
+
+namespace bwc::fusion {
+
+/// Every loop in its own partition (cost = sum over loops of arrays
+/// accessed; 20 for the paper's Figure 4 example).
+FusionPlan no_fusion(const FusionGraph& graph);
+
+/// The paper's polynomial algorithm for the restricted two-partitioning
+/// form. Applicable when the graph has exactly one fusion-preventing pair;
+/// returns nullopt otherwise. Dependences are enforced by adding, for each
+/// dependence edge (u, v), three hyper-edges {s,u}, {u,v}, {v,t} of weight
+/// larger than the total array weight, so that any cut placing v's
+/// partition before u's cannot be minimal.
+std::optional<FusionPlan> exact_two_partition(const FusionGraph& graph);
+
+/// Exact multi-partitioning by enumeration of set partitions with
+/// validity pruning. Throws bwc::Error when node count exceeds `max_nodes`
+/// (the problem is NP-complete; enumeration is Bell-number sized).
+FusionPlan exact_enumeration(const FusionGraph& graph, int max_nodes = 12);
+
+/// Exact multi-partitioning under the byte-weighted objective (total bytes
+/// loaded, i.e. hyper-edge lengths weighted by array sizes). With equal
+/// array sizes this coincides with exact_enumeration; with mixed sizes it
+/// can prefer splitting small arrays to keep one big array resident.
+FusionPlan exact_enumeration_weighted(const FusionGraph& graph,
+                                      int max_nodes = 12);
+
+/// Greedy: place each loop (in program order) into the legal partition
+/// that minimizes the increase in distinct-array count, else start a new
+/// partition.
+FusionPlan greedy_fusion(const FusionGraph& graph);
+
+/// Recursive bisection: repeatedly split any group containing a
+/// fusion-preventing pair with the hyper-graph minimal cut. This is the
+/// heuristic the paper suggests for the NP-complete general case.
+FusionPlan recursive_bisection(const FusionGraph& graph);
+
+/// The edge-weighted baseline: minimizes the total weight of
+/// cross-partition normal edges (weight = number of shared arrays), the
+/// objective of Gao et al. and Kennedy & McKinley. Exact for small graphs,
+/// greedy beyond. The returned plan's `cost` is still the bandwidth
+/// objective, so it can be compared directly against the other solvers.
+FusionPlan edge_weighted_baseline(const FusionGraph& graph);
+
+/// Dispatcher: exact enumeration when feasible, otherwise the better of
+/// recursive bisection and greedy.
+FusionPlan best_fusion(const FusionGraph& graph);
+
+/// Build a fusion graph directly from a specification, for experiments on
+/// abstract graphs like the paper's Figure 4 (no Program needed; such
+/// graphs cannot be fed to the code transformer, only to the solvers).
+/// `array_pins[k]` lists the loops accessing array k; dependence edges are
+/// (producer, consumer); preventing pairs are undirected.
+FusionGraph graph_from_spec(int num_loops,
+                            const std::vector<std::vector<int>>& array_pins,
+                            const std::vector<std::pair<int, int>>& dep_edges,
+                            const std::vector<std::pair<int, int>>& preventing,
+                            const std::vector<std::int64_t>& array_bytes = {});
+
+}  // namespace bwc::fusion

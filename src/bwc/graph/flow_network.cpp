@@ -1,0 +1,121 @@
+#include "bwc/graph/flow_network.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "bwc/support/error.h"
+
+namespace bwc::graph {
+
+FlowNetwork::FlowNetwork(int node_count) {
+  BWC_CHECK(node_count >= 0, "node count must be non-negative");
+  head_.assign(static_cast<std::size_t>(node_count), -1);
+}
+
+int FlowNetwork::add_node() {
+  head_.push_back(-1);
+  return node_count() - 1;
+}
+
+int FlowNetwork::add_edge(int u, int v, Capacity capacity) {
+  BWC_CHECK(u >= 0 && u < node_count(), "edge source out of range");
+  BWC_CHECK(v >= 0 && v < node_count(), "edge target out of range");
+  BWC_CHECK(capacity >= 0, "edge capacity must be non-negative");
+  const int fwd = static_cast<int>(edges_.size());
+  edges_.push_back({v, capacity, head_[static_cast<std::size_t>(u)]});
+  head_[static_cast<std::size_t>(u)] = fwd;
+  edges_.push_back({u, 0, head_[static_cast<std::size_t>(v)]});
+  head_[static_cast<std::size_t>(v)] = fwd + 1;
+  initial_capacity_.push_back(capacity);
+  initial_capacity_.push_back(0);
+  return fwd;
+}
+
+bool FlowNetwork::bfs_augment(int source, int sink,
+                              std::vector<int>& parent_edge) {
+  std::fill(parent_edge.begin(), parent_edge.end(), -1);
+  std::vector<bool> visited(static_cast<std::size_t>(node_count()), false);
+  visited[static_cast<std::size_t>(source)] = true;
+  std::queue<int> q;
+  q.push(source);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int e = head_[static_cast<std::size_t>(u)]; e != -1;
+         e = edges_[static_cast<std::size_t>(e)].next) {
+      const Edge& edge = edges_[static_cast<std::size_t>(e)];
+      if (edge.capacity <= 0 || visited[static_cast<std::size_t>(edge.to)])
+        continue;
+      visited[static_cast<std::size_t>(edge.to)] = true;
+      parent_edge[static_cast<std::size_t>(edge.to)] = e;
+      if (edge.to == sink) return true;
+      q.push(edge.to);
+    }
+  }
+  return false;
+}
+
+Capacity FlowNetwork::max_flow(int source, int sink) {
+  BWC_CHECK(source >= 0 && source < node_count(), "source out of range");
+  BWC_CHECK(sink >= 0 && sink < node_count(), "sink out of range");
+  BWC_CHECK(source != sink, "source and sink must differ");
+
+  // Reset residual capacities from any previous run.
+  for (std::size_t i = 0; i < edges_.size(); ++i)
+    edges_[i].capacity = initial_capacity_[i];
+
+  Capacity total = 0;
+  std::vector<int> parent_edge(static_cast<std::size_t>(node_count()), -1);
+  while (bfs_augment(source, sink, parent_edge)) {
+    Capacity bottleneck = kInfiniteCapacity;
+    for (int v = sink; v != source;) {
+      const int e = parent_edge[static_cast<std::size_t>(v)];
+      bottleneck =
+          std::min(bottleneck, edges_[static_cast<std::size_t>(e)].capacity);
+      v = edges_[static_cast<std::size_t>(e ^ 1)].to;
+    }
+    for (int v = sink; v != source;) {
+      const int e = parent_edge[static_cast<std::size_t>(v)];
+      edges_[static_cast<std::size_t>(e)].capacity -= bottleneck;
+      edges_[static_cast<std::size_t>(e ^ 1)].capacity += bottleneck;
+      v = edges_[static_cast<std::size_t>(e ^ 1)].to;
+    }
+    total += bottleneck;
+  }
+
+  // Record the residual-reachable set for min-cut extraction.
+  reachable_.assign(static_cast<std::size_t>(node_count()), false);
+  std::queue<int> q;
+  q.push(source);
+  reachable_[static_cast<std::size_t>(source)] = true;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int e = head_[static_cast<std::size_t>(u)]; e != -1;
+         e = edges_[static_cast<std::size_t>(e)].next) {
+      const Edge& edge = edges_[static_cast<std::size_t>(e)];
+      if (edge.capacity > 0 && !reachable_[static_cast<std::size_t>(edge.to)]) {
+        reachable_[static_cast<std::size_t>(edge.to)] = true;
+        q.push(edge.to);
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<int> FlowNetwork::min_cut_edges() const {
+  BWC_CHECK(!reachable_.empty(), "call max_flow before min_cut_edges");
+  std::vector<int> cut;
+  for (std::size_t e = 0; e < edges_.size(); e += 2) {
+    const int from = edges_[e + 1].to;  // residual arc points back to source
+    const int to = edges_[e].to;
+    if (initial_capacity_[e] > 0 &&
+        reachable_[static_cast<std::size_t>(from)] &&
+        !reachable_[static_cast<std::size_t>(to)]) {
+      cut.push_back(static_cast<int>(e));
+    }
+  }
+  return cut;
+}
+
+}  // namespace bwc::graph

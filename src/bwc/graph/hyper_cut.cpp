@@ -1,0 +1,128 @@
+#include "bwc/graph/hyper_cut.h"
+
+#include <algorithm>
+
+#include "bwc/graph/undirected_graph.h"
+#include "bwc/graph/vertex_cut.h"
+#include "bwc/support/error.h"
+
+namespace bwc::graph {
+
+namespace {
+
+/// Split nodes into (connected-to-s, rest) after removing the cut edges.
+void fill_sides(const Hypergraph& g, int s, HyperCutResult& result) {
+  std::vector<bool> removed(static_cast<std::size_t>(g.edge_count()), false);
+  for (int e : result.cut_edges) removed[static_cast<std::size_t>(e)] = true;
+  const auto comp = g.components(removed);
+  const int s_comp = comp[static_cast<std::size_t>(s)];
+  result.source_side.clear();
+  result.sink_side.clear();
+  for (int v = 0; v < g.node_count(); ++v) {
+    if (comp[static_cast<std::size_t>(v)] == s_comp) {
+      result.source_side.push_back(v);
+    } else {
+      result.sink_side.push_back(v);
+    }
+  }
+}
+
+}  // namespace
+
+HyperCutResult min_hyperedge_cut(const Hypergraph& g, int s, int t) {
+  const int n = g.node_count();
+  BWC_CHECK(s >= 0 && s < n && t >= 0 && t < n, "terminal out of range");
+  BWC_CHECK(s != t, "terminals must differ");
+
+  HyperCutResult result;
+  if (!g.connected(s, t)) {
+    fill_sides(g, s, result);
+    return result;
+  }
+
+  // Step 1: hyper-edges become nodes of a normal graph G'; two nodes are
+  // adjacent when their hyper-edges overlap. map[v'] = hyper-edge index.
+  const int m = g.edge_count();
+  UndirectedGraph normal(m + 2);
+  const int s_prime = m;
+  const int t_prime = m + 1;
+  for (int a = 0; a < m; ++a) {
+    for (int b = a + 1; b < m; ++b) {
+      if (g.edges_overlap(a, b)) normal.add_edge(a, b);
+    }
+  }
+  for (int e = 0; e < m; ++e) {
+    if (g.edge_contains(e, s)) normal.add_edge(s_prime, e);
+    if (g.edge_contains(e, t)) normal.add_edge(t_prime, e);
+  }
+
+  // Step 2: minimum vertex cut in G' with hyper-edge weights on vertices.
+  std::vector<std::int64_t> weights(static_cast<std::size_t>(m + 2), 0);
+  for (int e = 0; e < m; ++e)
+    weights[static_cast<std::size_t>(e)] = g.weight(e);
+  const VertexCutResult vc =
+      min_vertex_cut(normal, s_prime, t_prime, weights);
+
+  // Step 3: cut vertices of G' are the cut hyper-edges of G.
+  result.cut_weight = vc.cut_weight;
+  result.cut_edges = vc.cut_vertices;
+  std::sort(result.cut_edges.begin(), result.cut_edges.end());
+  fill_sides(g, s, result);
+  BWC_CHECK(std::find(result.sink_side.begin(), result.sink_side.end(), t) !=
+                result.sink_side.end(),
+            "cut failed to separate the terminals");
+  return result;
+}
+
+HyperCutResult min_hyperedge_cut_bruteforce(const Hypergraph& g, int s,
+                                            int t) {
+  const int n = g.node_count();
+  BWC_CHECK(s >= 0 && s < n && t >= 0 && t < n, "terminal out of range");
+  BWC_CHECK(s != t, "terminals must differ");
+  BWC_CHECK(n <= 24, "brute force limited to small graphs");
+
+  // Enumerate assignments of the non-terminal nodes to side-of-s (bit 1) or
+  // side-of-t (bit 0); the induced cut is the set of edges with pins on
+  // both sides. The minimum over all assignments equals the minimum
+  // removal set disconnecting s from t.
+  std::vector<int> free_nodes;
+  for (int v = 0; v < n; ++v)
+    if (v != s && v != t) free_nodes.push_back(v);
+
+  std::vector<bool> on_s_side(static_cast<std::size_t>(n), false);
+  on_s_side[static_cast<std::size_t>(s)] = true;
+
+  std::int64_t best_weight = -1;
+  std::vector<int> best_cut;
+  const std::uint64_t limit = std::uint64_t{1} << free_nodes.size();
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    for (std::size_t i = 0; i < free_nodes.size(); ++i)
+      on_s_side[static_cast<std::size_t>(free_nodes[i])] =
+          ((mask >> i) & 1) != 0;
+
+    std::int64_t weight = 0;
+    std::vector<int> cut;
+    for (int e = 0; e < g.edge_count(); ++e) {
+      bool any_s = false, any_t = false;
+      for (int p : g.pins(e)) {
+        (on_s_side[static_cast<std::size_t>(p)] ? any_s : any_t) = true;
+      }
+      if (any_s && any_t) {
+        weight += g.weight(e);
+        cut.push_back(e);
+      }
+    }
+    if (best_weight < 0 || weight < best_weight) {
+      best_weight = weight;
+      best_cut = std::move(cut);
+    }
+  }
+
+  HyperCutResult result;
+  result.cut_weight = best_weight < 0 ? 0 : best_weight;
+  result.cut_edges = std::move(best_cut);
+  fill_sides(g, s, result);
+  return result;
+}
+
+}  // namespace bwc::graph

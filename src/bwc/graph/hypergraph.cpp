@@ -1,0 +1,120 @@
+#include "bwc/graph/hypergraph.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "bwc/support/error.h"
+
+namespace bwc::graph {
+
+Hypergraph::Hypergraph(int node_count) {
+  BWC_CHECK(node_count >= 0, "node count must be non-negative");
+  node_count_ = node_count;
+  incident_.resize(static_cast<std::size_t>(node_count));
+}
+
+int Hypergraph::add_node() {
+  incident_.emplace_back();
+  return node_count_++;
+}
+
+int Hypergraph::add_edge(std::vector<int> pins, std::int64_t weight,
+                         std::string label) {
+  std::sort(pins.begin(), pins.end());
+  pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+  BWC_CHECK(!pins.empty(), "hyper-edge must have at least one pin");
+  BWC_CHECK(weight >= 0, "hyper-edge weight must be non-negative");
+  for (int p : pins)
+    BWC_CHECK(p >= 0 && p < node_count_, "hyper-edge pin out of range");
+  const int e = edge_count();
+  for (int p : pins) incident_[static_cast<std::size_t>(p)].push_back(e);
+  pins_.push_back(std::move(pins));
+  weights_.push_back(weight);
+  labels_.push_back(std::move(label));
+  return e;
+}
+
+bool Hypergraph::edge_contains(int e, int v) const {
+  const auto& p = pins(e);
+  return std::binary_search(p.begin(), p.end(), v);
+}
+
+bool Hypergraph::edges_overlap(int a, int b) const {
+  const auto& pa = pins(a);
+  const auto& pb = pins(b);
+  std::size_t i = 0, j = 0;
+  while (i < pa.size() && j < pb.size()) {
+    if (pa[i] == pb[j]) return true;
+    if (pa[i] < pb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+std::int64_t Hypergraph::total_weight() const {
+  std::int64_t total = 0;
+  for (int e = 0; e < edge_count(); ++e) total += weight(e);
+  return total;
+}
+
+std::vector<int> Hypergraph::components(
+    const std::vector<bool>& removed_edges) const {
+  BWC_CHECK(removed_edges.empty() ||
+                static_cast<int>(removed_edges.size()) == edge_count(),
+            "removed_edges mask must be empty or match edge count");
+  auto removed = [&removed_edges](int e) {
+    return !removed_edges.empty() && removed_edges[static_cast<std::size_t>(e)];
+  };
+
+  std::vector<int> comp(static_cast<std::size_t>(node_count_), -1);
+  std::vector<bool> edge_done(static_cast<std::size_t>(edge_count()), false);
+  int next = 0;
+  for (int start = 0; start < node_count_; ++start) {
+    if (comp[static_cast<std::size_t>(start)] != -1) continue;
+    comp[static_cast<std::size_t>(start)] = next;
+    std::queue<int> q;
+    q.push(start);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int e : incident_edges(u)) {
+        if (edge_done[static_cast<std::size_t>(e)] || removed(e)) continue;
+        edge_done[static_cast<std::size_t>(e)] = true;
+        for (int v : pins(e)) {
+          if (comp[static_cast<std::size_t>(v)] == -1) {
+            comp[static_cast<std::size_t>(v)] = next;
+            q.push(v);
+          }
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+bool Hypergraph::connected(int u, int v,
+                           const std::vector<bool>& removed_edges) const {
+  const auto comp = components(removed_edges);
+  return comp[static_cast<std::size_t>(u)] == comp[static_cast<std::size_t>(v)];
+}
+
+std::int64_t partition_cost(const Hypergraph& g,
+                            const std::vector<int>& assignment) {
+  BWC_CHECK(static_cast<int>(assignment.size()) == g.node_count(),
+            "assignment must map every node");
+  std::int64_t cost = 0;
+  for (int e = 0; e < g.edge_count(); ++e) {
+    std::set<int> parts;
+    for (int p : g.pins(e))
+      parts.insert(assignment[static_cast<std::size_t>(p)]);
+    cost += g.weight(e) * static_cast<std::int64_t>(parts.size());
+  }
+  return cost;
+}
+
+}  // namespace bwc::graph

@@ -1,0 +1,75 @@
+// Hyper-graphs: the paper's data-sharing model.
+//
+// "The traditional definition of an edge is inadequate for modeling data
+// sharing because the same data can be shared by more than two loops."
+// Each node is a loop; each hyper-edge is an array, connecting every loop
+// that accesses it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bwc::graph {
+
+/// A hyper-graph over dense integer vertices. Hyper-edges are pin lists and
+/// carry a weight (unit by default; array byte sizes for weighted fusion).
+class Hypergraph {
+ public:
+  explicit Hypergraph(int node_count = 0);
+
+  int node_count() const { return node_count_; }
+  int edge_count() const { return static_cast<int>(pins_.size()); }
+
+  int add_node();
+  /// Add a hyper-edge over the given pin set. Duplicate pins are removed;
+  /// an edge must have at least one pin. Returns the edge index.
+  int add_edge(std::vector<int> pins, std::int64_t weight = 1,
+               std::string label = {});
+
+  const std::vector<int>& pins(int e) const {
+    return pins_[static_cast<std::size_t>(e)];
+  }
+  std::int64_t weight(int e) const {
+    return weights_[static_cast<std::size_t>(e)];
+  }
+  const std::string& label(int e) const {
+    return labels_[static_cast<std::size_t>(e)];
+  }
+
+  /// Edges incident to a node.
+  const std::vector<int>& incident_edges(int v) const {
+    return incident_[static_cast<std::size_t>(v)];
+  }
+
+  bool edge_contains(int e, int v) const;
+  /// True when edges a and b share at least one pin ("overlap" in Fig. 5).
+  bool edges_overlap(int a, int b) const;
+
+  /// Total weight of all edges.
+  std::int64_t total_weight() const;
+
+  /// Connectivity through hyper-edges: nodes u, v are connected when a path
+  /// of pairwise-overlapping hyper-edges joins them. `removed_edges[e]`
+  /// marks edges excluded from the traversal (may be empty = none removed).
+  bool connected(int u, int v, const std::vector<bool>& removed_edges = {}) const;
+
+  /// Component id per node under the same notion of connectivity.
+  std::vector<int> components(const std::vector<bool>& removed_edges = {}) const;
+
+ private:
+  int node_count_ = 0;
+  std::vector<std::vector<int>> pins_;
+  std::vector<std::int64_t> weights_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<int>> incident_;
+};
+
+/// Cost of a multi-way partition under the paper's Problem 3.2 objective:
+/// for each hyper-edge, its "length" is the number of distinct partitions
+/// its pins land in; the cost is the weighted sum of lengths. `assignment`
+/// maps each node to a partition id (any dense or sparse ids work).
+std::int64_t partition_cost(const Hypergraph& g,
+                            const std::vector<int>& assignment);
+
+}  // namespace bwc::graph

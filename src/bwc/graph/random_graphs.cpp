@@ -1,0 +1,57 @@
+#include "bwc/graph/random_graphs.h"
+
+#include <algorithm>
+
+#include "bwc/support/error.h"
+
+namespace bwc::graph {
+
+UndirectedGraph random_undirected(Prng& rng, int nodes, double p,
+                                  std::int64_t max_weight) {
+  BWC_CHECK(nodes >= 0, "node count must be non-negative");
+  BWC_CHECK(max_weight >= 1, "max_weight must be at least 1");
+  UndirectedGraph g(nodes);
+  for (int u = 0; u < nodes; ++u) {
+    for (int v = u + 1; v < nodes; ++v) {
+      if (rng.chance(p)) {
+        g.add_edge(u, v,
+                   rng.uniform_in(1, max_weight));
+      }
+    }
+  }
+  return g;
+}
+
+Hypergraph random_hypergraph(Prng& rng, int nodes, int edges, int min_pins,
+                             int max_pins, std::int64_t max_weight) {
+  BWC_CHECK(nodes >= 1, "hyper-graph needs at least one node");
+  BWC_CHECK(min_pins >= 1 && min_pins <= max_pins,
+            "invalid pin-count range");
+  BWC_CHECK(max_pins <= nodes, "pin count cannot exceed node count");
+  BWC_CHECK(max_weight >= 1, "max_weight must be at least 1");
+  Hypergraph g(nodes);
+  for (int e = 0; e < edges; ++e) {
+    const int k = static_cast<int>(rng.uniform_in(min_pins, max_pins));
+    std::vector<int> pins;
+    while (static_cast<int>(pins.size()) < k) {
+      const int v = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(nodes)));
+      if (std::find(pins.begin(), pins.end(), v) == pins.end())
+        pins.push_back(v);
+    }
+    g.add_edge(std::move(pins), rng.uniform_in(1, max_weight));
+  }
+  return g;
+}
+
+Digraph random_dag(Prng& rng, int nodes, double p) {
+  BWC_CHECK(nodes >= 0, "node count must be non-negative");
+  Digraph g(nodes);
+  for (int u = 0; u < nodes; ++u) {
+    for (int v = u + 1; v < nodes; ++v) {
+      if (rng.chance(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace bwc::graph

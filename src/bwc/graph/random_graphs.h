@@ -1,0 +1,24 @@
+// Random graph generators for property tests and fusion-solver ablations.
+#pragma once
+
+#include "bwc/graph/digraph.h"
+#include "bwc/graph/hypergraph.h"
+#include "bwc/graph/undirected_graph.h"
+#include "bwc/support/prng.h"
+
+namespace bwc::graph {
+
+/// Erdos-Renyi undirected graph: each pair joined with probability p.
+UndirectedGraph random_undirected(Prng& rng, int nodes, double p,
+                                  std::int64_t max_weight = 1);
+
+/// Random hyper-graph with `edges` hyper-edges, each over a pin set of size
+/// uniform in [min_pins, max_pins] and weight uniform in [1, max_weight].
+Hypergraph random_hypergraph(Prng& rng, int nodes, int edges, int min_pins,
+                             int max_pins, std::int64_t max_weight = 1);
+
+/// Random DAG: edges only from lower to higher node index, each present
+/// with probability p (guarantees acyclicity).
+Digraph random_dag(Prng& rng, int nodes, double p);
+
+}  // namespace bwc::graph

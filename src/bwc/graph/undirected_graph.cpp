@@ -1,0 +1,71 @@
+#include "bwc/graph/undirected_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "bwc/support/error.h"
+
+namespace bwc::graph {
+
+UndirectedGraph::UndirectedGraph(int node_count) {
+  BWC_CHECK(node_count >= 0, "node count must be non-negative");
+  node_count_ = node_count;
+  adjacency_.resize(static_cast<std::size_t>(node_count));
+  incident_.resize(static_cast<std::size_t>(node_count));
+}
+
+int UndirectedGraph::add_node() {
+  adjacency_.emplace_back();
+  incident_.emplace_back();
+  return node_count_++;
+}
+
+int UndirectedGraph::add_edge(int u, int v, std::int64_t weight) {
+  BWC_CHECK(u >= 0 && u < node_count_, "edge endpoint u out of range");
+  BWC_CHECK(v >= 0 && v < node_count_, "edge endpoint v out of range");
+  BWC_CHECK(u != v, "self-loops are not allowed");
+  const int e = edge_count();
+  us_.push_back(u);
+  vs_.push_back(v);
+  weights_.push_back(weight);
+  adjacency_[static_cast<std::size_t>(u)].push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+  incident_[static_cast<std::size_t>(u)].push_back(e);
+  incident_[static_cast<std::size_t>(v)].push_back(e);
+  return e;
+}
+
+bool UndirectedGraph::has_edge(int u, int v) const {
+  const auto& adj = adjacency_[static_cast<std::size_t>(u)];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+std::vector<int> UndirectedGraph::components() const {
+  std::vector<int> comp(static_cast<std::size_t>(node_count_), -1);
+  int next = 0;
+  for (int start = 0; start < node_count_; ++start) {
+    if (comp[static_cast<std::size_t>(start)] != -1) continue;
+    comp[static_cast<std::size_t>(start)] = next;
+    std::queue<int> q;
+    q.push(start);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+        if (comp[static_cast<std::size_t>(v)] == -1) {
+          comp[static_cast<std::size_t>(v)] = next;
+          q.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+bool UndirectedGraph::connected(int u, int v) const {
+  const auto comp = components();
+  return comp[static_cast<std::size_t>(u)] == comp[static_cast<std::size_t>(v)];
+}
+
+}  // namespace bwc::graph

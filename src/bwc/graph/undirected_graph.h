@@ -1,0 +1,58 @@
+// Simple undirected graph with edge weights, used as the intermediate
+// representation in the Figure 5 pipeline (hyper-graph -> normal graph) and
+// as the model for the edge-weighted fusion baseline of Gao et al. and
+// Kennedy & McKinley.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bwc::graph {
+
+/// Undirected weighted graph over dense integer vertices.
+class UndirectedGraph {
+ public:
+  explicit UndirectedGraph(int node_count = 0);
+
+  int node_count() const { return node_count_; }
+  int edge_count() const { return static_cast<int>(us_.size()); }
+
+  int add_node();
+  /// Add an undirected edge {u, v} with the given weight; returns its index.
+  /// Self-loops are rejected.
+  int add_edge(int u, int v, std::int64_t weight = 1);
+
+  int edge_u(int e) const { return us_[static_cast<std::size_t>(e)]; }
+  int edge_v(int e) const { return vs_[static_cast<std::size_t>(e)]; }
+  std::int64_t edge_weight(int e) const {
+    return weights_[static_cast<std::size_t>(e)];
+  }
+  void set_edge_weight(int e, std::int64_t w) {
+    weights_[static_cast<std::size_t>(e)] = w;
+  }
+
+  /// Neighbors of node v (with multiplicity if parallel edges exist).
+  const std::vector<int>& neighbors(int v) const {
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+  /// Edge indices incident to node v.
+  const std::vector<int>& incident_edges(int v) const {
+    return incident_[static_cast<std::size_t>(v)];
+  }
+
+  bool has_edge(int u, int v) const;
+
+  /// Connected component ids (dense, starting at 0) for every node.
+  std::vector<int> components() const;
+  /// True if u and v lie in the same connected component.
+  bool connected(int u, int v) const;
+
+ private:
+  int node_count_ = 0;
+  std::vector<int> us_, vs_;
+  std::vector<std::int64_t> weights_;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<std::vector<int>> incident_;
+};
+
+}  // namespace bwc::graph

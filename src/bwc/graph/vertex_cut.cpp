@@ -1,0 +1,62 @@
+#include "bwc/graph/vertex_cut.h"
+
+#include "bwc/graph/flow_network.h"
+#include "bwc/support/error.h"
+
+namespace bwc::graph {
+
+VertexCutResult min_vertex_cut(const UndirectedGraph& g, int s, int t,
+                               const std::vector<std::int64_t>&
+                                   vertex_weights) {
+  const int n = g.node_count();
+  BWC_CHECK(s >= 0 && s < n && t >= 0 && t < n, "terminal out of range");
+  BWC_CHECK(s != t, "terminals must differ");
+  BWC_CHECK(!g.has_edge(s, t),
+            "no vertex cut exists between adjacent terminals");
+  BWC_CHECK(vertex_weights.empty() ||
+                static_cast<int>(vertex_weights.size()) == n,
+            "vertex weight vector must be empty or match node count");
+
+  // Node splitting: vertex v becomes v_in = 2v and v_out = 2v + 1, joined by
+  // a directed edge of capacity weight(v). Undirected edges {u, v} become
+  // u_out -> v_in and v_out -> u_in with infinite capacity.
+  FlowNetwork net(2 * n);
+  auto in_node = [](int v) { return 2 * v; };
+  auto out_node = [](int v) { return 2 * v + 1; };
+
+  for (int v = 0; v < n; ++v) {
+    Capacity w = kInfiniteCapacity;
+    if (v != s && v != t) {
+      w = vertex_weights.empty() ? 1 : vertex_weights[static_cast<std::size_t>(v)];
+      BWC_CHECK(w >= 0, "vertex weights must be non-negative");
+    }
+    net.add_edge(in_node(v), out_node(v), w);
+  }
+  for (int e = 0; e < g.edge_count(); ++e) {
+    const int u = g.edge_u(e);
+    const int v = g.edge_v(e);
+    net.add_edge(out_node(u), in_node(v), kInfiniteCapacity);
+    net.add_edge(out_node(v), in_node(u), kInfiniteCapacity);
+  }
+
+  VertexCutResult result;
+  result.cut_weight = net.max_flow(out_node(s), in_node(t));
+  BWC_CHECK(result.cut_weight < kInfiniteCapacity,
+            "vertex cut is unbounded; terminals are inseparable");
+
+  const auto& reach = net.source_side();
+  for (int v = 0; v < n; ++v) {
+    const bool in_reached = reach[static_cast<std::size_t>(in_node(v))];
+    const bool out_reached = reach[static_cast<std::size_t>(out_node(v))];
+    if (in_reached && !out_reached) {
+      result.cut_vertices.push_back(v);
+    } else if (out_reached) {
+      result.source_side.push_back(v);
+    } else {
+      result.sink_side.push_back(v);
+    }
+  }
+  return result;
+}
+
+}  // namespace bwc::graph

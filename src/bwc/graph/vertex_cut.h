@@ -1,0 +1,36 @@
+// Minimum s-t vertex cut, the middle stage of the paper's Figure 5
+// algorithm: "converts the graph into a directed graph, splits each node
+// into two and connects them with a directed edge, and finally finds the
+// edge cut set by the standard Ford-Fulkerson method."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bwc/graph/undirected_graph.h"
+
+namespace bwc::graph {
+
+struct VertexCutResult {
+  /// Total weight of the cut (number of vertices for unit weights).
+  std::int64_t cut_weight = 0;
+  /// Vertices in the minimum cut. Never contains s or t.
+  std::vector<int> cut_vertices;
+  /// Vertices (excluding cut vertices) still connected to s after removal.
+  std::vector<int> source_side;
+  /// Vertices (excluding cut vertices) no longer connected to s.
+  std::vector<int> sink_side;
+};
+
+/// Compute a minimum-weight set of vertices (excluding s and t) whose
+/// removal disconnects s from t in an undirected graph.
+///
+/// `vertex_weights` may be empty (unit weights) or hold one non-negative
+/// weight per vertex; s and t are treated as uncuttable regardless.
+/// Requires that s and t are not adjacent (otherwise no vertex cut exists)
+/// and throws bwc::Error when they are.
+VertexCutResult min_vertex_cut(const UndirectedGraph& g, int s, int t,
+                               const std::vector<std::int64_t>&
+                                   vertex_weights = {});
+
+}  // namespace bwc::graph

@@ -1,0 +1,107 @@
+#include "bwc/ir/affine.h"
+
+#include <sstream>
+
+namespace bwc::ir {
+
+Affine Affine::constant(std::int64_t k) {
+  Affine a;
+  a.constant_ = k;
+  return a;
+}
+
+Affine Affine::var(const std::string& name, std::int64_t coeff,
+                   std::int64_t offset) {
+  Affine a;
+  a.constant_ = offset;
+  a.set_coeff(name, coeff);
+  return a;
+}
+
+void Affine::set_coeff(const std::string& name, std::int64_t c) {
+  if (c == 0) {
+    terms_.erase(name);
+  } else {
+    terms_[name] = c;
+  }
+}
+
+std::int64_t Affine::coeff(const std::string& name) const {
+  const auto it = terms_.find(name);
+  return it == terms_.end() ? 0 : it->second;
+}
+
+std::optional<std::string> Affine::single_var() const {
+  if (terms_.size() != 1) return std::nullopt;
+  return terms_.begin()->first;
+}
+
+Affine Affine::operator+(const Affine& o) const {
+  Affine r = *this;
+  r.constant_ += o.constant_;
+  for (const auto& [name, c] : o.terms_) r.set_coeff(name, r.coeff(name) + c);
+  return r;
+}
+
+Affine Affine::operator-(const Affine& o) const {
+  Affine r = *this;
+  r.constant_ -= o.constant_;
+  for (const auto& [name, c] : o.terms_) r.set_coeff(name, r.coeff(name) - c);
+  return r;
+}
+
+Affine Affine::operator+(std::int64_t k) const {
+  Affine r = *this;
+  r.constant_ += k;
+  return r;
+}
+
+Affine Affine::operator-(std::int64_t k) const { return *this + (-k); }
+
+Affine Affine::operator*(std::int64_t k) const {
+  Affine r;
+  r.constant_ = constant_ * k;
+  for (const auto& [name, c] : terms_) r.set_coeff(name, c * k);
+  return r;
+}
+
+Affine Affine::substituted(const std::string& name,
+                           const Affine& replacement) const {
+  const std::int64_t c = coeff(name);
+  if (c == 0) return *this;
+  Affine r = *this;
+  r.set_coeff(name, 0);
+  return r + replacement * c;
+}
+
+Affine Affine::renamed(const std::string& from, const std::string& to) const {
+  return substituted(from, Affine::var(to));
+}
+
+std::string Affine::str() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, c] : terms_) {
+    if (c < 0) {
+      os << (first ? "-" : " - ");
+    } else if (!first) {
+      os << " + ";
+    }
+    const std::int64_t mag = c < 0 ? -c : c;
+    if (mag != 1) os << mag << "*";
+    os << name;
+    first = false;
+  }
+  if (constant_ != 0 || first) {
+    if (first) {
+      os << constant_;
+    } else if (constant_ > 0) {
+      os << " + " << constant_;
+    } else {
+      os << " - " << -constant_;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bwc::ir

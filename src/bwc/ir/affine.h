@@ -1,0 +1,56 @@
+// Affine integer expressions over loop variables: c0 + sum(ci * var_i).
+//
+// Subscripts of array references, loop bounds and guard conditions are all
+// affine, which is what makes the paper's dependence and live-range
+// reasoning decidable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace bwc::ir {
+
+class Affine {
+ public:
+  Affine() = default;
+  /// Constant expression.
+  static Affine constant(std::int64_t k);
+  /// coeff * var + offset.
+  static Affine var(const std::string& name, std::int64_t coeff = 1,
+                    std::int64_t offset = 0);
+
+  std::int64_t constant_term() const { return constant_; }
+  /// Coefficient of a variable (0 when absent).
+  std::int64_t coeff(const std::string& name) const;
+  const std::map<std::string, std::int64_t>& terms() const { return terms_; }
+
+  bool is_constant() const { return terms_.empty(); }
+  /// The single variable when the expression is coeff*v + c; nullopt
+  /// otherwise (constant or multi-variable).
+  std::optional<std::string> single_var() const;
+
+  Affine operator+(const Affine& o) const;
+  Affine operator-(const Affine& o) const;
+  Affine operator+(std::int64_t k) const;
+  Affine operator-(std::int64_t k) const;
+  Affine operator*(std::int64_t k) const;
+  bool operator==(const Affine& o) const = default;
+
+  /// Substitute variable `name` with the given affine expression.
+  Affine substituted(const std::string& name, const Affine& replacement) const;
+  /// Rename a variable (no-op when absent).
+  Affine renamed(const std::string& from, const std::string& to) const;
+  /// True when the variable appears with a non-zero coefficient.
+  bool uses(const std::string& name) const { return coeff(name) != 0; }
+
+  std::string str() const;
+
+ private:
+  std::int64_t constant_ = 0;
+  std::map<std::string, std::int64_t> terms_;  // var -> non-zero coeff
+  void set_coeff(const std::string& name, std::int64_t c);
+};
+
+}  // namespace bwc::ir

@@ -1,0 +1,117 @@
+// A small construction DSL so that paper programs read like the paper's
+// pseudo-code. Example (Figure 7(a), first loop):
+//
+//   using namespace bwc::ir::dsl;
+//   Program p("fig7");
+//   const ArrayId res = p.add_array("res", {N});
+//   const ArrayId data = p.add_array("data", {N});
+//   p.append(loop("i", 1, N,
+//                 assign(res, {v("i")}, at(res, v("i")) + at(data, v("i")))));
+#pragma once
+
+#include <utility>
+
+#include "bwc/ir/program.h"
+
+namespace bwc::ir::dsl {
+
+/// Affine of a loop variable (optionally with offset): v("i"), v("j", -1).
+inline Affine v(const std::string& name, std::int64_t offset = 0) {
+  return Affine::var(name, 1, offset);
+}
+/// Constant affine subscript.
+inline Affine k(std::int64_t value) { return Affine::constant(value); }
+
+/// Literal, scalar and loop-variable expression leaves.
+inline ExprPtr lit(double value) { return make_const(value); }
+inline ExprPtr sref(const std::string& name) { return make_scalar(name); }
+inline ExprPtr lvar(const std::string& name) { return make_loop_var(name); }
+
+/// Array element: at(a, v("i")) or at(a, v("i"), v("j", -1)).
+inline ExprPtr at(ArrayId array, Affine i) {
+  return make_array_ref(array, {std::move(i)});
+}
+inline ExprPtr at(ArrayId array, Affine i, Affine j) {
+  return make_array_ref(array, {std::move(i), std::move(j)});
+}
+
+/// External input stream element (the paper's read()).
+inline ExprPtr input1(int key, Affine i, std::int64_t extent) {
+  return make_input(key, {std::move(i)}, {extent});
+}
+inline ExprPtr input2(int key, Affine i, Affine j, std::int64_t ext_i,
+                      std::int64_t ext_j) {
+  return make_input(key, {std::move(i), std::move(j)}, {ext_i, ext_j});
+}
+
+inline ExprPtr operator+(ExprPtr a, ExprPtr b) {
+  return make_binary(BinOp::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr operator-(ExprPtr a, ExprPtr b) {
+  return make_binary(BinOp::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr operator*(ExprPtr a, ExprPtr b) {
+  return make_binary(BinOp::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr operator/(ExprPtr a, ExprPtr b) {
+  return make_binary(BinOp::kDiv, std::move(a), std::move(b));
+}
+
+/// Opaque intrinsics f and g of the paper's Figure 6 (cost: 2 flops each).
+inline ExprPtr f(ExprPtr a, ExprPtr b) {
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(a));
+  args.push_back(std::move(b));
+  return make_call("f", 2, std::move(args));
+}
+inline ExprPtr g(ExprPtr a, ExprPtr b) {
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(a));
+  args.push_back(std::move(b));
+  return make_call("g", 2, std::move(args));
+}
+
+/// Assignments.
+inline StmtPtr assign(ArrayId array, std::vector<Affine> subs, ExprPtr rhs) {
+  return make_array_assign(array, std::move(subs), std::move(rhs));
+}
+inline StmtPtr assign(const std::string& scalar, ExprPtr rhs) {
+  return make_scalar_assign(scalar, std::move(rhs));
+}
+
+/// Build a StmtList from any number of statements.
+inline void collect(StmtList&) {}
+template <typename... Rest>
+void collect(StmtList& list, StmtPtr first, Rest... rest) {
+  list.push_back(std::move(first));
+  collect(list, std::move(rest)...);
+}
+template <typename... Stmts>
+StmtList block(Stmts... stmts) {
+  StmtList list;
+  collect(list, std::move(stmts)...);
+  return list;
+}
+
+/// Loops and guards.
+template <typename... Stmts>
+StmtPtr loop(const std::string& var, std::int64_t lower, std::int64_t upper,
+             Stmts... body) {
+  return make_loop(var, lower, upper, block(std::move(body)...));
+}
+inline StmtPtr loop_b(const std::string& var, std::int64_t lower,
+                      std::int64_t upper, StmtList body) {
+  return make_loop(var, lower, upper, std::move(body));
+}
+template <typename... Stmts>
+StmtPtr when(CmpOp cmp, Affine lhs, Affine rhs, Stmts... body) {
+  return make_if(cmp, std::move(lhs), std::move(rhs),
+                 block(std::move(body)...));
+}
+inline StmtPtr if_else(CmpOp cmp, Affine lhs, Affine rhs, StmtList then_body,
+                       StmtList else_body) {
+  return make_if(cmp, std::move(lhs), std::move(rhs), std::move(then_body),
+                 std::move(else_body));
+}
+
+}  // namespace bwc::ir::dsl

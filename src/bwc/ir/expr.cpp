@@ -1,0 +1,151 @@
+#include "bwc/ir/expr.h"
+
+#include "bwc/support/error.h"
+#include "bwc/support/prng.h"
+
+namespace bwc::ir {
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->value = value;
+  e->scalar = scalar;
+  e->loop_var = loop_var;
+  e->array = array;
+  e->subscripts = subscripts;
+  e->op = op;
+  e->callee = callee;
+  e->call_flops = call_flops;
+  e->input_key = input_key;
+  e->input_extents = input_extents;
+  e->operands.reserve(operands.size());
+  for (const auto& child : operands) e->operands.push_back(child->clone());
+  return e;
+}
+
+ExprPtr make_const(double v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kConst;
+  e->value = v;
+  return e;
+}
+
+ExprPtr make_scalar(const std::string& name) {
+  BWC_CHECK(!name.empty(), "scalar name must not be empty");
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kScalarRef;
+  e->scalar = name;
+  return e;
+}
+
+ExprPtr make_loop_var(const std::string& name) {
+  BWC_CHECK(!name.empty(), "loop variable name must not be empty");
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLoopVar;
+  e->loop_var = name;
+  return e;
+}
+
+ExprPtr make_array_ref(ArrayId array, std::vector<Affine> subscripts) {
+  BWC_CHECK(array >= 0, "array id must be valid");
+  BWC_CHECK(!subscripts.empty(), "array reference needs subscripts");
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kArrayRef;
+  e->array = array;
+  e->subscripts = std::move(subscripts);
+  return e;
+}
+
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  BWC_CHECK(lhs && rhs, "binary operands must be non-null");
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = op;
+  e->operands.push_back(std::move(lhs));
+  e->operands.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr make_call(const std::string& callee, int flops,
+                  std::vector<ExprPtr> args) {
+  BWC_CHECK(!callee.empty(), "callee name must not be empty");
+  BWC_CHECK(flops >= 0, "call flop cost must be non-negative");
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCall;
+  e->callee = callee;
+  e->call_flops = flops;
+  e->operands = std::move(args);
+  return e;
+}
+
+ExprPtr make_input(int key, std::vector<Affine> subscripts,
+                   std::vector<std::int64_t> extents) {
+  BWC_CHECK(subscripts.size() == extents.size(),
+            "input needs one subscript per extent");
+  BWC_CHECK(!subscripts.empty(), "input needs at least one subscript");
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kInput;
+  e->input_key = key;
+  e->subscripts = std::move(subscripts);
+  e->input_extents = std::move(extents);
+  return e;
+}
+
+bool equal(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprKind::kConst:
+      return a.value == b.value;
+    case ExprKind::kScalarRef:
+      return a.scalar == b.scalar;
+    case ExprKind::kLoopVar:
+      return a.loop_var == b.loop_var;
+    case ExprKind::kArrayRef:
+      return a.array == b.array && a.subscripts == b.subscripts;
+    case ExprKind::kBinary:
+      if (a.op != b.op) return false;
+      break;
+    case ExprKind::kCall:
+      if (a.callee != b.callee || a.call_flops != b.call_flops) return false;
+      break;
+    case ExprKind::kInput:
+      if (a.input_key != b.input_key || a.subscripts != b.subscripts ||
+          a.input_extents != b.input_extents)
+        return false;
+      return true;
+  }
+  if (a.operands.size() != b.operands.size()) return false;
+  for (std::size_t i = 0; i < a.operands.size(); ++i) {
+    if (!equal(*a.operands[i], *b.operands[i])) return false;
+  }
+  return true;
+}
+
+double input_value(int key, std::int64_t linear_index) {
+  std::uint64_t state = (static_cast<std::uint64_t>(key) << 32) ^
+                        static_cast<std::uint64_t>(linear_index) ^
+                        0xabcdef1234567890ull;
+  const std::uint64_t bits = splitmix64(state);
+  // Map to [0.5, 1.5) to keep values well-scaled for long reductions.
+  return 0.5 + static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+const char* binop_name(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kMin:
+      return "min";
+    case BinOp::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+}  // namespace bwc::ir

@@ -1,0 +1,90 @@
+// Expression trees for the loop-program IR.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bwc/ir/affine.h"
+
+namespace bwc::ir {
+
+/// Dense index into Program::arrays.
+using ArrayId = int;
+inline constexpr ArrayId kInvalidArray = -1;
+
+enum class ExprKind {
+  kConst,      // double literal
+  kScalarRef,  // named scalar (register-resident)
+  kLoopVar,    // value of a loop variable, as double
+  kArrayRef,   // element of an array (memory access)
+  kBinary,     // arithmetic on two operands
+  kCall,       // opaque intrinsic with a fixed flop cost (paper's f, g)
+  kInput,      // external input stream value (paper's read()); 0 flops
+};
+
+enum class BinOp { kAdd, kSub, kMul, kDiv, kMin, kMax };
+
+/// Flops charged for one evaluation of a binary op (min/max count as one).
+inline constexpr int kBinaryFlops = 1;
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A node in an expression tree. Value-oriented: non-copyable, deep clone().
+struct Expr {
+  ExprKind kind = ExprKind::kConst;
+
+  // kConst
+  double value = 0.0;
+  // kScalarRef
+  std::string scalar;
+  // kLoopVar
+  std::string loop_var;
+  // kArrayRef
+  ArrayId array = kInvalidArray;
+  std::vector<Affine> subscripts;
+  // kBinary
+  BinOp op = BinOp::kAdd;
+  // kBinary (2 operands) and kCall (n operands)
+  std::vector<ExprPtr> operands;
+  // kCall
+  std::string callee;
+  int call_flops = 0;
+  // kInput: deterministic external value, a pure function of (input_key,
+  // linearized subscripts). input_extents are the extents of the *original*
+  // input stream so the mapping survives array renaming/shrinking.
+  int input_key = 0;
+  std::vector<std::int64_t> input_extents;
+
+  Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+  Expr(Expr&&) = default;
+  Expr& operator=(Expr&&) = default;
+
+  ExprPtr clone() const;
+};
+
+// -- Constructors ----------------------------------------------------------
+ExprPtr make_const(double v);
+ExprPtr make_scalar(const std::string& name);
+ExprPtr make_loop_var(const std::string& name);
+ExprPtr make_array_ref(ArrayId array, std::vector<Affine> subscripts);
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr make_call(const std::string& callee, int flops,
+                  std::vector<ExprPtr> args);
+ExprPtr make_input(int key, std::vector<Affine> subscripts,
+                   std::vector<std::int64_t> extents);
+
+/// Structural equality (used by clone/transform tests).
+bool equal(const Expr& a, const Expr& b);
+
+/// The deterministic value of input element `linear_index` of stream `key`;
+/// values are reproducible across runs and transformations.
+double input_value(int key, std::int64_t linear_index);
+
+const char* binop_name(BinOp op);  // "+", "-", "*", "/", "min", "max"
+
+}  // namespace bwc::ir

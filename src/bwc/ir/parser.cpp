@@ -1,0 +1,410 @@
+#include "bwc/ir/parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "bwc/support/error.h"
+
+namespace bwc::ir {
+
+namespace {
+
+/// Character-level scanner over one line.
+class LineScanner {
+ public:
+  LineScanner(std::string line, int line_no)
+      : line_(std::move(line)), line_no_(line_no) {}
+
+  void skip_ws() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_])))
+      ++pos_;
+  }
+  bool at_end() {
+    skip_ws();
+    return pos_ >= line_.size();
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < line_.size() ? line_[pos_] : '\0';
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < line_.size() && line_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+  bool consume_word(const std::string& w) {
+    skip_ws();
+    if (line_.compare(pos_, w.size(), w) == 0) {
+      const std::size_t after = pos_ + w.size();
+      if (after >= line_.size() ||
+          !std::isalnum(static_cast<unsigned char>(line_[after]))) {
+        pos_ = after;
+        return true;
+      }
+    }
+    return false;
+  }
+  std::string identifier() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < line_.size() &&
+           (std::isalnum(static_cast<unsigned char>(line_[pos_])) ||
+            line_[pos_] == '_'))
+      ++pos_;
+    if (pos_ == start) fail("expected identifier");
+    return line_.substr(start, pos_ - start);
+  }
+  std::int64_t integer() {
+    skip_ws();
+    std::size_t start = pos_;
+    if (pos_ < line_.size() && (line_[pos_] == '-' || line_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < line_.size() &&
+           std::isdigit(static_cast<unsigned char>(line_[pos_])))
+      ++pos_;
+    if (pos_ == start) fail("expected integer");
+    return std::stoll(line_.substr(start, pos_ - start));
+  }
+  double number() {
+    skip_ws();
+    std::size_t consumed = 0;
+    double v = 0;
+    try {
+      v = std::stod(line_.substr(pos_), &consumed);
+    } catch (const std::exception&) {
+      fail("expected number");
+    }
+    pos_ += consumed;
+    return v;
+  }
+  bool next_is_digit_or_sign() {
+    skip_ws();
+    if (pos_ >= line_.size()) return false;
+    const char c = line_[pos_];
+    return std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+           ((c == '-' || c == '+') && pos_ + 1 < line_.size() &&
+            (std::isdigit(static_cast<unsigned char>(line_[pos_ + 1])) ||
+             line_[pos_ + 1] == '.'));
+  }
+  [[noreturn]] void fail(const std::string& why) const {
+    throw Error("parse error at line " + std::to_string(line_no_) + ": " +
+                why + " in '" + line_ + "'");
+  }
+  const std::string& text() const { return line_; }
+
+ private:
+  std::string line_;
+  int line_no_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    int no = 0;
+    while (std::getline(in, line)) {
+      ++no;
+      // Strip trailing CR, skip blank lines.
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+        line.pop_back();
+      std::size_t first = line.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      lines_.emplace_back(line, no);
+    }
+  }
+
+  Program parse() {
+    Program p;
+    // Optional "// program: name" header.
+    if (!lines_.empty() && starts_with(lines_[0].first, "// program:")) {
+      p.set_name(trim(lines_[0].first.substr(11)));
+      ++cursor_;
+    }
+    // Declarations.
+    while (cursor_ < lines_.size() &&
+           starts_with(trim(lines_[cursor_].first), "double ")) {
+      parse_declaration(p);
+    }
+    // Statements until the outputs footer or EOF.
+    while (cursor_ < lines_.size()) {
+      const std::string t = trim(lines_[cursor_].first);
+      if (starts_with(t, "// outputs:")) {
+        parse_outputs(p, t.substr(11));
+        ++cursor_;
+        continue;
+      }
+      if (starts_with(t, "//")) {  // stray comment
+        ++cursor_;
+        continue;
+      }
+      p.append(parse_statement(p));
+    }
+    return p;
+  }
+
+ private:
+  static bool starts_with(const std::string& s, const std::string& prefix) {
+    return s.compare(0, prefix.size(), prefix) == 0;
+  }
+  static std::string trim(const std::string& s) {
+    const std::size_t a = s.find_first_not_of(" \t");
+    if (a == std::string::npos) return "";
+    const std::size_t b = s.find_last_not_of(" \t");
+    return s.substr(a, b - a + 1);
+  }
+
+  LineScanner scanner() {
+    BWC_CHECK(cursor_ < lines_.size(), "unexpected end of program text");
+    return LineScanner(lines_[cursor_].first, lines_[cursor_].second);
+  }
+
+  void parse_declaration(Program& p) {
+    LineScanner s = scanner();
+    ++cursor_;
+    s.consume_word("double");
+    const std::string name = s.identifier();
+    if (s.consume('[')) {
+      std::vector<std::int64_t> extents;
+      extents.push_back(s.integer());
+      while (s.consume(',')) extents.push_back(s.integer());
+      s.expect(']');
+      p.add_array(name, extents);
+    } else {
+      p.add_scalar(name);
+    }
+  }
+
+  void parse_outputs(Program& p, const std::string& rest) {
+    std::istringstream in(rest);
+    std::string name;
+    while (in >> name) {
+      if (p.has_scalar(name)) {
+        p.mark_output_scalar(name);
+      } else {
+        p.mark_output_array(p.array_id(name));
+      }
+    }
+  }
+
+  // -- statements -------------------------------------------------------------
+
+  StmtPtr parse_statement(Program& p) {
+    const std::string t = trim(lines_[cursor_].first);
+    if (starts_with(t, "for ")) return parse_loop(p);
+    if (starts_with(t, "if ")) return parse_if(p);
+    return parse_assignment(p);
+  }
+
+  StmtList parse_body(Program& p, const std::string& end_token,
+                      const std::string& alt_token = "",
+                      bool* hit_alt = nullptr) {
+    StmtList body;
+    while (true) {
+      BWC_CHECK(cursor_ < lines_.size(), "unterminated block");
+      const std::string t = trim(lines_[cursor_].first);
+      if (t == end_token) {
+        ++cursor_;
+        return body;
+      }
+      if (!alt_token.empty() && t == alt_token) {
+        if (hit_alt != nullptr) *hit_alt = true;
+        ++cursor_;
+        return body;
+      }
+      body.push_back(parse_statement(p));
+    }
+  }
+
+  StmtPtr parse_loop(Program& p) {
+    LineScanner s = scanner();
+    ++cursor_;
+    s.consume_word("for");
+    const std::string var = s.identifier();
+    s.expect('=');
+    const std::int64_t lower = s.integer();
+    s.expect(',');
+    const std::int64_t upper = s.integer();
+    loop_vars_.push_back(var);
+    StmtList body = parse_body(p, "end for");
+    loop_vars_.pop_back();
+    return make_loop(var, lower, upper, std::move(body));
+  }
+
+  StmtPtr parse_if(Program& p) {
+    LineScanner s = scanner();
+    ++cursor_;
+    s.consume_word("if");
+    s.expect('(');
+    const Affine lhs = parse_affine(s);
+    const CmpOp op = parse_cmp(s);
+    const Affine rhs = parse_affine(s);
+    s.expect(')');
+    bool has_else = false;
+    StmtList then_body = parse_body(p, "end if", "else", &has_else);
+    StmtList else_body;
+    if (has_else) else_body = parse_body(p, "end if");
+    return make_if(op, lhs, rhs, std::move(then_body), std::move(else_body));
+  }
+
+  StmtPtr parse_assignment(Program& p) {
+    LineScanner s = scanner();
+    ++cursor_;
+    const std::string name = s.identifier();
+    if (p.has_array(name)) {
+      const ArrayId array = p.array_id(name);
+      s.expect('[');
+      std::vector<Affine> subs;
+      subs.push_back(parse_affine(s));
+      while (s.consume(',')) subs.push_back(parse_affine(s));
+      s.expect(']');
+      s.expect('=');
+      ExprPtr rhs = parse_expr(p, s);
+      return make_array_assign(array, std::move(subs), std::move(rhs));
+    }
+    BWC_CHECK(p.has_scalar(name), "assignment to undeclared name: " + name);
+    s.expect('=');
+    ExprPtr rhs = parse_expr(p, s);
+    return make_scalar_assign(name, std::move(rhs));
+  }
+
+  CmpOp parse_cmp(LineScanner& s) {
+    if (s.consume('=')) {
+      s.expect('=');
+      return CmpOp::kEq;
+    }
+    if (s.consume('!')) {
+      s.expect('=');
+      return CmpOp::kNe;
+    }
+    if (s.consume('<')) return s.consume('=') ? CmpOp::kLe : CmpOp::kLt;
+    if (s.consume('>')) return s.consume('=') ? CmpOp::kGe : CmpOp::kGt;
+    s.fail("expected comparison operator");
+  }
+
+  // -- affine -----------------------------------------------------------------
+
+  bool in_loop_scope(const std::string& name) const {
+    for (const auto& v : loop_vars_) {
+      if (v == name) return true;
+    }
+    return false;
+  }
+
+  /// term := [int '*'] ident | int ; affine := term { ('+'|'-') term }.
+  Affine parse_affine(LineScanner& s) {
+    Affine result;
+    bool first = true;
+    while (true) {
+      std::int64_t sign = 1;
+      if (s.consume('-')) {
+        sign = -1;
+      } else if (s.consume('+')) {
+        sign = 1;
+      } else if (!first) {
+        break;
+      }
+      if (s.next_is_digit_or_sign()) {
+        const std::int64_t k = s.integer();
+        if (s.consume('*')) {
+          result = result + Affine::var(s.identifier(), sign * k);
+        } else {
+          result = result + sign * k;
+        }
+      } else {
+        result = result + Affine::var(s.identifier(), sign);
+      }
+      first = false;
+      const char next = s.peek();
+      if (next != '+' && next != '-') break;
+    }
+    return result;
+  }
+
+  // -- expressions -------------------------------------------------------------
+
+  ExprPtr parse_expr(Program& p, LineScanner& s) {
+    if (s.consume('(')) {
+      ExprPtr lhs = parse_expr(p, s);
+      BinOp op;
+      if (s.consume('+')) {
+        op = BinOp::kAdd;
+      } else if (s.consume('-')) {
+        op = BinOp::kSub;
+      } else if (s.consume('*')) {
+        op = BinOp::kMul;
+      } else if (s.consume('/')) {
+        op = BinOp::kDiv;
+      } else {
+        s.fail("expected binary operator");
+      }
+      ExprPtr rhs = parse_expr(p, s);
+      s.expect(')');
+      return make_binary(op, std::move(lhs), std::move(rhs));
+    }
+    if (s.next_is_digit_or_sign()) return make_const(s.number());
+
+    const std::string name = s.identifier();
+    if (name == "min" || name == "max") {
+      s.expect('(');
+      ExprPtr a = parse_expr(p, s);
+      s.expect(',');
+      ExprPtr b = parse_expr(p, s);
+      s.expect(')');
+      return make_binary(name == "min" ? BinOp::kMin : BinOp::kMax,
+                         std::move(a), std::move(b));
+    }
+    if ((name == "f" || name == "g") && s.peek() == '(') {
+      s.expect('(');
+      std::vector<ExprPtr> args;
+      args.push_back(parse_expr(p, s));
+      while (s.consume(',')) args.push_back(parse_expr(p, s));
+      s.expect(')');
+      return make_call(name, 2, std::move(args));
+    }
+    if (starts_with(name, "input") && s.peek() == '<') {
+      const int key = static_cast<int>(std::stoll(name.substr(5)));
+      s.expect('<');
+      std::vector<std::int64_t> extents;
+      extents.push_back(s.integer());
+      while (s.consume(',')) extents.push_back(s.integer());
+      s.expect('>');
+      s.expect('[');
+      std::vector<Affine> subs;
+      subs.push_back(parse_affine(s));
+      while (s.consume(',')) subs.push_back(parse_affine(s));
+      s.expect(']');
+      return make_input(key, std::move(subs), std::move(extents));
+    }
+    if (p.has_array(name)) {
+      s.expect('[');
+      std::vector<Affine> subs;
+      subs.push_back(parse_affine(s));
+      while (s.consume(',')) subs.push_back(parse_affine(s));
+      s.expect(']');
+      return make_array_ref(p.array_id(name), std::move(subs));
+    }
+    if (in_loop_scope(name)) return make_loop_var(name);
+    BWC_CHECK(p.has_scalar(name), "unknown name in expression: " + name);
+    return make_scalar(name);
+  }
+
+  std::vector<std::pair<std::string, int>> lines_;
+  std::size_t cursor_ = 0;
+  std::vector<std::string> loop_vars_;
+};
+
+}  // namespace
+
+Program parse_program(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace bwc::ir

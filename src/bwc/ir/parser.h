@@ -1,0 +1,42 @@
+// Parser for the loop-program text format emitted by bwc/ir/printer.h.
+//
+// The grammar is the printer's output, line-oriented:
+//
+//   // program: <name>                      (optional)
+//   double <array>[<extent>{,<extent>}]     declarations
+//   double <scalar>
+//   for <var> = <int>, <int>                loops (bodies indented freely)
+//     <stmts>
+//   end for
+//   if (<affine> <cmp> <affine>)            guards
+//     <stmts>
+//   [else ... ]
+//   end if
+//   <array>[<affine>{,<affine>}] = <expr>   assignments
+//   <scalar> = <expr>
+//   // outputs: <name>...                   (optional)
+//
+// Expressions are the printer's fully parenthesized form: binary ops
+// `(<e> <op> <e>)`, `min(<e>, <e>)`, `max(<e>, <e>)`, intrinsics
+// `f(<e>, <e>)` / `g(<e>, <e>)`, input streams `input<key>[<affine>...]`,
+// array elements, numbers, and names (resolved to loop variables when in
+// scope, else scalars). Affine expressions are sums of `[k*]var` and
+// integer terms.
+//
+// parse_program(to_string(p)) reproduces p up to structural equality for
+// every program the printer can express (round-trip tested); input-stream
+// extents are re-derived from the declared extents of the subscripted
+// space, see parse notes below.
+#pragma once
+
+#include <string>
+
+#include "bwc/ir/program.h"
+
+namespace bwc::ir {
+
+/// Parse a program from its text form. Throws bwc::Error with a line
+/// number on malformed input.
+Program parse_program(const std::string& text);
+
+}  // namespace bwc::ir

@@ -1,0 +1,153 @@
+#include "bwc/ir/printer.h"
+
+#include <sstream>
+
+#include "bwc/support/error.h"
+
+namespace bwc::ir {
+
+namespace {
+
+void print_subscripts(std::ostringstream& os,
+                      const std::vector<Affine>& subs) {
+  os << "[";
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    if (i) os << ",";
+    os << subs[i].str();
+  }
+  os << "]";
+}
+
+void print_expr(std::ostringstream& os, const Expr& e, const Program& p) {
+  switch (e.kind) {
+    case ExprKind::kConst:
+      os << e.value;
+      return;
+    case ExprKind::kScalarRef:
+      os << e.scalar;
+      return;
+    case ExprKind::kLoopVar:
+      os << e.loop_var;
+      return;
+    case ExprKind::kArrayRef:
+      os << p.array(e.array).name;
+      print_subscripts(os, e.subscripts);
+      return;
+    case ExprKind::kBinary:
+      if (e.op == BinOp::kMin || e.op == BinOp::kMax) {
+        os << binop_name(e.op) << "(";
+        print_expr(os, *e.operands[0], p);
+        os << ", ";
+        print_expr(os, *e.operands[1], p);
+        os << ")";
+      } else {
+        os << "(";
+        print_expr(os, *e.operands[0], p);
+        os << " " << binop_name(e.op) << " ";
+        print_expr(os, *e.operands[1], p);
+        os << ")";
+      }
+      return;
+    case ExprKind::kCall:
+      os << e.callee << "(";
+      for (std::size_t i = 0; i < e.operands.size(); ++i) {
+        if (i) os << ", ";
+        print_expr(os, *e.operands[i], p);
+      }
+      os << ")";
+      return;
+    case ExprKind::kInput:
+      os << "input" << e.input_key << "<";
+      for (std::size_t d = 0; d < e.input_extents.size(); ++d) {
+        if (d) os << ",";
+        os << e.input_extents[d];
+      }
+      os << ">";
+      print_subscripts(os, e.subscripts);
+      return;
+  }
+}
+
+void print_stmt(std::ostringstream& os, const Stmt& s, const Program& p,
+                int indent);
+
+void print_body(std::ostringstream& os, const StmtList& body,
+                const Program& p, int indent) {
+  for (const auto& s : body) print_stmt(os, *s, p, indent);
+}
+
+void print_stmt(std::ostringstream& os, const Stmt& s, const Program& p,
+                int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (s.kind) {
+    case StmtKind::kArrayAssign:
+      os << pad << p.array(s.lhs_array).name;
+      print_subscripts(os, s.lhs_subscripts);
+      os << " = ";
+      print_expr(os, *s.rhs, p);
+      os << "\n";
+      return;
+    case StmtKind::kScalarAssign:
+      os << pad << s.lhs_scalar << " = ";
+      print_expr(os, *s.rhs, p);
+      os << "\n";
+      return;
+    case StmtKind::kIf:
+      os << pad << "if (" << s.cmp_lhs.str() << " " << cmp_name(s.cmp) << " "
+         << s.cmp_rhs.str() << ")\n";
+      print_body(os, s.then_body, p, indent + 1);
+      if (!s.else_body.empty()) {
+        os << pad << "else\n";
+        print_body(os, s.else_body, p, indent + 1);
+      }
+      os << pad << "end if\n";
+      return;
+    case StmtKind::kLoop:
+      os << pad << "for " << s.loop->var << " = " << s.loop->lower << ", "
+         << s.loop->upper << "\n";
+      print_body(os, s.loop->body, p, indent + 1);
+      os << pad << "end for\n";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Expr& e, const Program& p) {
+  std::ostringstream os;
+  print_expr(os, e, p);
+  return os.str();
+}
+
+std::string to_string(const Stmt& s, const Program& p, int indent) {
+  std::ostringstream os;
+  print_stmt(os, s, p, indent);
+  return os.str();
+}
+
+std::string to_string(const Program& p) {
+  std::ostringstream os;
+  os << "// program: " << p.name() << "\n";
+  for (const auto& a : p.arrays()) {
+    os << "double " << a.name;
+    os << "[";
+    for (std::size_t d = 0; d < a.extents.size(); ++d) {
+      if (d) os << ",";
+      os << a.extents[d];
+    }
+    os << "]\n";
+  }
+  for (const auto& s : p.scalars()) os << "double " << s << "\n";
+  std::ostringstream body;
+  for (const auto& s : p.top()) print_stmt(body, *s, p, 0);
+  os << body.str();
+  if (!p.output_scalars().empty() || !p.output_arrays().empty()) {
+    os << "// outputs:";
+    for (const auto& s : p.output_scalars()) os << " " << s;
+    for (ArrayId a : p.output_arrays()) os << " " << p.array(a).name;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bwc::ir

@@ -1,0 +1,14 @@
+// Pretty-printer: renders a Program in the paper's pseudo-code style.
+#pragma once
+
+#include <string>
+
+#include "bwc/ir/program.h"
+
+namespace bwc::ir {
+
+std::string to_string(const Expr& e, const Program& p);
+std::string to_string(const Stmt& s, const Program& p, int indent = 0);
+std::string to_string(const Program& p);
+
+}  // namespace bwc::ir

@@ -1,0 +1,135 @@
+#include "bwc/ir/program.h"
+
+#include <algorithm>
+
+#include "bwc/support/error.h"
+
+namespace bwc::ir {
+
+std::int64_t ArrayDecl::element_count() const {
+  std::int64_t n = 1;
+  for (std::int64_t e : extents) n *= e;
+  return n;
+}
+
+std::int64_t ArrayDecl::linearize(
+    const std::vector<std::int64_t>& indices) const {
+  BWC_CHECK(indices.size() == extents.size(),
+            "index arity mismatch for array " + name);
+  // Column-major with 1-based indices: a[i,j] -> (i-1) + (j-1)*extent0.
+  std::int64_t linear = 0;
+  std::int64_t stride = 1;
+  for (std::size_t d = 0; d < extents.size(); ++d) {
+    const std::int64_t idx = indices[d] - 1;
+    BWC_CHECK(idx >= 0 && idx < extents[d],
+              "index out of bounds for array " + name + " dim " +
+                  std::to_string(d) + ": " + std::to_string(indices[d]));
+    linear += idx * stride;
+    stride *= extents[d];
+  }
+  return linear;
+}
+
+ArrayId Program::add_array(const std::string& name,
+                           std::vector<std::int64_t> extents,
+                           std::uint64_t elem_bytes) {
+  BWC_CHECK(!name.empty(), "array name must not be empty");
+  BWC_CHECK(!has_array(name), "duplicate array name: " + name);
+  BWC_CHECK(!extents.empty() && extents.size() <= 2,
+            "arrays must be 1-D or 2-D");
+  for (std::int64_t e : extents)
+    BWC_CHECK(e >= 1, "array extents must be positive");
+  BWC_CHECK(elem_bytes > 0, "element size must be positive");
+  arrays_.push_back({name, std::move(extents), elem_bytes});
+  return static_cast<ArrayId>(arrays_.size() - 1);
+}
+
+void Program::add_scalar(const std::string& name) {
+  BWC_CHECK(!name.empty(), "scalar name must not be empty");
+  BWC_CHECK(!has_scalar(name), "duplicate scalar name: " + name);
+  scalars_.push_back(name);
+}
+
+const ArrayDecl& Program::array(ArrayId id) const {
+  BWC_CHECK(id >= 0 && id < array_count(), "array id out of range");
+  return arrays_[static_cast<std::size_t>(id)];
+}
+
+ArrayDecl& Program::mutable_array(ArrayId id) {
+  BWC_CHECK(id >= 0 && id < array_count(), "array id out of range");
+  return arrays_[static_cast<std::size_t>(id)];
+}
+
+ArrayId Program::array_id(const std::string& name) const {
+  for (int i = 0; i < array_count(); ++i) {
+    if (arrays_[static_cast<std::size_t>(i)].name == name) return i;
+  }
+  throw Error("unknown array: " + name);
+}
+
+bool Program::has_array(const std::string& name) const {
+  return std::any_of(arrays_.begin(), arrays_.end(),
+                     [&name](const ArrayDecl& a) { return a.name == name; });
+}
+
+bool Program::has_scalar(const std::string& name) const {
+  return std::find(scalars_.begin(), scalars_.end(), name) != scalars_.end();
+}
+
+std::vector<int> Program::top_loop_indices() const {
+  std::vector<int> indices;
+  for (int i = 0; i < static_cast<int>(top_.size()); ++i) {
+    if (top_[static_cast<std::size_t>(i)]->kind == StmtKind::kLoop)
+      indices.push_back(i);
+  }
+  return indices;
+}
+
+void Program::mark_output_scalar(const std::string& name) {
+  BWC_CHECK(has_scalar(name), "unknown output scalar: " + name);
+  if (std::find(output_scalars_.begin(), output_scalars_.end(), name) ==
+      output_scalars_.end())
+    output_scalars_.push_back(name);
+}
+
+void Program::mark_output_array(ArrayId id) {
+  BWC_CHECK(id >= 0 && id < array_count(), "array id out of range");
+  if (!is_output_array(id)) output_arrays_.push_back(id);
+}
+
+bool Program::is_output_array(ArrayId id) const {
+  return std::find(output_arrays_.begin(), output_arrays_.end(), id) !=
+         output_arrays_.end();
+}
+
+Program Program::clone() const {
+  Program p(name_);
+  p.arrays_ = arrays_;
+  p.scalars_ = scalars_;
+  p.top_ = clone_list(top_);
+  p.output_scalars_ = output_scalars_;
+  p.output_arrays_ = output_arrays_;
+  return p;
+}
+
+std::uint64_t Program::total_array_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& a : arrays_) total += a.byte_size();
+  return total;
+}
+
+bool equal(const Program& a, const Program& b) {
+  if (a.array_count() != b.array_count()) return false;
+  for (int i = 0; i < a.array_count(); ++i) {
+    const auto& da = a.array(i);
+    const auto& db = b.array(i);
+    if (da.name != db.name || da.extents != db.extents ||
+        da.elem_bytes != db.elem_bytes)
+      return false;
+  }
+  return a.scalars() == b.scalars() && equal(a.top(), b.top()) &&
+         a.output_scalars() == b.output_scalars() &&
+         a.output_arrays() == b.output_arrays();
+}
+
+}  // namespace bwc::ir

@@ -1,0 +1,91 @@
+// The Program container: array/scalar declarations, top-level statements,
+// and the observable outputs that transformations must preserve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bwc/ir/stmt.h"
+
+namespace bwc::ir {
+
+/// A declared array: name, extents (1-D or 2-D, Fortran-style column-major
+/// like the paper's a[i,j] examples) and element size.
+struct ArrayDecl {
+  std::string name;
+  std::vector<std::int64_t> extents;  // e.g. {N} or {N, N}
+  std::uint64_t elem_bytes = 8;
+
+  std::int64_t element_count() const;
+  std::uint64_t byte_size() const {
+    return static_cast<std::uint64_t>(element_count()) * elem_bytes;
+  }
+  /// Column-major linearization of indices (1-based, matching the paper's
+  /// pseudo-code convention a[i,j] with i fastest).
+  std::int64_t linearize(const std::vector<std::int64_t>& indices) const;
+};
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::string name) : name_(std::move(name)) {}
+
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // -- Declarations --------------------------------------------------------
+  ArrayId add_array(const std::string& name, std::vector<std::int64_t> extents,
+                    std::uint64_t elem_bytes = 8);
+  void add_scalar(const std::string& name);
+
+  int array_count() const { return static_cast<int>(arrays_.size()); }
+  const ArrayDecl& array(ArrayId id) const;
+  ArrayDecl& mutable_array(ArrayId id);
+  /// Lookup by name; throws when absent.
+  ArrayId array_id(const std::string& name) const;
+  bool has_array(const std::string& name) const;
+  const std::vector<ArrayDecl>& arrays() const { return arrays_; }
+  const std::vector<std::string>& scalars() const { return scalars_; }
+  bool has_scalar(const std::string& name) const;
+
+  // -- Statements -----------------------------------------------------------
+  StmtList& top() { return top_; }
+  const StmtList& top() const { return top_; }
+  void append(StmtPtr s) { top_.push_back(std::move(s)); }
+
+  /// Indices into top() of the loop statements, in program order. These are
+  /// the nodes of the fusion graph.
+  std::vector<int> top_loop_indices() const;
+
+  // -- Observable outputs ---------------------------------------------------
+  void mark_output_scalar(const std::string& name);
+  void mark_output_array(ArrayId id);
+  const std::vector<std::string>& output_scalars() const {
+    return output_scalars_;
+  }
+  const std::vector<ArrayId>& output_arrays() const { return output_arrays_; }
+  bool is_output_array(ArrayId id) const;
+
+  Program clone() const;
+
+  /// Total bytes of all declared arrays (the program's data footprint).
+  std::uint64_t total_array_bytes() const;
+
+ private:
+  std::string name_;
+  std::vector<ArrayDecl> arrays_;
+  std::vector<std::string> scalars_;
+  StmtList top_;
+  std::vector<std::string> output_scalars_;
+  std::vector<ArrayId> output_arrays_;
+};
+
+bool equal(const Program& a, const Program& b);
+
+}  // namespace bwc::ir

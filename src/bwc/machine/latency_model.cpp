@@ -1,0 +1,77 @@
+#include "bwc/machine/latency_model.h"
+
+#include <algorithm>
+
+#include "bwc/support/error.h"
+#include "bwc/support/units.h"
+
+namespace bwc::machine {
+
+LatencyModel default_latency(const MachineModel& machine) {
+  machine.validate();
+  LatencyModel lm;
+  // Derive a plausible cycle time from the peak flop rate (2 flops/cycle
+  // on both period machines and the modern core's scalar pipes).
+  const double cycle_s = 2.0 / (machine.peak_mflops * kMega);
+  // Latency grows with distance from the core: ~10 cycles to the next
+  // cache, ~80 cycles to memory, interpolating for middle levels.
+  const std::size_t boundaries = machine.boundary_bandwidth_mbps.size();
+  for (std::size_t b = 1; b < boundaries; ++b) {
+    const bool last = b + 1 == boundaries;
+    lm.miss_latency_s.push_back(cycle_s * (last ? 80.0 : 10.0 * b));
+  }
+  lm.overlap = 1.0;
+  return lm;
+}
+
+std::vector<std::uint64_t> boundary_miss_counts(
+    const MachineModel& machine, const ExecutionProfile& profile) {
+  BWC_CHECK(profile.boundaries.size() ==
+                machine.boundary_bandwidth_mbps.size(),
+            "profile does not match machine hierarchy depth");
+  std::vector<std::uint64_t> misses;
+  // Boundary 0 is registers<->L1 (no miss latency); boundaries 1..n carry
+  // line-granular transfers.
+  for (std::size_t b = 1; b < profile.boundaries.size(); ++b) {
+    const std::uint64_t line =
+        machine.caches[b - 1].line_bytes;  // requests issued by cache b-1
+    misses.push_back(profile.boundaries[b].total() / line);
+  }
+  return misses;
+}
+
+LatencyPrediction predict_time_with_latency(const ExecutionProfile& profile,
+                                            const MachineModel& machine,
+                                            const LatencyModel& latency) {
+  BWC_CHECK(latency.overlap >= 1.0, "overlap depth must be at least 1");
+  BWC_CHECK(latency.miss_latency_s.size() + 1 == profile.boundaries.size(),
+            "latency model must cover every cache boundary");
+
+  LatencyPrediction p;
+  p.bandwidth_bound_s = predict_time(profile, machine).total_s;
+
+  const auto misses = boundary_miss_counts(machine, profile);
+  double serialized = 0.0;
+  for (std::size_t b = 0; b < misses.size(); ++b) {
+    serialized += static_cast<double>(misses[b]) * latency.miss_latency_s[b];
+  }
+  p.latency_term_s = serialized / latency.overlap;
+  p.total_s = std::max(p.bandwidth_bound_s, p.latency_term_s);
+  p.bandwidth_limited = p.bandwidth_bound_s >= p.latency_term_s;
+  return p;
+}
+
+std::vector<LatencyPrediction> latency_tolerance_sweep(
+    const ExecutionProfile& profile, const MachineModel& machine,
+    const LatencyModel& latency, const std::vector<double>& overlaps) {
+  std::vector<LatencyPrediction> out;
+  out.reserve(overlaps.size());
+  for (double k : overlaps) {
+    LatencyModel lm = latency;
+    lm.overlap = k;
+    out.push_back(predict_time_with_latency(profile, machine, lm));
+  }
+  return out;
+}
+
+}  // namespace bwc::machine

@@ -1,0 +1,69 @@
+// Latency-tolerance model: the paper's Section 1 argument, quantified.
+//
+// "The advent of latency tolerance techniques such as non-blocking cache
+// and software prefetching begins the process of trading bandwidth for
+// latency by overlapping and pipelining memory transfers. Since actual
+// latency is the inverse of the consumed bandwidth, memory latency cannot
+// be fully tolerated without infinite bandwidth."
+//
+// This model adds a miss-latency term with a tunable overlap depth k
+// (outstanding misses supported by the hardware / prefetch distance):
+//
+//   T(k) = max( bandwidth-bound time,  misses * latency / k ) + flop term
+//
+// k = 1 is a blocking cache (pure latency model); k -> infinity converges
+// to the bandwidth bound -- beyond the bandwidth wall, more tolerance
+// buys nothing. predict_time_with_latency exposes the sweep that the
+// latency_wall bench plots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bwc/machine/machine_model.h"
+#include "bwc/machine/timing.h"
+#include "bwc/memsim/hierarchy.h"
+
+namespace bwc::machine {
+
+/// Miss latencies for one machine, per boundary (seconds per miss at that
+/// boundary; index 0 = L1 miss serviced by L2, last = last-level miss
+/// serviced by memory).
+struct LatencyModel {
+  std::vector<double> miss_latency_s;
+  /// Maximum overlapped outstanding misses (non-blocking depth). 1 models
+  /// a blocking cache; large values approach the pure bandwidth bound.
+  double overlap = 1.0;
+};
+
+/// Period-plausible latencies for the presets (L2 hit ~ 10 cycles, memory
+/// ~ 60-100 cycles on the R10K era parts).
+LatencyModel default_latency(const MachineModel& machine);
+
+/// Per-boundary miss counts extracted from a hierarchy profile. The
+/// boundary-i miss count is the number of line requests level i sent to
+/// level i+1 (fills + writebacks), i.e. total boundary bytes / line size.
+std::vector<std::uint64_t> boundary_miss_counts(
+    const MachineModel& machine, const ExecutionProfile& profile);
+
+struct LatencyPrediction {
+  double total_s = 0.0;
+  double bandwidth_bound_s = 0.0;  // the floor no overlap can beat
+  double latency_term_s = 0.0;     // serialized miss time / overlap
+  /// True when the bandwidth bound, not latency, determines total_s:
+  /// the program has hit the memory bandwidth wall.
+  bool bandwidth_limited = false;
+};
+
+/// Evaluate T(k) for the profile under the machine + latency model.
+LatencyPrediction predict_time_with_latency(const ExecutionProfile& profile,
+                                            const MachineModel& machine,
+                                            const LatencyModel& latency);
+
+/// Sweep of overlap depths (e.g. {1,2,4,...}): the convergence curve of
+/// latency tolerance toward the bandwidth wall.
+std::vector<LatencyPrediction> latency_tolerance_sweep(
+    const ExecutionProfile& profile, const MachineModel& machine,
+    const LatencyModel& latency, const std::vector<double>& overlaps);
+
+}  // namespace bwc::machine

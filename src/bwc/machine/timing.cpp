@@ -1,0 +1,70 @@
+#include "bwc/machine/timing.h"
+
+#include <algorithm>
+
+#include "bwc/support/error.h"
+#include "bwc/support/units.h"
+
+namespace bwc::machine {
+
+ExecutionProfile ExecutionProfile::capture(const memsim::MemoryHierarchy& h,
+                                           std::uint64_t flops) {
+  ExecutionProfile p;
+  p.flops = flops;
+  p.boundaries = h.boundaries();
+  return p;
+}
+
+std::uint64_t ExecutionProfile::memory_bytes() const {
+  BWC_CHECK(!boundaries.empty(), "profile has no boundaries");
+  return boundaries.back().total();
+}
+
+std::uint64_t ExecutionProfile::register_bytes() const {
+  BWC_CHECK(!boundaries.empty(), "profile has no boundaries");
+  return boundaries.front().total();
+}
+
+TimePrediction predict_time(const ExecutionProfile& profile,
+                            const MachineModel& machine) {
+  machine.validate();
+  BWC_CHECK(profile.boundaries.size() ==
+                machine.boundary_bandwidth_mbps.size(),
+            "profile boundaries must match machine hierarchy depth");
+
+  TimePrediction t;
+  t.compute_s = static_cast<double>(profile.flops) /
+                (machine.peak_mflops * kMega);
+  t.total_s = t.compute_s;
+  t.binding_resource = "flops";
+
+  t.boundary_s.reserve(profile.boundaries.size());
+  for (std::size_t i = 0; i < profile.boundaries.size(); ++i) {
+    const double bytes = static_cast<double>(profile.boundaries[i].total());
+    const double seconds =
+        bytes / (machine.boundary_bandwidth_mbps[i] * kMega);
+    t.boundary_s.push_back(seconds);
+    if (seconds > t.total_s) {
+      t.total_s = seconds;
+      t.binding_resource = profile.boundaries[i].name;
+    }
+  }
+  t.total_s += machine.startup_overhead_s;
+  return t;
+}
+
+double effective_bandwidth_mbps(std::uint64_t useful_bytes, double seconds) {
+  BWC_CHECK(seconds > 0.0, "time must be positive");
+  return to_mb_per_s(static_cast<double>(useful_bytes), seconds);
+}
+
+double memory_bandwidth_utilization(const ExecutionProfile& profile,
+                                    const MachineModel& machine) {
+  const TimePrediction t = predict_time(profile, machine);
+  if (t.total_s <= 0.0) return 0.0;
+  const double rate =
+      to_mb_per_s(static_cast<double>(profile.memory_bytes()), t.total_s);
+  return rate / machine.memory_bandwidth_mbps();
+}
+
+}  // namespace bwc::machine

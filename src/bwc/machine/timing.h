@@ -1,0 +1,67 @@
+// The bandwidth-bound timing model.
+//
+// The paper's central claim is that "program performance is bounded by the
+// limited rate at which data operands are delivered into CPU". The model
+// here makes that bound the prediction: execution time is the largest of
+// the compute time and the transfer time of every hierarchy boundary,
+// because transfers at different levels (and computation) overlap on a
+// machine with non-blocking caches and prefetching. Actual latency is then
+// the inverse of consumed bandwidth, exactly the paper's framing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bwc/machine/machine_model.h"
+#include "bwc/memsim/hierarchy.h"
+
+namespace bwc::machine {
+
+/// What a run of a program cost: flops plus bytes across every boundary.
+struct ExecutionProfile {
+  std::uint64_t flops = 0;
+  std::vector<memsim::BoundaryTraffic> boundaries;
+
+  /// Snapshot a hierarchy's counters together with a flop count.
+  static ExecutionProfile capture(const memsim::MemoryHierarchy& h,
+                                  std::uint64_t flops);
+
+  /// Total bytes across the memory boundary (reads + writebacks).
+  std::uint64_t memory_bytes() const;
+  /// Total bytes across the register<->L1 boundary.
+  std::uint64_t register_bytes() const;
+};
+
+/// Predicted time under the bandwidth-bound model, with the binding
+/// resource identified.
+struct TimePrediction {
+  double total_s = 0.0;
+  double compute_s = 0.0;
+  /// Transfer time per boundary, same order as the profile.
+  std::vector<double> boundary_s;
+  /// "flops" or the boundary name (e.g. "Mem-L2") that binds.
+  std::string binding_resource;
+  /// Fraction of peak flop rate achievable = compute_s / total_s.
+  double cpu_utilization() const {
+    return total_s <= 0.0 ? 0.0 : compute_s / total_s;
+  }
+};
+
+/// Evaluate the model: T = startup + max(flops / peak, bytes_b / bw_b).
+/// The profile must have exactly one boundary per machine bandwidth.
+TimePrediction predict_time(const ExecutionProfile& profile,
+                            const MachineModel& machine);
+
+/// Effective bandwidth as measured in the paper's Figure 3: the *program's*
+/// memory transfer (useful bytes) divided by execution time, in MB/s. When
+/// conflict misses inflate actual traffic above `useful_bytes`, effective
+/// bandwidth drops below the machine's limit.
+double effective_bandwidth_mbps(std::uint64_t useful_bytes, double seconds);
+
+/// Memory-bandwidth utilization: actual memory traffic rate over the
+/// machine's memory bandwidth (Section 2.3's "84% or higher" metric).
+double memory_bandwidth_utilization(const ExecutionProfile& profile,
+                                    const MachineModel& machine);
+
+}  // namespace bwc::machine

@@ -1,0 +1,162 @@
+#include "bwc/memsim/cache_level.h"
+
+#include "bwc/support/error.h"
+#include "bwc/support/prng.h"
+
+namespace bwc::memsim {
+
+namespace {
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+void CacheConfig::validate() const {
+  BWC_CHECK(is_pow2(line_bytes), "line size must be a power of two");
+  BWC_CHECK(is_pow2(size_bytes), "cache size must be a power of two");
+  BWC_CHECK(size_bytes >= line_bytes, "cache must hold at least one line");
+  const std::uint64_t lines = size_bytes / line_bytes;
+  const std::uint64_t w = associativity == 0 ? lines : associativity;
+  BWC_CHECK(w >= 1 && w <= lines, "associativity out of range");
+  BWC_CHECK(lines % w == 0, "line count must be divisible by associativity");
+  BWC_CHECK(is_pow2(lines / w), "set count must be a power of two");
+}
+
+CacheLevel::CacheLevel(CacheConfig config) : config_(std::move(config)) {
+  config_.validate();
+  sets_ = config_.num_sets();
+  ways_ = config_.ways();
+  lines_.assign(static_cast<std::size_t>(sets_ * ways_), Line{});
+}
+
+void CacheLevel::reset() {
+  reset_stats();
+  lines_.assign(lines_.size(), Line{});
+  tick_ = 0;
+}
+
+std::size_t CacheLevel::set_index(std::uint64_t line_addr) const {
+  const std::uint64_t line_id = line_addr / config_.line_bytes;
+  if (config_.page_randomization_seed == 0) {
+    return static_cast<std::size_t>(line_id & (sets_ - 1));
+  }
+  // Random physical page placement: the page picks a pseudo-random frame
+  // slot; lines keep their order within the page (spatial locality holds).
+  const std::uint64_t page = line_addr / config_.page_bytes;
+  std::uint64_t state = page ^ config_.page_randomization_seed;
+  const std::uint64_t hash = splitmix64(state);
+  const std::uint64_t lines_per_page =
+      config_.page_bytes / config_.line_bytes;
+  const std::uint64_t line_in_page = line_id % lines_per_page;
+  if (lines_per_page <= sets_ && sets_ % lines_per_page == 0) {
+    const std::uint64_t frames = sets_ / lines_per_page;
+    return static_cast<std::size_t>((hash % frames) * lines_per_page +
+                                    line_in_page);
+  }
+  // Degenerate geometry (page larger than the cache): hash per page but
+  // keep distinct lines in distinct sets.
+  return static_cast<std::size_t>((line_id ^ hash) & (sets_ - 1));
+}
+
+CacheLevel::AccessResult CacheLevel::access(std::uint64_t line_addr,
+                                            bool is_write) {
+  BWC_ASSERT(line_addr % config_.line_bytes == 0,
+             "line address must be line-aligned");
+  const std::uint64_t tag = tag_of(line_addr);
+  const std::size_t base = set_index(line_addr) * static_cast<std::size_t>(ways_);
+  ++tick_;
+
+  AccessResult result;
+
+  // Hit path.
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Line& line = lines_[base + w];
+    if (line.valid && line.tag == tag) {
+      line.last_used = tick_;
+      if (is_write) {
+        ++stats_.write_hits;
+        if (config_.write_policy == WritePolicy::kWriteBack) line.dirty = true;
+      } else {
+        ++stats_.read_hits;
+      }
+      result.hit = true;
+      return result;
+    }
+  }
+
+  // Miss path.
+  if (is_write) {
+    ++stats_.write_misses;
+    if (config_.allocate_policy == AllocatePolicy::kNoWriteAllocate) {
+      return result;  // bypass: no fill, no eviction
+    }
+  } else {
+    ++stats_.read_misses;
+  }
+
+  // Choose a victim: an invalid way if any, else the LRU way.
+  std::size_t victim = 0;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  bool found_invalid = false;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Line& line = lines_[base + w];
+    if (!line.valid) {
+      victim = w;
+      found_invalid = true;
+      break;
+    }
+    if (line.last_used < oldest) {
+      oldest = line.last_used;
+      victim = w;
+    }
+  }
+
+  Line& line = lines_[base + victim];
+  if (!found_invalid) {
+    ++stats_.evictions;
+    if (line.dirty) {
+      ++stats_.writebacks;
+      result.evicted_dirty = true;
+      result.evicted_line_addr = line.tag * config_.line_bytes;
+    }
+  }
+
+  line.valid = true;
+  line.tag = tag;
+  line.last_used = tick_;
+  line.dirty =
+      is_write && config_.write_policy == WritePolicy::kWriteBack;
+  result.filled = true;
+  return result;
+}
+
+bool CacheLevel::contains(std::uint64_t line_addr) const {
+  const std::uint64_t tag = tag_of(line_addr);
+  const std::size_t base = set_index(line_addr) * static_cast<std::size_t>(ways_);
+  for (std::size_t w = 0; w < ways_; ++w) {
+    const Line& line = lines_[base + w];
+    if (line.valid && line.tag == tag) return true;
+  }
+  return false;
+}
+
+bool CacheLevel::invalidate(std::uint64_t line_addr) {
+  const std::uint64_t tag = tag_of(line_addr);
+  const std::size_t base = set_index(line_addr) * static_cast<std::size_t>(ways_);
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Line& line = lines_[base + w];
+    if (line.valid && line.tag == tag) {
+      const bool was_dirty = line.dirty;
+      line = Line{};
+      return was_dirty;
+    }
+  }
+  return false;
+}
+
+std::uint64_t CacheLevel::valid_line_count() const {
+  std::uint64_t count = 0;
+  for (const Line& line : lines_)
+    if (line.valid) ++count;
+  return count;
+}
+
+}  // namespace bwc::memsim

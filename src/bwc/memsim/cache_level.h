@@ -1,0 +1,68 @@
+// One set-associative cache level with LRU replacement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bwc/memsim/cache_config.h"
+
+namespace bwc::memsim {
+
+/// A single cache level. Operates at line granularity; the hierarchy splits
+/// byte ranges into line touches according to this level's geometry.
+class CacheLevel {
+ public:
+  explicit CacheLevel(CacheConfig config);
+
+  const CacheConfig& config() const { return config_; }
+  const CacheLevelStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  /// Drop all cached lines (cold restart) in addition to the stats.
+  void reset();
+
+  struct AccessResult {
+    bool hit = false;
+    /// A line was installed by this access (miss with allocation).
+    bool filled = false;
+    /// A valid dirty line was evicted to make room; its address follows.
+    bool evicted_dirty = false;
+    std::uint64_t evicted_line_addr = 0;
+  };
+
+  /// Access one line. `line_addr` must be aligned to line_bytes.
+  /// Write misses honor the allocate policy; under write-through, lines are
+  /// never marked dirty (the hierarchy forwards the write downstream).
+  AccessResult access(std::uint64_t line_addr, bool is_write);
+
+  /// True when the line is currently resident.
+  bool contains(std::uint64_t line_addr) const;
+
+  /// Invalidate a line if present, reporting whether it was dirty.
+  /// Used by store elimination's no-writeback hint ablation.
+  bool invalidate(std::uint64_t line_addr);
+
+  /// Number of currently valid lines (for footprint-style diagnostics).
+  std::uint64_t valid_line_count() const;
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t last_used = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::size_t set_index(std::uint64_t line_addr) const;
+  std::uint64_t tag_of(std::uint64_t line_addr) const {
+    return line_addr / config_.line_bytes;
+  }
+
+  CacheConfig config_;
+  CacheLevelStats stats_;
+  std::vector<Line> lines_;  // sets_ * ways_ entries, set-major
+  std::uint64_t sets_ = 0;
+  std::uint64_t ways_ = 0;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace bwc::memsim

@@ -1,0 +1,126 @@
+#include "bwc/memsim/hierarchy.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "bwc/support/error.h"
+
+namespace bwc::memsim {
+
+MemoryHierarchy::MemoryHierarchy(std::vector<CacheConfig> configs) {
+  levels_.reserve(configs.size());
+  for (auto& c : configs) levels_.emplace_back(std::move(c));
+
+  boundary_.resize(levels_.size() + 1);
+  if (levels_.empty()) {
+    boundary_[0].name = "Mem-Reg";
+  } else {
+    boundary_[0].name = levels_[0].config().name + "-Reg";
+    for (std::size_t i = 1; i < levels_.size(); ++i)
+      boundary_[i].name =
+          levels_[i].config().name + "-" + levels_[i - 1].config().name;
+    boundary_.back().name = "Mem-" + levels_.back().config().name;
+  }
+}
+
+void MemoryHierarchy::load(std::uint64_t addr, std::uint64_t size) {
+  BWC_CHECK(size > 0, "load size must be positive");
+  ++loads_;
+  boundary_[0].bytes_toward_cpu += size;
+  access(0, addr, size, /*is_write=*/false);
+}
+
+void MemoryHierarchy::store(std::uint64_t addr, std::uint64_t size) {
+  BWC_CHECK(size > 0, "store size must be positive");
+  ++stores_;
+  boundary_[0].bytes_from_cpu += size;
+  access(0, addr, size, /*is_write=*/true);
+}
+
+void MemoryHierarchy::access(std::size_t level_index, std::uint64_t addr,
+                             std::uint64_t size, bool is_write) {
+  if (level_index == levels_.size()) return;  // reached memory
+
+  CacheLevel& level = levels_[level_index];
+  const std::uint64_t line = level.config().line_bytes;
+  const std::uint64_t first = addr / line * line;
+  const std::uint64_t last = (addr + size - 1) / line * line;
+
+  for (std::uint64_t la = first; la <= last; la += line) {
+    const auto result = level.access(la, is_write);
+
+    if (result.filled && !result.hit) {
+      // Fill: pull the whole line from the next level.
+      boundary_[level_index + 1].bytes_toward_cpu += line;
+      access(level_index + 1, la, line, /*is_write=*/false);
+    }
+    if (result.evicted_dirty) {
+      // Writeback of the victim line into the next level.
+      boundary_[level_index + 1].bytes_from_cpu += line;
+      access(level_index + 1, result.evicted_line_addr, line,
+             /*is_write=*/true);
+    }
+    if (is_write) {
+      const bool through =
+          level.config().write_policy == WritePolicy::kWriteThrough;
+      const bool bypass =
+          !result.hit && !result.filled;  // no-write-allocate miss
+      if (through || bypass) {
+        // Forward only the bytes of this access that land in this line.
+        const std::uint64_t begin = std::max(addr, la);
+        const std::uint64_t end = std::min(addr + size, la + line);
+        const std::uint64_t chunk = end - begin;
+        boundary_[level_index + 1].bytes_from_cpu += chunk;
+        access(level_index + 1, begin, chunk, /*is_write=*/true);
+      }
+    }
+  }
+}
+
+void MemoryHierarchy::reset_stats() {
+  for (auto& level : levels_) level.reset_stats();
+  for (auto& b : boundary_) {
+    b.bytes_toward_cpu = 0;
+    b.bytes_from_cpu = 0;
+  }
+  loads_ = stores_ = 0;
+}
+
+void MemoryHierarchy::reset() {
+  reset_stats();
+  for (auto& level : levels_) level.reset();
+}
+
+void MemoryHierarchy::discard_dirty_range(std::uint64_t addr,
+                                          std::uint64_t size) {
+  BWC_CHECK(size > 0, "range size must be positive");
+  for (auto& level : levels_) {
+    const std::uint64_t line = level.config().line_bytes;
+    const std::uint64_t first = addr / line * line;
+    const std::uint64_t last = (addr + size - 1) / line * line;
+    for (std::uint64_t la = first; la <= last; la += line)
+      level.invalidate(la);
+  }
+}
+
+std::string describe(const MemoryHierarchy& h) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < h.level_count(); ++i) {
+    const auto& c = h.level(i).config();
+    const auto& s = h.level(i).stats();
+    os << c.name << " (" << c.size_bytes / 1024 << " KB, " << c.line_bytes
+       << "B lines, "
+       << (c.associativity == 0 ? std::string("full")
+                                : std::to_string(c.associativity) + "-way")
+       << "): accesses=" << s.accesses() << " misses=" << s.misses()
+       << " writebacks=" << s.writebacks << "\n";
+  }
+  for (const auto& b : h.boundaries()) {
+    os << b.name << ": toward-cpu=" << b.bytes_toward_cpu
+       << "B from-cpu=" << b.bytes_from_cpu << "B total=" << b.total()
+       << "B\n";
+  }
+  return os.str();
+}
+
+}  // namespace bwc::memsim

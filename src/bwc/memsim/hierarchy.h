@@ -1,0 +1,86 @@
+// Multi-level memory hierarchy simulator.
+//
+// Substitutes for the paper's hardware counters on the SGI Origin2000: it
+// observes a program's exact access stream and reports the bytes moved
+// across every adjacent pair of memory-hierarchy levels -- the quantities
+// that define program balance (Section 2.2 of the paper).
+//
+// Boundary numbering: boundary 0 is registers<->L1 (every program access),
+// boundary i is L(i)<->L(i+1), and the last boundary is last-cache<->memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bwc/memsim/cache_level.h"
+
+namespace bwc::memsim {
+
+/// Traffic across one boundary between adjacent hierarchy levels.
+struct BoundaryTraffic {
+  std::string name;                 // e.g. "L1-Reg", "L2-L1", "Mem-L2"
+  std::uint64_t bytes_toward_cpu = 0;   // fills / loads
+  std::uint64_t bytes_from_cpu = 0;     // stores / writebacks
+  std::uint64_t total() const { return bytes_toward_cpu + bytes_from_cpu; }
+};
+
+/// A CPU-side memory hierarchy fed by explicit load/store calls.
+class MemoryHierarchy {
+ public:
+  /// Construct from outermost (L1) to innermost (last-level) cache configs.
+  /// An empty vector models a cache-less machine (all traffic to memory).
+  explicit MemoryHierarchy(std::vector<CacheConfig> configs);
+
+  std::size_t level_count() const { return levels_.size(); }
+  const CacheLevel& level(std::size_t i) const { return levels_[i]; }
+
+  /// Issue a program load/store of `size` bytes at `addr`.
+  void load(std::uint64_t addr, std::uint64_t size);
+  void store(std::uint64_t addr, std::uint64_t size);
+
+  /// Convenience for double-precision elements.
+  void load_double(std::uint64_t addr) { load(addr, 8); }
+  void store_double(std::uint64_t addr) { store(addr, 8); }
+
+  /// Traffic across each boundary; index 0 is registers<->L1 and the last
+  /// entry is last-level<->memory. Always level_count()+1 entries.
+  const std::vector<BoundaryTraffic>& boundaries() const { return boundary_; }
+
+  /// Bytes moved between the last cache level and memory (both directions).
+  std::uint64_t memory_traffic_bytes() const {
+    return boundary_.back().total();
+  }
+  /// Bytes moved between registers and L1 (i.e. total program access bytes).
+  std::uint64_t register_traffic_bytes() const {
+    return boundary_.front().total();
+  }
+
+  std::uint64_t load_count() const { return loads_; }
+  std::uint64_t store_count() const { return stores_; }
+
+  /// Clear counters but keep cache contents (for steady-state measurement).
+  void reset_stats();
+  /// Clear counters and drop all cached lines.
+  void reset();
+
+  /// Discard any dirty copies of [addr, addr+size) in all levels without
+  /// writing them back. Models the writeback-suppression effect of store
+  /// elimination at the hardware level (ablation aid; the compiler pass
+  /// itself removes the stores from the program instead).
+  void discard_dirty_range(std::uint64_t addr, std::uint64_t size);
+
+ private:
+  void access(std::size_t level_index, std::uint64_t addr, std::uint64_t size,
+              bool is_write);
+
+  std::vector<CacheLevel> levels_;
+  std::vector<BoundaryTraffic> boundary_;
+  std::uint64_t loads_ = 0;
+  std::uint64_t stores_ = 0;
+};
+
+/// Pretty per-level summary (hits, misses, writebacks, boundary bytes).
+std::string describe(const MemoryHierarchy& h);
+
+}  // namespace bwc::memsim

@@ -1,0 +1,95 @@
+#include "bwc/model/balance.h"
+
+#include <algorithm>
+
+#include "bwc/support/error.h"
+#include "bwc/support/table.h"
+
+namespace bwc::model {
+
+ProgramBalance ProgramBalance::from_profile(
+    std::string name, const machine::ExecutionProfile& p) {
+  BWC_CHECK(p.flops > 0, "program executed no flops; balance undefined");
+  ProgramBalance b;
+  b.name = std::move(name);
+  b.bytes_per_flop.reserve(p.boundaries.size());
+  for (const auto& boundary : p.boundaries) {
+    b.bytes_per_flop.push_back(static_cast<double>(boundary.total()) /
+                               static_cast<double>(p.flops));
+  }
+  return b;
+}
+
+std::vector<double> demand_supply_ratios(
+    const ProgramBalance& program, const machine::MachineModel& machine) {
+  const std::vector<double> supply = machine.machine_balance();
+  BWC_CHECK(program.bytes_per_flop.size() == supply.size(),
+            "program and machine have different hierarchy depths");
+  std::vector<double> ratios;
+  ratios.reserve(supply.size());
+  for (std::size_t i = 0; i < supply.size(); ++i)
+    ratios.push_back(program.bytes_per_flop[i] / supply[i]);
+  return ratios;
+}
+
+double cpu_utilization_bound(const std::vector<double>& ratios) {
+  BWC_CHECK(!ratios.empty(), "no ratios");
+  const double worst = *std::max_element(ratios.begin(), ratios.end());
+  return worst <= 1.0 ? 1.0 : 1.0 / worst;
+}
+
+namespace {
+
+std::vector<std::string> boundary_names(const machine::MachineModel& m) {
+  // Mirror MemoryHierarchy's naming: "L1-Reg", "L2-L1", ..., "Mem-Lk".
+  std::vector<std::string> names;
+  if (m.caches.empty()) {
+    names.push_back("Mem-Reg");
+    return names;
+  }
+  names.push_back(m.caches.front().name + "-Reg");
+  for (std::size_t i = 1; i < m.caches.size(); ++i)
+    names.push_back(m.caches[i].name + "-" + m.caches[i - 1].name);
+  names.push_back("Mem-" + m.caches.back().name);
+  return names;
+}
+
+}  // namespace
+
+std::string render_balance_table(const std::vector<ProgramBalance>& programs,
+                                 const machine::MachineModel& machine) {
+  TextTable t("Program and machine balance (bytes per flop)");
+  std::vector<std::string> header = {"Program/machine"};
+  for (const auto& n : boundary_names(machine)) header.push_back(n);
+  t.set_header(header);
+  for (const auto& p : programs) {
+    std::vector<std::string> row = {p.name};
+    for (double b : p.bytes_per_flop) row.push_back(fmt_fixed(b, 2));
+    t.add_row(row);
+  }
+  t.add_rule();
+  std::vector<std::string> machine_row = {machine.name};
+  for (double b : machine.machine_balance())
+    machine_row.push_back(fmt_fixed(b, 2));
+  t.add_row(machine_row);
+  return t.render();
+}
+
+std::string render_ratio_table(const std::vector<ProgramBalance>& programs,
+                               const machine::MachineModel& machine) {
+  TextTable t("Ratios of demand to supply (on " + machine.name + ")");
+  std::vector<std::string> header = {"Application"};
+  for (const auto& n : boundary_names(machine)) header.push_back(n);
+  header.push_back("max CPU util");
+  t.set_header(header);
+  for (const auto& p : programs) {
+    const auto ratios = demand_supply_ratios(p, machine);
+    std::vector<std::string> row = {p.name};
+    for (double r : ratios) row.push_back(fmt_fixed(r, 1));
+    row.push_back(fmt_fixed(cpu_utilization_bound(ratios) * 100.0, 1) + "%");
+    t.add_row(row);
+  }
+  return t.render();
+}
+
+}  // namespace bwc::model

@@ -1,0 +1,42 @@
+// The balance-based performance model (paper Section 2.2).
+//
+// Program balance: bytes transferred per flop at each memory-hierarchy
+// boundary. Machine balance: bytes the machine can transfer per flop at
+// peak. Their ratio bounds CPU utilization: a program demanding R times
+// the machine's memory balance runs at most 1/R of peak.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bwc/machine/machine_model.h"
+#include "bwc/machine/timing.h"
+
+namespace bwc::model {
+
+/// Bytes per flop at each boundary (registers<->L1 first, memory last).
+struct ProgramBalance {
+  std::string name;
+  std::vector<double> bytes_per_flop;
+
+  static ProgramBalance from_profile(std::string name,
+                                     const machine::ExecutionProfile& p);
+};
+
+/// Demand / supply at each boundary: program balance over machine balance.
+std::vector<double> demand_supply_ratios(const ProgramBalance& program,
+                                         const machine::MachineModel& machine);
+
+/// Upper bound on achievable CPU utilization = 1 / max ratio (clamped to 1).
+double cpu_utilization_bound(const std::vector<double>& ratios);
+
+/// The paper's Figure 1: program rows plus the machine balance row.
+/// All balances must have the same number of boundaries as the machine.
+std::string render_balance_table(const std::vector<ProgramBalance>& programs,
+                                 const machine::MachineModel& machine);
+
+/// The paper's Figure 2: demand/supply ratios plus the utilization bound.
+std::string render_ratio_table(const std::vector<ProgramBalance>& programs,
+                               const machine::MachineModel& machine);
+
+}  // namespace bwc::model

@@ -1,0 +1,33 @@
+#include "bwc/model/measure.h"
+
+#include <sstream>
+
+#include "bwc/support/table.h"
+
+namespace bwc::model {
+
+Measurement measure(const ir::Program& program,
+                    const machine::MachineModel& machine) {
+  memsim::MemoryHierarchy hierarchy = machine.make_hierarchy();
+  runtime::ExecOptions opts;
+  opts.hierarchy = &hierarchy;
+  Measurement m;
+  m.exec = runtime::execute(program, opts);
+  m.profile = m.exec.profile;
+  m.time = machine::predict_time(m.profile, machine);
+  m.balance = ProgramBalance::from_profile(program.name(), m.profile);
+  return m;
+}
+
+std::string summarize(const Measurement& m) {
+  std::ostringstream os;
+  os << m.balance.name << ": t=" << fmt_fixed(m.time.total_s * 1e3, 3)
+     << " ms (bound: " << m.time.binding_resource
+     << "), mem traffic=" << fmt_bytes(static_cast<double>(
+                                 m.profile.memory_bytes()))
+     << ", flops=" << m.profile.flops
+     << ", checksum=" << m.exec.checksum;
+  return os.str();
+}
+
+}  // namespace bwc::model

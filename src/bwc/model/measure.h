@@ -1,0 +1,30 @@
+// Measurement glue: run an IR program against a machine model's simulated
+// hierarchy and report profile, predicted time and balance in one call.
+#pragma once
+
+#include <string>
+
+#include "bwc/ir/program.h"
+#include "bwc/machine/machine_model.h"
+#include "bwc/machine/timing.h"
+#include "bwc/model/balance.h"
+#include "bwc/runtime/interpreter.h"
+
+namespace bwc::model {
+
+struct Measurement {
+  runtime::ExecResult exec;
+  machine::ExecutionProfile profile;
+  machine::TimePrediction time;
+  ProgramBalance balance;
+};
+
+/// Execute `program` on the machine's simulated hierarchy (caches start
+/// cold) and evaluate the bandwidth-bound timing model.
+Measurement measure(const ir::Program& program,
+                    const machine::MachineModel& machine);
+
+/// One-line summary: predicted time, binding resource, memory traffic.
+std::string summarize(const Measurement& m);
+
+}  // namespace bwc::model

@@ -1,0 +1,61 @@
+#include "bwc/model/prediction.h"
+
+#include <algorithm>
+
+#include "bwc/support/error.h"
+#include "bwc/support/table.h"
+
+namespace bwc::model {
+
+double required_memory_bandwidth_mbps(const ProgramBalance& program,
+                                      const machine::MachineModel& machine) {
+  const auto ratios = demand_supply_ratios(program, machine);
+  BWC_CHECK(!ratios.empty(), "no hierarchy boundaries");
+  const double mem_ratio = ratios.back();
+  return machine.memory_bandwidth_mbps() * std::max(1.0, mem_ratio);
+}
+
+double speedup_from_memory_bandwidth(const machine::ExecutionProfile& profile,
+                                     const machine::MachineModel& machine,
+                                     double new_mbps) {
+  BWC_CHECK(new_mbps > 0.0, "bandwidth must be positive");
+  const double before = machine::predict_time(profile, machine).total_s;
+  machine::MachineModel upgraded = machine;
+  upgraded.boundary_bandwidth_mbps.back() = new_mbps;
+  const double after = machine::predict_time(profile, upgraded).total_s;
+  return before / after;
+}
+
+std::vector<TuningAdvice> tuning_report(
+    const machine::ExecutionProfile& profile,
+    const machine::MachineModel& machine) {
+  const auto balance = ProgramBalance::from_profile("program", profile);
+  const auto supply = machine.machine_balance();
+  const auto time = machine::predict_time(profile, machine);
+
+  std::vector<TuningAdvice> advice;
+  for (std::size_t b = 0; b < supply.size(); ++b) {
+    TuningAdvice a;
+    a.boundary = profile.boundaries[b].name;
+    a.demand_bytes_per_flop = balance.bytes_per_flop[b];
+    a.supply_bytes_per_flop = supply[b];
+    a.ratio = a.demand_bytes_per_flop / a.supply_bytes_per_flop;
+    a.binding = time.binding_resource == a.boundary;
+    advice.push_back(a);
+  }
+  return advice;
+}
+
+std::string render_tuning_report(const std::vector<TuningAdvice>& advice) {
+  TextTable t("Bandwidth tuning report");
+  t.set_header({"boundary", "demand B/flop", "supply B/flop", "ratio",
+                "binding?"});
+  for (const auto& a : advice) {
+    t.add_row({a.boundary, fmt_fixed(a.demand_bytes_per_flop, 2),
+               fmt_fixed(a.supply_bytes_per_flop, 2), fmt_fixed(a.ratio, 1),
+               a.binding ? "<- yes" : ""});
+  }
+  return t.render();
+}
+
+}  // namespace bwc::model

@@ -1,0 +1,48 @@
+// Bandwidth-based performance prediction and tuning (the dissertation's
+// "bandwidth-based performance tuning and prediction" component).
+//
+// Answers the planning questions the paper poses in Section 2.3:
+//   "To fully utilize a processor of comparable speed ... a machine would
+//    need 3.4 to 10.5 times of the 300 MB/s memory bandwidth ... 1.02 GB/s
+//    to 3.15 GB/s" -- required_memory_bandwidth_mbps;
+// and the per-application speedup a bandwidth upgrade would buy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bwc/machine/machine_model.h"
+#include "bwc/machine/timing.h"
+#include "bwc/model/balance.h"
+
+namespace bwc::model {
+
+/// Memory bandwidth (MB/s) the machine would need for this program to be
+/// able to reach full CPU utilization (all other resources unchanged).
+double required_memory_bandwidth_mbps(const ProgramBalance& program,
+                                      const machine::MachineModel& machine);
+
+/// Predicted speedup from replacing the machine's memory bandwidth with
+/// `new_mbps`, under the bandwidth-bound model (>= 1 when upgrading).
+double speedup_from_memory_bandwidth(const machine::ExecutionProfile& profile,
+                                     const machine::MachineModel& machine,
+                                     double new_mbps);
+
+/// A tuning report: per boundary, demand, supply, ratio, and whether
+/// raising that boundary's bandwidth alone would speed the program up.
+struct TuningAdvice {
+  std::string boundary;
+  double demand_bytes_per_flop = 0.0;
+  double supply_bytes_per_flop = 0.0;
+  double ratio = 0.0;
+  bool binding = false;  // this boundary determines execution time
+};
+
+std::vector<TuningAdvice> tuning_report(
+    const machine::ExecutionProfile& profile,
+    const machine::MachineModel& machine);
+
+/// Render the advice as a table.
+std::string render_tuning_report(const std::vector<TuningAdvice>& advice);
+
+}  // namespace bwc::model

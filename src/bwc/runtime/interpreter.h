@@ -1,0 +1,65 @@
+// Interpreter for the loop-program IR.
+//
+// Serves two purposes at once:
+//  1. Semantics: computes the program's observable outputs (checksum over
+//     declared outputs), which every compiler transformation must preserve.
+//  2. Measurement: feeds the exact access stream into a memory-hierarchy
+//     simulator and counts flops, yielding the ExecutionProfile that the
+//     balance model consumes.
+//
+// Intrinsics f and g are fixed pure functions; input streams return
+// deterministic values keyed by (stream, element index), so results are
+// reproducible across runs and invariant under transformations that
+// preserve which input elements feed which outputs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bwc/ir/program.h"
+#include "bwc/machine/timing.h"
+#include "bwc/memsim/hierarchy.h"
+
+namespace bwc::runtime {
+
+struct ExecOptions {
+  /// Optional hierarchy; when null only semantics and flops are computed.
+  memsim::MemoryHierarchy* hierarchy = nullptr;
+  /// First byte address handed to the first array.
+  std::uint64_t base_address = 1 << 20;
+  /// Arrays are aligned to this boundary (bytes, power of two). Pages by
+  /// default, like large-array allocation in real runtimes (and like the
+  /// native workloads' AddressSpace), so physically-indexed cache models
+  /// see realistic page-collision behaviour.
+  std::uint64_t array_alignment = 4096;
+};
+
+struct ExecResult {
+  /// Sum over output scalars plus all elements of output arrays.
+  double checksum = 0.0;
+  std::uint64_t flops = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  /// Valid when a hierarchy was provided; boundary traffic + flops.
+  machine::ExecutionProfile profile;
+  /// Final values of all scalars.
+  std::map<std::string, double> scalars;
+  /// Base address assigned to each array (by ArrayId).
+  std::vector<std::uint64_t> array_bases;
+};
+
+/// Execute the program. Throws bwc::Error on out-of-bounds subscripts,
+/// references to undeclared names, or malformed IR.
+ExecResult execute(const ir::Program& program, const ExecOptions& opts = {});
+
+/// The interpreter's pure intrinsics (exposed for tests).
+double intrinsic_f(double x, double y);
+double intrinsic_g(double x, double y);
+
+/// Key under which an array's *initial* contents are generated: element k of
+/// array `name` starts as ir::input_value(initial_key(name), k).
+int initial_key(const std::string& array_name);
+
+}  // namespace bwc::runtime

@@ -1,0 +1,56 @@
+// Access/flop recorder: the instrumentation point between workloads and the
+// memory-hierarchy simulator.
+//
+// Native workloads (matrix multiply, FFT, the SP and Sweep3D proxies) issue
+// their exact access streams through a Recorder; IR programs do the same
+// via the interpreter. Either way the result is an ExecutionProfile -- the
+// flop count and per-boundary transfer bytes that define program balance.
+#pragma once
+
+#include <cstdint>
+
+#include "bwc/machine/timing.h"
+#include "bwc/memsim/hierarchy.h"
+
+namespace bwc::runtime {
+
+class Recorder {
+ public:
+  /// `hierarchy` may be null: flops and access counts are still tracked,
+  /// but no cache simulation or boundary traffic is recorded.
+  explicit Recorder(memsim::MemoryHierarchy* hierarchy = nullptr)
+      : hierarchy_(hierarchy) {}
+
+  void load(std::uint64_t addr, std::uint64_t size) {
+    ++loads_;
+    reg_bytes_ += size;
+    if (hierarchy_ != nullptr) hierarchy_->load(addr, size);
+  }
+  void store(std::uint64_t addr, std::uint64_t size) {
+    ++stores_;
+    reg_bytes_ += size;
+    if (hierarchy_ != nullptr) hierarchy_->store(addr, size);
+  }
+  void load_double(std::uint64_t addr) { load(addr, 8); }
+  void store_double(std::uint64_t addr) { store(addr, 8); }
+
+  void flops(std::uint64_t n) { flops_ += n; }
+
+  std::uint64_t flop_count() const { return flops_; }
+  std::uint64_t load_count() const { return loads_; }
+  std::uint64_t store_count() const { return stores_; }
+  std::uint64_t register_bytes() const { return reg_bytes_; }
+  memsim::MemoryHierarchy* hierarchy() const { return hierarchy_; }
+
+  /// Snapshot flops + hierarchy boundary traffic. Requires a hierarchy.
+  machine::ExecutionProfile profile() const;
+
+ private:
+  memsim::MemoryHierarchy* hierarchy_;
+  std::uint64_t flops_ = 0;
+  std::uint64_t loads_ = 0;
+  std::uint64_t stores_ = 0;
+  std::uint64_t reg_bytes_ = 0;
+};
+
+}  // namespace bwc::runtime

@@ -1,0 +1,58 @@
+#include "bwc/support/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "bwc/support/error.h"
+
+namespace bwc {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  BWC_CHECK(!header_.empty(), "CSV header must not be empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  BWC_CHECK(row.size() == header_.size(),
+            "CSV row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(cells[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  BWC_CHECK(f.good(), "cannot open CSV output file: " + path);
+  write(f);
+}
+
+}  // namespace bwc

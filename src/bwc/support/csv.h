@@ -1,0 +1,33 @@
+// Minimal CSV emission for exporting benchmark series (e.g. Figure 3 bars)
+// to files a plotting script can consume.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bwc {
+
+/// Accumulates rows and writes RFC-4180-ish CSV (quotes cells containing
+/// commas, quotes or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t row_count() const { return rows_.size(); }
+
+  void write(std::ostream& os) const;
+  std::string str() const;
+  /// Write to a file path; throws bwc::Error when the file cannot be opened.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escape a single CSV cell.
+std::string csv_escape(const std::string& cell);
+
+}  // namespace bwc

@@ -1,0 +1,14 @@
+#include "bwc/support/error.h"
+
+#include <sstream>
+
+namespace bwc::detail {
+
+void fail_check(const char* expr, const char* file, int line,
+                const std::string& message) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: (" << expr << ") " << message;
+  throw Error(os.str());
+}
+
+}  // namespace bwc::detail

@@ -1,0 +1,42 @@
+// Error handling primitives for the bwc library.
+//
+// The library reports precondition violations and invariant failures by
+// throwing bwc::Error. BWC_CHECK is always on; BWC_ASSERT compiles away in
+// NDEBUG builds and guards internal invariants only.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bwc {
+
+/// Exception type thrown for all bwc error conditions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_check(const char* expr, const char* file, int line,
+                             const std::string& message);
+}  // namespace detail
+
+}  // namespace bwc
+
+/// Check a precondition; throws bwc::Error with location info on failure.
+/// Usage: BWC_CHECK(n > 0, "array extent must be positive");
+#define BWC_CHECK(expr, message)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::bwc::detail::fail_check(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                  \
+  } while (false)
+
+/// Internal invariant check; disabled when NDEBUG is defined.
+#ifdef NDEBUG
+#define BWC_ASSERT(expr, message) \
+  do {                            \
+  } while (false)
+#else
+#define BWC_ASSERT(expr, message) BWC_CHECK(expr, message)
+#endif

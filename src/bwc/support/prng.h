@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of bwc (synthetic workloads, random graph
+// generators, property tests) draw from this PRNG so that every run is
+// reproducible from a seed. The generator is xoshiro256**, seeded through
+// splitmix64 as recommended by its authors.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace bwc {
+
+/// splitmix64 step; used to expand a single seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic PRNG. Satisfies UniformRandomBitGenerator.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform(std::uint64_t n) {
+    // Lemire-style rejection-free enough for test/workload use.
+    return (*this)() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return uniform_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace bwc

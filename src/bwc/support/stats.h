@@ -1,0 +1,56 @@
+// Small descriptive-statistics helpers used by benchmarks and reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bwc {
+
+/// Streaming accumulator for count/mean/variance/min/max (Welford's method).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+/// Summarize a sample. Copies and sorts internally; empty input allowed.
+Summary summarize(std::span<const double> xs);
+
+/// Median of a sample (empty input returns 0).
+double median(std::span<const double> xs);
+
+/// Geometric mean; requires all elements strictly positive (else throws).
+double geometric_mean(std::span<const double> xs);
+
+/// Relative spread (max-min)/min of a sample; 0 for fewer than two samples.
+/// Used to reproduce the paper's "difference is within 20%" claim of Fig. 3.
+double relative_spread(std::span<const double> xs);
+
+}  // namespace bwc

@@ -1,0 +1,119 @@
+#include "bwc/support/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "bwc/support/error.h"
+
+namespace bwc {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit_seen = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e' &&
+               c != 'x') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  BWC_CHECK(!row.empty(), "table row must have at least one cell");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) grow(header_);
+  for (const auto& r : rows_)
+    if (!r.empty()) grow(r);
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 3;
+  if (total >= 3) total -= 3;
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+
+  auto emit_rule = [&] { os << std::string(total, '-') << "\n"; };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const std::size_t w = widths[i];
+      const bool right = i > 0 && looks_numeric(row[i]);
+      if (i > 0) os << "   ";
+      if (right) {
+        os << std::string(w - row[i].size(), ' ') << row[i];
+      } else {
+        os << row[i];
+        if (i + 1 < row.size()) os << std::string(w - row[i].size(), ' ');
+      }
+    }
+    os << "\n";
+  };
+
+  if (!header_.empty()) {
+    emit_row(header_);
+    emit_rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.empty()) {
+      emit_rule();
+    } else {
+      emit_row(r);
+    }
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.render();
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string fmt_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  std::ostringstream os;
+  if (u == 0) {
+    os << static_cast<long long>(bytes) << " B";
+  } else {
+    os << std::fixed << std::setprecision(1) << bytes << " " << units[u];
+  }
+  return os.str();
+}
+
+std::string fmt_bandwidth(double mb_per_s) {
+  return fmt_fixed(mb_per_s, 1) + " MB/s";
+}
+
+}  // namespace bwc

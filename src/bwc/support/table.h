@@ -1,0 +1,56 @@
+// ASCII table rendering for paper-style figures.
+//
+// Benchmarks print the same rows/series the paper reports; TextTable keeps
+// that output aligned and stable so EXPERIMENTS.md can quote it verbatim.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bwc {
+
+/// Column-aligned ASCII table with an optional title and header row.
+///
+/// Usage:
+///   TextTable t("Figure 1. Program and machine balance");
+///   t.set_header({"Program", "L1-Reg", "L2-L1", "Mem-L2"});
+///   t.add_row({"convolution", "6.4", "5.1", "5.2"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  TextTable() = default;
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Insert a horizontal rule before the next added row.
+  void add_rule();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render the table; every cell right-padded, numeric-looking cells
+  /// right-aligned, first column left-aligned.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+/// Format a double with `decimals` fixed digits, e.g. fmt_fixed(3.14159,2)
+/// == "3.14".
+std::string fmt_fixed(double v, int decimals);
+
+/// Format bytes as a human-readable quantity ("1.5 MB", "32 KB", "17 B").
+std::string fmt_bytes(double bytes);
+
+/// Format a bandwidth in MB/s with one decimal ("312.5 MB/s").
+std::string fmt_bandwidth(double mb_per_s);
+
+}  // namespace bwc

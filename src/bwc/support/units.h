@@ -1,0 +1,30 @@
+// Unit constants and conversions shared across the library.
+//
+// Bandwidths are expressed in MB/s (10^6 bytes per second, matching STREAM
+// and the paper's "300 MB/s" figures); compute rates in MFLOPS (10^6 flops
+// per second). Times are in seconds.
+#pragma once
+
+#include <cstdint>
+
+namespace bwc {
+
+inline constexpr double kMega = 1.0e6;
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+
+/// Element size of the double-precision data all paper workloads use.
+inline constexpr std::uint64_t kDoubleBytes = 8;
+
+/// Convert bytes and seconds to MB/s.
+inline double to_mb_per_s(double bytes, double seconds) {
+  return bytes / kMega / seconds;
+}
+
+/// Convert a flop count and seconds to MFLOPS.
+inline double to_mflops(double flops, double seconds) {
+  return flops / kMega / seconds;
+}
+
+}  // namespace bwc

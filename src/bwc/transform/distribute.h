@@ -1,0 +1,37 @@
+// Loop distribution (fission): split multi-statement loops into one loop
+// per statement group, the inverse of fusion.
+//
+// Two uses:
+//  - normalization: maximal distribution followed by bandwidth-minimal
+//    fusion re-derives the paper's global organization from scratch,
+//    instead of being anchored to the program's incidental loop structure;
+//  - ablation: distribution is exactly the bandwidth *pessimization* the
+//    paper's fusion undoes, so distributing a fused program re-creates the
+//    pre-fusion traffic.
+//
+// Legality mirrors fusion's: statements S1; S2 inside one loop may be
+// sequenced into separate loops (all iterations of S1 before any of S2)
+// unless some data flows from S2's iteration i to S1's iteration j > i --
+// the same lexicographic-delta test, with "possibly negative" forcing the
+// statements to stay together. Grouping is conservative: statements keep
+// their order and groups are contiguous.
+#pragma once
+
+#include "bwc/ir/program.h"
+
+namespace bwc::transform {
+
+struct DistributionResult {
+  ir::Program program;
+  /// Top-level loops before and after.
+  int loops_before = 0;
+  int loops_after = 0;
+};
+
+/// Maximally distribute every top-level simple loop nest (depth 1 or 2,
+/// statements in the innermost body). Loops with nested guards containing
+/// further loops, or statements that must stay together, are split only at
+/// the boundaries proven legal.
+DistributionResult distribute_loops(const ir::Program& program);
+
+}  // namespace bwc::transform

@@ -1,0 +1,45 @@
+// Loop interchange for two-deep rectangular nests.
+//
+// Column-major arrays want the row index innermost; a nest that sweeps
+// rows in the outer loop strides through memory by a whole column per
+// step and misses on every access. Interchanging the loops restores
+// stride-1 traversal -- the oldest locality transformation, and the
+// other half (besides blocking) of what "-O3" did to the paper's matrix
+// multiply.
+//
+// Legality: a dependence with distance vector (d_outer, d_inner) survives
+// interchange iff the swapped vector (d_inner, d_outer) is still
+// lexicographically non-negative. Since legal programs only contain
+// lex-non-negative vectors, the only offenders are (+, -) vectors, which
+// swap to (-, +). The test below conservatively rejects a nest when some
+// dependence could have positive outer and negative inner distance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bwc/ir/program.h"
+
+namespace bwc::transform {
+
+/// Can the two spine levels of the loop at top()[top_index] be swapped?
+/// False for non-loops, non-2-deep or non-simple nests, or when a
+/// dependence blocks the swap.
+bool can_interchange(const ir::Program& program, int top_index);
+
+/// Swap the two spine levels in place. Throws when !can_interchange.
+void interchange(ir::Program& program, int top_index);
+
+struct InterchangeResult {
+  ir::Program program;
+  /// Top-statement indices that were interchanged.
+  std::vector<int> interchanged;
+};
+
+/// Heuristic driver: interchange every 2-deep nest whose innermost loop
+/// variable does not appear in the stride-1 (first) subscript dimension of
+/// the nest's array references -- i.e. nests traversing column-major data
+/// row-by-row -- whenever legal.
+InterchangeResult auto_interchange(const ir::Program& program);
+
+}  // namespace bwc::transform

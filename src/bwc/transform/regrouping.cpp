@@ -1,0 +1,178 @@
+#include "bwc/transform/regrouping.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "bwc/analysis/access_summary.h"
+#include "bwc/support/error.h"
+#include "bwc/transform/rewrite.h"
+
+namespace bwc::transform {
+
+namespace {
+
+using ir::Affine;
+using ir::ArrayId;
+using ir::Program;
+
+/// Key identifying arrays that may share a group. Written and read-only
+/// arrays are never mixed: interleaving a read-only array into written
+/// cache lines would write the read-only data back too, inflating
+/// writeback traffic instead of saving it.
+struct ShapeKey {
+  std::vector<std::int64_t> extents;
+  std::uint64_t elem_bytes;
+  std::vector<int> accessing_stmts;
+  bool written;
+
+  bool operator<(const ShapeKey& o) const {
+    if (extents != o.extents) return extents < o.extents;
+    if (elem_bytes != o.elem_bytes) return elem_bytes < o.elem_bytes;
+    if (written != o.written) return written < o.written;
+    return accessing_stmts < o.accessing_stmts;
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<ArrayId>> regrouping_candidates(
+    const Program& program) {
+  // Which statements access each array, and whether it is ever written.
+  std::vector<std::vector<int>> accessed_by(
+      static_cast<std::size_t>(program.array_count()));
+  std::vector<bool> written(static_cast<std::size_t>(program.array_count()),
+                            false);
+  for (int k = 0; k < static_cast<int>(program.top().size()); ++k) {
+    const analysis::LoopSummary s = analysis::summarize_statement(program, k);
+    for (const auto& [array, access] : s.arrays) {
+      accessed_by[static_cast<std::size_t>(array)].push_back(k);
+      if (access.has_writes()) written[static_cast<std::size_t>(array)] = true;
+    }
+  }
+
+  std::map<ShapeKey, std::vector<ArrayId>> buckets;
+  for (int a = 0; a < program.array_count(); ++a) {
+    if (program.is_output_array(a)) continue;
+    if (accessed_by[static_cast<std::size_t>(a)].empty()) continue;
+    const auto& decl = program.array(a);
+    buckets[{decl.extents, decl.elem_bytes,
+             accessed_by[static_cast<std::size_t>(a)],
+             written[static_cast<std::size_t>(a)]}]
+        .push_back(a);
+  }
+
+  std::vector<std::vector<ArrayId>> groups;
+  for (auto& [key, members] : buckets) {
+    if (members.size() >= 2) groups.push_back(std::move(members));
+  }
+  return groups;
+}
+
+RegroupingResult regroup_arrays(
+    const Program& program,
+    const std::vector<std::vector<ArrayId>>& groups) {
+  RegroupingResult result;
+  result.program = program.clone();
+  Program& p = result.program;
+
+  std::set<ArrayId> used;
+  for (const auto& group : groups) {
+    BWC_CHECK(group.size() >= 2, "a regrouping needs at least two arrays");
+    const auto& first = p.array(group.front());
+    for (ArrayId a : group) {
+      BWC_CHECK(!p.is_output_array(a),
+                "cannot regroup output array " + p.array(a).name);
+      BWC_CHECK(p.array(a).extents == first.extents &&
+                    p.array(a).elem_bytes == first.elem_bytes,
+                "regrouped arrays must have identical shape");
+      BWC_CHECK(used.insert(a).second, "regrouping groups must be disjoint");
+    }
+
+    const std::int64_t k = static_cast<std::int64_t>(group.size());
+    // New array: first dimension interleaved k-wide.
+    std::vector<std::int64_t> extents = first.extents;
+    extents[0] *= k;
+    std::string name = "grp";
+    for (ArrayId a : group) name += "_" + p.array(a).name;
+    const ArrayId grouped = p.add_array(name, extents, first.elem_bytes);
+
+    // Rewrite every reference: member m's subscript s0 becomes
+    // k*s0 - (k - 1 - m), mapping 1-based index i to k*(i-1) + m + 1.
+    std::map<ArrayId, std::int64_t> member_index;
+    for (std::size_t m = 0; m < group.size(); ++m)
+      member_index[group[m]] = static_cast<std::int64_t>(m);
+
+    auto rewrite_subs = [&](std::vector<Affine>& subs, ArrayId member) {
+      const std::int64_t m = member_index.at(member);
+      subs[0] = subs[0] * k - (k - 1 - m);
+    };
+
+    for_each_stmt(p.top(), [&](ir::Stmt& s) {
+      if (s.kind == ir::StmtKind::kArrayAssign &&
+          member_index.count(s.lhs_array) > 0) {
+        rewrite_subs(s.lhs_subscripts, s.lhs_array);
+        s.lhs_array = grouped;
+      }
+      for_each_expr(s, [&](ir::Expr& e) {
+        if (e.kind == ir::ExprKind::kArrayRef &&
+            member_index.count(e.array) > 0) {
+          rewrite_subs(e.subscripts, e.array);
+          e.array = grouped;
+        }
+      });
+    });
+
+    // Data packing prologue: copy the members' (possibly observable)
+    // initial contents into their interleaved slots. One loop packs all
+    // members per index, so the grouped array is written in a single
+    // sequential sweep (per-member strided packing would stream it k
+    // times).
+    {
+      ir::StmtList body;
+      for (std::size_t m = 0; m < group.size(); ++m) {
+        const std::int64_t mi = static_cast<std::int64_t>(m);
+        const Affine row = Affine::var("__pack_i") * k - (k - 1 - mi);
+        if (first.extents.size() == 1) {
+          body.push_back(ir::make_array_assign(
+              grouped, {row},
+              ir::make_array_ref(group[m], {Affine::var("__pack_i")})));
+        } else {
+          body.push_back(ir::make_array_assign(
+              grouped, {row, Affine::var("__pack_j")},
+              ir::make_array_ref(group[m], {Affine::var("__pack_i"),
+                                            Affine::var("__pack_j")})));
+        }
+      }
+      ir::StmtList pack;
+      if (first.extents.size() == 1) {
+        pack.push_back(
+            ir::make_loop("__pack_i", 1, first.extents[0], std::move(body)));
+      } else {
+        ir::StmtList mid;
+        mid.push_back(
+            ir::make_loop("__pack_i", 1, first.extents[0], std::move(body)));
+        pack.push_back(
+            ir::make_loop("__pack_j", 1, first.extents[1], std::move(mid)));
+      }
+      p.top().insert(p.top().begin(),
+                     std::make_move_iterator(pack.begin()),
+                     std::make_move_iterator(pack.end()));
+    }
+
+    std::string action = "regrouped";
+    for (ArrayId a : group) action += " " + program.array(a).name;
+    action += " -> " + name;
+    result.actions.push_back(action);
+  }
+
+  if (!result.actions.empty())
+    p.set_name(program.name() + " (regrouped)");
+  return result;
+}
+
+RegroupingResult regroup_all(const Program& program) {
+  return regroup_arrays(program, regrouping_candidates(program));
+}
+
+}  // namespace bwc::transform

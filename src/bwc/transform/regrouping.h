@@ -1,0 +1,43 @@
+// Inter-array data regrouping (Ding & Kennedy's companion transformation,
+// referenced in the paper's Section 4: the compiler strategy "maximizes
+// global spatial reuse through inter-array data regrouping").
+//
+// Arrays that are always accessed together are interleaved element-wise
+// into one array: A[i], B[i] -> G[2i-1], G[2i]. The transformation is a
+// pure layout change (always semantics-preserving for non-output arrays);
+// it pays off when co-accessed streams would otherwise fight for cache
+// sets -- on a direct-mapped cache it collapses k conflicting streams
+// into one, eliminating the Figure 3 3w6r pathology.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bwc/ir/program.h"
+
+namespace bwc::transform {
+
+/// Groups of arrays that are candidates for regrouping: same extents and
+/// element size, none an output, and all accessed by exactly the same set
+/// of top-level statements (the "always accessed together" heuristic).
+/// Each returned group has at least two members.
+std::vector<std::vector<ir::ArrayId>> regrouping_candidates(
+    const ir::Program& program);
+
+struct RegroupingResult {
+  ir::Program program;
+  /// One line per group actually regrouped.
+  std::vector<std::string> actions;
+};
+
+/// Interleave each given group into a fresh array. Throws bwc::Error when
+/// a group is malformed (mismatched shapes, an output array, fewer than
+/// two members). Groups must be disjoint.
+RegroupingResult regroup_arrays(
+    const ir::Program& program,
+    const std::vector<std::vector<ir::ArrayId>>& groups);
+
+/// Convenience: regroup all candidate groups.
+RegroupingResult regroup_all(const ir::Program& program);
+
+}  // namespace bwc::transform

@@ -1,0 +1,219 @@
+#include "bwc/transform/scalar_replacement.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "bwc/analysis/access_summary.h"
+#include "bwc/support/error.h"
+#include "bwc/transform/rewrite.h"
+
+namespace bwc::transform {
+
+namespace {
+
+using ir::Affine;
+using ir::ArrayId;
+using ir::Expr;
+using ir::ExprKind;
+using ir::Program;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtList;
+
+/// The plan for one array in one loop: the sorted distinct offsets of its
+/// reads (a[i + offset]).
+struct ArrayPlan {
+  ArrayId array = ir::kInvalidArray;
+  std::vector<std::int64_t> offsets;  // sorted ascending
+  std::vector<std::string> temps;     // one per offset
+};
+
+/// Collect the read offsets of `array` in the (flat, guard-free) body of a
+/// depth-1 loop over `var`; nullopt when any reference disqualifies it.
+std::optional<std::vector<std::int64_t>> read_offsets(
+    const StmtList& body, ArrayId array, const std::string& var) {
+  std::set<std::int64_t> offsets;
+  bool ok = true;
+
+  std::function<void(const Expr&)> scan = [&](const Expr& e) {
+    if (e.kind == ExprKind::kArrayRef && e.array == array) {
+      if (e.subscripts.size() != 1) {
+        ok = false;
+        return;
+      }
+      const Affine& sub = e.subscripts[0];
+      if (sub.coeff(var) != 1 || sub.terms().size() != 1) {
+        ok = false;
+        return;
+      }
+      offsets.insert(sub.constant_term());
+    }
+    for (const auto& child : e.operands) scan(*child);
+  };
+
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case StmtKind::kArrayAssign:
+        if (s->lhs_array == array) ok = false;  // written: skip
+        scan(*s->rhs);
+        break;
+      case StmtKind::kScalarAssign:
+        scan(*s->rhs);
+        break;
+      case StmtKind::kIf:
+      case StmtKind::kLoop: {
+        // Any reference under a guard or inner loop disqualifies.
+        bool referenced = false;
+        std::function<void(const Stmt&)> find = [&](const Stmt& inner) {
+          if (inner.kind == StmtKind::kArrayAssign &&
+              inner.lhs_array == array)
+            referenced = true;
+          if (inner.rhs) {
+            std::function<void(const Expr&)> walk = [&](const Expr& e) {
+              if (e.kind == ExprKind::kArrayRef && e.array == array)
+                referenced = true;
+              for (const auto& c : e.operands) walk(*c);
+            };
+            walk(*inner.rhs);
+          }
+          for (const auto& t : inner.then_body) find(*t);
+          for (const auto& t : inner.else_body) find(*t);
+          if (inner.loop) {
+            for (const auto& t : inner.loop->body) find(*t);
+          }
+        };
+        find(*s);
+        if (referenced) ok = false;
+        break;
+      }
+    }
+    if (!ok) return std::nullopt;
+  }
+  if (offsets.empty()) return std::nullopt;
+  return std::vector<std::int64_t>(offsets.begin(), offsets.end());
+}
+
+}  // namespace
+
+ScalarReplacementResult replace_scalars(const Program& program) {
+  ScalarReplacementResult result;
+  result.program = program.clone();
+  Program& p = result.program;
+
+  std::vector<std::string> scalar_names(p.scalars());
+  std::vector<ir::StmtPtr> new_top;
+
+  for (auto& stmt : p.top()) {
+    if (stmt->kind != StmtKind::kLoop || !stmt->loop ||
+        stmt->loop->trip_count() <= 1) {
+      new_top.push_back(std::move(stmt));
+      continue;
+    }
+    // Depth-1 only: a flat body with no nested loops.
+    bool flat = true;
+    for (const auto& s : stmt->loop->body) {
+      if (s->kind == StmtKind::kLoop) flat = false;
+    }
+    if (!flat) {
+      new_top.push_back(std::move(stmt));
+      continue;
+    }
+    const std::string var = stmt->loop->var;
+    const std::int64_t lo = stmt->loop->lower;
+
+    // Candidate arrays: read-only in this body with >= 2 distinct offsets
+    // (or a duplicated single offset would also profit, but the win there
+    // is marginal; require a real stencil).
+    std::set<ArrayId> touched;
+    for_each_expr(stmt->loop->body, [&](Expr& e) {
+      if (e.kind == ExprKind::kArrayRef) touched.insert(e.array);
+    });
+    for (const auto& s : stmt->loop->body) {
+      if (s->kind == StmtKind::kArrayAssign) touched.insert(s->lhs_array);
+    }
+
+    std::vector<ArrayPlan> plans;
+    for (ArrayId a : touched) {
+      const auto reads = read_offsets(stmt->loop->body, a, var);
+      if (!reads.has_value() || reads->size() < 2) continue;
+      // The rotation shifts each temp by exactly one iteration, so the
+      // plan carries *every* offset in the read span (gaps become
+      // pass-through temps -- register moves, no memory traffic).
+      const std::int64_t lo_off = reads->front();
+      const std::int64_t hi_off = reads->back();
+      if (hi_off - lo_off > 8) continue;  // unreasonable register pressure
+      ArrayPlan plan;
+      plan.array = a;
+      for (std::int64_t o = lo_off; o <= hi_off; ++o)
+        plan.offsets.push_back(o);
+      for (std::size_t m = 0; m < plan.offsets.size(); ++m) {
+        const std::string temp = fresh_name(
+            p.array(a).name + "_r" + std::to_string(m), scalar_names);
+        plan.temps.push_back(temp);
+        scalar_names.push_back(temp);
+      }
+      result.loads_removed += static_cast<int>(reads->size()) - 1;
+      plans.push_back(std::move(plan));
+    }
+    if (plans.empty()) {
+      new_top.push_back(std::move(stmt));
+      continue;
+    }
+
+    for (const auto& plan : plans) {
+      for (const auto& t : plan.temps) p.add_scalar(t);
+      const std::size_t k = plan.offsets.size();
+
+      // Prologue: load all but the newest offset at the first iteration.
+      for (std::size_t m = 0; m + 1 < k; ++m) {
+        new_top.push_back(ir::make_scalar_assign(
+            plan.temps[m],
+            ir::make_array_ref(plan.array,
+                               {Affine::constant(lo + plan.offsets[m])})));
+      }
+
+      StmtList& body = stmt->loop->body;
+      // In-body: replace reads with temps...
+      replace_exprs(
+          body,
+          [&](const Expr& e) {
+            return e.kind == ExprKind::kArrayRef && e.array == plan.array;
+          },
+          [&](const Expr& e) {
+            const std::int64_t off = e.subscripts[0].constant_term();
+            const auto it = std::lower_bound(plan.offsets.begin(),
+                                             plan.offsets.end(), off);
+            BWC_ASSERT(it != plan.offsets.end() && *it == off,
+                       "offset vanished between planning and rewrite");
+            return ir::make_scalar(plan.temps[static_cast<std::size_t>(
+                it - plan.offsets.begin())]);
+          });
+      // ...load the newest element first...
+      body.insert(body.begin(),
+                  ir::make_scalar_assign(
+                      plan.temps[k - 1],
+                      ir::make_array_ref(
+                          plan.array,
+                          {Affine::var(var) + plan.offsets[k - 1]})));
+      // ...and rotate at the end of the iteration.
+      for (std::size_t m = 0; m + 1 < k; ++m) {
+        body.push_back(ir::make_scalar_assign(
+            plan.temps[m], ir::make_scalar(plan.temps[m + 1])));
+      }
+
+      result.actions.push_back(
+          "kept " + std::to_string(k) + " elements of " +
+          p.array(plan.array).name + " in rotating scalars");
+    }
+    new_top.push_back(std::move(stmt));
+  }
+
+  p.top() = std::move(new_top);
+  if (!result.actions.empty())
+    p.set_name(program.name() + " (scalar-replaced)");
+  return result;
+}
+
+}  // namespace bwc::transform

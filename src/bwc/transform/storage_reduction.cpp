@@ -1,0 +1,691 @@
+#include "bwc/transform/storage_reduction.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "bwc/analysis/access_summary.h"
+#include "bwc/support/error.h"
+#include "bwc/transform/rewrite.h"
+
+namespace bwc::transform {
+
+namespace {
+
+using ir::Affine;
+using ir::ArrayId;
+using ir::Expr;
+using ir::ExprKind;
+using ir::Program;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtList;
+
+constexpr std::int64_t kLo = std::numeric_limits<std::int64_t>::min() / 4;
+constexpr std::int64_t kHi = std::numeric_limits<std::int64_t>::max() / 4;
+
+/// Known range of a loop variable at some program point (loop bounds
+/// refined by enclosing guards).
+struct VarRange {
+  std::int64_t lo = kLo;
+  std::int64_t hi = kHi;
+  bool pinned() const { return lo == hi; }
+};
+
+using Env = std::map<std::string, VarRange>;
+
+Env refine_env(const Env& env, ir::CmpOp cmp, const Affine& lhs,
+               const Affine& rhs, bool then_branch) {
+  Env out = env;
+  // Only refine single-variable-vs-constant comparisons.
+  const auto var = lhs.single_var();
+  if (!var.has_value() || lhs.coeff(*var) != 1 || !rhs.is_constant())
+    return out;
+  const std::int64_t k = rhs.constant_term() - lhs.constant_term();
+  VarRange& r = out[*var];
+  if (then_branch) {
+    switch (cmp) {
+      case ir::CmpOp::kEq:
+        r.lo = std::max(r.lo, k);
+        r.hi = std::min(r.hi, k);
+        break;
+      case ir::CmpOp::kLe:
+        r.hi = std::min(r.hi, k);
+        break;
+      case ir::CmpOp::kLt:
+        r.hi = std::min(r.hi, k - 1);
+        break;
+      case ir::CmpOp::kGe:
+        r.lo = std::max(r.lo, k);
+        break;
+      case ir::CmpOp::kGt:
+        r.lo = std::max(r.lo, k + 1);
+        break;
+      case ir::CmpOp::kNe:
+        break;
+    }
+  } else {
+    switch (cmp) {
+      case ir::CmpOp::kLe:
+        r.lo = std::max(r.lo, k + 1);
+        break;
+      case ir::CmpOp::kLt:
+        r.lo = std::max(r.lo, k);
+        break;
+      case ir::CmpOp::kGe:
+        r.hi = std::min(r.hi, k - 1);
+        break;
+      case ir::CmpOp::kGt:
+        r.hi = std::min(r.hi, k);
+        break;
+      case ir::CmpOp::kNe:
+        r.lo = std::max(r.lo, k);
+        r.hi = std::min(r.hi, k);
+        break;
+      case ir::CmpOp::kEq:
+        break;
+    }
+  }
+  return out;
+}
+
+/// Evaluate an affine to a constant under the env (nullopt when some
+/// variable is not pinned).
+std::optional<std::int64_t> eval_under(const Affine& a, const Env& env) {
+  std::int64_t value = a.constant_term();
+  for (const auto& [name, coeff] : a.terms()) {
+    const auto it = env.find(name);
+    if (it == env.end() || !it->second.pinned()) return std::nullopt;
+    value += coeff * it->second.lo;
+  }
+  return value;
+}
+
+/// One reference to the candidate array, with its context.
+struct Ref {
+  bool is_write = false;
+  std::vector<Affine> subscripts;
+  int top_index = -1;
+  int order = 0;       // global static visitation order
+  bool guarded = false;
+  Env env;
+};
+
+/// Collect all references to `array`, program-wide, with contexts.
+class RefCollector {
+ public:
+  RefCollector(const Program& program, ArrayId array)
+      : program_(program), array_(array) {}
+
+  std::vector<Ref> collect() {
+    for (int k = 0; k < static_cast<int>(program_.top().size()); ++k) {
+      top_ = k;
+      walk_stmt(*program_.top()[static_cast<std::size_t>(k)], Env{}, 0);
+    }
+    return std::move(refs_);
+  }
+
+ private:
+  void walk_expr(const Expr& e, const Env& env, int guard_depth) {
+    if (e.kind == ExprKind::kArrayRef && e.array == array_) {
+      refs_.push_back({false, e.subscripts, top_, order_++,
+                       guard_depth > 0, env});
+    }
+    for (const auto& child : e.operands) walk_expr(*child, env, guard_depth);
+  }
+
+  void walk_stmt(const Stmt& s, const Env& env, int guard_depth) {
+    switch (s.kind) {
+      case StmtKind::kArrayAssign:
+        walk_expr(*s.rhs, env, guard_depth);
+        if (s.lhs_array == array_) {
+          refs_.push_back({true, s.lhs_subscripts, top_, order_++,
+                           guard_depth > 0, env});
+        }
+        break;
+      case StmtKind::kScalarAssign:
+        walk_expr(*s.rhs, env, guard_depth);
+        break;
+      case StmtKind::kIf: {
+        const Env then_env =
+            refine_env(env, s.cmp, s.cmp_lhs, s.cmp_rhs, true);
+        for (const auto& t : s.then_body)
+          walk_stmt(*t, then_env, guard_depth + 1);
+        const Env else_env =
+            refine_env(env, s.cmp, s.cmp_lhs, s.cmp_rhs, false);
+        for (const auto& t : s.else_body)
+          walk_stmt(*t, else_env, guard_depth + 1);
+        break;
+      }
+      case StmtKind::kLoop: {
+        Env inner = env;
+        inner[s.loop->var] = {s.loop->lower, s.loop->upper};
+        for (const auto& t : s.loop->body) walk_stmt(*t, inner, guard_depth);
+        break;
+      }
+    }
+  }
+
+  const Program& program_;
+  ArrayId array_;
+  int top_ = -1;
+  int order_ = 0;
+  std::vector<Ref> refs_;
+};
+
+/// Are two subscript tuples provably equal under the env of the second?
+bool tuples_equal_under(const std::vector<Affine>& canonical,
+                        const Ref& ref) {
+  if (canonical.size() != ref.subscripts.size()) return false;
+  for (std::size_t d = 0; d < canonical.size(); ++d) {
+    const Affine diff = ref.subscripts[d] - canonical[d];
+    const auto v = eval_under(diff, ref.env);
+    if (!v.has_value() || *v != 0) return false;
+  }
+  return true;
+}
+
+/// The spine loop vars of a top-level loop statement.
+std::vector<std::string> spine_vars(const Stmt& loop_stmt) {
+  std::vector<std::string> vars;
+  const Stmt* cursor = &loop_stmt;
+  while (cursor->kind == StmtKind::kLoop) {
+    vars.push_back(cursor->loop->var);
+    if (cursor->loop->body.size() == 1 &&
+        cursor->loop->body.front()->kind == StmtKind::kLoop) {
+      cursor = cursor->loop->body.front().get();
+    } else {
+      break;
+    }
+  }
+  return vars;
+}
+
+/// Injective tuple: each dim a distinct unit-coefficient loop var, covering
+/// all given loop levels.
+bool injective_over(const std::vector<Affine>& tuple,
+                    const std::vector<std::string>& loop_vars) {
+  std::set<std::string> used;
+  for (const auto& sub : tuple) {
+    const auto var = sub.single_var();
+    if (!var.has_value() || sub.coeff(*var) != 1) return false;
+    if (!used.insert(*var).second) return false;
+  }
+  for (const auto& v : loop_vars) {
+    if (used.count(v) == 0) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Contraction: array -> scalar.
+// ---------------------------------------------------------------------------
+
+bool try_scalarize(Program& p, ArrayId array,
+                   std::vector<std::string>& scalar_names,
+                   std::vector<std::string>& actions) {
+  if (p.is_output_array(array)) return false;
+  const std::vector<Ref> refs = RefCollector(p, array).collect();
+  if (refs.empty()) return false;
+
+  // All refs in one top-level loop.
+  const int top = refs.front().top_index;
+  for (const auto& r : refs) {
+    if (r.top_index != top) return false;
+  }
+  Stmt& loop_stmt = *p.top()[static_cast<std::size_t>(top)];
+  if (loop_stmt.kind != StmtKind::kLoop) return false;
+
+  // First reference (static order == per-iteration order) must be a write,
+  // and every other reference may only execute in iterations where that
+  // write executes too: guard conditions are affine constraints on loop
+  // variables, so "executes iff iteration satisfies env" is exact, and
+  // env containment is the right implication test. This guarantees no
+  // read ever sees the array's initial values.
+  const Ref* first = &refs.front();
+  for (const auto& r : refs) {
+    if (r.order < first->order) first = &r;
+  }
+  if (!first->is_write) return false;
+  auto env_contains = [](const Env& outer, const Env& inner) {
+    for (const auto& [var, range] : outer) {
+      VarRange inner_range;  // unconstrained by default
+      const auto it = inner.find(var);
+      if (it != inner.end()) inner_range = it->second;
+      if (inner_range.lo < range.lo || inner_range.hi > range.hi)
+        return false;
+    }
+    return true;
+  };
+  for (const auto& r : refs) {
+    if (!env_contains(first->env, r.env)) return false;
+  }
+
+  // All refs name the same element (under their guard envs), injectively.
+  const std::vector<Affine>& canonical = first->subscripts;
+  for (const auto& r : refs) {
+    if (!tuples_equal_under(canonical, r)) return false;
+  }
+  if (!injective_over(canonical, spine_vars(loop_stmt))) return false;
+
+  // Rewrite: writes become scalar assigns, reads become scalar refs.
+  const std::string name = fresh_name(p.array(array).name + "_s",
+                                      scalar_names);
+  p.add_scalar(name);
+  scalar_names.push_back(name);
+
+  std::function<void(StmtList&)> rewrite = [&](StmtList& body) {
+    for (auto& s : body) {
+      switch (s->kind) {
+        case StmtKind::kArrayAssign:
+          for_each_expr(*s, [&](Expr& e) {
+            if (e.kind == ExprKind::kArrayRef && e.array == array) {
+              e.kind = ExprKind::kScalarRef;
+              e.scalar = name;
+              e.array = ir::kInvalidArray;
+              e.subscripts.clear();
+            }
+          });
+          if (s->lhs_array == array)
+            s = ir::make_scalar_assign(name, std::move(s->rhs));
+          break;
+        case StmtKind::kScalarAssign:
+          for_each_expr(*s, [&](Expr& e) {
+            if (e.kind == ExprKind::kArrayRef && e.array == array) {
+              e.kind = ExprKind::kScalarRef;
+              e.scalar = name;
+              e.array = ir::kInvalidArray;
+              e.subscripts.clear();
+            }
+          });
+          break;
+        case StmtKind::kIf:
+          rewrite(s->then_body);
+          rewrite(s->else_body);
+          break;
+        case StmtKind::kLoop:
+          rewrite(s->loop->body);
+          break;
+      }
+    }
+  };
+  StmtList shell;
+  shell.push_back(std::move(p.top()[static_cast<std::size_t>(top)]));
+  rewrite(shell);
+  p.top()[static_cast<std::size_t>(top)] = std::move(shell.front());
+
+  actions.push_back("contracted array " + p.array(array).name +
+                    " to scalar " + name);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Peeling + shrinking: 2-D array -> 1-D column buffers.
+// ---------------------------------------------------------------------------
+
+struct ShrinkPlan {
+  int loop_top = -1;            // the loop with the variable-column sweep
+  std::string outer_var, inner_var;
+  std::int64_t outer_lo = 0, outer_hi = 0;
+  bool reads_prev = false;      // reads at offset -1 exist
+  std::set<std::int64_t> peel_columns;
+  /// Peeled columns that lie inside the sweep range: the sweep's write at
+  /// j == c must also populate the peel array (Figure 6's a1, which holds
+  /// column 1 while the fused loop runs j = 1..N).
+  std::set<std::int64_t> dual_write_columns;
+  bool boundary_dispatch = false;  // offset -1 reads can reach j == lo
+};
+
+/// Offset of a dim-1 subscript relative to the outer var, evaluated under
+/// the ref's env (e.g. "N" under a j==N guard has offset 0).
+std::optional<std::int64_t> column_offset(const Affine& sub,
+                                          const std::string& outer_var,
+                                          const Env& env) {
+  const Affine diff = sub - Affine::var(outer_var);
+  // Fast path: pure constant difference.
+  if (diff.is_constant()) return diff.constant_term();
+  return eval_under(diff, env);
+}
+
+std::optional<ShrinkPlan> plan_shrink(const Program& p, ArrayId array) {
+  if (p.is_output_array(array)) return std::nullopt;
+  const auto& decl = p.array(array);
+  if (decl.extents.size() != 2) return std::nullopt;
+
+  const std::vector<Ref> refs = RefCollector(p, array).collect();
+  if (refs.empty()) return std::nullopt;
+
+  // Partition refs into constant-column refs and variable-column refs.
+  // Variable-column refs must all live in one two-deep loop.
+  ShrinkPlan plan;
+  for (const auto& r : refs) {
+    if (r.subscripts.size() != 2) return std::nullopt;
+    if (r.subscripts[1].is_constant()) continue;  // constant column: peel
+    const int top = r.top_index;
+    if (plan.loop_top < 0) {
+      plan.loop_top = top;
+      const Stmt& loop_stmt = *p.top()[static_cast<std::size_t>(top)];
+      if (loop_stmt.kind != StmtKind::kLoop) return std::nullopt;
+      const auto vars = spine_vars(loop_stmt);
+      if (vars.size() != 2) return std::nullopt;
+      plan.outer_var = vars[0];
+      plan.inner_var = vars[1];
+      plan.outer_lo = loop_stmt.loop->lower;
+      plan.outer_hi = loop_stmt.loop->upper;
+    } else if (plan.loop_top != top) {
+      return std::nullopt;
+    }
+  }
+  if (plan.loop_top < 0) return std::nullopt;  // only constant columns
+
+  // Validate every reference.
+  int first_write_order = -1;
+  int first_read0_order = -1;
+  for (const auto& r : refs) {
+    if (r.subscripts[1].is_constant()) {
+      const std::int64_t c = r.subscripts[1].constant_term();
+      if (c >= plan.outer_lo && c <= plan.outer_hi) {
+        // Inside the sweep range. Acceptable as a plain offset-0/-1 access
+        // when the env pins the outer var (e.g. a[i,N] under j == N)...
+        const auto off = column_offset(r.subscripts[1], plan.outer_var, r.env);
+        if (!off.has_value() || (*off != 0 && *off != -1)) {
+          // ...otherwise the column outlives the cur/prev rotation and
+          // must be peeled, with the sweep's write at j == c duplicated
+          // into the peel array. Safe only for reads that execute after
+          // the column was written: in the sweep loop at iterations > c,
+          // or in a later top-level statement.
+          if (r.is_write) return std::nullopt;
+          if (r.top_index == plan.loop_top) {
+            const auto it = r.env.find(plan.outer_var);
+            const std::int64_t env_lo =
+                it == r.env.end() ? kLo : it->second.lo;
+            if (env_lo <= c) return std::nullopt;
+          } else if (r.top_index < plan.loop_top) {
+            return std::nullopt;
+          }
+          plan.peel_columns.insert(c);
+          plan.dual_write_columns.insert(c);
+          continue;
+        }
+      } else {
+        plan.peel_columns.insert(c);
+        continue;
+      }
+    }
+    // Variable-column (or pinned-equivalent) reference.
+    const auto off = column_offset(r.subscripts[1], plan.outer_var, r.env);
+    if (!off.has_value()) return std::nullopt;
+    // Row subscript must be exactly the inner variable.
+    const Affine row_diff = r.subscripts[0] - Affine::var(plan.inner_var);
+    if (!(row_diff.is_constant() && row_diff.constant_term() == 0))
+      return std::nullopt;
+    if (r.is_write) {
+      if (*off != 0) return std::nullopt;  // writes only at current column
+      if (first_write_order < 0 || r.order < first_write_order)
+        first_write_order = r.order;
+      if (r.guarded) return std::nullopt;  // write must define every iteration
+    } else if (*off == 0) {
+      if (first_read0_order < 0 || r.order < first_read0_order)
+        first_read0_order = r.order;
+    } else if (*off == -1) {
+      plan.reads_prev = true;
+      // Can this read execute at the first outer iteration? Then it needs
+      // the peeled previous column.
+      const auto it = r.env.find(plan.outer_var);
+      const std::int64_t env_lo = it == r.env.end() ? kLo : it->second.lo;
+      if (env_lo <= plan.outer_lo) plan.boundary_dispatch = true;
+    } else {
+      return std::nullopt;  // reads further back than one iteration
+    }
+  }
+
+  if (first_write_order < 0) return std::nullopt;  // read-only: keep as is
+  if (first_read0_order >= 0 && first_read0_order < first_write_order)
+    return std::nullopt;  // current-column read before definition
+
+  if (plan.boundary_dispatch &&
+      plan.peel_columns.count(plan.outer_lo - 1) == 0) {
+    return std::nullopt;  // boundary value would be lost
+  }
+  return plan;
+}
+
+void apply_shrink(Program& p, ArrayId array, const ShrinkPlan& plan,
+                  std::vector<std::string>& actions) {
+  const auto& decl = p.array(array);
+  const std::int64_t rows = decl.extents[0];
+  const std::string base = decl.name;
+
+  // New storage.
+  std::map<std::int64_t, ArrayId> peel;
+  for (std::int64_t c : plan.peel_columns) {
+    const std::string name = base + "_col" + std::to_string(c);
+    peel[c] = p.add_array(name, {rows}, decl.elem_bytes);
+  }
+  const ArrayId cur = p.add_array(base + "_cur", {rows}, decl.elem_bytes);
+  ArrayId prev = ir::kInvalidArray;
+  if (plan.reads_prev)
+    prev = p.add_array(base + "_prev", {rows}, decl.elem_bytes);
+
+  // Replace constant-column refs everywhere (all loops).
+  auto rewrite_const_cols = [&](StmtList& body) {
+    replace_exprs(
+        body,
+        [&](const Expr& e) {
+          return e.kind == ExprKind::kArrayRef && e.array == array &&
+                 e.subscripts.size() == 2 && e.subscripts[1].is_constant() &&
+                 peel.count(e.subscripts[1].constant_term()) > 0;
+        },
+        [&](const Expr& e) {
+          return ir::make_array_ref(peel.at(e.subscripts[1].constant_term()),
+                                    {e.subscripts[0]});
+        });
+    for (auto& s : body) {
+      std::function<void(Stmt&)> fix_lhs = [&](Stmt& st) {
+        if (st.kind == StmtKind::kArrayAssign && st.lhs_array == array &&
+            st.lhs_subscripts.size() == 2 &&
+            st.lhs_subscripts[1].is_constant() &&
+            peel.count(st.lhs_subscripts[1].constant_term()) > 0) {
+          st.lhs_array = peel.at(st.lhs_subscripts[1].constant_term());
+          st.lhs_subscripts = {st.lhs_subscripts[0]};
+        }
+        if (st.kind == StmtKind::kIf) {
+          for (auto& t : st.then_body) fix_lhs(*t);
+          for (auto& t : st.else_body) fix_lhs(*t);
+        }
+        if (st.kind == StmtKind::kLoop) {
+          for (auto& t : st.loop->body) fix_lhs(*t);
+        }
+      };
+      fix_lhs(*s);
+    }
+  };
+  rewrite_const_cols(p.top());
+
+  // Within the sweep loop: rewrite variable-column refs.
+  Stmt& loop_stmt = *p.top()[static_cast<std::size_t>(plan.loop_top)];
+  const std::string& j = plan.outer_var;
+
+  // Helper: offset of a dim-1 subscript in this (possibly guarded) context.
+  // Uses the same env machinery as planning, rebuilt during the walk.
+  std::function<void(StmtList&, const Env&)> rewrite_body =
+      [&](StmtList& body, const Env& env) {
+        for (std::size_t si = 0; si < body.size(); ++si) {
+          Stmt& s = *body[si];
+          switch (s.kind) {
+            case StmtKind::kIf: {
+              const Env then_env =
+                  refine_env(env, s.cmp, s.cmp_lhs, s.cmp_rhs, true);
+              rewrite_body(s.then_body, then_env);
+              const Env else_env =
+                  refine_env(env, s.cmp, s.cmp_lhs, s.cmp_rhs, false);
+              rewrite_body(s.else_body, else_env);
+              break;
+            }
+            case StmtKind::kLoop: {
+              Env inner = env;
+              inner[s.loop->var] = {s.loop->lower, s.loop->upper};
+              rewrite_body(s.loop->body, inner);
+              break;
+            }
+            case StmtKind::kArrayAssign:
+            case StmtKind::kScalarAssign: {
+              // Remember whether this statement is the sweep's write (its
+              // lhs row subscript survives the rewrite) for dual-write
+              // peel maintenance below.
+              const bool is_sweep_write =
+                  s.kind == StmtKind::kArrayAssign && s.lhs_array == array;
+              const Affine row_sub =
+                  is_sweep_write ? s.lhs_subscripts[0] : Affine();
+
+              // Does this statement read the array at offset -1, possibly
+              // at the boundary iteration?
+              bool has_prev_read = false;
+              std::function<void(const Expr&)> scan = [&](const Expr& e) {
+                if (e.kind == ExprKind::kArrayRef && e.array == array) {
+                  const auto off = column_offset(e.subscripts[1], j, env);
+                  if (off.has_value() && *off == -1) has_prev_read = true;
+                }
+                for (const auto& c : e.operands) scan(*c);
+              };
+              scan(*s.rhs);
+
+              const auto it = env.find(j);
+              const std::int64_t env_lo =
+                  it == env.end() ? kLo : it->second.lo;
+              const bool needs_dispatch =
+                  has_prev_read && env_lo <= plan.outer_lo;
+
+              auto rewrite_stmt_refs = [&](Stmt& st, bool prev_to_peel) {
+                for_each_expr(st, [&](Expr& e) {
+                  if (e.kind != ExprKind::kArrayRef || e.array != array)
+                    return;
+                  const auto off = column_offset(e.subscripts[1], j, env);
+                  BWC_CHECK(off.has_value(), "unplanned reference shape");
+                  if (*off == 0) {
+                    e.array = cur;
+                  } else {
+                    BWC_ASSERT(*off == -1, "unplanned offset");
+                    e.array = prev_to_peel ? peel.at(plan.outer_lo - 1) : prev;
+                  }
+                  e.subscripts = {e.subscripts[0]};
+                });
+                if (st.kind == StmtKind::kArrayAssign &&
+                    st.lhs_array == array) {
+                  st.lhs_array = cur;
+                  st.lhs_subscripts = {st.lhs_subscripts[0]};
+                }
+              };
+
+              if (needs_dispatch) {
+                // if (j == lo) <stmt with prev -> peel> else <stmt, prev>.
+                ir::StmtPtr then_version = s.clone();
+                ir::StmtPtr else_version = s.clone();
+                rewrite_stmt_refs(*then_version, /*prev_to_peel=*/true);
+                rewrite_stmt_refs(*else_version, /*prev_to_peel=*/false);
+                StmtList then_body, else_body;
+                then_body.push_back(std::move(then_version));
+                else_body.push_back(std::move(else_version));
+                body[si] = ir::make_if(ir::CmpOp::kEq, Affine::var(j),
+                                       Affine::constant(plan.outer_lo),
+                                       std::move(then_body),
+                                       std::move(else_body));
+              } else {
+                rewrite_stmt_refs(s, /*prev_to_peel=*/false);
+              }
+
+              // Dual-write peel: after the sweep's write of the current
+              // column, copy it into the peel array at j == c so the
+              // column survives the cur/prev rotation.
+              if (is_sweep_write) {
+                std::size_t insert_at = si + 1;
+                for (std::int64_t c : plan.dual_write_columns) {
+                  StmtList copy;
+                  copy.push_back(ir::make_array_assign(
+                      peel.at(c), {row_sub},
+                      ir::make_array_ref(cur, {row_sub})));
+                  body.insert(
+                      body.begin() + static_cast<std::ptrdiff_t>(insert_at),
+                      ir::make_if(ir::CmpOp::kEq, Affine::var(j),
+                                  Affine::constant(c), std::move(copy)));
+                  ++insert_at;
+                }
+                si = insert_at - 1;  // skip the inserted statements
+              }
+              break;
+            }
+          }
+        }
+      };
+
+  Env top_env;
+  top_env[j] = {plan.outer_lo, plan.outer_hi};
+  BWC_CHECK(loop_stmt.loop->body.size() == 1 &&
+                loop_stmt.loop->body.front()->kind == StmtKind::kLoop,
+            "shrink expects a two-deep simple nest");
+  Stmt& inner_loop = *loop_stmt.loop->body.front();
+  Env inner_env = top_env;
+  inner_env[inner_loop.loop->var] = {inner_loop.loop->lower,
+                                     inner_loop.loop->upper};
+  rewrite_body(inner_loop.loop->body, inner_env);
+
+  // Carry the current column into the previous buffer at the end of each
+  // inner iteration (the paper's a3[i] = a2).
+  if (plan.reads_prev) {
+    inner_loop.loop->body.push_back(ir::make_array_assign(
+        prev, {Affine::var(plan.inner_var)},
+        ir::make_array_ref(cur, {Affine::var(plan.inner_var)})));
+  }
+
+  std::string what = "shrank array " + base + " to column buffer";
+  if (plan.reads_prev) what += "s (cur/prev)";
+  if (!plan.peel_columns.empty()) {
+    what += ", peeled column(s)";
+    for (std::int64_t c : plan.peel_columns) what += " " + std::to_string(c);
+  }
+  actions.push_back(what);
+}
+
+}  // namespace
+
+std::uint64_t referenced_array_bytes(const Program& program) {
+  std::vector<bool> referenced(
+      static_cast<std::size_t>(program.array_count()), false);
+  for (int k = 0; k < static_cast<int>(program.top().size()); ++k) {
+    const analysis::LoopSummary s =
+        analysis::summarize_statement(program, k);
+    for (const auto& [array, access] : s.arrays)
+      referenced[static_cast<std::size_t>(array)] = true;
+  }
+  std::uint64_t bytes = 0;
+  for (int a = 0; a < program.array_count(); ++a) {
+    if (referenced[static_cast<std::size_t>(a)])
+      bytes += program.array(a).byte_size();
+  }
+  return bytes;
+}
+
+StorageReductionResult reduce_storage(const Program& program) {
+  StorageReductionResult result;
+  result.program = program.clone();
+  Program& p = result.program;
+  result.referenced_bytes_before = referenced_array_bytes(p);
+
+  std::vector<std::string> scalar_names(p.scalars());
+  const int original_arrays = p.array_count();
+  for (int a = 0; a < original_arrays; ++a) {
+    if (try_scalarize(p, a, scalar_names, result.actions)) continue;
+    const auto plan = plan_shrink(p, a);
+    if (plan.has_value()) apply_shrink(p, a, *plan, result.actions);
+  }
+
+  result.referenced_bytes_after = referenced_array_bytes(p);
+  if (!result.actions.empty())
+    p.set_name(program.name() + " (storage-reduced)");
+  return result;
+}
+
+}  // namespace bwc::transform

@@ -1,0 +1,194 @@
+#include "bwc/transform/store_elimination.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "bwc/analysis/liveness.h"
+#include "bwc/support/error.h"
+#include "bwc/transform/rewrite.h"
+
+namespace bwc::transform {
+
+namespace {
+
+using ir::ArrayId;
+using ir::Expr;
+using ir::ExprKind;
+using ir::Program;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtList;
+
+/// The innermost body of a simple nest, or nullptr when the nest branches.
+StmtList* innermost_body(Stmt& loop_stmt, std::vector<std::string>* vars) {
+  BWC_ASSERT(loop_stmt.kind == StmtKind::kLoop, "expects a loop");
+  Stmt* cursor = &loop_stmt;
+  while (true) {
+    vars->push_back(cursor->loop->var);
+    StmtList& body = cursor->loop->body;
+    if (body.size() == 1 && body.front()->kind == StmtKind::kLoop) {
+      cursor = body.front().get();
+      continue;
+    }
+    for (const auto& s : body) {
+      if (s->kind == StmtKind::kLoop) return nullptr;  // not a simple nest
+    }
+    return &body;
+  }
+}
+
+/// Do all refs of `array` in this flat body use one identical subscript
+/// tuple that covers all loop vars with unit coefficients, with none under
+/// a guard? Returns the tuple on success.
+std::optional<std::vector<ir::Affine>> uniform_injective_subscripts(
+    const StmtList& body, ArrayId array,
+    const std::vector<std::string>& loop_vars) {
+  std::optional<std::vector<ir::Affine>> tuple;
+  bool ok = true;
+
+  std::function<void(const Expr&)> check_expr = [&](const Expr& e) {
+    if (e.kind == ExprKind::kArrayRef && e.array == array) {
+      if (!tuple.has_value()) {
+        tuple = e.subscripts;
+      } else if (*tuple != e.subscripts) {
+        ok = false;
+      }
+    }
+    for (const auto& child : e.operands) check_expr(*child);
+  };
+
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case StmtKind::kArrayAssign:
+        if (s->lhs_array == array) {
+          if (!tuple.has_value()) {
+            tuple = s->lhs_subscripts;
+          } else if (*tuple != s->lhs_subscripts) {
+            ok = false;
+          }
+        }
+        check_expr(*s->rhs);
+        break;
+      case StmtKind::kScalarAssign:
+        check_expr(*s->rhs);
+        break;
+      case StmtKind::kIf: {
+        // Any reference under a guard disqualifies the array (conservative).
+        bool guarded_ref = false;
+        std::function<void(const StmtList&)> scan = [&](const StmtList& inner) {
+          for (const auto& g : inner) {
+            if (g->kind == StmtKind::kArrayAssign && g->lhs_array == array)
+              guarded_ref = true;
+            if (g->rhs) check_expr(*g->rhs);  // still validate tuple equality
+            std::function<void(const Expr&)> find = [&](const Expr& e) {
+              if (e.kind == ExprKind::kArrayRef && e.array == array)
+                guarded_ref = true;
+              for (const auto& child : e.operands) find(*child);
+            };
+            if (g->rhs) find(*g->rhs);
+            if (g->kind == StmtKind::kIf) {
+              scan(g->then_body);
+              scan(g->else_body);
+            }
+            if (g->kind == StmtKind::kLoop) scan(g->loop->body);
+          }
+        };
+        scan(s->then_body);
+        scan(s->else_body);
+        if (guarded_ref) ok = false;
+        break;
+      }
+      case StmtKind::kLoop:
+        break;
+    }
+    if (!ok) return std::nullopt;
+  }
+  if (!tuple.has_value()) return std::nullopt;
+
+  // Injectivity across iterations: every loop var appears in exactly one
+  // dimension with coefficient 1, and every dimension is a single such var.
+  std::set<std::string> used;
+  for (const auto& sub : *tuple) {
+    const auto var = sub.single_var();
+    if (!var.has_value() || sub.coeff(*var) != 1) return std::nullopt;
+    if (!used.insert(*var).second) return std::nullopt;
+  }
+  for (const auto& v : loop_vars) {
+    if (used.count(v) == 0) return std::nullopt;
+  }
+  return tuple;
+}
+
+/// Rewrite the body: writes to `array` become scalar assignments to `temp`;
+/// reads after the first write use the scalar. Returns false (no change)
+/// when the body never writes the array.
+bool forward_through_scalar(StmtList& body, ArrayId array,
+                            const std::string& temp) {
+  bool written = false;
+  for (auto& s : body) {
+    if (written) {
+      // Replace reads of the array with the scalar.
+      for_each_expr(*s, [&](Expr& e) {
+        if (e.kind == ExprKind::kArrayRef && e.array == array) {
+          e.kind = ExprKind::kScalarRef;
+          e.scalar = temp;
+          e.array = ir::kInvalidArray;
+          e.subscripts.clear();
+        }
+      });
+    }
+    if (s->kind == StmtKind::kArrayAssign && s->lhs_array == array) {
+      // The rhs evaluates before the store: its reads of the array refer to
+      // old values on the first write, the scalar afterwards (handled by
+      // the replacement above on later statements; within this statement
+      // reads were already rewritten if a previous write occurred).
+      s = ir::make_scalar_assign(temp, std::move(s->rhs));
+      written = true;
+    }
+  }
+  return written;
+}
+
+}  // namespace
+
+StoreEliminationResult eliminate_stores(const Program& program) {
+  StoreEliminationResult result;
+  result.program = program.clone();
+  Program& p = result.program;
+
+  const auto liveness = analysis::analyze_liveness(p);
+  std::vector<std::string> scalar_names(p.scalars());
+
+  for (int a = 0; a < p.array_count(); ++a) {
+    const analysis::ArrayLiveness& live =
+        liveness[static_cast<std::size_t>(a)];
+    if (live.is_output || live.writing_stmts.empty()) continue;
+    // All writes in one statement; no later statement reads the array.
+    if (live.writing_stmts.front() != live.writing_stmts.back()) continue;
+    const int writer = live.writing_stmts.front();
+    if (live.last_read() > writer) continue;
+    Stmt& stmt = *p.top()[static_cast<std::size_t>(writer)];
+    if (stmt.kind != StmtKind::kLoop) continue;
+
+    std::vector<std::string> loop_vars;
+    StmtList* body = innermost_body(stmt, &loop_vars);
+    if (body == nullptr) continue;
+    if (!uniform_injective_subscripts(*body, a, loop_vars).has_value())
+      continue;
+
+    const std::string temp =
+        fresh_name(p.array(a).name + "_t", scalar_names);
+    if (!forward_through_scalar(*body, a, temp)) continue;
+    p.add_scalar(temp);
+    scalar_names.push_back(temp);
+    result.eliminated.push_back(a);
+  }
+
+  if (!result.eliminated.empty()) {
+    p.set_name(program.name() + " (store-eliminated)");
+  }
+  return result;
+}
+
+}  // namespace bwc::transform

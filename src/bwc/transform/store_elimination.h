@@ -1,0 +1,39 @@
+// Store elimination (paper Section 3.3).
+//
+// "The transformation first locates the loop containing the last segment of
+// the live range and then finishes all uses of the array so that the
+// program no longer needs to write new values back to the array."
+//
+// After fusion has localized an array's uses, a write whose value is only
+// consumed later in the same iteration can be forwarded through a scalar;
+// the store -- and with it the memory writeback -- disappears. Reads of the
+// array's *old* values are untouched: store elimination "changes only the
+// behavior of data writebacks and does not affect the performance of
+// memory reads at all."
+#pragma once
+
+#include <vector>
+
+#include "bwc/ir/program.h"
+
+namespace bwc::transform {
+
+struct StoreEliminationResult {
+  ir::Program program;
+  /// Arrays whose stores were eliminated.
+  std::vector<ir::ArrayId> eliminated;
+};
+
+/// Eliminate stores to every array where it is provably safe:
+///  - the array is not a program output,
+///  - all writes happen in one top-level loop and no later statement reads
+///    the array,
+///  - within that loop, all references to the array use one identical
+///    subscript tuple that covers every loop level with unit coefficients
+///    (so iterations touch distinct elements: no cross-iteration reuse),
+///  - no reference sits under a guard (conservative).
+/// Writes become scalar assignments; subsequent same-iteration reads use
+/// the scalar; reads before the write keep reading the array's old values.
+StoreEliminationResult eliminate_stores(const ir::Program& program);
+
+}  // namespace bwc::transform

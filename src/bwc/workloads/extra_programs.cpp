@@ -1,0 +1,115 @@
+#include "bwc/workloads/extra_programs.h"
+
+#include "bwc/ir/dsl.h"
+#include "bwc/support/error.h"
+
+namespace bwc::workloads {
+
+using namespace ir::dsl;  // NOLINT
+using ir::ArrayId;
+using ir::Program;
+
+Program jacobi_chain(std::int64_t n, int steps) {
+  BWC_CHECK(n >= 8, "grid too small");
+  BWC_CHECK(steps >= 1 && steps % 2 == 0, "need an even number of sweeps");
+  Program p("jacobi chain");
+  const ArrayId u = p.add_array("u", {n});
+  const ArrayId v_arr = p.add_array("v", {n});
+  p.add_scalar("norm");
+  p.mark_output_scalar("norm");
+  p.mark_output_array(u);
+
+  for (int s = 0; s < steps; ++s) {
+    const ArrayId src = (s % 2 == 0) ? u : v_arr;
+    const ArrayId dst = (s % 2 == 0) ? v_arr : u;
+    p.append(loop("i", 2, n - 1,
+                  assign(dst, {v("i")},
+                         lit(0.25) * at(src, v("i", -1)) +
+                             lit(0.5) * at(src, v("i")) +
+                             lit(0.25) * at(src, v("i", 1)))));
+  }
+  p.append(assign("norm", lit(0.0)));
+  p.append(loop("i", 2, n - 1,
+                assign("norm", sref("norm") + at(u, v("i")) * at(u, v("i")))));
+  return p;
+}
+
+Program adi_like(std::int64_t n) {
+  BWC_CHECK(n >= 4, "grid too small");
+  Program p("adi-like sweeps");
+  const ArrayId x = p.add_array("x", {n, n});
+  const ArrayId rhs = p.add_array("rhs", {n, n});
+  p.add_scalar("sum");
+  p.mark_output_scalar("sum");
+
+  // Row sweep: x[i,j] updated from the previous row element.
+  p.append(loop("j", 1, n,
+                loop("i", 2, n,
+                     assign(x, {v("i"), v("j")},
+                            at(x, v("i"), v("j")) -
+                                lit(0.3) * at(x, v("i", -1), v("j")) +
+                                at(rhs, v("i"), v("j"))))));
+  // Column sweep: x[i,j] updated from the previous column element.
+  p.append(loop("j", 2, n,
+                loop("i", 1, n,
+                     assign(x, {v("i"), v("j")},
+                            at(x, v("i"), v("j")) -
+                                lit(0.3) * at(x, v("i"), v("j", -1))))));
+  // Checksum.
+  p.append(assign("sum", lit(0.0)));
+  p.append(loop("j", 1, n,
+                loop("i", 1, n,
+                     assign("sum", sref("sum") + at(x, v("i"), v("j"))))));
+  return p;
+}
+
+Program blur_sharpen(std::int64_t n) {
+  BWC_CHECK(n >= 8, "scanline too small");
+  Program p("blur-sharpen chain");
+  const ArrayId img = p.add_array("img", {n});
+  const ArrayId blur = p.add_array("blur", {n});
+  const ArrayId diff = p.add_array("diff", {n});
+  const ArrayId out = p.add_array("out", {n});
+  p.add_scalar("energy");
+  p.mark_output_scalar("energy");
+  p.mark_output_array(out);
+
+  // blur[i] = (img[i-1] + 2 img[i] + img[i+1]) / 4
+  p.append(loop("i", 2, n - 1,
+                assign(blur, {v("i")},
+                       (at(img, v("i", -1)) + lit(2.0) * at(img, v("i")) +
+                        at(img, v("i", 1))) /
+                           lit(4.0))));
+  // diff[i] = img[i] - blur[i]
+  p.append(loop("i", 2, n - 1,
+                assign(diff, {v("i")},
+                       at(img, v("i")) - at(blur, v("i")))));
+  // out[i] = img[i] + 1.5 diff[i]
+  p.append(loop("i", 2, n - 1,
+                assign(out, {v("i")},
+                       at(img, v("i")) + lit(1.5) * at(diff, v("i")))));
+  // energy = sum out^2
+  p.append(assign("energy", lit(0.0)));
+  p.append(loop("i", 2, n - 1,
+                assign("energy",
+                       sref("energy") + at(out, v("i")) * at(out, v("i")))));
+  return p;
+}
+
+Program reduction_cascade(std::int64_t n, int kernels) {
+  BWC_CHECK(kernels >= 1, "need at least one kernel");
+  Program p("reduction cascade");
+  const ArrayId data = p.add_array("data", {n});
+  for (int k = 0; k < kernels; ++k) {
+    const std::string acc = "acc" + std::to_string(k);
+    p.add_scalar(acc);
+    p.mark_output_scalar(acc);
+    p.append(assign(acc, lit(0.0)));
+    p.append(loop("i", 1, n,
+                  assign(acc, sref(acc) +
+                                  at(data, v("i")) * lit(0.5 + 0.25 * k))));
+  }
+  return p;
+}
+
+}  // namespace bwc::workloads

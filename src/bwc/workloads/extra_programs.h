@@ -1,0 +1,33 @@
+// Additional multi-loop IR programs: realistic fusion pipelines beyond the
+// paper's worked examples, used by tests and the optimizer demos.
+#pragma once
+
+#include <cstdint>
+
+#include "bwc/ir/program.h"
+
+namespace bwc::workloads {
+
+/// Jacobi-style chain: `steps` sweeps of a 1-D 3-point stencil with
+/// explicit ping/pong arrays, followed by a norm reduction. Each sweep is
+/// its own loop; adjacent sweeps have producer/consumer dependences with
+/// offsets -1/0/+1, so fusion legality is non-trivial (offset +1 reads
+/// prevent fusing adjacent sweeps).
+ir::Program jacobi_chain(std::int64_t n, int steps);
+
+/// ADI-like pair of sweeps over a 2-D grid: a row-direction update
+/// followed by a column-direction update and a checksum. The two sweeps
+/// write the same array with different dependence directions.
+ir::Program adi_like(std::int64_t n);
+
+/// Blur-then-sharpen image chain over 1-D scanline data: four loops
+/// (blur, diff, scale, reduce) that fuse completely and whose temporaries
+/// then contract -- a best-case for the full pipeline.
+ir::Program blur_sharpen(std::int64_t n);
+
+/// Multi-kernel reduction cascade: k independent reductions over the same
+/// input array with a shared scalar accumulator per kernel; the fusion
+/// graph is a star around the input array (all loops fusable).
+ir::Program reduction_cascade(std::int64_t n, int kernels);
+
+}  // namespace bwc::workloads

@@ -1,0 +1,67 @@
+#include "bwc/workloads/kernels.h"
+
+namespace bwc::workloads {
+
+namespace {
+void fill_pattern(std::vector<double>& v, double base) {
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = base + 1e-6 * static_cast<double>(i % 997);
+}
+}  // namespace
+
+Convolution::Convolution(std::int64_t n, int taps, AddressSpace& space)
+    : n_(n), taps_(taps) {
+  BWC_CHECK(n > 0 && taps > 0, "convolution sizes must be positive");
+  in_.resize(static_cast<std::size_t>(n + taps));
+  out_.assign(static_cast<std::size_t>(n), 0.0);
+  w_.resize(static_cast<std::size_t>(taps));
+  fill_pattern(in_, 1.0);
+  fill_pattern(w_, 0.25);
+  in_base_ = space.allocate_doubles(static_cast<std::uint64_t>(n + taps));
+  out_base_ = space.allocate_doubles(static_cast<std::uint64_t>(n));
+  w_base_ = space.allocate_doubles(static_cast<std::uint64_t>(taps));
+}
+
+Dmxpy::Dmxpy(std::int64_t n1, std::int64_t n2, AddressSpace& space)
+    : n1_(n1), n2_(n2) {
+  BWC_CHECK(n1 > 0 && n2 > 0, "dmxpy sizes must be positive");
+  m_.resize(static_cast<std::size_t>(n1 * n2));
+  x_.resize(static_cast<std::size_t>(n2));
+  y_.resize(static_cast<std::size_t>(n1));
+  fill_pattern(m_, 0.5);
+  fill_pattern(x_, 1.5);
+  fill_pattern(y_, 2.0);
+  m_base_ = space.allocate_doubles(static_cast<std::uint64_t>(n1 * n2));
+  x_base_ = space.allocate_doubles(static_cast<std::uint64_t>(n2));
+  y_base_ = space.allocate_doubles(static_cast<std::uint64_t>(n1));
+}
+
+MatMul::MatMul(std::int64_t n, AddressSpace& space) : n_(n) {
+  BWC_CHECK(n > 0, "matrix size must be positive");
+  const std::size_t count = static_cast<std::size_t>(n * n);
+  a_.resize(count);
+  b_.resize(count);
+  c_.assign(count, 0.0);
+  fill_pattern(a_, 1.0);
+  fill_pattern(b_, 2.0);
+  a_base_ = space.allocate_doubles(static_cast<std::uint64_t>(n * n));
+  b_base_ = space.allocate_doubles(static_cast<std::uint64_t>(n * n));
+  c_base_ = space.allocate_doubles(static_cast<std::uint64_t>(n * n));
+}
+
+void MatMul::reset_c() { c_.assign(c_.size(), 0.0); }
+
+Fft::Fft(std::int64_t n, AddressSpace& space) : n_(n) {
+  BWC_CHECK(n >= 2 && (n & (n - 1)) == 0, "FFT size must be a power of two");
+  re_.resize(static_cast<std::size_t>(n));
+  im_.assign(static_cast<std::size_t>(n), 0.0);
+  fill_pattern(re_, 1.0);
+  re_base_ = space.allocate_doubles(static_cast<std::uint64_t>(n));
+  // Stagger the imaginary array by a few lines: power-of-two spacing would
+  // alias re/im onto the same cache sets and thrash every butterfly stage
+  // (library FFTs pad for exactly this reason).
+  space.allocate(3 * 128);
+  im_base_ = space.allocate_doubles(static_cast<std::uint64_t>(n));
+}
+
+}  // namespace bwc::workloads

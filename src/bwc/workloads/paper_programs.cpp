@@ -1,0 +1,105 @@
+#include "bwc/workloads/paper_programs.h"
+
+#include "bwc/fusion/solvers.h"
+#include "bwc/ir/dsl.h"
+
+namespace bwc::workloads {
+
+using namespace ir::dsl;  // NOLINT: construction DSL is designed for this
+using ir::ArrayId;
+using ir::CmpOp;
+using ir::Program;
+
+Program sec21_write_loop(std::int64_t n) {
+  Program p("sec2.1 write loop");
+  const ArrayId a = p.add_array("A", {n});
+  p.mark_output_array(a);
+  p.append(loop("i", 1, n, assign(a, {v("i")}, at(a, v("i")) + lit(0.4))));
+  return p;
+}
+
+Program sec21_read_loop(std::int64_t n) {
+  Program p("sec2.1 read loop");
+  const ArrayId a = p.add_array("A", {n});
+  p.add_scalar("sum");
+  p.mark_output_scalar("sum");
+  p.append(assign("sum", lit(0.0)));
+  p.append(loop("i", 1, n, assign("sum", sref("sum") + at(a, v("i")))));
+  return p;
+}
+
+Program sec21_both_loops(std::int64_t n) {
+  Program p("sec2.1 both loops");
+  const ArrayId a = p.add_array("A", {n});
+  p.add_scalar("sum");
+  p.mark_output_scalar("sum");
+  p.append(loop("i", 1, n, assign(a, {v("i")}, at(a, v("i")) + lit(0.4))));
+  p.append(assign("sum", lit(0.0)));
+  p.append(loop("i", 1, n, assign("sum", sref("sum") + at(a, v("i")))));
+  return p;
+}
+
+Program fig6_original(std::int64_t n) {
+  Program p("fig6 original");
+  const ArrayId a = p.add_array("a", {n, n});
+  const ArrayId b = p.add_array("b", {n, n});
+  p.add_scalar("sum");
+  p.mark_output_scalar("sum");
+
+  // Initialization of data: for j=1,N for i=1,N read(a[i,j]).
+  p.append(loop("j", 1, n,
+                loop("i", 1, n,
+                     assign(a, {v("i"), v("j")},
+                            input2(1, v("i"), v("j"), n, n)))));
+  // Computation: b[i,j] = f(a[i,j-1], a[i,j]) for j=2,N.
+  p.append(loop("j", 2, n,
+                loop("i", 1, n,
+                     assign(b, {v("i"), v("j")},
+                            f(at(a, v("i"), v("j", -1)),
+                              at(a, v("i"), v("j")))))));
+  // Boundary fix-up: b[i,N] = g(b[i,N], a[i,1]).
+  p.append(loop("i", 1, n,
+                assign(b, {v("i"), k(n)},
+                       g(at(b, v("i"), k(n)), at(a, v("i"), k(1))))));
+  // Check results.
+  p.append(assign("sum", lit(0.0)));
+  p.append(loop("j", 2, n,
+                loop("i", 1, n,
+                     assign("sum", sref("sum") + (at(a, v("i"), v("j")) +
+                                                  at(b, v("i"), v("j")))))));
+  return p;
+}
+
+Program fig7_original(std::int64_t n) {
+  Program p("fig7 original");
+  const ArrayId res = p.add_array("res", {n});
+  const ArrayId data = p.add_array("data", {n});
+  p.add_scalar("sum");
+  p.mark_output_scalar("sum");
+
+  p.append(loop("i", 1, n,
+                assign(res, {v("i")},
+                       at(res, v("i")) + at(data, v("i")))));
+  p.append(assign("sum", lit(0.0)));
+  p.append(loop("i", 1, n,
+                assign("sum", sref("sum") + at(res, v("i")))));
+  return p;
+}
+
+fusion::FusionGraph fig4_graph() {
+  // Loops 1-3 access {A, D, E, F}; loop 4 accesses {B, C, D, E, F};
+  // loop 5 accesses {A} (+ scalar sum); loop 6 accesses {B, C} (+ sum).
+  // Loop 6 depends on loop 5; loops 5 and 6 cannot be fused.
+  const std::vector<std::vector<int>> pins = {
+      /*A=*/{0, 1, 2, 4},
+      /*B=*/{3, 5},
+      /*C=*/{3, 5},
+      /*D=*/{0, 1, 2, 3},
+      /*E=*/{0, 1, 2, 3},
+      /*F=*/{0, 1, 2, 3},
+  };
+  return fusion::graph_from_spec(6, pins, /*dep_edges=*/{{4, 5}},
+                                 /*preventing=*/{{4, 5}});
+}
+
+}  // namespace bwc::workloads

@@ -1,0 +1,40 @@
+// The paper's worked examples as IR programs, plus its Figure 4 fusion
+// graph as a solver spec.
+#pragma once
+
+#include <cstdint>
+
+#include "bwc/fusion/fusion_graph.h"
+#include "bwc/ir/program.h"
+
+namespace bwc::workloads {
+
+/// Section 2.1: two loops over a large array A; the first also writes it.
+///   for i=1,N: A[i] = A[i] + 0.4
+///   for i=1,N: sum = sum + A[i]
+/// Variants isolate each loop for separate timing.
+ir::Program sec21_write_loop(std::int64_t n);
+ir::Program sec21_read_loop(std::int64_t n);
+ir::Program sec21_both_loops(std::int64_t n);
+
+/// Figure 6(a): initialization, two-phase computation over a[N,N]/b[N,N],
+/// boundary fix-up, and a checksum. The running example for fusion +
+/// array shrinking/peeling.
+ir::Program fig6_original(std::int64_t n);
+
+/// Figure 7(a): res/data update followed by a reduction; the running
+/// example for store elimination.
+ir::Program fig7_original(std::int64_t n);
+
+/// Figure 4's abstract fusion graph: six loops, arrays A..F plus scalar
+/// sum, a fusion-preventing constraint between loops 5 and 6 and a
+/// dependence 5 -> 6. Bandwidth-minimal cost is 7, the edge-weighted
+/// optimum costs 8, no fusion costs 20. Node i is the paper's loop i+1.
+fusion::FusionGraph fig4_graph();
+
+/// The optimum values the paper states for Figure 4.
+inline constexpr std::int64_t kFig4NoFusionCost = 20;
+inline constexpr std::int64_t kFig4BandwidthMinimalCost = 7;
+inline constexpr std::int64_t kFig4EdgeWeightedCost = 8;
+
+}  // namespace bwc::workloads

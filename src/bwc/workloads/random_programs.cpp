@@ -1,0 +1,123 @@
+#include "bwc/workloads/random_programs.h"
+
+#include "bwc/ir/dsl.h"
+#include "bwc/support/error.h"
+
+namespace bwc::workloads {
+
+using namespace ir::dsl;  // NOLINT
+using ir::ArrayId;
+using ir::ExprPtr;
+using ir::Program;
+
+Program random_program(Prng& rng, const RandomProgramParams& params) {
+  BWC_CHECK(params.num_arrays >= 1, "need at least one array");
+  BWC_CHECK(params.num_loops >= 1, "need at least one loop");
+  BWC_CHECK(params.n >= 4, "extent too small for offset subscripts");
+
+  Program p("random program");
+  std::vector<ArrayId> arrays;
+  for (int a = 0; a < params.num_arrays; ++a)
+    arrays.push_back(p.add_array("r" + std::to_string(a), {params.n}));
+  p.add_scalar("acc");
+  p.mark_output_scalar("acc");
+  for (ArrayId a : arrays) {
+    if (rng.chance(params.output_prob)) p.mark_output_array(a);
+  }
+
+  const std::int64_t lo = 2;
+  const std::int64_t hi = params.n - 1;
+
+  for (int l = 0; l < params.num_loops; ++l) {
+    // Reads: a random subset of arrays, with optional +-1 offsets.
+    std::vector<ExprPtr> reads;
+    for (ArrayId a : arrays) {
+      if (!rng.chance(params.read_prob)) continue;
+      std::int64_t off = 0;
+      if (params.allow_offsets) off = rng.uniform_in(-1, 1);
+      reads.push_back(at(a, v("i", off)));
+    }
+    if (reads.empty()) reads.push_back(lit(1.0));
+
+    ExprPtr rhs = std::move(reads.front());
+    for (std::size_t k = 1; k < reads.size(); ++k)
+      rhs = std::move(rhs) + std::move(reads[k]);
+    rhs = std::move(rhs) * lit(0.5);
+
+    if (rng.chance(params.reduction_prob)) {
+      p.append(loop("i", lo, hi,
+                    assign("acc", sref("acc") + std::move(rhs))));
+    } else {
+      const ArrayId target =
+          arrays[static_cast<std::size_t>(rng.uniform(
+              static_cast<std::uint64_t>(arrays.size())))];
+      p.append(loop("i", lo, hi, assign(target, {v("i")}, std::move(rhs))));
+    }
+  }
+  return p;
+}
+
+ir::Program random_program_2d(Prng& rng, std::int64_t n, int sweeps) {
+  BWC_CHECK(n >= 6, "grid too small");
+  BWC_CHECK(sweeps >= 1, "need at least one sweep");
+  Program p("random 2-D program");
+  // A small pool of n x n arrays; array 0 is externally initialized.
+  const int pool = 2 + static_cast<int>(rng.uniform(2));
+  std::vector<ArrayId> arrays;
+  for (int a = 0; a < pool; ++a)
+    arrays.push_back(p.add_array("m" + std::to_string(a), {n, n}));
+  p.add_scalar("sum");
+  p.mark_output_scalar("sum");
+
+  // Initialization sweep: m0[i,j] = input.
+  p.append(loop("j", 1, n,
+                loop("i", 1, n,
+                     assign(arrays[0], {v("i"), v("j")},
+                            input2(11, v("i"), v("j"), n, n)))));
+
+  // Computation sweeps over j = 2..N reading current/previous columns.
+  for (int s = 0; s < sweeps; ++s) {
+    const ArrayId src =
+        arrays[static_cast<std::size_t>(rng.uniform(
+            static_cast<std::uint64_t>(arrays.size())))];
+    const ArrayId dst =
+        arrays[static_cast<std::size_t>(rng.uniform(
+            static_cast<std::uint64_t>(arrays.size())))];
+    const bool use_prev = rng.chance(0.6);
+    ExprPtr rhs = use_prev
+                      ? f(at(src, v("i"), v("j", -1)), at(src, v("i"), v("j")))
+                      : at(src, v("i"), v("j")) * lit(0.75) + lit(0.1);
+    p.append(loop("j", 2, n,
+                  loop("i", 1, n,
+                       assign(dst, {v("i"), v("j")}, std::move(rhs)))));
+
+    // Occasionally a boundary fix-up over the last column (depth 1).
+    if (rng.chance(0.4)) {
+      p.append(loop("i", 1, n,
+                    assign(dst, {v("i"), k(n)},
+                           g(at(dst, v("i"), k(n)),
+                             at(arrays[0], v("i"), k(1))))));
+    }
+  }
+
+  // Checksum over a random array, possibly guarded.
+  const ArrayId checked =
+      arrays[static_cast<std::size_t>(rng.uniform(
+          static_cast<std::uint64_t>(arrays.size())))];
+  p.append(assign("sum", lit(0.0)));
+  if (rng.chance(0.5)) {
+    p.append(loop("j", 2, n,
+                  loop("i", 1, n,
+                       when(ir::CmpOp::kLe, v("j"), k(n - 1),
+                            assign("sum", sref("sum") +
+                                              at(checked, v("i"), v("j")))))));
+  } else {
+    p.append(loop("j", 2, n,
+                  loop("i", 1, n,
+                       assign("sum", sref("sum") +
+                                         at(checked, v("i"), v("j"))))));
+  }
+  return p;
+}
+
+}  // namespace bwc::workloads

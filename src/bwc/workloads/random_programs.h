@@ -1,0 +1,39 @@
+// Randomized loop-program generator for property tests: every generated
+// program is valid (in-bounds subscripts, declared names), and the
+// optimizer must preserve its checksum.
+#pragma once
+
+#include <cstdint>
+
+#include "bwc/ir/program.h"
+#include "bwc/support/prng.h"
+
+namespace bwc::workloads {
+
+struct RandomProgramParams {
+  int num_arrays = 4;
+  int num_loops = 5;
+  std::int64_t n = 64;  // array extent; loops run 2..n-1 so +-1 offsets fit
+  /// Probability that a loop reads any given array.
+  double read_prob = 0.5;
+  /// Probability that a loop accumulates into the shared scalar instead of
+  /// writing an array.
+  double reduction_prob = 0.3;
+  /// Probability that each array is marked as a program output.
+  double output_prob = 0.5;
+  /// Allow subscript offsets -1/+1 on reads (exercises the dependence
+  /// tester's distance logic).
+  bool allow_offsets = true;
+};
+
+/// Generate a random single-dimension loop program. Deterministic in rng.
+ir::Program random_program(Prng& rng, const RandomProgramParams& params = {});
+
+/// Generate a random Figure-6-shaped program: 2-D sweeps with column
+/// offsets (j / j-1), optional boundary fix-up loops over a constant
+/// column (depth-1, exercising promotion), guards, and a final reduction.
+/// Stresses outer-union fusion, promotion, array shrinking and peeling.
+ir::Program random_program_2d(Prng& rng, std::int64_t n = 16,
+                              int sweeps = 3);
+
+}  // namespace bwc::workloads

@@ -1,0 +1,46 @@
+#include "bwc/workloads/sp_proxy.h"
+
+#include "bwc/support/error.h"
+
+namespace bwc::workloads {
+
+const std::vector<std::string>& SpProxy::subroutine_names() {
+  static const std::vector<std::string> names = {
+      "compute_rhs", "txinvr", "x_solve", "y_solve",
+      "z_solve",     "pinvr",  "add"};
+  return names;
+}
+
+SpProxy::SpProxy(std::int64_t n, AddressSpace& space) : n_(n) {
+  BWC_CHECK(n >= 4, "SP grid must be at least 4^3");
+  cells_ = n * n * n;
+  const std::size_t total = static_cast<std::size_t>(cells_ * kVars);
+  u_.resize(total);
+  rhs_.assign(total, 0.0);
+  forcing_.resize(total);
+  lhs_a_.resize(total);
+  lhs_b_.resize(total);
+  lhs_c_.resize(total);
+  for (std::size_t x = 0; x < total; ++x) {
+    u_[x] = 1.0 + 1e-6 * static_cast<double>(x % 1013);
+    forcing_[x] = 0.5 + 1e-6 * static_cast<double>(x % 719);
+    lhs_a_[x] = 1e-4 * static_cast<double>(x % 31);
+    lhs_b_[x] = 1e-4 * static_cast<double>(x % 29);
+    lhs_c_[x] = 0.9 + 1e-4 * static_cast<double>(x % 37);
+  }
+  u_base_ = space.allocate_doubles(static_cast<std::uint64_t>(total));
+  rhs_base_ = space.allocate_doubles(static_cast<std::uint64_t>(total));
+  forcing_base_ = space.allocate_doubles(static_cast<std::uint64_t>(total));
+  lhs_a_base_ = space.allocate_doubles(static_cast<std::uint64_t>(total));
+  lhs_b_base_ = space.allocate_doubles(static_cast<std::uint64_t>(total));
+  lhs_c_base_ = space.allocate_doubles(static_cast<std::uint64_t>(total));
+}
+
+double SpProxy::checksum() const {
+  double sum = 0.0;
+  for (double v : rhs_) sum += v;
+  for (double v : u_) sum += v;
+  return sum;
+}
+
+}  // namespace bwc::workloads

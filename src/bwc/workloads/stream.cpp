@@ -1,0 +1,60 @@
+#include "bwc/workloads/stream.h"
+
+namespace bwc::workloads {
+
+const char* stream_op_name(StreamOp op) {
+  switch (op) {
+    case StreamOp::kCopy:
+      return "copy";
+    case StreamOp::kScale:
+      return "scale";
+    case StreamOp::kAdd:
+      return "add";
+    case StreamOp::kTriad:
+      return "triad";
+  }
+  return "?";
+}
+
+std::uint64_t stream_bytes_per_element(StreamOp op) {
+  switch (op) {
+    case StreamOp::kCopy:
+    case StreamOp::kScale:
+      return 16;  // one read + one write
+    case StreamOp::kAdd:
+    case StreamOp::kTriad:
+      return 24;  // two reads + one write
+  }
+  return 0;
+}
+
+std::uint64_t stream_flops_per_element(StreamOp op) {
+  switch (op) {
+    case StreamOp::kCopy:
+      return 0;
+    case StreamOp::kScale:
+    case StreamOp::kAdd:
+      return 1;
+    case StreamOp::kTriad:
+      return 2;
+  }
+  return 0;
+}
+
+Stream::Stream(std::int64_t n, AddressSpace& space) : n_(n) {
+  BWC_CHECK(n > 0, "STREAM size must be positive");
+  a_.assign(static_cast<std::size_t>(n), 1.0);
+  b_.assign(static_cast<std::size_t>(n), 2.0);
+  c_.assign(static_cast<std::size_t>(n), 0.5);
+  a_base_ = space.allocate_doubles(static_cast<std::uint64_t>(n));
+  b_base_ = space.allocate_doubles(static_cast<std::uint64_t>(n));
+  c_base_ = space.allocate_doubles(static_cast<std::uint64_t>(n));
+}
+
+WorkingSetSweep::WorkingSetSweep(std::uint64_t bytes, AddressSpace& space) {
+  BWC_CHECK(bytes >= 8, "working set must hold at least one double");
+  data_.assign(static_cast<std::size_t>(bytes / 8), 1.5);
+  base_ = space.allocate_doubles(bytes / 8);
+}
+
+}  // namespace bwc::workloads

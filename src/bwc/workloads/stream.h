@@ -1,0 +1,111 @@
+// STREAM [McCalpin 1995] and a CacheBench-style working-set sweep.
+//
+// The paper's footnote 2: "The machine balance is calculated by taking the
+// flop rate and register throughput from hardware specification and
+// measuring memory bandwidth through STREAM and cache bandwidth through
+// CacheBench." These workloads reproduce that measurement protocol against
+// the simulated machines (and, via NullRecorder, natively).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bwc/support/error.h"
+#include "bwc/workloads/address_space.h"
+
+namespace bwc::workloads {
+
+enum class StreamOp { kCopy, kScale, kAdd, kTriad };
+
+const char* stream_op_name(StreamOp op);
+
+/// STREAM's useful bytes per element (its own accounting: reads + writes,
+/// no write-allocate fill).
+std::uint64_t stream_bytes_per_element(StreamOp op);
+std::uint64_t stream_flops_per_element(StreamOp op);
+
+class Stream {
+ public:
+  Stream(std::int64_t n, AddressSpace& space);
+
+  std::int64_t n() const { return n_; }
+
+  template <typename Rec>
+  double run(StreamOp op, Rec& rec) {
+    const double q = 3.0;
+    for (std::int64_t i = 0; i < n_; ++i) {
+      const std::size_t x = static_cast<std::size_t>(i);
+      const std::uint64_t off = static_cast<std::uint64_t>(i) * 8;
+      switch (op) {
+        case StreamOp::kCopy:
+          rec.load_double(b_base_ + off);
+          rec.store_double(a_base_ + off);
+          a_[x] = b_[x];
+          break;
+        case StreamOp::kScale:
+          rec.load_double(b_base_ + off);
+          rec.store_double(a_base_ + off);
+          a_[x] = q * b_[x];
+          rec.flops(1);
+          break;
+        case StreamOp::kAdd:
+          rec.load_double(b_base_ + off);
+          rec.load_double(c_base_ + off);
+          rec.store_double(a_base_ + off);
+          a_[x] = b_[x] + c_[x];
+          rec.flops(1);
+          break;
+        case StreamOp::kTriad:
+          rec.load_double(b_base_ + off);
+          rec.load_double(c_base_ + off);
+          rec.store_double(a_base_ + off);
+          a_[x] = b_[x] + q * c_[x];
+          rec.flops(2);
+          break;
+      }
+    }
+    return a_[static_cast<std::size_t>(n_ - 1)];
+  }
+
+  std::uint64_t useful_bytes(StreamOp op) const {
+    return stream_bytes_per_element(op) * static_cast<std::uint64_t>(n_);
+  }
+
+ private:
+  std::int64_t n_;
+  std::vector<double> a_, b_, c_;
+  std::uint64_t a_base_, b_base_, c_base_;
+};
+
+/// CacheBench-style sweep: repeatedly read (and optionally rewrite) a
+/// working set of `bytes`, reporting accesses to the recorder. Returns the
+/// number of element accesses performed.
+class WorkingSetSweep {
+ public:
+  WorkingSetSweep(std::uint64_t bytes, AddressSpace& space);
+
+  std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(data_.size()) * 8;
+  }
+
+  /// `passes` sequential read passes over the working set.
+  template <typename Rec>
+  double read_passes(int passes, Rec& rec) {
+    double sum = 0.0;
+    for (int p = 0; p < passes; ++p) {
+      for (std::size_t i = 0; i < data_.size(); ++i) {
+        rec.load_double(base_ + static_cast<std::uint64_t>(i) * 8);
+        sum += data_[i];
+        rec.flops(1);
+      }
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<double> data_;
+  std::uint64_t base_;
+};
+
+}  // namespace bwc::workloads

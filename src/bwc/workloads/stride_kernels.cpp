@@ -1,0 +1,45 @@
+#include "bwc/workloads/stride_kernels.h"
+
+#include "bwc/support/error.h"
+
+namespace bwc::workloads {
+
+const std::vector<StrideKernelSpec>& figure3_kernels() {
+  static const std::vector<StrideKernelSpec> kernels = {
+      {"1w1r", 1, 1}, {"2w2r", 2, 2}, {"3w3r", 3, 3}, {"1w2r", 1, 2},
+      {"1w3r", 1, 3}, {"1w4r", 1, 4}, {"2w3r", 2, 3}, {"2w5r", 2, 5},
+      {"3w6r", 3, 6}, {"0w1r", 0, 1}, {"0w2r", 0, 2}, {"0w3r", 0, 3},
+      {"2w4r", 2, 4},
+  };
+  return kernels;
+}
+
+std::uint64_t useful_bytes_per_element(const StrideKernelSpec& spec) {
+  // Each read array moves 8 bytes toward the CPU; each written array moves
+  // 8 bytes back out (writeback). A written array that is also read (all
+  // but the fill kernel) additionally counts among the reads.
+  return 8ull * static_cast<std::uint64_t>(spec.reads) +
+         8ull * static_cast<std::uint64_t>(spec.writes);
+}
+
+StrideKernel::StrideKernel(StrideKernelSpec spec, std::int64_t n,
+                           AddressSpace& space)
+    : spec_(std::move(spec)), n_(n) {
+  BWC_CHECK(n > 0, "kernel size must be positive");
+  const int total = spec_.arrays();
+  BWC_CHECK(total >= 1, "kernel must touch at least one array");
+  data_.resize(static_cast<std::size_t>(total));
+  bases_.resize(static_cast<std::size_t>(total));
+  for (int k = 0; k < total; ++k) {
+    data_[static_cast<std::size_t>(k)]
+        .assign(static_cast<std::size_t>(n), 1.0 + 0.001 * k);
+    bases_[static_cast<std::size_t>(k)] =
+        space.allocate_doubles(static_cast<std::uint64_t>(n));
+  }
+}
+
+std::uint64_t StrideKernel::useful_bytes() const {
+  return useful_bytes_per_element(spec_) * static_cast<std::uint64_t>(n_);
+}
+
+}  // namespace bwc::workloads

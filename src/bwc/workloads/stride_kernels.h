@@ -1,0 +1,106 @@
+// The 13 stride-one read/write kernels of the paper's Figure 3.
+//
+// Each kernel traverses a number of large arrays in unit stride; its name
+// counts the arrays written and read ("1w2r reads two arrays and writes to
+// one of them"). The paper measures their effective memory bandwidth on
+// the Origin2000 and the Exemplar and finds all of them pinned at the
+// machine's bandwidth limit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bwc/workloads/address_space.h"
+
+namespace bwc::workloads {
+
+struct StrideKernelSpec {
+  std::string name;  // e.g. "1w2r"
+  int writes = 0;    // arrays written (each is also read)
+  int reads = 0;     // distinct arrays read
+  /// Distinct arrays touched: reads, plus writes beyond the read set
+  /// (only the write-only fill kernel has writes > reads).
+  int arrays() const { return reads >= writes ? reads : writes; }
+};
+
+/// The kernels of Figure 3. The paper reports "13 simple data-traversal
+/// loop kernels" but its figure lists 12 labels; 2w4r completes the set in
+/// the same pattern.
+const std::vector<StrideKernelSpec>& figure3_kernels();
+
+/// Per-element useful transfer in bytes (reads + writebacks), the
+/// numerator of the paper's effective-bandwidth metric.
+std::uint64_t useful_bytes_per_element(const StrideKernelSpec& spec);
+
+/// One stride-one traversal of `n` elements over the spec's arrays.
+/// `data` must hold spec.arrays() buffers of n doubles; `bases` their
+/// simulated base addresses. Reports every access and flop to `rec`.
+/// Returns a value dependent on all computed data (defeats optimization).
+template <typename Rec>
+double run_stride_kernel(const StrideKernelSpec& spec,
+                         std::vector<std::vector<double>>& data,
+                         const std::vector<std::uint64_t>& bases,
+                         std::int64_t n, Rec& rec) {
+  const int total = spec.arrays();
+  const int nw = spec.writes;
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Gather the read-only arrays' contribution.
+    double acc = 0.0;
+    for (int k = nw; k < total; ++k) {
+      rec.load_double(bases[static_cast<std::size_t>(k)] +
+                      static_cast<std::uint64_t>(i) * 8);
+      acc += data[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)];
+      rec.flops(1);
+    }
+    if (nw == 0) {
+      // Pure-read kernel: reduce into a scalar.
+      sum += acc + 0.25;
+      rec.flops(2);
+      continue;
+    }
+    for (int k = 0; k < nw; ++k) {
+      auto& a = data[static_cast<std::size_t>(k)];
+      const std::uint64_t addr =
+          bases[static_cast<std::size_t>(k)] +
+          static_cast<std::uint64_t>(i) * 8;
+      double v;
+      if (spec.reads == 0) {
+        v = acc + 1.5;  // fill kernel: no read of the target
+        rec.flops(1);
+      } else {
+        rec.load_double(addr);
+        v = a[static_cast<std::size_t>(i)] * 0.5 + acc;
+        rec.flops(2);
+      }
+      rec.store_double(addr);
+      a[static_cast<std::size_t>(i)] = v;
+    }
+  }
+  return sum;
+}
+
+/// Owns the buffers for one kernel at size n and runs it.
+class StrideKernel {
+ public:
+  StrideKernel(StrideKernelSpec spec, std::int64_t n, AddressSpace& space);
+
+  const StrideKernelSpec& spec() const { return spec_; }
+  std::int64_t size() const { return n_; }
+  /// Useful bytes for one full traversal.
+  std::uint64_t useful_bytes() const;
+
+  template <typename Rec>
+  double run(Rec& rec) {
+    return run_stride_kernel(spec_, data_, bases_, n_, rec);
+  }
+
+ private:
+  StrideKernelSpec spec_;
+  std::int64_t n_;
+  std::vector<std::vector<double>> data_;
+  std::vector<std::uint64_t> bases_;
+};
+
+}  // namespace bwc::workloads

@@ -1,0 +1,38 @@
+#include "bwc/workloads/sweep3d_proxy.h"
+
+namespace bwc::workloads {
+
+Sweep3dProxy::Sweep3dProxy(std::int64_t n, int angles, AddressSpace& space)
+    : n_(n), angles_(angles) {
+  BWC_CHECK(n >= 2, "Sweep3D grid must be at least 2^3");
+  BWC_CHECK(angles >= 1, "need at least one angle");
+  const std::size_t cells = static_cast<std::size_t>(n * n * n);
+  const std::size_t faces = static_cast<std::size_t>(n * n);
+  sigt_.resize(cells);
+  src_.resize(cells);
+  flux_.assign(cells, 0.0);
+  flux_old_.resize(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    sigt_[c] = 1.0 + 1e-6 * static_cast<double>(c % 883);
+    src_[c] = 0.25 + 1e-6 * static_cast<double>(c % 421);
+    flux_old_[c] = 0.1 + 1e-6 * static_cast<double>(c % 211);
+  }
+  face_i_.assign(faces, 0.1);
+  face_j_.assign(faces, 0.1);
+  face_k_.assign(faces, 0.1);
+  sigt_base_ = space.allocate_doubles(cells);
+  src_base_ = space.allocate_doubles(cells);
+  flux_base_ = space.allocate_doubles(cells);
+  flux_old_base_ = space.allocate_doubles(cells);
+  face_i_base_ = space.allocate_doubles(faces);
+  face_j_base_ = space.allocate_doubles(faces);
+  face_k_base_ = space.allocate_doubles(faces);
+}
+
+double Sweep3dProxy::checksum() const {
+  double sum = 0.0;
+  for (double v : flux_) sum += v;
+  return sum;
+}
+
+}  // namespace bwc::workloads

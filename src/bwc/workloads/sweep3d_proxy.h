@@ -1,0 +1,111 @@
+// Sweep3D proxy: a discrete-ordinates wavefront transport sweep.
+//
+// The DOE Sweep3D benchmark sweeps a 3-D grid once per (octant, angle)
+// pair; each cell combines the incoming fluxes from its three upstream
+// faces with the local cross-section and source, emits outgoing fluxes,
+// and accumulates the scalar flux. The grid-sized arrays (cross-section,
+// source, flux) are re-streamed for every angle, giving Sweep3D the
+// second-highest memory balance of the paper's Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bwc/support/error.h"
+#include "bwc/workloads/address_space.h"
+
+namespace bwc::workloads {
+
+class Sweep3dProxy {
+ public:
+  Sweep3dProxy(std::int64_t n, int angles, AddressSpace& space);
+
+  std::int64_t n() const { return n_; }
+  int angles() const { return angles_; }
+
+  /// One full sweep over all 8 octants and all angles.
+  template <typename Rec>
+  void sweep(Rec& rec) {
+    for (int octant = 0; octant < 8; ++octant) {
+      const int sx = (octant & 1) ? -1 : 1;
+      const int sy = (octant & 2) ? -1 : 1;
+      const int sz = (octant & 4) ? -1 : 1;
+      for (int a = 0; a < angles_; ++a) {
+        const double mu = 0.3 + 0.1 * a;
+        sweep_octant(rec, sx, sy, sz, mu);
+      }
+    }
+  }
+
+  double checksum() const;
+
+ private:
+  template <typename Rec>
+  void sweep_octant(Rec& rec, int sx, int sy, int sz, double mu) {
+    const std::int64_t n = n_;
+    // Face fluxes carried along the wavefront: one j-k plane for the i
+    // direction, one i-k plane for j, one i-j plane for k. These are small
+    // (n^2) and stay cache-resident, like Sweep3D's edge arrays.
+    auto sweep_index = [n](std::int64_t t, int dir) {
+      return dir > 0 ? t : n - 1 - t;
+    };
+    for (std::int64_t kk = 0; kk < n; ++kk) {
+      const std::int64_t k = sweep_index(kk, sz);
+      for (std::int64_t jj = 0; jj < n; ++jj) {
+        const std::int64_t j = sweep_index(jj, sy);
+        for (std::int64_t ii = 0; ii < n; ++ii) {
+          const std::int64_t i = sweep_index(ii, sx);
+          const std::size_t cell =
+              static_cast<std::size_t>(i + n * (j + n * k));
+          // Incoming fluxes from the cache-resident face arrays.
+          const std::size_t fi = static_cast<std::size_t>(j + n * k);
+          const std::size_t fj = static_cast<std::size_t>(i + n * k);
+          const std::size_t fk = static_cast<std::size_t>(i + n * j);
+          rec.load_double(face_i_base_ + static_cast<std::uint64_t>(fi) * 8);
+          rec.load_double(face_j_base_ + static_cast<std::uint64_t>(fj) * 8);
+          rec.load_double(face_k_base_ + static_cast<std::uint64_t>(fk) * 8);
+          const double in_i = face_i_[fi];
+          const double in_j = face_j_[fj];
+          const double in_k = face_k_[fk];
+
+          rec.load_double(sigt_base_ + static_cast<std::uint64_t>(cell) * 8);
+          rec.load_double(src_base_ + static_cast<std::uint64_t>(cell) * 8);
+          rec.load_double(flux_old_base_ +
+                          static_cast<std::uint64_t>(cell) * 8);
+          const double sig = sigt_[cell];
+          const double q = src_[cell] + 0.2 * flux_old_[cell];
+          rec.flops(2);
+
+          // Diamond-difference update.
+          const double psi = (q + mu * (in_i + in_j + in_k)) * (1.0 / sig);
+          const double out_i = 2.0 * psi - in_i;
+          const double out_j = out_i + (in_i - in_j);
+          const double out_k = out_i + (in_i - in_k);
+          rec.flops(6);
+
+          rec.store_double(face_i_base_ + static_cast<std::uint64_t>(fi) * 8);
+          rec.store_double(face_j_base_ + static_cast<std::uint64_t>(fj) * 8);
+          rec.store_double(face_k_base_ + static_cast<std::uint64_t>(fk) * 8);
+          face_i_[fi] = out_i;
+          face_j_[fj] = out_j;
+          face_k_[fk] = out_k;
+
+          // Accumulate the scalar flux (grid-sized, streamed per angle).
+          rec.load_double(flux_base_ + static_cast<std::uint64_t>(cell) * 8);
+          rec.store_double(flux_base_ + static_cast<std::uint64_t>(cell) * 8);
+          flux_[cell] += psi;
+          rec.flops(1);
+        }
+      }
+    }
+  }
+
+  std::int64_t n_;
+  int angles_;
+  std::vector<double> sigt_, src_, flux_, flux_old_;
+  std::vector<double> face_i_, face_j_, face_k_;
+  std::uint64_t sigt_base_, src_base_, flux_base_, flux_old_base_;
+  std::uint64_t face_i_base_, face_j_base_, face_k_base_;
+};
+
+}  // namespace bwc::workloads

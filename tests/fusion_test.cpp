@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bwc/fusion/fusion_graph.h"
+#include "bwc/fusion/solvers.h"
+#include "bwc/ir/dsl.h"
+#include "bwc/support/error.h"
+#include "bwc/support/prng.h"
+#include "bwc/workloads/paper_programs.h"
+
+namespace bwc::fusion {
+namespace {
+
+using namespace ir::dsl;  // NOLINT
+using ir::ArrayId;
+using ir::Program;
+
+// -- Fusion graph construction -------------------------------------------------
+
+TEST(FusionGraph, BuildsHyperedgesDepsAndPreventing) {
+  Program p("t");
+  const ArrayId a = p.add_array("a", {32});
+  const ArrayId b = p.add_array("b", {32});
+  p.add_scalar("s");
+  // L0 writes a; L1 reads a writes b; L2 has incompatible bounds.
+  p.append(loop("i", 2, 30, assign(a, {v("i")}, lit(1.0))));
+  p.append(loop("i", 2, 30, assign(b, {v("i")}, at(a, v("i")))));
+  p.append(loop("i", 1, 31, assign("s", sref("s") + at(b, v("i")))));
+
+  const FusionGraph g = build_fusion_graph(p);
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.sharing.edge_count(), 2);  // arrays a, b
+  EXPECT_TRUE(g.deps.has_edge(0, 1));
+  EXPECT_TRUE(g.deps.has_edge(1, 2));
+  EXPECT_TRUE(g.is_preventing(1, 2));  // bounds mismatch
+  EXPECT_FALSE(g.is_preventing(0, 1));
+}
+
+TEST(FusionGraph, InterleavedScalarResetPinsLoops) {
+  // loop (sum+=) ; sum = 0 ; loop (sum+=): fusing the loops across the
+  // reset would be wrong.
+  Program p("t");
+  const ArrayId a = p.add_array("a", {16});
+  p.add_scalar("sum");
+  p.append(loop("i", 1, 16, assign("sum", sref("sum") + at(a, v("i")))));
+  p.append(assign("sum", lit(0.0)));
+  p.append(loop("i", 1, 16, assign("sum", sref("sum") + at(a, v("i")))));
+  const FusionGraph g = build_fusion_graph(p);
+  EXPECT_TRUE(g.is_preventing(0, 1));
+  EXPECT_TRUE(g.deps.has_edge(0, 1));
+}
+
+TEST(FusionGraph, HarmlessInterleavedStatementDoesNotPin) {
+  Program p("t");
+  const ArrayId a = p.add_array("a", {16});
+  p.add_scalar("sum");
+  p.add_scalar("other");
+  p.append(loop("i", 1, 16, assign("sum", sref("sum") + at(a, v("i")))));
+  p.append(assign("other", lit(0.0)));
+  p.append(loop("i", 1, 16, assign("sum", sref("sum") + at(a, v("i")))));
+  const FusionGraph g = build_fusion_graph(p);
+  EXPECT_FALSE(g.is_preventing(0, 1));
+}
+
+// -- Plan validity / normalization ------------------------------------------------
+
+TEST(FusionPlan, ValidityChecksPreventingAndCycles) {
+  const FusionGraph g = graph_from_spec(
+      3, {{0, 1}, {1, 2}}, /*deps=*/{{0, 1}, {1, 2}},
+      /*preventing=*/{{0, 2}});
+  std::string why;
+  EXPECT_TRUE(plan_is_valid(g, {0, 1, 2}, &why));
+  EXPECT_TRUE(plan_is_valid(g, {0, 0, 1}, &why));
+  EXPECT_FALSE(plan_is_valid(g, {0, 1, 0}, &why));  // preventing pair
+  EXPECT_NE(why.find("fusion-preventing"), std::string::npos);
+}
+
+TEST(FusionPlan, CyclicContractionRejected) {
+  // 0 -> 1 -> 2 with partition {0,2},{1} creates a partition cycle.
+  const FusionGraph g =
+      graph_from_spec(3, {{0, 1, 2}}, {{0, 1}, {1, 2}}, {});
+  std::string why;
+  EXPECT_FALSE(plan_is_valid(g, {0, 1, 0}, &why));
+  EXPECT_NE(why.find("cyclic"), std::string::npos);
+}
+
+TEST(FusionPlan, NormalizeOrderRespectsDependences) {
+  const FusionGraph g = graph_from_spec(3, {}, {{1, 2}}, {});
+  // Partition ids given out of order: {2} must still come after {1}.
+  const auto norm = normalize_order(g, {5, 9, 3});
+  EXPECT_LT(norm[1], norm[2]);
+}
+
+TEST(FusionPlan, FinishPlanComputesCosts) {
+  const FusionGraph g = graph_from_spec(
+      2, {{0, 1}, {0}}, {}, {}, /*bytes=*/{100, 50});
+  const FusionPlan fused = finish_plan(g, {0, 0}, "test");
+  EXPECT_EQ(fused.cost, 2);          // both arrays once
+  EXPECT_EQ(fused.bytes_cost, 150);  // 100 + 50
+  const FusionPlan split = finish_plan(g, {0, 1}, "test");
+  EXPECT_EQ(split.cost, 3);
+  EXPECT_EQ(split.bytes_cost, 250);
+}
+
+// -- The paper's Figure 4 -----------------------------------------------------------
+
+TEST(Figure4, NoFusionCosts20) {
+  const FusionGraph g = workloads::fig4_graph();
+  EXPECT_EQ(no_fusion(g).cost, workloads::kFig4NoFusionCost);
+}
+
+TEST(Figure4, BandwidthMinimalCosts7) {
+  const FusionGraph g = workloads::fig4_graph();
+  const FusionPlan plan = exact_enumeration(g);
+  EXPECT_EQ(plan.cost, workloads::kFig4BandwidthMinimalCost);
+  // The optimum leaves loop 5 (node 4) alone and fuses the rest.
+  const auto groups = plan.groups();
+  ASSERT_EQ(groups.size(), 2u);
+  const auto& first = groups[0];
+  EXPECT_EQ(first, (std::vector<int>{4}));
+}
+
+TEST(Figure4, TwoPartitionSolverMatchesExact) {
+  const FusionGraph g = workloads::fig4_graph();
+  const auto plan = exact_two_partition(g);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->cost, workloads::kFig4BandwidthMinimalCost);
+}
+
+TEST(Figure4, EdgeWeightedBaselineCosts8) {
+  const FusionGraph g = workloads::fig4_graph();
+  const FusionPlan plan = edge_weighted_baseline(g);
+  EXPECT_EQ(plan.cost, workloads::kFig4EdgeWeightedCost);
+  // Their optimum fuses loops 1-5 and leaves loop 6 alone.
+  const auto groups = plan.groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[1], (std::vector<int>{5}));
+}
+
+TEST(Figure4, HeuristicsAreValidAndBounded) {
+  const FusionGraph g = workloads::fig4_graph();
+  for (const FusionPlan& plan :
+       {greedy_fusion(g), recursive_bisection(g), best_fusion(g)}) {
+    EXPECT_TRUE(plan_is_valid(g, plan.assignment));
+    EXPECT_GE(plan.cost, workloads::kFig4BandwidthMinimalCost);
+    EXPECT_LE(plan.cost, workloads::kFig4NoFusionCost);
+  }
+  EXPECT_EQ(best_fusion(g).cost, workloads::kFig4BandwidthMinimalCost);
+}
+
+// -- Solver properties on random graphs ----------------------------------------------
+
+FusionGraph random_spec(Prng& rng, int loops, int arrays) {
+  std::vector<std::vector<int>> pins(static_cast<std::size_t>(arrays));
+  for (auto& p : pins) {
+    for (int l = 0; l < loops; ++l) {
+      if (rng.chance(0.45)) p.push_back(l);
+    }
+    if (p.empty()) p.push_back(static_cast<int>(rng.uniform(
+        static_cast<std::uint64_t>(loops))));
+  }
+  std::vector<std::pair<int, int>> deps, prevent;
+  for (int i = 0; i < loops; ++i) {
+    for (int j = i + 1; j < loops; ++j) {
+      if (rng.chance(0.2)) deps.emplace_back(i, j);
+      if (rng.chance(0.15)) prevent.emplace_back(i, j);
+    }
+  }
+  return graph_from_spec(loops, pins, deps, prevent);
+}
+
+TEST(Solvers, HeuristicsNeverBeatExactAndAlwaysValid) {
+  Prng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const FusionGraph g = random_spec(rng, 6, 5);
+    const FusionPlan exact = exact_enumeration(g);
+    for (const FusionPlan& plan :
+         {greedy_fusion(g), recursive_bisection(g),
+          edge_weighted_baseline(g)}) {
+      EXPECT_TRUE(plan_is_valid(g, plan.assignment)) << plan.solver;
+      EXPECT_GE(plan.cost, exact.cost) << plan.solver << " trial " << trial;
+    }
+    EXPECT_LE(exact.cost, no_fusion(g).cost);
+  }
+}
+
+TEST(Solvers, TwoPartitionExactOnSingleConstraintGraphs) {
+  Prng rng(31337);
+  int applicable = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::vector<int>> pins;
+    const int loops = 6;
+    for (int a = 0; a < 6; ++a) {
+      std::vector<int> p;
+      for (int l = 0; l < loops; ++l)
+        if (rng.chance(0.5)) p.push_back(l);
+      if (p.empty()) p.push_back(0);
+      pins.push_back(p);
+    }
+    // Exactly one preventing pair, no dependences (the paper's restricted
+    // two-partitioning form).
+    const FusionGraph g = graph_from_spec(loops, pins, {}, {{0, 5}});
+    const auto two = exact_two_partition(g);
+    ASSERT_TRUE(two.has_value());
+    ++applicable;
+    const FusionPlan exact = exact_enumeration(g);
+    EXPECT_EQ(two->cost, exact.cost) << "trial " << trial;
+  }
+  EXPECT_EQ(applicable, 40);
+}
+
+TEST(Solvers, TwoPartitionRespectsDependences) {
+  // s=0, t=3; dependence 2 -> 1 forces their order across the cut.
+  const FusionGraph g = graph_from_spec(
+      4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}}, {{2, 3}}, {{0, 3}});
+  const auto plan = exact_two_partition(g);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan_is_valid(g, plan->assignment));
+  EXPECT_LE(plan->assignment[2], plan->assignment[3]);
+}
+
+TEST(Solvers, ExactThrowsBeyondLimit) {
+  Prng rng(1);
+  const FusionGraph g = random_spec(rng, 14, 3);
+  EXPECT_THROW(exact_enumeration(g, 12), Error);
+}
+
+TEST(Solvers, NoFusionOnEmptyGraph) {
+  const FusionGraph g = graph_from_spec(0, {}, {}, {});
+  EXPECT_EQ(no_fusion(g).num_partitions, 0);
+  EXPECT_EQ(greedy_fusion(g).num_partitions, 0);
+}
+
+TEST(Solvers, GreedyMergesObviousSharing) {
+  // Two loops over the same array, no constraints: one partition.
+  const FusionGraph g = graph_from_spec(2, {{0, 1}}, {}, {});
+  const FusionPlan plan = greedy_fusion(g);
+  EXPECT_EQ(plan.num_partitions, 1);
+  EXPECT_EQ(plan.cost, 1);
+}
+
+TEST(Solvers, PreventingPairAlwaysSeparated) {
+  Prng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const FusionGraph g = random_spec(rng, 7, 4);
+    for (const FusionPlan& plan :
+         {greedy_fusion(g), recursive_bisection(g), best_fusion(g)}) {
+      for (const auto& [i, j] : g.preventing) {
+        EXPECT_NE(plan.assignment[static_cast<std::size_t>(i)],
+                  plan.assignment[static_cast<std::size_t>(j)])
+            << plan.solver;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bwc::fusion

@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bwc/graph/digraph.h"
+#include "bwc/graph/flow_network.h"
+#include "bwc/graph/hyper_cut.h"
+#include "bwc/graph/hypergraph.h"
+#include "bwc/graph/random_graphs.h"
+#include "bwc/graph/undirected_graph.h"
+#include "bwc/graph/vertex_cut.h"
+#include "bwc/support/error.h"
+#include "bwc/support/prng.h"
+
+namespace bwc::graph {
+namespace {
+
+// -- FlowNetwork ------------------------------------------------------------
+
+TEST(FlowNetwork, SingleEdge) {
+  FlowNetwork net(2);
+  net.add_edge(0, 1, 5);
+  EXPECT_EQ(net.max_flow(0, 1), 5);
+}
+
+TEST(FlowNetwork, ParallelAndSeries) {
+  FlowNetwork net(3);
+  net.add_edge(0, 1, 3);
+  net.add_edge(0, 1, 4);  // parallel: 7 into node 1
+  net.add_edge(1, 2, 5);  // series bottleneck
+  EXPECT_EQ(net.max_flow(0, 2), 5);
+}
+
+TEST(FlowNetwork, ClassicDiamond) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 10);
+  net.add_edge(0, 2, 10);
+  net.add_edge(1, 3, 10);
+  net.add_edge(2, 3, 10);
+  net.add_edge(1, 2, 1);
+  EXPECT_EQ(net.max_flow(0, 3), 20);
+}
+
+TEST(FlowNetwork, DisconnectedIsZero) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 3);
+  net.add_edge(2, 3, 3);
+  EXPECT_EQ(net.max_flow(0, 3), 0);
+  EXPECT_TRUE(net.source_side()[0]);
+  EXPECT_TRUE(net.source_side()[1]);
+  EXPECT_FALSE(net.source_side()[3]);
+}
+
+TEST(FlowNetwork, MinCutEdgesAreSaturatedAndSeparate) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 2);
+  net.add_edge(0, 2, 3);
+  net.add_edge(1, 3, 4);
+  net.add_edge(2, 3, 1);
+  const auto flow = net.max_flow(0, 3);
+  EXPECT_EQ(flow, 3);  // cut {0->1 (2), 2->3 (1)}
+  Capacity cut_weight = 0;
+  for (int e : net.min_cut_edges()) {
+    // After max flow, cut edges have zero residual.
+    EXPECT_EQ(net.edge(e).capacity, 0);
+    cut_weight += 0;  // capacities recorded below via re-derivation
+  }
+  EXPECT_EQ(net.min_cut_edges().size(), 2u);
+}
+
+TEST(FlowNetwork, RerunResetsFlow) {
+  FlowNetwork net(2);
+  net.add_edge(0, 1, 5);
+  EXPECT_EQ(net.max_flow(0, 1), 5);
+  EXPECT_EQ(net.max_flow(0, 1), 5);  // must not accumulate
+}
+
+TEST(FlowNetwork, RejectsBadArguments) {
+  FlowNetwork net(2);
+  EXPECT_THROW(net.add_edge(0, 5, 1), Error);
+  EXPECT_THROW(net.add_edge(0, 1, -1), Error);
+  net.add_edge(0, 1, 1);
+  EXPECT_THROW(net.max_flow(0, 0), Error);
+}
+
+// Max-flow equals min-cut on random graphs (weak duality check: any
+// partition's crossing capacity >= flow; source-side partition achieves it).
+TEST(FlowNetwork, MaxFlowMinCutDualityRandom) {
+  Prng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 6;
+    FlowNetwork net(n);
+    struct E {
+      int u, v;
+      Capacity c;
+    };
+    std::vector<E> edges;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u != v && rng.chance(0.4)) {
+          const Capacity c = rng.uniform_in(1, 9);
+          net.add_edge(u, v, c);
+          edges.push_back({u, v, c});
+        }
+      }
+    }
+    const Capacity flow = net.max_flow(0, n - 1);
+    const auto& side = net.source_side();
+    Capacity crossing = 0;
+    for (const auto& e : edges) {
+      if (side[static_cast<std::size_t>(e.u)] &&
+          !side[static_cast<std::size_t>(e.v)])
+        crossing += e.c;
+    }
+    EXPECT_EQ(crossing, flow) << "trial " << trial;
+  }
+}
+
+// -- UndirectedGraph ----------------------------------------------------------
+
+TEST(UndirectedGraph, BasicsAndComponents) {
+  UndirectedGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.connected(0, 2));
+  EXPECT_FALSE(g.connected(0, 4));
+  const auto comp = g.components();
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(UndirectedGraph, RejectsSelfLoop) {
+  UndirectedGraph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), Error);
+}
+
+// -- Digraph ------------------------------------------------------------------
+
+TEST(Digraph, TopologicalOrderOfDag) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  g.add_edge(3, 2);
+  const auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[static_cast<std::size_t>((*order)[i])] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[2]);
+  EXPECT_LT(pos[3], pos[2]);
+}
+
+TEST(Digraph, DetectsCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(g.is_acyclic());
+}
+
+TEST(Digraph, Reachability) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto r = g.reachable_from(0);
+  EXPECT_TRUE(r[1]);
+  EXPECT_TRUE(r[2]);
+  EXPECT_FALSE(r[3]);
+  EXPECT_FALSE(r[0]);  // no self-cycle
+}
+
+TEST(Digraph, DeduplicatesEdges) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.successors(0).size(), 1u);
+}
+
+// -- Vertex cut ----------------------------------------------------------------
+
+TEST(VertexCut, PathGraphCutsMiddle) {
+  // 0 - 1 - 2: only vertex 1 separates 0 from 2.
+  UndirectedGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto cut = min_vertex_cut(g, 0, 2);
+  EXPECT_EQ(cut.cut_weight, 1);
+  ASSERT_EQ(cut.cut_vertices.size(), 1u);
+  EXPECT_EQ(cut.cut_vertices[0], 1);
+}
+
+TEST(VertexCut, TwoDisjointPaths) {
+  // 0-1-3 and 0-2-3: need both middles.
+  UndirectedGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  const auto cut = min_vertex_cut(g, 0, 3);
+  EXPECT_EQ(cut.cut_weight, 2);
+  EXPECT_EQ(cut.cut_vertices.size(), 2u);
+}
+
+TEST(VertexCut, WeightedPrefersCheaperVertex) {
+  // Two parallel 2-hop paths, one expensive and one cheap.
+  UndirectedGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  const auto cut = min_vertex_cut(g, 0, 3, {0, 10, 3, 0});
+  EXPECT_EQ(cut.cut_weight, 13);  // must cut both paths
+}
+
+TEST(VertexCut, AdjacentTerminalsThrow) {
+  UndirectedGraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(min_vertex_cut(g, 0, 1), Error);
+}
+
+TEST(VertexCut, DisconnectedTerminalsZeroCut) {
+  UndirectedGraph g(2);
+  const auto cut = min_vertex_cut(g, 0, 1);
+  EXPECT_EQ(cut.cut_weight, 0);
+  EXPECT_TRUE(cut.cut_vertices.empty());
+}
+
+TEST(VertexCut, RemovalDisconnectsProperty) {
+  Prng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    UndirectedGraph g = random_undirected(rng, 8, 0.35);
+    if (g.has_edge(0, 7)) continue;
+    const auto cut = min_vertex_cut(g, 0, 7);
+    // Rebuild without cut vertices; 0 and 7 must be disconnected.
+    std::set<int> removed(cut.cut_vertices.begin(), cut.cut_vertices.end());
+    UndirectedGraph h(g.node_count());
+    for (int e = 0; e < g.edge_count(); ++e) {
+      if (removed.count(g.edge_u(e)) || removed.count(g.edge_v(e))) continue;
+      h.add_edge(g.edge_u(e), g.edge_v(e));
+    }
+    EXPECT_FALSE(h.connected(0, 7)) << "trial " << trial;
+  }
+}
+
+// -- Hypergraph ------------------------------------------------------------------
+
+TEST(Hypergraph, PinsAndIncidence) {
+  Hypergraph g(4);
+  const int e0 = g.add_edge({0, 1, 2}, 2, "A");
+  const int e1 = g.add_edge({2, 3});
+  EXPECT_EQ(g.pins(e0).size(), 3u);
+  EXPECT_EQ(g.weight(e0), 2);
+  EXPECT_EQ(g.label(e0), "A");
+  EXPECT_TRUE(g.edge_contains(e0, 1));
+  EXPECT_FALSE(g.edge_contains(e1, 0));
+  EXPECT_TRUE(g.edges_overlap(e0, e1));
+  EXPECT_EQ(g.incident_edges(2).size(), 2u);
+  EXPECT_EQ(g.total_weight(), 3);
+}
+
+TEST(Hypergraph, DeduplicatesPins) {
+  Hypergraph g(3);
+  const int e = g.add_edge({1, 1, 2, 2});
+  EXPECT_EQ(g.pins(e).size(), 2u);
+}
+
+TEST(Hypergraph, ConnectivityThroughHyperedges) {
+  Hypergraph g(5);
+  g.add_edge({0, 1});
+  g.add_edge({1, 2, 3});
+  EXPECT_TRUE(g.connected(0, 3));
+  EXPECT_FALSE(g.connected(0, 4));
+  // Removing the bridging edge disconnects.
+  std::vector<bool> removed = {false, true};
+  EXPECT_FALSE(g.connected(0, 3, removed));
+}
+
+TEST(Hypergraph, PartitionCostIsTotalEdgeLength) {
+  Hypergraph g(4);
+  g.add_edge({0, 1, 2, 3});  // spans both partitions: length 2
+  g.add_edge({0, 1});        // inside partition 0: length 1
+  g.add_edge({3});           // singleton: length 1
+  const std::vector<int> assignment = {0, 0, 1, 1};
+  EXPECT_EQ(partition_cost(g, assignment), 4);
+}
+
+TEST(Hypergraph, PartitionCostWeighted) {
+  Hypergraph g(2);
+  g.add_edge({0, 1}, 5);
+  EXPECT_EQ(partition_cost(g, {0, 1}), 10);
+  EXPECT_EQ(partition_cost(g, {0, 0}), 5);
+}
+
+// -- Hyper-edge min cut (the paper's Figure 5 algorithm) -------------------------
+
+TEST(HyperCut, SimpleBridge) {
+  Hypergraph g(3);
+  g.add_edge({0, 1});
+  g.add_edge({1, 2});
+  const auto cut = min_hyperedge_cut(g, 0, 2);
+  EXPECT_EQ(cut.cut_weight, 1);
+  EXPECT_EQ(cut.cut_edges.size(), 1u);
+}
+
+TEST(HyperCut, SharedEdgeContainingBothTerminals) {
+  Hypergraph g(3);
+  g.add_edge({0, 1, 2});  // contains both s and t: must be cut
+  const auto cut = min_hyperedge_cut(g, 0, 2);
+  EXPECT_EQ(cut.cut_weight, 1);
+  ASSERT_EQ(cut.cut_edges.size(), 1u);
+  EXPECT_EQ(cut.cut_edges[0], 0);
+}
+
+TEST(HyperCut, DisconnectedTerminals) {
+  Hypergraph g(4);
+  g.add_edge({0, 1});
+  g.add_edge({2, 3});
+  const auto cut = min_hyperedge_cut(g, 0, 3);
+  EXPECT_EQ(cut.cut_weight, 0);
+  EXPECT_TRUE(cut.cut_edges.empty());
+}
+
+TEST(HyperCut, WeightsRespected) {
+  // Two routes 0->2: one via a weight-1 edge pair, one heavy hyperedge.
+  Hypergraph g(4);
+  g.add_edge({0, 1}, 1);
+  g.add_edge({1, 2}, 1);
+  g.add_edge({0, 3, 2}, 5);
+  const auto cut = min_hyperedge_cut(g, 0, 2);
+  // Best: cut one light edge (1) + the heavy one must also be cut since it
+  // directly connects 0 and 2 -> weight 6; check against brute force.
+  const auto ref = min_hyperedge_cut_bruteforce(g, 0, 2);
+  EXPECT_EQ(cut.cut_weight, ref.cut_weight);
+}
+
+TEST(HyperCut, CutSeparatesAndMatchesPartitionCost) {
+  Prng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    Hypergraph g = random_hypergraph(rng, 7, 9, 2, 4);
+    const auto cut = min_hyperedge_cut(g, 0, 6);
+    // Removing the cut edges disconnects the terminals.
+    std::vector<bool> removed(static_cast<std::size_t>(g.edge_count()), false);
+    for (int e : cut.cut_edges) removed[static_cast<std::size_t>(e)] = true;
+    EXPECT_FALSE(g.connected(0, 6, removed)) << "trial " << trial;
+    // Sides partition the node set.
+    EXPECT_EQ(cut.source_side.size() + cut.sink_side.size(),
+              static_cast<std::size_t>(g.node_count()));
+  }
+}
+
+// The headline property: the polynomial Figure 5 algorithm is exact.
+TEST(HyperCut, MatchesBruteForceRandom) {
+  Prng rng(555);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int nodes = 3 + static_cast<int>(rng.uniform(5));  // 3..7
+    const int edges = 2 + static_cast<int>(rng.uniform(8));  // 2..9
+    Hypergraph g = random_hypergraph(rng, nodes, edges, 1,
+                                     std::min(nodes, 4),
+                                     /*max_weight=*/4);
+    const auto fast = min_hyperedge_cut(g, 0, nodes - 1);
+    const auto ref = min_hyperedge_cut_bruteforce(g, 0, nodes - 1);
+    EXPECT_EQ(fast.cut_weight, ref.cut_weight) << "trial " << trial;
+  }
+}
+
+TEST(RandomGraphs, RespectParameters) {
+  Prng rng(1);
+  const Hypergraph h = random_hypergraph(rng, 10, 5, 2, 3);
+  EXPECT_EQ(h.node_count(), 10);
+  EXPECT_EQ(h.edge_count(), 5);
+  for (int e = 0; e < h.edge_count(); ++e) {
+    EXPECT_GE(h.pins(e).size(), 2u);
+    EXPECT_LE(h.pins(e).size(), 3u);
+  }
+  const Digraph d = random_dag(rng, 12, 0.3);
+  EXPECT_TRUE(d.is_acyclic());
+}
+
+}  // namespace
+}  // namespace bwc::graph

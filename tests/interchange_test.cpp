@@ -1,0 +1,148 @@
+// Loop interchange tests: legality vectors, the auto heuristic, and the
+// locality payoff on the simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bwc/analysis/dependence.h"
+#include "bwc/ir/dsl.h"
+#include "bwc/ir/printer.h"
+#include "bwc/model/measure.h"
+#include "bwc/runtime/interpreter.h"
+#include "bwc/support/error.h"
+#include "bwc/transform/interchange.h"
+
+namespace bwc::transform {
+namespace {
+
+using namespace ir::dsl;  // NOLINT
+using ir::ArrayId;
+using ir::CmpOp;
+using ir::Program;
+
+void expect_preserved(const Program& a, const Program& b) {
+  const double ca = runtime::execute(a).checksum;
+  const double cb = runtime::execute(b).checksum;
+  EXPECT_NEAR(ca, cb, 1e-9 * (std::abs(ca) + 1.0))
+      << "interchanged:\n" << ir::to_string(b);
+}
+
+/// Row-major traversal of a column-major array: for i (outer), for j.
+Program row_major_sum(std::int64_t n) {
+  Program p("row major");
+  const ArrayId a = p.add_array("a", {n, n});
+  p.add_scalar("s");
+  p.mark_output_scalar("s");
+  p.append(loop("i", 1, n,
+                loop("j", 1, n,
+                     assign("s", sref("s") + at(a, v("i"), v("j"))))));
+  return p;
+}
+
+TEST(Interchange, LegalForIndependentIterations) {
+  const Program p = row_major_sum(16);
+  EXPECT_TRUE(can_interchange(p, 0));
+  Program q = p.clone();
+  interchange(q, 0);
+  EXPECT_EQ(q.top()[0]->loop->var, "j");
+  expect_preserved(p, q);
+}
+
+TEST(Interchange, ForwardOuterBackwardInnerBlocks) {
+  // a[i,j] = f(a[i+1, j-1]): distance vector (+1, -1) -> illegal to swap.
+  Program p("t");
+  const ArrayId a = p.add_array("a", {16, 16});
+  p.mark_output_array(a);
+  p.append(loop("j", 2, 15,
+                loop("i", 2, 15,
+                     assign(a, {v("i"), v("j")},
+                            f(at(a, v("i", 1), v("j", -1)), lit(1.0))))));
+  EXPECT_FALSE(can_interchange(p, 0));
+  Program q = p.clone();
+  EXPECT_THROW(interchange(q, 0), Error);
+}
+
+TEST(Interchange, SameSignCarriedDependenceAllows) {
+  // a[i,j] = f(a[i-1, j-1]): vector (+1, +1) stays lex-positive swapped.
+  Program p("t");
+  const ArrayId a = p.add_array("a", {16, 16});
+  p.mark_output_array(a);
+  p.append(loop("j", 2, 15,
+                loop("i", 2, 15,
+                     assign(a, {v("i"), v("j")},
+                            f(at(a, v("i", -1), v("j", -1)), lit(1.0))))));
+  EXPECT_TRUE(can_interchange(p, 0));
+  Program q = p.clone();
+  interchange(q, 0);
+  expect_preserved(p, q);
+}
+
+TEST(Interchange, InnerOnlyCarriedDependenceAllows) {
+  // a[i,j] = f(a[i-1, j]): vector (0, +1) -> (+1, 0) fine.
+  Program p("t");
+  const ArrayId a = p.add_array("a", {16, 16});
+  p.mark_output_array(a);
+  p.append(loop("j", 1, 16,
+                loop("i", 2, 16,
+                     assign(a, {v("i"), v("j")},
+                            f(at(a, v("i", -1), v("j")), lit(1.0))))));
+  EXPECT_TRUE(can_interchange(p, 0));
+  Program q = p.clone();
+  interchange(q, 0);
+  expect_preserved(p, q);
+}
+
+TEST(Interchange, RejectsNonSimpleShapes) {
+  Program p("t");
+  p.add_scalar("s");
+  p.append(assign("s", lit(1.0)));
+  p.append(loop("i", 1, 4, assign("s", sref("s") + lit(1.0))));
+  EXPECT_FALSE(can_interchange(p, 0));  // not a loop
+  EXPECT_FALSE(can_interchange(p, 1));  // depth 1
+  EXPECT_FALSE(can_interchange(p, 7));  // out of range
+}
+
+TEST(AutoInterchange, FixesRowMajorTraversal) {
+  const Program p = row_major_sum(400);
+  const InterchangeResult r = auto_interchange(p);
+  ASSERT_EQ(r.interchanged.size(), 1u);
+  expect_preserved(p, r.program);
+
+  // The payoff appears when one row sweep's line footprint (n lines)
+  // exceeds the cache: every strided access then misses. 400 columns x
+  // 128 B lines = 51 KB of live lines vs a 16 KB scaled L2.
+  const auto machine = machine::origin2000_r10k().scaled(256);
+  const auto before = model::measure(p, machine);
+  const auto after = model::measure(r.program, machine);
+  EXPECT_LT(after.profile.memory_bytes(),
+            before.profile.memory_bytes() / 4);
+}
+
+TEST(AutoInterchange, LeavesStrideOneNestsAlone) {
+  Program p("good");
+  const ArrayId a = p.add_array("a", {32, 32});
+  p.add_scalar("s");
+  p.mark_output_scalar("s");
+  p.append(loop("j", 1, 32,
+                loop("i", 1, 32,
+                     assign("s", sref("s") + at(a, v("i"), v("j"))))));
+  EXPECT_TRUE(auto_interchange(p).interchanged.empty());
+}
+
+TEST(AutoInterchange, SkipsIllegalCandidates) {
+  // Row-major traversal that *also* carries a (+,-) dependence: profitable
+  // but illegal; must be left alone.
+  Program p("t");
+  const ArrayId a = p.add_array("a", {24, 24});
+  p.mark_output_array(a);
+  p.append(loop("i", 2, 23,
+                loop("j", 2, 23,
+                     assign(a, {v("i"), v("j")},
+                            f(at(a, v("i", -1), v("j", 1)), lit(1.0))))));
+  // Distance in (i, j) nest order: source a[i-1, j+1]: vector (+1, -1).
+  EXPECT_TRUE(auto_interchange(p).interchanged.empty());
+  EXPECT_FALSE(can_interchange(p, 0));
+}
+
+}  // namespace
+}  // namespace bwc::transform

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "bwc/machine/machine_model.h"
+#include "bwc/machine/timing.h"
+#include "bwc/support/error.h"
+
+namespace bwc::machine {
+namespace {
+
+TEST(MachineModel, Origin2000MatchesPaperBalance) {
+  const MachineModel m = origin2000_r10k();
+  const auto balance = m.machine_balance();
+  ASSERT_EQ(balance.size(), 3u);
+  // The paper's Figure 1 machine row: 4 / 4 / 0.8 bytes per flop.
+  EXPECT_DOUBLE_EQ(balance[0], 4.0);
+  EXPECT_DOUBLE_EQ(balance[1], 4.0);
+  EXPECT_DOUBLE_EQ(balance[2], 0.8);
+  // ~300 MB/s memory bandwidth, as quoted in Section 2.3.
+  EXPECT_NEAR(m.memory_bandwidth_mbps(), 320.0, 30.0);
+}
+
+TEST(MachineModel, ExemplarIsSingleLevelDirectMapped) {
+  const MachineModel m = exemplar_pa8000();
+  ASSERT_EQ(m.caches.size(), 1u);
+  EXPECT_EQ(m.caches[0].associativity, 1u);
+  EXPECT_EQ(m.machine_balance().size(), 2u);
+}
+
+TEST(MachineModel, ModernCoreHasWorseMemoryBalanceThanO2K) {
+  // The paper's projection: "future systems will have even worse balance".
+  EXPECT_LT(generic_modern().machine_balance().back() /
+                generic_modern().machine_balance().front(),
+            origin2000_r10k().machine_balance().back() /
+                origin2000_r10k().machine_balance().front());
+}
+
+TEST(MachineModel, ScaledShrinksCachesKeepsBalance) {
+  const MachineModel full = origin2000_r10k();
+  const MachineModel scaled = full.scaled(16);
+  EXPECT_EQ(scaled.caches[0].size_bytes, full.caches[0].size_bytes / 16);
+  EXPECT_EQ(scaled.caches[1].size_bytes, full.caches[1].size_bytes / 16);
+  EXPECT_EQ(scaled.machine_balance(), full.machine_balance());
+  EXPECT_NO_THROW(scaled.make_hierarchy());
+}
+
+TEST(MachineModel, ScaleClampsToMinimumGeometry) {
+  const MachineModel tiny = origin2000_r10k().scaled(1 << 20);
+  for (const auto& c : tiny.caches) {
+    EXPECT_GE(c.size_bytes, c.line_bytes * 4);
+    EXPECT_NO_THROW(c.validate());
+  }
+}
+
+TEST(MachineModel, ValidateRejectsInconsistency) {
+  MachineModel m = origin2000_r10k();
+  m.boundary_bandwidth_mbps.pop_back();
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(Presets, AllValid) {
+  for (const auto& m : all_presets()) EXPECT_NO_THROW(m.validate());
+}
+
+// -- Timing model ----------------------------------------------------------------
+
+ExecutionProfile profile_of(std::uint64_t flops,
+                            std::vector<std::uint64_t> boundary_bytes) {
+  ExecutionProfile p;
+  p.flops = flops;
+  const char* names[] = {"L1-Reg", "L2-L1", "Mem-L2"};
+  for (std::size_t i = 0; i < boundary_bytes.size(); ++i) {
+    memsim::BoundaryTraffic b;
+    b.name = names[i % 3];
+    b.bytes_toward_cpu = boundary_bytes[i];
+    p.boundaries.push_back(b);
+  }
+  return p;
+}
+
+TEST(Timing, MemoryBoundProgram) {
+  const MachineModel m = origin2000_r10k();
+  // 1 Mflop but 32 MB of memory traffic: memory binds (0.1 s at 320 MB/s).
+  const auto p = profile_of(1000000, {32u << 20, 32u << 20, 32u << 20});
+  const TimePrediction t = predict_time(p, m);
+  EXPECT_EQ(t.binding_resource, "Mem-L2");
+  EXPECT_NEAR(t.total_s, (32.0 * 1048576) / (320.0 * 1e6), 1e-9);
+  EXPECT_LT(t.cpu_utilization(), 0.05);
+}
+
+TEST(Timing, ComputeBoundProgram) {
+  const MachineModel m = origin2000_r10k();
+  // 400 Mflop and almost no traffic: flops bind at 1 second.
+  const auto p = profile_of(400000000, {1000, 1000, 1000});
+  const TimePrediction t = predict_time(p, m);
+  EXPECT_EQ(t.binding_resource, "flops");
+  EXPECT_NEAR(t.total_s, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(t.cpu_utilization(), 1.0);
+}
+
+TEST(Timing, ProfileBoundaryMismatchThrows) {
+  const MachineModel m = origin2000_r10k();
+  const auto p = profile_of(1000, {100, 100});  // only 2 boundaries
+  EXPECT_THROW(predict_time(p, m), Error);
+}
+
+TEST(Timing, EffectiveBandwidth) {
+  EXPECT_DOUBLE_EQ(effective_bandwidth_mbps(300 * 1000000ull, 1.0), 300.0);
+  EXPECT_THROW(effective_bandwidth_mbps(1, 0.0), Error);
+}
+
+TEST(Timing, MemoryUtilizationSaturatesForStreamKernels) {
+  const MachineModel m = origin2000_r10k();
+  const auto p = profile_of(1000000, {64u << 20, 64u << 20, 64u << 20});
+  EXPECT_NEAR(memory_bandwidth_utilization(p, m), 1.0, 1e-9);
+}
+
+TEST(Timing, UtilizationBelowOneWhenComputeBound) {
+  const MachineModel m = origin2000_r10k();
+  const auto p = profile_of(400000000, {1 << 20, 1 << 20, 1 << 20});
+  EXPECT_LT(memory_bandwidth_utilization(p, m), 0.05);
+}
+
+TEST(Profile, CaptureFromHierarchy) {
+  memsim::MemoryHierarchy h(origin2000_r10k().caches);
+  h.load(0, 8);
+  const auto p = ExecutionProfile::capture(h, 7);
+  EXPECT_EQ(p.flops, 7u);
+  ASSERT_EQ(p.boundaries.size(), 3u);
+  EXPECT_EQ(p.register_bytes(), 8u);
+  EXPECT_EQ(p.memory_bytes(), 128u);  // one 128B L2 line fill
+}
+
+}  // namespace
+}  // namespace bwc::machine

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "bwc/memsim/hierarchy.h"
+#include "bwc/support/error.h"
+
+namespace bwc::memsim {
+namespace {
+
+CacheConfig tiny_l1() {
+  return {.name = "L1",
+          .size_bytes = 256,
+          .line_bytes = 32,
+          .associativity = 2};
+}
+
+TEST(CacheConfig, ValidatesGeometry) {
+  CacheConfig c = tiny_l1();
+  EXPECT_NO_THROW(c.validate());
+  c.line_bytes = 24;  // not a power of two
+  EXPECT_THROW(c.validate(), Error);
+  c = tiny_l1();
+  c.associativity = 3;  // 8 lines not divisible... 8/3
+  EXPECT_THROW(c.validate(), Error);
+  c = tiny_l1();
+  EXPECT_EQ(c.num_lines(), 8u);
+  EXPECT_EQ(c.num_sets(), 4u);
+}
+
+TEST(CacheLevel, ColdMissThenHit) {
+  CacheLevel l1(tiny_l1());
+  auto r = l1.access(0, false);
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.filled);
+  r = l1.access(0, false);
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(l1.stats().read_misses, 1u);
+  EXPECT_EQ(l1.stats().read_hits, 1u);
+}
+
+TEST(CacheLevel, LruEvictionOrder) {
+  // 2-way sets; three lines mapping to the same set evict the least
+  // recently used.
+  CacheLevel l1(tiny_l1());  // 4 sets, set = (addr/32) % 4
+  const std::uint64_t a = 0;        // set 0
+  const std::uint64_t b = 4 * 32;   // set 0
+  const std::uint64_t c = 8 * 32;   // set 0
+  l1.access(a, false);
+  l1.access(b, false);
+  l1.access(a, false);  // a most recent
+  l1.access(c, false);  // evicts b
+  EXPECT_TRUE(l1.contains(a));
+  EXPECT_FALSE(l1.contains(b));
+  EXPECT_TRUE(l1.contains(c));
+}
+
+TEST(CacheLevel, WriteBackMarksDirtyAndReportsVictim) {
+  CacheLevel l1(tiny_l1());
+  l1.access(0, true);  // write miss, allocate, dirty
+  l1.access(4 * 32, false);
+  auto r = l1.access(8 * 32, false);  // evicts line 0 (dirty)
+  EXPECT_TRUE(r.evicted_dirty);
+  EXPECT_EQ(r.evicted_line_addr, 0u);
+  EXPECT_EQ(l1.stats().writebacks, 1u);
+}
+
+TEST(CacheLevel, CleanEvictionNoWriteback) {
+  CacheLevel l1(tiny_l1());
+  l1.access(0, false);
+  l1.access(4 * 32, false);
+  auto r = l1.access(8 * 32, false);
+  EXPECT_FALSE(r.evicted_dirty);
+  EXPECT_EQ(l1.stats().writebacks, 0u);
+  EXPECT_EQ(l1.stats().evictions, 1u);
+}
+
+TEST(CacheLevel, NoWriteAllocateBypasses) {
+  CacheConfig c = tiny_l1();
+  c.allocate_policy = AllocatePolicy::kNoWriteAllocate;
+  CacheLevel l1(c);
+  auto r = l1.access(0, true);
+  EXPECT_FALSE(r.hit);
+  EXPECT_FALSE(r.filled);
+  EXPECT_FALSE(l1.contains(0));
+}
+
+TEST(CacheLevel, WriteThroughNeverDirty) {
+  CacheConfig c = tiny_l1();
+  c.write_policy = WritePolicy::kWriteThrough;
+  CacheLevel l1(c);
+  l1.access(0, true);
+  l1.access(4 * 32, false);
+  auto r = l1.access(8 * 32, false);  // evicts line 0
+  EXPECT_FALSE(r.evicted_dirty);
+}
+
+TEST(CacheLevel, InvalidateReportsDirty) {
+  CacheLevel l1(tiny_l1());
+  l1.access(0, true);
+  EXPECT_TRUE(l1.invalidate(0));
+  EXPECT_FALSE(l1.contains(0));
+  EXPECT_FALSE(l1.invalidate(0));
+}
+
+TEST(CacheLevel, DirectMappedConflicts) {
+  CacheConfig c = tiny_l1();
+  c.associativity = 1;  // 8 sets
+  CacheLevel l1(c);
+  // Two addresses 256 bytes apart map to the same set and ping-pong.
+  for (int i = 0; i < 4; ++i) {
+    l1.access(0, false);
+    l1.access(256, false);
+  }
+  EXPECT_EQ(l1.stats().read_misses, 8u);  // never a hit
+}
+
+TEST(CacheLevel, FullyAssociativeNoConflicts) {
+  CacheConfig c = tiny_l1();
+  c.associativity = 0;  // fully associative: 8 lines
+  CacheLevel l1(c);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (std::uint64_t i = 0; i < 8; ++i) l1.access(i * 256, false);
+  }
+  EXPECT_EQ(l1.stats().read_misses, 8u);
+  EXPECT_EQ(l1.stats().read_hits, 16u);
+}
+
+// -- MemoryHierarchy -----------------------------------------------------------
+
+std::vector<CacheConfig> two_level() {
+  return {
+      {.name = "L1", .size_bytes = 256, .line_bytes = 32, .associativity = 2},
+      {.name = "L2", .size_bytes = 1024, .line_bytes = 64, .associativity = 2},
+  };
+}
+
+TEST(Hierarchy, BoundaryNames) {
+  MemoryHierarchy h(two_level());
+  ASSERT_EQ(h.boundaries().size(), 3u);
+  EXPECT_EQ(h.boundaries()[0].name, "L1-Reg");
+  EXPECT_EQ(h.boundaries()[1].name, "L2-L1");
+  EXPECT_EQ(h.boundaries()[2].name, "Mem-L2");
+}
+
+TEST(Hierarchy, RegisterTrafficCountsAccessBytes) {
+  MemoryHierarchy h(two_level());
+  h.load(0, 8);
+  h.store(8, 8);
+  EXPECT_EQ(h.register_traffic_bytes(), 16u);
+  EXPECT_EQ(h.load_count(), 1u);
+  EXPECT_EQ(h.store_count(), 1u);
+}
+
+TEST(Hierarchy, ColdReadPullsLinesThroughBothLevels) {
+  MemoryHierarchy h(two_level());
+  h.load(0, 8);
+  // L1 miss: 32B from L2; L2 miss: 64B from memory.
+  EXPECT_EQ(h.boundaries()[1].bytes_toward_cpu, 32u);
+  EXPECT_EQ(h.boundaries()[2].bytes_toward_cpu, 64u);
+  // Second load in same L1 line: everything hits.
+  h.load(8, 8);
+  EXPECT_EQ(h.boundaries()[1].bytes_toward_cpu, 32u);
+  EXPECT_EQ(h.boundaries()[2].bytes_toward_cpu, 64u);
+}
+
+TEST(Hierarchy, SpatialLocalityWithinL2Line) {
+  MemoryHierarchy h(two_level());
+  h.load(0, 8);   // misses both
+  h.load(32, 8);  // misses L1, hits L2 (same 64B L2 line)
+  EXPECT_EQ(h.boundaries()[1].bytes_toward_cpu, 64u);
+  EXPECT_EQ(h.boundaries()[2].bytes_toward_cpu, 64u);
+}
+
+TEST(Hierarchy, StreamingWriteTrafficIsReadPlusWriteback) {
+  MemoryHierarchy h(two_level());
+  // Stream-write 4 KB: every line is fetched (write-allocate) and later
+  // written back when evicted. Flush by streaming a second region.
+  const std::uint64_t n = 4096;
+  for (std::uint64_t a = 0; a < n; a += 8) h.store(a, 8);
+  for (std::uint64_t a = 100000; a < 100000 + n; a += 8) h.load(a, 8);
+  const auto& mem = h.boundaries()[2];
+  // Reads: 4KB (write region) + 4KB (flush region), plus at most a couple
+  // of lines re-fetched when a straggler L1 writeback misses in L2.
+  EXPECT_GE(mem.bytes_toward_cpu, 2 * n);
+  EXPECT_LE(mem.bytes_toward_cpu, 2 * n + 128);
+  // Writebacks: the whole dirty write region (allow the tail still cached).
+  EXPECT_GE(mem.bytes_from_cpu, n - 1024);
+  EXPECT_LE(mem.bytes_from_cpu, n);
+}
+
+TEST(Hierarchy, ReadOnlyStreamNoWritebacks) {
+  MemoryHierarchy h(two_level());
+  for (std::uint64_t a = 0; a < 8192; a += 8) h.load(a, 8);
+  EXPECT_EQ(h.boundaries()[2].bytes_from_cpu, 0u);
+  EXPECT_EQ(h.boundaries()[2].bytes_toward_cpu, 8192u);
+}
+
+TEST(Hierarchy, WritebackPropagatesToL2Counter) {
+  MemoryHierarchy h(two_level());
+  h.store(0, 8);  // dirty line in L1
+  // Evict it by filling set 0 of L1 (4 sets of 32B lines; set stride 128).
+  h.load(128, 8);
+  h.load(256, 8);
+  // L1->L2 boundary must show the 32B writeback.
+  EXPECT_GE(h.boundaries()[1].bytes_from_cpu, 32u);
+}
+
+TEST(Hierarchy, AccessStraddlingLines) {
+  MemoryHierarchy h(two_level());
+  h.load(28, 8);  // crosses the 32B boundary: touches two L1 lines
+  EXPECT_EQ(h.level(0).stats().read_misses, 2u);
+}
+
+TEST(Hierarchy, CachelessMachineAllTrafficToMemory) {
+  MemoryHierarchy h({});
+  h.load(0, 8);
+  h.store(0, 8);
+  ASSERT_EQ(h.boundaries().size(), 1u);
+  EXPECT_EQ(h.boundaries()[0].name, "Mem-Reg");
+  EXPECT_EQ(h.memory_traffic_bytes(), 16u);
+}
+
+TEST(Hierarchy, ResetStatsKeepsContents) {
+  MemoryHierarchy h(two_level());
+  h.load(0, 8);
+  h.reset_stats();
+  EXPECT_EQ(h.memory_traffic_bytes(), 0u);
+  h.load(0, 8);  // still cached: no new memory traffic
+  EXPECT_EQ(h.boundaries()[2].bytes_toward_cpu, 0u);
+}
+
+TEST(Hierarchy, FullResetDropsContents) {
+  MemoryHierarchy h(two_level());
+  h.load(0, 8);
+  h.reset();
+  h.load(0, 8);
+  EXPECT_EQ(h.boundaries()[2].bytes_toward_cpu, 64u);  // cold again
+}
+
+TEST(Hierarchy, DiscardDirtyRangeSuppressesWriteback) {
+  MemoryHierarchy h(two_level());
+  for (std::uint64_t a = 0; a < 256; a += 8) h.store(a, 8);
+  h.discard_dirty_range(0, 256);
+  // Stream something else through; no writebacks should appear.
+  for (std::uint64_t a = 100000; a < 110000; a += 8) h.load(a, 8);
+  EXPECT_EQ(h.boundaries()[2].bytes_from_cpu, 0u);
+  EXPECT_EQ(h.boundaries()[1].bytes_from_cpu, 0u);
+}
+
+TEST(Hierarchy, DescribeMentionsLevelsAndBoundaries) {
+  MemoryHierarchy h(two_level());
+  h.load(0, 8);
+  const std::string d = describe(h);
+  EXPECT_NE(d.find("L1"), std::string::npos);
+  EXPECT_NE(d.find("Mem-L2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bwc::memsim

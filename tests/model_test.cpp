@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "bwc/machine/machine_model.h"
+#include "bwc/model/balance.h"
+#include "bwc/model/measure.h"
+#include "bwc/support/error.h"
+#include "bwc/workloads/paper_programs.h"
+
+namespace bwc::model {
+namespace {
+
+machine::ExecutionProfile make_profile(std::uint64_t flops,
+                                       std::vector<std::uint64_t> bytes) {
+  machine::ExecutionProfile p;
+  p.flops = flops;
+  const char* names[] = {"L1-Reg", "L2-L1", "Mem-L2"};
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    memsim::BoundaryTraffic b;
+    b.name = names[i];
+    b.bytes_toward_cpu = bytes[i];
+    p.boundaries.push_back(b);
+  }
+  return p;
+}
+
+TEST(Balance, FromProfileDividesByFlops) {
+  const auto p = make_profile(1000, {8000, 4000, 800});
+  const ProgramBalance b = ProgramBalance::from_profile("x", p);
+  ASSERT_EQ(b.bytes_per_flop.size(), 3u);
+  EXPECT_DOUBLE_EQ(b.bytes_per_flop[0], 8.0);
+  EXPECT_DOUBLE_EQ(b.bytes_per_flop[1], 4.0);
+  EXPECT_DOUBLE_EQ(b.bytes_per_flop[2], 0.8);
+}
+
+TEST(Balance, ZeroFlopsRejected) {
+  const auto p = make_profile(0, {100});
+  EXPECT_THROW(ProgramBalance::from_profile("x", p), Error);
+}
+
+TEST(Balance, DemandSupplyRatios) {
+  const machine::MachineModel m = machine::origin2000_r10k();
+  ProgramBalance b;
+  b.name = "dmxpy";
+  b.bytes_per_flop = {8.3, 8.3, 8.4};  // the paper's dmxpy row
+  const auto ratios = demand_supply_ratios(b, m);
+  EXPECT_NEAR(ratios[0], 2.075, 1e-9);
+  EXPECT_NEAR(ratios[2], 10.5, 1e-9);
+  // CPU utilization bound ~ 9.5% (the paper's number for dmxpy).
+  EXPECT_NEAR(cpu_utilization_bound(ratios), 1.0 / 10.5, 1e-9);
+}
+
+TEST(Balance, UtilizationClampedAtFull) {
+  EXPECT_DOUBLE_EQ(cpu_utilization_bound({0.5, 0.2}), 1.0);
+}
+
+TEST(Balance, RatioTableDepthMismatchThrows) {
+  ProgramBalance b;
+  b.name = "x";
+  b.bytes_per_flop = {1.0};  // one boundary vs machine's three
+  EXPECT_THROW(demand_supply_ratios(b, machine::origin2000_r10k()), Error);
+}
+
+TEST(Balance, TablesRenderPaperShape) {
+  const machine::MachineModel m = machine::origin2000_r10k();
+  ProgramBalance conv{"convolution", {6.4, 5.1, 5.2}};
+  ProgramBalance dmxpy{"dmxpy", {8.3, 8.3, 8.4}};
+  const std::string t1 = render_balance_table({conv, dmxpy}, m);
+  EXPECT_NE(t1.find("convolution"), std::string::npos);
+  EXPECT_NE(t1.find("L1-Reg"), std::string::npos);
+  EXPECT_NE(t1.find("Mem-L2"), std::string::npos);
+  EXPECT_NE(t1.find("0.80"), std::string::npos);  // machine row
+  const std::string t2 = render_ratio_table({conv, dmxpy}, m);
+  EXPECT_NE(t2.find("10.5"), std::string::npos);
+  EXPECT_NE(t2.find("%"), std::string::npos);
+}
+
+TEST(Measure, RunsProgramOnMachineModel) {
+  const machine::MachineModel m = machine::origin2000_r10k().scaled(64);
+  const Measurement r =
+      measure(workloads::sec21_read_loop(20000), m);
+  EXPECT_GT(r.profile.flops, 0u);
+  // Streaming read of 160 KB through 64 KB of L2: memory-bound.
+  EXPECT_EQ(r.time.binding_resource, "Mem-L2");
+  EXPECT_EQ(r.balance.bytes_per_flop.size(), 3u);
+  const std::string s = summarize(r);
+  EXPECT_NE(s.find("Mem-L2"), std::string::npos);
+}
+
+TEST(Measure, WriteLoopVsReadLoopParity) {
+  // The Section 2.1 observation as a model property: the RW loop consumes
+  // ~2x the memory traffic and so ~2x the predicted time of the R loop.
+  const machine::MachineModel m = machine::origin2000_r10k().scaled(16);
+  const auto rw = measure(workloads::sec21_write_loop(600000), m);
+  const auto ro = measure(workloads::sec21_read_loop(600000), m);
+  const double traffic_ratio =
+      static_cast<double>(rw.profile.memory_bytes()) /
+      static_cast<double>(ro.profile.memory_bytes());
+  EXPECT_NEAR(traffic_ratio, 2.0, 0.1);
+  EXPECT_NEAR(rw.time.total_s / ro.time.total_s, 2.0, 0.2);
+}
+
+}  // namespace
+}  // namespace bwc::model

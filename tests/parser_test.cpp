@@ -1,0 +1,162 @@
+// Parser tests: hand-written snippets plus print->parse round-trips over
+// every program family in the repository.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bwc/core/optimizer.h"
+#include "bwc/ir/dsl.h"
+#include "bwc/ir/parser.h"
+#include "bwc/ir/printer.h"
+#include "bwc/runtime/interpreter.h"
+#include "bwc/support/error.h"
+#include "bwc/support/prng.h"
+#include "bwc/workloads/extra_programs.h"
+#include "bwc/workloads/paper_programs.h"
+#include "bwc/workloads/random_programs.h"
+
+namespace bwc::ir {
+namespace {
+
+using namespace dsl;  // NOLINT
+
+void expect_round_trip(const Program& p) {
+  const std::string text = to_string(p);
+  const Program parsed = parse_program(text);
+  EXPECT_TRUE(equal(p, parsed)) << "original text:\n"
+                                << text << "\nreparsed text:\n"
+                                << to_string(parsed);
+  // And semantics agree.
+  const double a = runtime::execute(p).checksum;
+  const double b = runtime::execute(parsed).checksum;
+  EXPECT_NEAR(a, b, 1e-12 * (std::abs(a) + 1.0));
+}
+
+TEST(Parser, MinimalProgram) {
+  const Program p = parse_program(
+      "double a[8]\n"
+      "double s\n"
+      "for i = 1, 8\n"
+      "  a[i] = (a[i] + 0.5)\n"
+      "end for\n"
+      "s = 0\n"
+      "// outputs: s a\n");
+  EXPECT_EQ(p.array_count(), 1);
+  EXPECT_TRUE(p.has_scalar("s"));
+  EXPECT_EQ(p.top().size(), 2u);
+  EXPECT_EQ(p.output_arrays().size(), 1u);
+}
+
+TEST(Parser, HeaderAndName) {
+  const Program p = parse_program("// program: my prog\ndouble s\ns = 1\n");
+  EXPECT_EQ(p.name(), "my prog");
+}
+
+TEST(Parser, GuardsWithElse) {
+  const Program p = parse_program(
+      "double s\n"
+      "for i = 1, 10\n"
+      "  if (i <= 3)\n"
+      "    s = (s + 1)\n"
+      "  else\n"
+      "    s = (s + 100)\n"
+      "  end if\n"
+      "end for\n"
+      "// outputs: s\n");
+  EXPECT_DOUBLE_EQ(runtime::execute(p).checksum, 3.0 + 700.0);
+}
+
+TEST(Parser, AffineForms) {
+  const Program p = parse_program(
+      "double a[64]\n"
+      "double s\n"
+      "for i = 2, 5\n"
+      "  s = (s + a[2*i - 1])\n"
+      "end for\n"
+      "// outputs: s\n");
+  // Just executing proves the subscript parsed as 2i-1 (bounds 3..9 valid).
+  EXPECT_NO_THROW(runtime::execute(p));
+}
+
+TEST(Parser, IntrinsicsAndInputs) {
+  const Program p = parse_program(
+      "double a[4,4]\n"
+      "double s\n"
+      "for j = 1, 4\n"
+      "  for i = 1, 4\n"
+      "    a[i,j] = input7<4,4>[i,j]\n"
+      "  end for\n"
+      "end for\n"
+      "for j = 2, 4\n"
+      "  for i = 1, 4\n"
+      "    s = (s + f(a[i,j - 1], a[i,j]))\n"
+      "  end for\n"
+      "end for\n"
+      "// outputs: s\n");
+  const auto& stmt = *p.top()[0];
+  const Expr& rhs = *stmt.loop->body[0]->loop->body[0]->rhs;
+  EXPECT_EQ(rhs.kind, ExprKind::kInput);
+  EXPECT_EQ(rhs.input_key, 7);
+  EXPECT_EQ(rhs.input_extents, (std::vector<std::int64_t>{4, 4}));
+  EXPECT_NO_THROW(runtime::execute(p));
+}
+
+TEST(Parser, MinMaxCalls) {
+  const Program p = parse_program(
+      "double s\n"
+      "s = min((1 + 2), max(7, 4))\n"
+      "// outputs: s\n");
+  EXPECT_DOUBLE_EQ(runtime::execute(p).checksum, 3.0);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_program("double s\nfor i = 1,\n  s = 1\nend for\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_program("double s\nq = 1\n"), Error);       // undeclared
+  EXPECT_THROW(parse_program("double s\nfor i = 1, 3\ns = 1\n"),
+               Error);                                           // unterminated
+}
+
+// -- Round trips over every program family ------------------------------------------
+
+TEST(ParserRoundTrip, PaperPrograms) {
+  expect_round_trip(workloads::fig6_original(12));
+  expect_round_trip(workloads::fig7_original(32));
+  expect_round_trip(workloads::sec21_both_loops(32));
+}
+
+TEST(ParserRoundTrip, ExtraPrograms) {
+  expect_round_trip(workloads::jacobi_chain(32, 2));
+  expect_round_trip(workloads::adi_like(8));
+  expect_round_trip(workloads::blur_sharpen(32));
+  expect_round_trip(workloads::reduction_cascade(32, 3));
+}
+
+TEST(ParserRoundTrip, RandomPrograms) {
+  Prng rng(555777);
+  for (int trial = 0; trial < 20; ++trial) {
+    expect_round_trip(workloads::random_program(rng));
+  }
+}
+
+TEST(ParserRoundTrip, Random2DPrograms) {
+  Prng rng(424242);
+  for (int trial = 0; trial < 10; ++trial) {
+    expect_round_trip(workloads::random_program_2d(rng, 10, 2));
+  }
+}
+
+TEST(ParserRoundTrip, OptimizedProgramsStillParse) {
+  // The optimizer's output (guards, promoted bodies, shrunken buffers)
+  // must survive a round trip too.
+  const Program p = workloads::fig6_original(12);
+  const auto opt = core::optimize(p);
+  expect_round_trip(opt.program);
+}
+
+}  // namespace
+}  // namespace bwc::ir

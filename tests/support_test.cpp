@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bwc/support/csv.h"
+#include "bwc/support/error.h"
+#include "bwc/support/prng.h"
+#include "bwc/support/stats.h"
+#include "bwc/support/table.h"
+#include "bwc/support/units.h"
+
+namespace bwc {
+namespace {
+
+TEST(Error, CheckThrowsWithLocation) {
+  try {
+    BWC_CHECK(1 == 2, "impossible");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("impossible"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(BWC_CHECK(2 + 2 == 4, "math works"));
+}
+
+TEST(Prng, DeterministicFromSeed) {
+  Prng a(42), b(42), c(43);
+  EXPECT_EQ(a(), b());
+  EXPECT_EQ(a(), b());
+  Prng a2(42);
+  EXPECT_NE(a2(), c());
+}
+
+TEST(Prng, UniformInRange) {
+  Prng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_in(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Prng, UniformDoubleInUnitInterval) {
+  Prng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, MedianOddEven) {
+  const double odd[] = {3.0, 1.0, 2.0};
+  const double even[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, GeometricMean) {
+  const double xs[] = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(xs), 2.0);
+  const double bad[] = {1.0, -1.0};
+  EXPECT_THROW(geometric_mean(bad), Error);
+}
+
+TEST(Stats, RelativeSpread) {
+  const double xs[] = {100.0, 110.0, 120.0};
+  EXPECT_NEAR(relative_spread(xs), 0.2, 1e-12);
+  const double one[] = {5.0};
+  EXPECT_DOUBLE_EQ(relative_spread(one), 0.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t("Title");
+  t.set_header({"Program", "L1", "Mem"});
+  t.add_row({"conv", "6.4", "5.2"});
+  t.add_row({"longer-name", "10.8", "4.9"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("conv"), std::string::npos);
+  EXPECT_NE(out.find("10.8"), std::string::npos);
+  // Header rule exists.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, NumericRightAlignment) {
+  TextTable t;
+  t.set_header({"k", "value"});
+  t.add_row({"x", "1.0"});
+  t.add_row({"y", "100.0"});
+  const std::string out = t.render();
+  // The shorter number must be padded on the left (right-aligned).
+  EXPECT_NE(out.find("  1.0"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(1536), "1.5 KB");
+  EXPECT_EQ(fmt_bandwidth(312.54), "312.5 MB/s");
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  CsvWriter w({"kernel", "mbps"});
+  w.add_row({"1w1r", "305.0"});
+  const std::string out = w.str();
+  EXPECT_EQ(out, "kernel,mbps\n1w1r,305.0\n");
+  EXPECT_THROW(w.add_row({"too", "many", "cells"}), Error);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(to_mb_per_s(2.0e6, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(to_mflops(5.0e6, 2.0), 2.5);
+}
+
+}  // namespace
+}  // namespace bwc

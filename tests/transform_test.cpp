@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "bwc/analysis/liveness.h"
+#include "bwc/core/optimizer.h"
+#include "bwc/fusion/solvers.h"
+#include "bwc/ir/dsl.h"
+#include "bwc/ir/printer.h"
+#include "bwc/runtime/interpreter.h"
+#include "bwc/support/prng.h"
+#include "bwc/transform/fuse.h"
+#include "bwc/transform/rewrite.h"
+#include "bwc/transform/storage_reduction.h"
+#include "bwc/transform/store_elimination.h"
+#include "bwc/workloads/paper_programs.h"
+#include "bwc/workloads/random_programs.h"
+
+namespace bwc::transform {
+namespace {
+
+using namespace ir::dsl;  // NOLINT
+using ir::ArrayId;
+using ir::Program;
+
+void expect_same_semantics(const Program& a, const Program& b) {
+  const double ca = runtime::execute(a).checksum;
+  const double cb = runtime::execute(b).checksum;
+  const double tolerance = 1e-9 * (std::abs(ca) + 1.0);
+  EXPECT_NEAR(ca, cb, tolerance)
+      << "original:\n" << ir::to_string(a) << "\ntransformed:\n"
+      << ir::to_string(b);
+}
+
+// -- Rewrite utilities --------------------------------------------------------
+
+TEST(Rewrite, RenameLoopVarsEverywhere) {
+  Program p("t");
+  const ArrayId a = p.add_array("a", {8});
+  p.add_scalar("s");
+  p.append(loop("i", 1, 8,
+                when(ir::CmpOp::kLe, v("i"), k(4),
+                     assign(a, {v("i")}, lvar("i") + sref("s")))));
+  rename_loop_vars(p.top(), {{"i", "z"}});
+  const std::string s = ir::to_string(p);
+  EXPECT_EQ(s.find(" i "), std::string::npos);
+  EXPECT_NE(s.find("for z = 1, 8"), std::string::npos);
+  EXPECT_NE(s.find("a[z]"), std::string::npos);
+  EXPECT_NE(s.find("if (z <= 4)"), std::string::npos);
+}
+
+TEST(Rewrite, FreshNameAvoidsCollisions) {
+  EXPECT_EQ(fresh_name("t", {"a", "b"}), "t");
+  EXPECT_EQ(fresh_name("t", {"t"}), "t_1");
+  EXPECT_EQ(fresh_name("t", {"t", "t_1"}), "t_2");
+}
+
+TEST(Rewrite, ReplaceExprsSwapsMatches) {
+  Program p("t");
+  const ArrayId a = p.add_array("a", {8});
+  p.add_scalar("s");
+  p.append(loop("i", 1, 8, assign("s", sref("s") + at(a, v("i")))));
+  replace_exprs(
+      p.top(),
+      [&](const ir::Expr& e) {
+        return e.kind == ir::ExprKind::kArrayRef && e.array == a;
+      },
+      [](const ir::Expr&) { return lit(1.0); });
+  EXPECT_DOUBLE_EQ(runtime::execute(p).scalars.at("s"), 8.0);
+}
+
+// -- Fusion code generation ------------------------------------------------------
+
+TEST(Fuse, IdenticalBoundsConcatenatesBodies) {
+  const Program p = workloads::fig7_original(64);
+  const auto graph = fusion::build_fusion_graph(p);
+  const auto plan = fusion::exact_enumeration(graph);
+  EXPECT_EQ(plan.num_partitions, 1);
+  const Program fused = apply_fusion(p, graph, plan);
+  EXPECT_EQ(fused.top_loop_indices().size(), 1u);
+  expect_same_semantics(p, fused);
+}
+
+TEST(Fuse, ScalarInitHoistedBeforeItsPartition) {
+  const Program p = workloads::fig7_original(32);
+  const Program fused = fuse_best(p);
+  // sum = 0 must execute before the fused loop.
+  ASSERT_GE(fused.top().size(), 2u);
+  EXPECT_EQ(fused.top()[0]->kind, ir::StmtKind::kScalarAssign);
+  EXPECT_EQ(fused.top()[1]->kind, ir::StmtKind::kLoop);
+}
+
+TEST(Fuse, OuterUnionInsertsGuards) {
+  const Program p = workloads::fig6_original(24);
+  const auto graph = fusion::build_fusion_graph(p);
+  const auto plan = fusion::exact_enumeration(graph);
+  EXPECT_EQ(plan.num_partitions, 1);
+  const Program fused = apply_fusion(p, graph, plan);
+  expect_same_semantics(p, fused);
+  // The fused loop covers the union range 1..N.
+  const auto loops = fused.top_loop_indices();
+  ASSERT_EQ(loops.size(), 1u);
+  const ir::Stmt& nest = *fused.top()[static_cast<std::size_t>(loops[0])];
+  EXPECT_EQ(nest.loop->lower, 1);
+  EXPECT_EQ(nest.loop->upper, 24);
+}
+
+TEST(Fuse, NoFusionPlanIsIdentityShape) {
+  const Program p = workloads::fig7_original(16);
+  const auto graph = fusion::build_fusion_graph(p);
+  const auto plan = fusion::no_fusion(graph);
+  const Program out = apply_fusion(p, graph, plan);
+  EXPECT_EQ(out.top_loop_indices().size(), p.top_loop_indices().size());
+  expect_same_semantics(p, out);
+}
+
+TEST(Fuse, RandomProgramsPreserveSemantics) {
+  Prng rng(4242);
+  for (int trial = 0; trial < 25; ++trial) {
+    workloads::RandomProgramParams params;
+    params.num_loops = 3 + static_cast<int>(rng.uniform(4));
+    params.num_arrays = 2 + static_cast<int>(rng.uniform(3));
+    params.n = 32;
+    const Program p = workloads::random_program(rng, params);
+    const auto graph = fusion::build_fusion_graph(p);
+    using Solver = std::function<fusion::FusionPlan(const fusion::FusionGraph&)>;
+    const std::vector<Solver> solvers = {
+        [](const fusion::FusionGraph& g) {
+          return fusion::exact_enumeration(g);
+        },
+        fusion::greedy_fusion, fusion::recursive_bisection};
+    for (const Solver& solver : solvers) {
+      const auto plan = solver(graph);
+      const Program fused = apply_fusion(p, graph, plan);
+      expect_same_semantics(p, fused);
+    }
+  }
+}
+
+// -- Store elimination ---------------------------------------------------------
+
+TEST(StoreElim, Figure7RemovesResWritebacks) {
+  const Program p = workloads::fig7_original(64);
+  const Program fused = fuse_best(p);
+  const StoreEliminationResult r = eliminate_stores(fused);
+  ASSERT_EQ(r.eliminated.size(), 1u);
+  EXPECT_EQ(r.program.array(r.eliminated[0]).name, "res");
+  expect_same_semantics(p, r.program);
+  // No array-assign to res remains.
+  const auto live = analysis::analyze_liveness(r.program);
+  EXPECT_TRUE(live[static_cast<std::size_t>(r.eliminated[0])]
+                  .writing_stmts.empty());
+}
+
+TEST(StoreElim, KeepsOutputArrays) {
+  Program p("t");
+  const ArrayId a = p.add_array("a", {16});
+  p.mark_output_array(a);
+  p.append(loop("i", 1, 16, assign(a, {v("i")}, lvar("i"))));
+  const StoreEliminationResult r = eliminate_stores(p);
+  EXPECT_TRUE(r.eliminated.empty());
+}
+
+TEST(StoreElim, KeepsArraysReadLater) {
+  Program p("t");
+  const ArrayId a = p.add_array("a", {16});
+  p.add_scalar("s");
+  p.mark_output_scalar("s");
+  p.append(loop("i", 1, 16, assign(a, {v("i")}, lvar("i"))));
+  p.append(loop("i", 1, 16, assign("s", sref("s") + at(a, v("i")))));
+  EXPECT_TRUE(eliminate_stores(p).eliminated.empty());
+}
+
+TEST(StoreElim, KeepsCrossIterationFlow) {
+  // res[i] read at i+... different subscript tuples -> unsafe, must skip.
+  Program p("t");
+  const ArrayId a = p.add_array("a", {16});
+  p.add_scalar("s");
+  p.mark_output_scalar("s");
+  p.append(loop("i", 2, 15,
+                assign(a, {v("i")}, lvar("i")),
+                assign("s", sref("s") + at(a, v("i", -1)))));
+  EXPECT_TRUE(eliminate_stores(p).eliminated.empty());
+  expect_same_semantics(p, eliminate_stores(p).program);
+}
+
+TEST(StoreElim, EliminatesWriteOnlyDeadArray) {
+  Program p("t");
+  const ArrayId a = p.add_array("a", {16});
+  p.add_scalar("s");
+  p.mark_output_scalar("s");
+  p.append(loop("i", 1, 16, assign(a, {v("i")}, lvar("i") * lit(2.0))));
+  p.append(assign("s", lit(1.0)));
+  const StoreEliminationResult r = eliminate_stores(p);
+  ASSERT_EQ(r.eliminated.size(), 1u);
+  expect_same_semantics(p, r.program);
+}
+
+TEST(StoreElim, ReadsBeforeWriteKeepOldValues) {
+  // sum1 collects the OLD value of a[i]; the write is then dead.
+  Program p("t");
+  const ArrayId a = p.add_array("a", {16});
+  p.add_scalar("s");
+  p.mark_output_scalar("s");
+  p.append(loop("i", 1, 16,
+                assign("s", sref("s") + at(a, v("i"))),
+                assign(a, {v("i")}, lit(7.0))));
+  const StoreEliminationResult r = eliminate_stores(p);
+  EXPECT_EQ(r.eliminated.size(), 1u);
+  expect_same_semantics(p, r.program);
+}
+
+// -- Storage reduction ------------------------------------------------------------
+
+TEST(StorageReduction, ContractsIterationLocalArray) {
+  Program p("t");
+  const ArrayId t = p.add_array("tmp", {64});
+  const ArrayId a = p.add_array("a", {64});
+  p.add_scalar("s");
+  p.mark_output_scalar("s");
+  p.append(loop("i", 1, 64,
+                assign(t, {v("i")}, at(a, v("i")) * lit(2.0)),
+                assign("s", sref("s") + at(t, v("i")))));
+  const StorageReductionResult r = reduce_storage(p);
+  ASSERT_EQ(r.actions.size(), 1u);
+  EXPECT_NE(r.actions[0].find("contracted"), std::string::npos);
+  expect_same_semantics(p, r.program);
+  EXPECT_LT(r.referenced_bytes_after, r.referenced_bytes_before);
+}
+
+TEST(StorageReduction, KeepsArrayReadBeforeWritten) {
+  // First access is a read of initial values: cannot contract.
+  Program p("t");
+  const ArrayId t = p.add_array("tmp", {64});
+  p.add_scalar("s");
+  p.mark_output_scalar("s");
+  p.append(loop("i", 1, 64,
+                assign("s", sref("s") + at(t, v("i"))),
+                assign(t, {v("i")}, lit(1.0))));
+  EXPECT_TRUE(reduce_storage(p).actions.empty());
+}
+
+TEST(StorageReduction, KeepsOutputArrays) {
+  Program p("t");
+  const ArrayId t = p.add_array("tmp", {64});
+  p.mark_output_array(t);
+  p.append(loop("i", 1, 64, assign(t, {v("i")}, lvar("i"))));
+  EXPECT_TRUE(reduce_storage(p).actions.empty());
+}
+
+TEST(StorageReduction, KeepsCrossIterationCarrier) {
+  // t[i] read at i-1 in the same 1-D loop: element live range crosses
+  // iterations; 1-D arrays are not shrunk by this pass.
+  Program p("t");
+  const ArrayId t = p.add_array("tmp", {64});
+  p.add_scalar("s");
+  p.mark_output_scalar("s");
+  p.append(loop("i", 2, 63,
+                assign(t, {v("i")}, lvar("i")),
+                assign("s", sref("s") + at(t, v("i", -1)))));
+  EXPECT_TRUE(reduce_storage(p).actions.empty());
+  expect_same_semantics(p, reduce_storage(p).program);
+}
+
+TEST(StorageReduction, ShrinksTwoDimensionalSweep) {
+  // b[i,j] written at j, read at j and j-1 (reads guarded away from j=lo):
+  // the classic cur/prev shrink, no peel needed.
+  Program p("t");
+  const ArrayId b = p.add_array("b", {32, 32});
+  p.add_scalar("s");
+  p.mark_output_scalar("s");
+  p.append(loop("j", 1, 32,
+                loop("i", 1, 32,
+                     assign(b, {v("i"), v("j")}, input2(3, v("i"), v("j"), 32, 32)),
+                     when(ir::CmpOp::kGe, v("j"), k(2),
+                          assign("s", sref("s") + (at(b, v("i"), v("j"))) +
+                                          at(b, v("i"), v("j", -1)))))));
+  const StorageReductionResult r = reduce_storage(p);
+  ASSERT_FALSE(r.actions.empty());
+  EXPECT_NE(r.actions[0].find("shrank"), std::string::npos);
+  expect_same_semantics(p, r.program);
+  // 32x32 doubles (8 KB) replaced by two 32-double buffers.
+  EXPECT_LT(r.referenced_bytes_after, r.referenced_bytes_before / 4);
+}
+
+TEST(StorageReduction, Figure6FullPipeline) {
+  const Program p = workloads::fig6_original(20);
+  const Program fused = fuse_best(p);
+  const StorageReductionResult r = reduce_storage(fused);
+  expect_same_semantics(p, r.program);
+  // Both N^2 arrays must be gone from the referenced set: only 1-D buffers
+  // remain (3 column buffers for a; b becomes a scalar).
+  EXPECT_LE(r.referenced_bytes_after, 3 * 20 * 8u);
+  bool contracted_b = false, shrank_a = false;
+  for (const auto& act : r.actions) {
+    if (act.find("contracted array b") != std::string::npos)
+      contracted_b = true;
+    if (act.find("shrank array a") != std::string::npos) shrank_a = true;
+  }
+  EXPECT_TRUE(contracted_b);
+  EXPECT_TRUE(shrank_a);
+}
+
+TEST(StorageReduction, RandomProgramsSafe) {
+  // The pass must either leave random programs alone or keep semantics.
+  Prng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Program p = workloads::random_program(rng);
+    const StorageReductionResult r = reduce_storage(p);
+    expect_same_semantics(p, r.program);
+  }
+}
+
+// -- Full pipeline ------------------------------------------------------------------
+
+TEST(Optimizer, Figure7EndToEnd) {
+  const Program p = workloads::fig7_original(128);
+  const core::OptimizeResult r = core::optimize(p);
+  expect_same_semantics(p, r.program);
+  EXPECT_EQ(r.plan.num_partitions, 1);
+}
+
+TEST(Optimizer, Figure6EndToEnd) {
+  const Program p = workloads::fig6_original(24);
+  const core::OptimizeResult r = core::optimize(p);
+  expect_same_semantics(p, r.program);
+}
+
+TEST(Optimizer, RandomProgramsEndToEnd) {
+  Prng rng(20240707);
+  for (int trial = 0; trial < 30; ++trial) {
+    workloads::RandomProgramParams params;
+    params.num_loops = 2 + static_cast<int>(rng.uniform(5));
+    params.num_arrays = 2 + static_cast<int>(rng.uniform(4));
+    params.n = 24;
+    const Program p = workloads::random_program(rng, params);
+    for (auto solver : {core::FusionSolver::kBest, core::FusionSolver::kGreedy,
+                        core::FusionSolver::kEdgeWeighted}) {
+      core::OptimizerOptions opts;
+      opts.solver = solver;
+      const core::OptimizeResult r = core::optimize(p, opts);
+      expect_same_semantics(p, r.program);
+    }
+  }
+}
+
+TEST(Optimizer, PassesCanBeDisabled) {
+  const Program p = workloads::fig7_original(32);
+  core::OptimizerOptions opts;
+  opts.solver = core::FusionSolver::kNone;
+  opts.reduce_storage = false;
+  opts.eliminate_stores = false;
+  const core::OptimizeResult r = core::optimize(p, opts);
+  EXPECT_TRUE(ir::equal(p, r.program));
+}
+
+}  // namespace
+}  // namespace bwc::transform

@@ -1,0 +1,226 @@
+// bwcopt — command-line driver for the bandwidth optimizer.
+//
+//   bwcopt [options]
+//     --program <fig6|fig7|sec21|random>   workload (default fig7)
+//     --file <path>                        parse a program from a text
+//                                          file (printer format) instead
+//     --n <int>                            problem size (default 100000;
+//                                          fig6 uses a 2-D n x n)
+//     --machine <o2k|exemplar|modern>      machine model (default o2k)
+//     --scale <int>                        cache scale divisor (default 16)
+//     --solver <best|exact|greedy|bisection|edge-weighted|none>
+//     --no-storage --no-stores             disable individual passes
+//     --regroup                            also run inter-array regrouping
+//     --shift                              allow fusion with loop alignment
+//     --interchange                        stride-1 loop interchange first
+//     --scalar-replace                     rotating-scalar register reuse
+//     --seed <int>                         seed for --program random
+//     --print                              print before/after programs
+//     --help
+//
+// Output: the pass log, before/after traffic + predicted time on the
+// chosen machine, the tuning report, and a semantics check.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bwc/core/optimizer.h"
+#include "bwc/ir/parser.h"
+#include "bwc/ir/printer.h"
+#include "bwc/machine/machine_model.h"
+#include "bwc/model/measure.h"
+#include "bwc/model/prediction.h"
+#include "bwc/support/error.h"
+#include "bwc/support/prng.h"
+#include "bwc/support/table.h"
+#include "bwc/transform/regrouping.h"
+#include "bwc/workloads/paper_programs.h"
+#include "bwc/workloads/random_programs.h"
+
+namespace {
+
+using namespace bwc;
+
+struct Options {
+  std::string program = "fig7";
+  std::string file;
+  std::int64_t n = 100000;
+  std::string machine = "o2k";
+  std::uint64_t scale = 16;
+  std::string solver = "best";
+  bool storage = true;
+  bool stores = true;
+  bool regroup = false;
+  bool shift = false;
+  bool interchange = false;
+  bool scalar_replace = false;
+  std::uint64_t seed = 1;
+  bool print = false;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "bwcopt --program <fig6|fig7|sec21|random> --n <int> "
+      "--machine <o2k|exemplar|modern>\n"
+      "       --scale <int> --solver "
+      "<best|exact|greedy|bisection|edge-weighted|none>\n"
+      "       [--no-storage] [--no-stores] [--regroup] [--shift] "
+      "[--seed <int>] [--print]\n";
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--program") {
+      o.program = value(i);
+    } else if (arg == "--file") {
+      o.file = value(i);
+    } else if (arg == "--n") {
+      o.n = std::stoll(value(i));
+    } else if (arg == "--machine") {
+      o.machine = value(i);
+    } else if (arg == "--scale") {
+      o.scale = std::stoull(value(i));
+    } else if (arg == "--solver") {
+      o.solver = value(i);
+    } else if (arg == "--no-storage") {
+      o.storage = false;
+    } else if (arg == "--no-stores") {
+      o.stores = false;
+    } else if (arg == "--regroup") {
+      o.regroup = true;
+    } else if (arg == "--shift") {
+      o.shift = true;
+    } else if (arg == "--interchange") {
+      o.interchange = true;
+    } else if (arg == "--scalar-replace") {
+      o.scalar_replace = true;
+    } else if (arg == "--seed") {
+      o.seed = std::stoull(value(i));
+    } else if (arg == "--print") {
+      o.print = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      usage(2);
+    }
+  }
+  return o;
+}
+
+ir::Program make_program(const Options& o) {
+  if (!o.file.empty()) {
+    std::ifstream in(o.file);
+    if (!in.good()) throw Error("cannot open program file: " + o.file);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return ir::parse_program(text.str());
+  }
+  if (o.program == "fig6")
+    return workloads::fig6_original(std::min<std::int64_t>(o.n, 2000));
+  if (o.program == "fig7") return workloads::fig7_original(o.n);
+  if (o.program == "sec21") return workloads::sec21_both_loops(o.n);
+  if (o.program == "random") {
+    Prng rng(o.seed);
+    workloads::RandomProgramParams params;
+    params.n = std::min<std::int64_t>(o.n, 4096);
+    return workloads::random_program(rng, params);
+  }
+  throw Error("unknown program: " + o.program);
+}
+
+machine::MachineModel make_machine(const Options& o) {
+  machine::MachineModel m;
+  if (o.machine == "o2k") {
+    m = machine::origin2000_r10k();
+  } else if (o.machine == "exemplar") {
+    m = machine::exemplar_pa8000();
+  } else if (o.machine == "modern") {
+    m = machine::generic_modern();
+  } else {
+    throw Error("unknown machine: " + o.machine);
+  }
+  return m.scaled(o.scale);
+}
+
+core::FusionSolver make_solver(const std::string& name) {
+  if (name == "best") return core::FusionSolver::kBest;
+  if (name == "exact") return core::FusionSolver::kExact;
+  if (name == "greedy") return core::FusionSolver::kGreedy;
+  if (name == "bisection") return core::FusionSolver::kBisection;
+  if (name == "edge-weighted") return core::FusionSolver::kEdgeWeighted;
+  if (name == "none") return core::FusionSolver::kNone;
+  throw Error("unknown solver: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options o = parse(argc, argv);
+    const ir::Program original = make_program(o);
+    const machine::MachineModel machine = make_machine(o);
+
+    core::OptimizerOptions opts;
+    opts.solver = make_solver(o.solver);
+    opts.reduce_storage = o.storage;
+    opts.eliminate_stores = o.stores;
+    opts.allow_shifted_fusion = o.shift;
+    opts.auto_interchange = o.interchange;
+    opts.scalar_replacement = o.scalar_replace;
+    core::OptimizeResult result = core::optimize(original, opts);
+    if (o.regroup) {
+      transform::RegroupingResult rr =
+          transform::regroup_all(result.program);
+      for (const auto& a : rr.actions)
+        result.log.push_back("regrouping: " + a);
+      result.program = std::move(rr.program);
+    }
+
+    if (o.print) {
+      std::cout << "---- original ----\n" << ir::to_string(original)
+                << "\n---- optimized ----\n" << ir::to_string(result.program)
+                << "\n";
+    }
+    std::cout << "passes:\n" << core::render_log(result) << "\n";
+
+    const auto before = model::measure(original, machine);
+    const auto after = model::measure(result.program, machine);
+    TextTable t("on " + machine.name);
+    t.set_header({"", "mem traffic", "predicted ms", "binding"});
+    t.add_row({"original",
+               fmt_bytes(static_cast<double>(before.profile.memory_bytes())),
+               fmt_fixed(before.time.total_s * 1e3, 3),
+               before.time.binding_resource});
+    t.add_row({"optimized",
+               fmt_bytes(static_cast<double>(after.profile.memory_bytes())),
+               fmt_fixed(after.time.total_s * 1e3, 3),
+               after.time.binding_resource});
+    std::cout << t.render();
+    std::cout << "speedup: "
+              << fmt_fixed(before.time.total_s / after.time.total_s, 2)
+              << "x\n";
+
+    const double drift =
+        std::abs(before.exec.checksum - after.exec.checksum);
+    const bool ok = drift <= 1e-9 * (std::abs(before.exec.checksum) + 1.0);
+    std::cout << "semantics: "
+              << (ok ? "preserved" : "MISMATCH -- please report a bug")
+              << " (checksum " << before.exec.checksum << ")\n\n";
+    std::cout << model::render_tuning_report(
+        model::tuning_report(after.profile, machine));
+    return ok ? 0 : 1;
+  } catch (const bwc::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
