@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cache_policies"
+  "../bench/ablation_cache_policies.pdb"
+  "CMakeFiles/ablation_cache_policies.dir/ablation_cache_policies.cpp.o"
+  "CMakeFiles/ablation_cache_policies.dir/ablation_cache_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

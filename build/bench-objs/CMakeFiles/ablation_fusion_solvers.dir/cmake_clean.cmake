@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fusion_solvers"
+  "../bench/ablation_fusion_solvers.pdb"
+  "CMakeFiles/ablation_fusion_solvers.dir/ablation_fusion_solvers.cpp.o"
+  "CMakeFiles/ablation_fusion_solvers.dir/ablation_fusion_solvers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fusion_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pipeline_passes"
+  "../bench/ablation_pipeline_passes.pdb"
+  "CMakeFiles/ablation_pipeline_passes.dir/ablation_pipeline_passes.cpp.o"
+  "CMakeFiles/ablation_pipeline_passes.dir/ablation_pipeline_passes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipeline_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

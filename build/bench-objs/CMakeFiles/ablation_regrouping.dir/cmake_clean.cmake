@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_regrouping"
+  "../bench/ablation_regrouping.pdb"
+  "CMakeFiles/ablation_regrouping.dir/ablation_regrouping.cpp.o"
+  "CMakeFiles/ablation_regrouping.dir/ablation_regrouping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regrouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_shifted_fusion"
+  "../bench/ablation_shifted_fusion.pdb"
+  "CMakeFiles/ablation_shifted_fusion.dir/ablation_shifted_fusion.cpp.o"
+  "CMakeFiles/ablation_shifted_fusion.dir/ablation_shifted_fusion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shifted_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

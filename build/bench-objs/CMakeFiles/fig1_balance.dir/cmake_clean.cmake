@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_balance"
+  "../bench/fig1_balance.pdb"
+  "CMakeFiles/fig1_balance.dir/fig1_balance.cpp.o"
+  "CMakeFiles/fig1_balance.dir/fig1_balance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_ratios"
+  "../bench/fig2_ratios.pdb"
+  "CMakeFiles/fig2_ratios.dir/fig2_ratios.cpp.o"
+  "CMakeFiles/fig2_ratios.dir/fig2_ratios.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_fusion_example"
+  "../bench/fig4_fusion_example.pdb"
+  "CMakeFiles/fig4_fusion_example.dir/fig4_fusion_example.cpp.o"
+  "CMakeFiles/fig4_fusion_example.dir/fig4_fusion_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fusion_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_storage_reduction"
+  "../bench/fig6_storage_reduction.pdb"
+  "CMakeFiles/fig6_storage_reduction.dir/fig6_storage_reduction.cpp.o"
+  "CMakeFiles/fig6_storage_reduction.dir/fig6_storage_reduction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_storage_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_store_elimination"
+  "../bench/fig8_store_elimination.pdb"
+  "CMakeFiles/fig8_store_elimination.dir/fig8_store_elimination.cpp.o"
+  "CMakeFiles/fig8_store_elimination.dir/fig8_store_elimination.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_store_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

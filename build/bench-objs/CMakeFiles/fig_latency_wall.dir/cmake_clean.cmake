@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_latency_wall"
+  "../bench/fig_latency_wall.pdb"
+  "CMakeFiles/fig_latency_wall.dir/fig_latency_wall.cpp.o"
+  "CMakeFiles/fig_latency_wall.dir/fig_latency_wall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_latency_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

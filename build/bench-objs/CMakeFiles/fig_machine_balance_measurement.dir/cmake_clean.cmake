@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_machine_balance_measurement"
+  "../bench/fig_machine_balance_measurement.pdb"
+  "CMakeFiles/fig_machine_balance_measurement.dir/fig_machine_balance_measurement.cpp.o"
+  "CMakeFiles/fig_machine_balance_measurement.dir/fig_machine_balance_measurement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_machine_balance_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

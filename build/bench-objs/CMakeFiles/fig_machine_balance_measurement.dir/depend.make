@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_machine_balance_measurement.
+# This may be replaced when dependencies are built.

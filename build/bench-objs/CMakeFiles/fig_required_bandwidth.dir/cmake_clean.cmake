@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_required_bandwidth"
+  "../bench/fig_required_bandwidth.pdb"
+  "CMakeFiles/fig_required_bandwidth.dir/fig_required_bandwidth.cpp.o"
+  "CMakeFiles/fig_required_bandwidth.dir/fig_required_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_required_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_sec21_write_vs_read"
+  "../bench/fig_sec21_write_vs_read.pdb"
+  "CMakeFiles/fig_sec21_write_vs_read.dir/fig_sec21_write_vs_read.cpp.o"
+  "CMakeFiles/fig_sec21_write_vs_read.dir/fig_sec21_write_vs_read.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_sec21_write_vs_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_sec21_write_vs_read.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_sp_utilization"
+  "../bench/fig_sp_utilization.pdb"
+  "CMakeFiles/fig_sp_utilization.dir/fig_sp_utilization.cpp.o"
+  "CMakeFiles/fig_sp_utilization.dir/fig_sp_utilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_sp_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/native_kernel_bandwidth"
+  "../bench/native_kernel_bandwidth.pdb"
+  "CMakeFiles/native_kernel_bandwidth.dir/native_kernel_bandwidth.cpp.o"
+  "CMakeFiles/native_kernel_bandwidth.dir/native_kernel_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_kernel_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

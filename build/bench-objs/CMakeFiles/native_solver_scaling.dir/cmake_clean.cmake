@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/native_solver_scaling"
+  "../bench/native_solver_scaling.pdb"
+  "CMakeFiles/native_solver_scaling.dir/native_solver_scaling.cpp.o"
+  "CMakeFiles/native_solver_scaling.dir/native_solver_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_solver_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/native_write_vs_read"
+  "../bench/native_write_vs_read.pdb"
+  "CMakeFiles/native_write_vs_read.dir/native_write_vs_read.cpp.o"
+  "CMakeFiles/native_write_vs_read.dir/native_write_vs_read.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_write_vs_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

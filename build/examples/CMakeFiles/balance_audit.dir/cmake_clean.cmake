@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_audit.dir/balance_audit.cpp.o"
+  "CMakeFiles/balance_audit.dir/balance_audit.cpp.o.d"
+  "balance_audit"
+  "balance_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_playground.dir/fusion_playground.cpp.o"
+  "CMakeFiles/fusion_playground.dir/fusion_playground.cpp.o.d"
+  "fusion_playground"
+  "fusion_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

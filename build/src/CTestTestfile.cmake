@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("bwc/support")
+subdirs("bwc/graph")
+subdirs("bwc/memsim")
+subdirs("bwc/machine")
+subdirs("bwc/ir")
+subdirs("bwc/runtime")
+subdirs("bwc/analysis")
+subdirs("bwc/fusion")
+subdirs("bwc/transform")
+subdirs("bwc/model")
+subdirs("bwc/workloads")
+subdirs("bwc/core")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bwc/analysis/access_summary.cpp" "src/bwc/analysis/CMakeFiles/bwc_analysis.dir/access_summary.cpp.o" "gcc" "src/bwc/analysis/CMakeFiles/bwc_analysis.dir/access_summary.cpp.o.d"
+  "/root/repo/src/bwc/analysis/dependence.cpp" "src/bwc/analysis/CMakeFiles/bwc_analysis.dir/dependence.cpp.o" "gcc" "src/bwc/analysis/CMakeFiles/bwc_analysis.dir/dependence.cpp.o.d"
+  "/root/repo/src/bwc/analysis/liveness.cpp" "src/bwc/analysis/CMakeFiles/bwc_analysis.dir/liveness.cpp.o" "gcc" "src/bwc/analysis/CMakeFiles/bwc_analysis.dir/liveness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bwc/support/CMakeFiles/bwc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/ir/CMakeFiles/bwc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

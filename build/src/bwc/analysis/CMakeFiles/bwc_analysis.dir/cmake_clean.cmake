@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwc_analysis.dir/access_summary.cpp.o"
+  "CMakeFiles/bwc_analysis.dir/access_summary.cpp.o.d"
+  "CMakeFiles/bwc_analysis.dir/dependence.cpp.o"
+  "CMakeFiles/bwc_analysis.dir/dependence.cpp.o.d"
+  "CMakeFiles/bwc_analysis.dir/liveness.cpp.o"
+  "CMakeFiles/bwc_analysis.dir/liveness.cpp.o.d"
+  "libbwc_analysis.a"
+  "libbwc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwc_core.dir/optimizer.cpp.o"
+  "CMakeFiles/bwc_core.dir/optimizer.cpp.o.d"
+  "libbwc_core.a"
+  "libbwc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bwc/fusion/dot_export.cpp" "src/bwc/fusion/CMakeFiles/bwc_fusion.dir/dot_export.cpp.o" "gcc" "src/bwc/fusion/CMakeFiles/bwc_fusion.dir/dot_export.cpp.o.d"
+  "/root/repo/src/bwc/fusion/fusion_graph.cpp" "src/bwc/fusion/CMakeFiles/bwc_fusion.dir/fusion_graph.cpp.o" "gcc" "src/bwc/fusion/CMakeFiles/bwc_fusion.dir/fusion_graph.cpp.o.d"
+  "/root/repo/src/bwc/fusion/kway_reduction.cpp" "src/bwc/fusion/CMakeFiles/bwc_fusion.dir/kway_reduction.cpp.o" "gcc" "src/bwc/fusion/CMakeFiles/bwc_fusion.dir/kway_reduction.cpp.o.d"
+  "/root/repo/src/bwc/fusion/solvers.cpp" "src/bwc/fusion/CMakeFiles/bwc_fusion.dir/solvers.cpp.o" "gcc" "src/bwc/fusion/CMakeFiles/bwc_fusion.dir/solvers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bwc/support/CMakeFiles/bwc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/ir/CMakeFiles/bwc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/graph/CMakeFiles/bwc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/analysis/CMakeFiles/bwc_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwc_fusion.dir/dot_export.cpp.o"
+  "CMakeFiles/bwc_fusion.dir/dot_export.cpp.o.d"
+  "CMakeFiles/bwc_fusion.dir/fusion_graph.cpp.o"
+  "CMakeFiles/bwc_fusion.dir/fusion_graph.cpp.o.d"
+  "CMakeFiles/bwc_fusion.dir/kway_reduction.cpp.o"
+  "CMakeFiles/bwc_fusion.dir/kway_reduction.cpp.o.d"
+  "CMakeFiles/bwc_fusion.dir/solvers.cpp.o"
+  "CMakeFiles/bwc_fusion.dir/solvers.cpp.o.d"
+  "libbwc_fusion.a"
+  "libbwc_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwc_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bwc/graph/digraph.cpp" "src/bwc/graph/CMakeFiles/bwc_graph.dir/digraph.cpp.o" "gcc" "src/bwc/graph/CMakeFiles/bwc_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/bwc/graph/flow_network.cpp" "src/bwc/graph/CMakeFiles/bwc_graph.dir/flow_network.cpp.o" "gcc" "src/bwc/graph/CMakeFiles/bwc_graph.dir/flow_network.cpp.o.d"
+  "/root/repo/src/bwc/graph/hyper_cut.cpp" "src/bwc/graph/CMakeFiles/bwc_graph.dir/hyper_cut.cpp.o" "gcc" "src/bwc/graph/CMakeFiles/bwc_graph.dir/hyper_cut.cpp.o.d"
+  "/root/repo/src/bwc/graph/hypergraph.cpp" "src/bwc/graph/CMakeFiles/bwc_graph.dir/hypergraph.cpp.o" "gcc" "src/bwc/graph/CMakeFiles/bwc_graph.dir/hypergraph.cpp.o.d"
+  "/root/repo/src/bwc/graph/random_graphs.cpp" "src/bwc/graph/CMakeFiles/bwc_graph.dir/random_graphs.cpp.o" "gcc" "src/bwc/graph/CMakeFiles/bwc_graph.dir/random_graphs.cpp.o.d"
+  "/root/repo/src/bwc/graph/undirected_graph.cpp" "src/bwc/graph/CMakeFiles/bwc_graph.dir/undirected_graph.cpp.o" "gcc" "src/bwc/graph/CMakeFiles/bwc_graph.dir/undirected_graph.cpp.o.d"
+  "/root/repo/src/bwc/graph/vertex_cut.cpp" "src/bwc/graph/CMakeFiles/bwc_graph.dir/vertex_cut.cpp.o" "gcc" "src/bwc/graph/CMakeFiles/bwc_graph.dir/vertex_cut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bwc/support/CMakeFiles/bwc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

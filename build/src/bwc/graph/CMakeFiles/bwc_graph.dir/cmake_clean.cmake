@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwc_graph.dir/digraph.cpp.o"
+  "CMakeFiles/bwc_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/bwc_graph.dir/flow_network.cpp.o"
+  "CMakeFiles/bwc_graph.dir/flow_network.cpp.o.d"
+  "CMakeFiles/bwc_graph.dir/hyper_cut.cpp.o"
+  "CMakeFiles/bwc_graph.dir/hyper_cut.cpp.o.d"
+  "CMakeFiles/bwc_graph.dir/hypergraph.cpp.o"
+  "CMakeFiles/bwc_graph.dir/hypergraph.cpp.o.d"
+  "CMakeFiles/bwc_graph.dir/random_graphs.cpp.o"
+  "CMakeFiles/bwc_graph.dir/random_graphs.cpp.o.d"
+  "CMakeFiles/bwc_graph.dir/undirected_graph.cpp.o"
+  "CMakeFiles/bwc_graph.dir/undirected_graph.cpp.o.d"
+  "CMakeFiles/bwc_graph.dir/vertex_cut.cpp.o"
+  "CMakeFiles/bwc_graph.dir/vertex_cut.cpp.o.d"
+  "libbwc_graph.a"
+  "libbwc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bwc/ir/affine.cpp" "src/bwc/ir/CMakeFiles/bwc_ir.dir/affine.cpp.o" "gcc" "src/bwc/ir/CMakeFiles/bwc_ir.dir/affine.cpp.o.d"
+  "/root/repo/src/bwc/ir/expr.cpp" "src/bwc/ir/CMakeFiles/bwc_ir.dir/expr.cpp.o" "gcc" "src/bwc/ir/CMakeFiles/bwc_ir.dir/expr.cpp.o.d"
+  "/root/repo/src/bwc/ir/parser.cpp" "src/bwc/ir/CMakeFiles/bwc_ir.dir/parser.cpp.o" "gcc" "src/bwc/ir/CMakeFiles/bwc_ir.dir/parser.cpp.o.d"
+  "/root/repo/src/bwc/ir/printer.cpp" "src/bwc/ir/CMakeFiles/bwc_ir.dir/printer.cpp.o" "gcc" "src/bwc/ir/CMakeFiles/bwc_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/bwc/ir/program.cpp" "src/bwc/ir/CMakeFiles/bwc_ir.dir/program.cpp.o" "gcc" "src/bwc/ir/CMakeFiles/bwc_ir.dir/program.cpp.o.d"
+  "/root/repo/src/bwc/ir/stmt.cpp" "src/bwc/ir/CMakeFiles/bwc_ir.dir/stmt.cpp.o" "gcc" "src/bwc/ir/CMakeFiles/bwc_ir.dir/stmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bwc/support/CMakeFiles/bwc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwc_ir.dir/affine.cpp.o"
+  "CMakeFiles/bwc_ir.dir/affine.cpp.o.d"
+  "CMakeFiles/bwc_ir.dir/expr.cpp.o"
+  "CMakeFiles/bwc_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/bwc_ir.dir/parser.cpp.o"
+  "CMakeFiles/bwc_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/bwc_ir.dir/printer.cpp.o"
+  "CMakeFiles/bwc_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/bwc_ir.dir/program.cpp.o"
+  "CMakeFiles/bwc_ir.dir/program.cpp.o.d"
+  "CMakeFiles/bwc_ir.dir/stmt.cpp.o"
+  "CMakeFiles/bwc_ir.dir/stmt.cpp.o.d"
+  "libbwc_ir.a"
+  "libbwc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwc_machine.dir/latency_model.cpp.o"
+  "CMakeFiles/bwc_machine.dir/latency_model.cpp.o.d"
+  "CMakeFiles/bwc_machine.dir/machine_model.cpp.o"
+  "CMakeFiles/bwc_machine.dir/machine_model.cpp.o.d"
+  "CMakeFiles/bwc_machine.dir/timing.cpp.o"
+  "CMakeFiles/bwc_machine.dir/timing.cpp.o.d"
+  "libbwc_machine.a"
+  "libbwc_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwc_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

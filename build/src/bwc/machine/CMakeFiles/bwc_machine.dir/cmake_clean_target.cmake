@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbwc_machine.a"
+)

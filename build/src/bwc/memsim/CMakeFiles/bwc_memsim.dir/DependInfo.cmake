@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bwc/memsim/cache_level.cpp" "src/bwc/memsim/CMakeFiles/bwc_memsim.dir/cache_level.cpp.o" "gcc" "src/bwc/memsim/CMakeFiles/bwc_memsim.dir/cache_level.cpp.o.d"
+  "/root/repo/src/bwc/memsim/hierarchy.cpp" "src/bwc/memsim/CMakeFiles/bwc_memsim.dir/hierarchy.cpp.o" "gcc" "src/bwc/memsim/CMakeFiles/bwc_memsim.dir/hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bwc/support/CMakeFiles/bwc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwc_memsim.dir/cache_level.cpp.o"
+  "CMakeFiles/bwc_memsim.dir/cache_level.cpp.o.d"
+  "CMakeFiles/bwc_memsim.dir/hierarchy.cpp.o"
+  "CMakeFiles/bwc_memsim.dir/hierarchy.cpp.o.d"
+  "libbwc_memsim.a"
+  "libbwc_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwc_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bwc/model/balance.cpp" "src/bwc/model/CMakeFiles/bwc_model.dir/balance.cpp.o" "gcc" "src/bwc/model/CMakeFiles/bwc_model.dir/balance.cpp.o.d"
+  "/root/repo/src/bwc/model/measure.cpp" "src/bwc/model/CMakeFiles/bwc_model.dir/measure.cpp.o" "gcc" "src/bwc/model/CMakeFiles/bwc_model.dir/measure.cpp.o.d"
+  "/root/repo/src/bwc/model/prediction.cpp" "src/bwc/model/CMakeFiles/bwc_model.dir/prediction.cpp.o" "gcc" "src/bwc/model/CMakeFiles/bwc_model.dir/prediction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bwc/support/CMakeFiles/bwc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/machine/CMakeFiles/bwc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/runtime/CMakeFiles/bwc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/ir/CMakeFiles/bwc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/memsim/CMakeFiles/bwc_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

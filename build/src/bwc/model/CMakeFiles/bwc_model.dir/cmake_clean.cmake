@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwc_model.dir/balance.cpp.o"
+  "CMakeFiles/bwc_model.dir/balance.cpp.o.d"
+  "CMakeFiles/bwc_model.dir/measure.cpp.o"
+  "CMakeFiles/bwc_model.dir/measure.cpp.o.d"
+  "CMakeFiles/bwc_model.dir/prediction.cpp.o"
+  "CMakeFiles/bwc_model.dir/prediction.cpp.o.d"
+  "libbwc_model.a"
+  "libbwc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bwc/runtime/interpreter.cpp" "src/bwc/runtime/CMakeFiles/bwc_runtime.dir/interpreter.cpp.o" "gcc" "src/bwc/runtime/CMakeFiles/bwc_runtime.dir/interpreter.cpp.o.d"
+  "/root/repo/src/bwc/runtime/recorder.cpp" "src/bwc/runtime/CMakeFiles/bwc_runtime.dir/recorder.cpp.o" "gcc" "src/bwc/runtime/CMakeFiles/bwc_runtime.dir/recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bwc/support/CMakeFiles/bwc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/ir/CMakeFiles/bwc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/memsim/CMakeFiles/bwc_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/machine/CMakeFiles/bwc_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwc_runtime.dir/interpreter.cpp.o"
+  "CMakeFiles/bwc_runtime.dir/interpreter.cpp.o.d"
+  "CMakeFiles/bwc_runtime.dir/recorder.cpp.o"
+  "CMakeFiles/bwc_runtime.dir/recorder.cpp.o.d"
+  "libbwc_runtime.a"
+  "libbwc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

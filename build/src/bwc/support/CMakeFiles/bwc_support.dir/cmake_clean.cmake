@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwc_support.dir/csv.cpp.o"
+  "CMakeFiles/bwc_support.dir/csv.cpp.o.d"
+  "CMakeFiles/bwc_support.dir/error.cpp.o"
+  "CMakeFiles/bwc_support.dir/error.cpp.o.d"
+  "CMakeFiles/bwc_support.dir/stats.cpp.o"
+  "CMakeFiles/bwc_support.dir/stats.cpp.o.d"
+  "CMakeFiles/bwc_support.dir/table.cpp.o"
+  "CMakeFiles/bwc_support.dir/table.cpp.o.d"
+  "libbwc_support.a"
+  "libbwc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

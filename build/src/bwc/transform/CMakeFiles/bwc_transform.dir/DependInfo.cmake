@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bwc/transform/distribute.cpp" "src/bwc/transform/CMakeFiles/bwc_transform.dir/distribute.cpp.o" "gcc" "src/bwc/transform/CMakeFiles/bwc_transform.dir/distribute.cpp.o.d"
+  "/root/repo/src/bwc/transform/fuse.cpp" "src/bwc/transform/CMakeFiles/bwc_transform.dir/fuse.cpp.o" "gcc" "src/bwc/transform/CMakeFiles/bwc_transform.dir/fuse.cpp.o.d"
+  "/root/repo/src/bwc/transform/interchange.cpp" "src/bwc/transform/CMakeFiles/bwc_transform.dir/interchange.cpp.o" "gcc" "src/bwc/transform/CMakeFiles/bwc_transform.dir/interchange.cpp.o.d"
+  "/root/repo/src/bwc/transform/regrouping.cpp" "src/bwc/transform/CMakeFiles/bwc_transform.dir/regrouping.cpp.o" "gcc" "src/bwc/transform/CMakeFiles/bwc_transform.dir/regrouping.cpp.o.d"
+  "/root/repo/src/bwc/transform/rewrite.cpp" "src/bwc/transform/CMakeFiles/bwc_transform.dir/rewrite.cpp.o" "gcc" "src/bwc/transform/CMakeFiles/bwc_transform.dir/rewrite.cpp.o.d"
+  "/root/repo/src/bwc/transform/scalar_replacement.cpp" "src/bwc/transform/CMakeFiles/bwc_transform.dir/scalar_replacement.cpp.o" "gcc" "src/bwc/transform/CMakeFiles/bwc_transform.dir/scalar_replacement.cpp.o.d"
+  "/root/repo/src/bwc/transform/storage_reduction.cpp" "src/bwc/transform/CMakeFiles/bwc_transform.dir/storage_reduction.cpp.o" "gcc" "src/bwc/transform/CMakeFiles/bwc_transform.dir/storage_reduction.cpp.o.d"
+  "/root/repo/src/bwc/transform/store_elimination.cpp" "src/bwc/transform/CMakeFiles/bwc_transform.dir/store_elimination.cpp.o" "gcc" "src/bwc/transform/CMakeFiles/bwc_transform.dir/store_elimination.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bwc/support/CMakeFiles/bwc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/ir/CMakeFiles/bwc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/analysis/CMakeFiles/bwc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/fusion/CMakeFiles/bwc_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/graph/CMakeFiles/bwc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwc_transform.dir/distribute.cpp.o"
+  "CMakeFiles/bwc_transform.dir/distribute.cpp.o.d"
+  "CMakeFiles/bwc_transform.dir/fuse.cpp.o"
+  "CMakeFiles/bwc_transform.dir/fuse.cpp.o.d"
+  "CMakeFiles/bwc_transform.dir/interchange.cpp.o"
+  "CMakeFiles/bwc_transform.dir/interchange.cpp.o.d"
+  "CMakeFiles/bwc_transform.dir/regrouping.cpp.o"
+  "CMakeFiles/bwc_transform.dir/regrouping.cpp.o.d"
+  "CMakeFiles/bwc_transform.dir/rewrite.cpp.o"
+  "CMakeFiles/bwc_transform.dir/rewrite.cpp.o.d"
+  "CMakeFiles/bwc_transform.dir/scalar_replacement.cpp.o"
+  "CMakeFiles/bwc_transform.dir/scalar_replacement.cpp.o.d"
+  "CMakeFiles/bwc_transform.dir/storage_reduction.cpp.o"
+  "CMakeFiles/bwc_transform.dir/storage_reduction.cpp.o.d"
+  "CMakeFiles/bwc_transform.dir/store_elimination.cpp.o"
+  "CMakeFiles/bwc_transform.dir/store_elimination.cpp.o.d"
+  "libbwc_transform.a"
+  "libbwc_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwc_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

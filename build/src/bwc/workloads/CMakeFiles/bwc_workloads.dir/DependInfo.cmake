@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bwc/workloads/extra_programs.cpp" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/extra_programs.cpp.o" "gcc" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/extra_programs.cpp.o.d"
+  "/root/repo/src/bwc/workloads/kernels.cpp" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/kernels.cpp.o" "gcc" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/kernels.cpp.o.d"
+  "/root/repo/src/bwc/workloads/paper_programs.cpp" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/paper_programs.cpp.o" "gcc" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/paper_programs.cpp.o.d"
+  "/root/repo/src/bwc/workloads/random_programs.cpp" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/random_programs.cpp.o" "gcc" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/random_programs.cpp.o.d"
+  "/root/repo/src/bwc/workloads/sp_proxy.cpp" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/sp_proxy.cpp.o" "gcc" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/sp_proxy.cpp.o.d"
+  "/root/repo/src/bwc/workloads/stream.cpp" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/stream.cpp.o" "gcc" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/stream.cpp.o.d"
+  "/root/repo/src/bwc/workloads/stride_kernels.cpp" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/stride_kernels.cpp.o" "gcc" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/stride_kernels.cpp.o.d"
+  "/root/repo/src/bwc/workloads/sweep3d_proxy.cpp" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/sweep3d_proxy.cpp.o" "gcc" "src/bwc/workloads/CMakeFiles/bwc_workloads.dir/sweep3d_proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bwc/support/CMakeFiles/bwc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/ir/CMakeFiles/bwc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/fusion/CMakeFiles/bwc_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/runtime/CMakeFiles/bwc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/graph/CMakeFiles/bwc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/analysis/CMakeFiles/bwc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/machine/CMakeFiles/bwc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/memsim/CMakeFiles/bwc_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwc_workloads.dir/extra_programs.cpp.o"
+  "CMakeFiles/bwc_workloads.dir/extra_programs.cpp.o.d"
+  "CMakeFiles/bwc_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/bwc_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/bwc_workloads.dir/paper_programs.cpp.o"
+  "CMakeFiles/bwc_workloads.dir/paper_programs.cpp.o.d"
+  "CMakeFiles/bwc_workloads.dir/random_programs.cpp.o"
+  "CMakeFiles/bwc_workloads.dir/random_programs.cpp.o.d"
+  "CMakeFiles/bwc_workloads.dir/sp_proxy.cpp.o"
+  "CMakeFiles/bwc_workloads.dir/sp_proxy.cpp.o.d"
+  "CMakeFiles/bwc_workloads.dir/stream.cpp.o"
+  "CMakeFiles/bwc_workloads.dir/stream.cpp.o.d"
+  "CMakeFiles/bwc_workloads.dir/stride_kernels.cpp.o"
+  "CMakeFiles/bwc_workloads.dir/stride_kernels.cpp.o.d"
+  "CMakeFiles/bwc_workloads.dir/sweep3d_proxy.cpp.o"
+  "CMakeFiles/bwc_workloads.dir/sweep3d_proxy.cpp.o.d"
+  "libbwc_workloads.a"
+  "libbwc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

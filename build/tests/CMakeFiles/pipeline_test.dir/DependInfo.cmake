@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/pipeline_test.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bwc/model/CMakeFiles/bwc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/workloads/CMakeFiles/bwc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/runtime/CMakeFiles/bwc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/machine/CMakeFiles/bwc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/memsim/CMakeFiles/bwc_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/core/CMakeFiles/bwc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/transform/CMakeFiles/bwc_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/fusion/CMakeFiles/bwc_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/graph/CMakeFiles/bwc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/analysis/CMakeFiles/bwc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/ir/CMakeFiles/bwc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwc/support/CMakeFiles/bwc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalar_replacement_test.dir/scalar_replacement_test.cpp.o"
+  "CMakeFiles/scalar_replacement_test.dir/scalar_replacement_test.cpp.o.d"
+  "scalar_replacement_test"
+  "scalar_replacement_test.pdb"
+  "scalar_replacement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalar_replacement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

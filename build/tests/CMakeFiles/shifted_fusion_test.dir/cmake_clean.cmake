@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shifted_fusion_test.dir/shifted_fusion_test.cpp.o"
+  "CMakeFiles/shifted_fusion_test.dir/shifted_fusion_test.cpp.o.d"
+  "shifted_fusion_test"
+  "shifted_fusion_test.pdb"
+  "shifted_fusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shifted_fusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/memsim_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/fusion_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/param_test[1]_include.cmake")
+include("/root/repo/build/tests/extension_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/shifted_fusion_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/distribute_test[1]_include.cmake")
+include("/root/repo/build/tests/dependence_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/interchange_test[1]_include.cmake")
+include("/root/repo/build/tests/scalar_replacement_test[1]_include.cmake")

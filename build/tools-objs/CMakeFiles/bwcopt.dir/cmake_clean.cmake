@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/bwcopt"
+  "../tools/bwcopt.pdb"
+  "CMakeFiles/bwcopt.dir/bwcopt.cpp.o"
+  "CMakeFiles/bwcopt.dir/bwcopt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwcopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

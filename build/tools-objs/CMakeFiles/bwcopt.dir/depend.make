@@ -1,0 +1,2 @@
+# Empty dependencies file for bwcopt.
+# This may be replaced when dependencies are built.
