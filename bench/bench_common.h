@@ -10,9 +10,11 @@
 #include <cstdio>
 #include <string>
 
+#include "bwc/ir/program.h"
 #include "bwc/machine/machine_model.h"
 #include "bwc/machine/timing.h"
 #include "bwc/memsim/hierarchy.h"
+#include "bwc/runtime/compiled.h"
 #include "bwc/runtime/recorder.h"
 
 namespace bwc::bench {
@@ -30,28 +32,59 @@ inline machine::MachineModel exemplar() {
 
 /// Run `workload(rec)` to steady state on the machine's hierarchy: one
 /// warm-up pass, then one measured pass. Returns the measured profile.
+///
+/// Counter hygiene (regression-tested in tests/runtime_test.cpp): the
+/// warm-up pass uses its own Recorder whose scope ends -- flushing any
+/// coalesced run into the hierarchy -- before reset_stats() clears the
+/// boundary counters; the measured pass then starts from a *fresh*
+/// Recorder, so warm-up flops and access counts never leak into the
+/// profile while the cache contents stay warm.
 template <typename Fn>
 machine::ExecutionProfile steady_state_profile(
     const machine::MachineModel& machine, Fn&& workload) {
   memsim::MemoryHierarchy h = machine.make_hierarchy();
   {
-    runtime::Recorder warmup(&h);
+    runtime::Recorder warmup(&h, /*coalesce=*/true);
     workload(warmup);
   }
   h.reset_stats();
-  runtime::Recorder rec(&h);
+  runtime::Recorder rec(&h, /*coalesce=*/true);
   workload(rec);
   return rec.profile();
 }
 
 /// Single cold pass (for programs that run once, like the paper examples).
+/// Coalescing is byte-exact (see recorder.h), so the fast path is on.
 template <typename Fn>
 machine::ExecutionProfile cold_profile(const machine::MachineModel& machine,
                                        Fn&& workload) {
   memsim::MemoryHierarchy h = machine.make_hierarchy();
-  runtime::Recorder rec(&h);
+  runtime::Recorder rec(&h, /*coalesce=*/true);
   workload(rec);
   return rec.profile();
+}
+
+/// Cold-cache profile of an IR program, replayed by the compiled engine
+/// (slot-resolved bytecode + coalesced cache access; see docs/runtime.md).
+inline machine::ExecutionProfile program_cold_profile(
+    const machine::MachineModel& machine, const ir::Program& program) {
+  memsim::MemoryHierarchy h = machine.make_hierarchy();
+  runtime::ExecOptions opts;
+  opts.hierarchy = &h;
+  return runtime::execute_compiled(program, opts).profile;
+}
+
+/// Steady-state profile of an IR program: lower once, warm the hierarchy
+/// with one pass, measure the second.
+inline machine::ExecutionProfile program_steady_profile(
+    const machine::MachineModel& machine, const ir::Program& program) {
+  const runtime::LoweredProgram lowered = runtime::lower(program);
+  memsim::MemoryHierarchy h = machine.make_hierarchy();
+  runtime::ExecOptions opts;
+  opts.hierarchy = &h;
+  runtime::execute_lowered(lowered, opts);
+  h.reset_stats();
+  return runtime::execute_lowered(lowered, opts).profile;
 }
 
 inline void print_header(const std::string& title) {

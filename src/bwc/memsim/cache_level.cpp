@@ -24,6 +24,7 @@ CacheLevel::CacheLevel(CacheConfig config) : config_(std::move(config)) {
   config_.validate();
   sets_ = config_.num_sets();
   ways_ = config_.ways();
+  while ((std::uint64_t{1} << line_shift_) < config_.line_bytes) ++line_shift_;
   lines_.assign(static_cast<std::size_t>(sets_ * ways_), Line{});
 }
 
@@ -34,7 +35,7 @@ void CacheLevel::reset() {
 }
 
 std::size_t CacheLevel::set_index(std::uint64_t line_addr) const {
-  const std::uint64_t line_id = line_addr / config_.line_bytes;
+  const std::uint64_t line_id = line_addr >> line_shift_;
   if (config_.page_randomization_seed == 0) {
     return static_cast<std::size_t>(line_id & (sets_ - 1));
   }
@@ -115,7 +116,7 @@ CacheLevel::AccessResult CacheLevel::access(std::uint64_t line_addr,
     if (line.dirty) {
       ++stats_.writebacks;
       result.evicted_dirty = true;
-      result.evicted_line_addr = line.tag * config_.line_bytes;
+      result.evicted_line_addr = line.tag << line_shift_;
     }
   }
 

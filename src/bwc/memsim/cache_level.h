@@ -53,8 +53,10 @@ class CacheLevel {
   };
 
   std::size_t set_index(std::uint64_t line_addr) const;
+  // line_bytes is a validated power of two, so line arithmetic on the
+  // per-access hot path is shifts and masks, never division.
   std::uint64_t tag_of(std::uint64_t line_addr) const {
-    return line_addr / config_.line_bytes;
+    return line_addr >> line_shift_;
   }
 
   CacheConfig config_;
@@ -63,6 +65,7 @@ class CacheLevel {
   std::uint64_t sets_ = 0;
   std::uint64_t ways_ = 0;
   std::uint64_t tick_ = 0;
+  std::uint32_t line_shift_ = 0;  // log2(config_.line_bytes)
 };
 
 }  // namespace bwc::memsim

@@ -37,14 +37,31 @@ void MemoryHierarchy::store(std::uint64_t addr, std::uint64_t size) {
   access(0, addr, size, /*is_write=*/true);
 }
 
+void MemoryHierarchy::load_run(std::uint64_t addr, std::uint64_t size,
+                               std::uint64_t count) {
+  BWC_CHECK(size > 0 && count > 0, "run size and count must be positive");
+  loads_ += count;
+  boundary_[0].bytes_toward_cpu += size;
+  access(0, addr, size, /*is_write=*/false);
+}
+
+void MemoryHierarchy::store_run(std::uint64_t addr, std::uint64_t size,
+                                std::uint64_t count) {
+  BWC_CHECK(size > 0 && count > 0, "run size and count must be positive");
+  stores_ += count;
+  boundary_[0].bytes_from_cpu += size;
+  access(0, addr, size, /*is_write=*/true);
+}
+
 void MemoryHierarchy::access(std::size_t level_index, std::uint64_t addr,
                              std::uint64_t size, bool is_write) {
   if (level_index == levels_.size()) return;  // reached memory
 
   CacheLevel& level = levels_[level_index];
   const std::uint64_t line = level.config().line_bytes;
-  const std::uint64_t first = addr / line * line;
-  const std::uint64_t last = (addr + size - 1) / line * line;
+  const std::uint64_t mask = ~(line - 1);  // line sizes are powers of two
+  const std::uint64_t first = addr & mask;
+  const std::uint64_t last = (addr + size - 1) & mask;
 
   for (std::uint64_t la = first; la <= last; la += line) {
     const auto result = level.access(la, is_write);

@@ -39,6 +39,14 @@ class MemoryHierarchy {
   void load(std::uint64_t addr, std::uint64_t size);
   void store(std::uint64_t addr, std::uint64_t size);
 
+  /// Issue a coalesced run of `count` contiguous same-kind accesses
+  /// covering [addr, addr+size) in one walk. Equivalent -- boundary bytes,
+  /// fills, writebacks and load/store counts all included -- to issuing
+  /// the `count` accesses individually in ascending address order, but
+  /// touches each cache line once instead of once per element.
+  void load_run(std::uint64_t addr, std::uint64_t size, std::uint64_t count);
+  void store_run(std::uint64_t addr, std::uint64_t size, std::uint64_t count);
+
   /// Convenience for double-precision elements.
   void load_double(std::uint64_t addr) { load(addr, 8); }
   void store_double(std::uint64_t addr) { store(addr, 8); }

@@ -7,12 +7,17 @@
 namespace bwc::model {
 
 Measurement measure(const ir::Program& program,
-                    const machine::MachineModel& machine) {
+                    const machine::MachineModel& machine, ExecEngine engine) {
   memsim::MemoryHierarchy hierarchy = machine.make_hierarchy();
   runtime::ExecOptions opts;
   opts.hierarchy = &hierarchy;
   Measurement m;
-  m.exec = runtime::execute(program, opts);
+  // Every figure/ablation that measures programs goes through here, so the
+  // compiled engine is the default; the reference interpreter stays
+  // selectable for debugging and differential checks.
+  m.exec = engine == ExecEngine::kCompiled
+               ? runtime::execute_compiled(program, opts)
+               : runtime::execute(program, opts);
   m.profile = m.exec.profile;
   m.time = machine::predict_time(m.profile, machine);
   m.balance = ProgramBalance::from_profile(program.name(), m.profile);

@@ -8,7 +8,7 @@
 #include "bwc/machine/machine_model.h"
 #include "bwc/machine/timing.h"
 #include "bwc/model/balance.h"
-#include "bwc/runtime/interpreter.h"
+#include "bwc/runtime/compiled.h"
 
 namespace bwc::model {
 
@@ -19,10 +19,17 @@ struct Measurement {
   ProgramBalance balance;
 };
 
+/// Which replay engine performs the measurement. Both are bit-identical
+/// (held so by tests/compiled_runtime_test.cpp); the compiled engine is
+/// several times faster and is the default everywhere. The reference
+/// interpreter remains selectable for debugging and A/B checks.
+enum class ExecEngine { kCompiled, kReference };
+
 /// Execute `program` on the machine's simulated hierarchy (caches start
 /// cold) and evaluate the bandwidth-bound timing model.
 Measurement measure(const ir::Program& program,
-                    const machine::MachineModel& machine);
+                    const machine::MachineModel& machine,
+                    ExecEngine engine = ExecEngine::kCompiled);
 
 /// One-line summary: predicted time, binding resource, memory traffic.
 std::string summarize(const Measurement& m);

@@ -1,0 +1,396 @@
+#include "bwc/runtime/compiled.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bwc/runtime/recorder.h"
+#include "bwc/support/error.h"
+
+namespace bwc::runtime {
+
+namespace {
+
+/// Runtime state for one execution of a lowered program. Mirrors the
+/// reference interpreter's Machine exactly (same base-address walk, same
+/// deterministic initial contents) so results are bit-identical.
+class Vm {
+ public:
+  Vm(const LoweredProgram& lp, const ExecOptions& opts)
+      : lp_(lp), recorder_(opts.hierarchy, opts.coalesce_accesses) {
+    const std::uint64_t align = opts.array_alignment;
+    BWC_CHECK(align > 0 && (align & (align - 1)) == 0,
+              "array alignment must be a power of two");
+    std::uint64_t next = opts.base_address;
+    storage_.reserve(lp.arrays.size());
+    for (const auto& decl : lp.arrays) {
+      next = (next + align - 1) / align * align;
+      bases_.push_back(next);
+      next += static_cast<std::uint64_t>(decl.element_count) * decl.elem_bytes;
+      std::vector<double>& data = storage_.emplace_back();
+      data.resize(static_cast<std::size_t>(decl.element_count));
+      for (std::int64_t k = 0; k < decl.element_count; ++k)
+        data[static_cast<std::size_t>(k)] =
+            ir::input_value(decl.initial_key, k);
+    }
+    scalars_.assign(lp.scalar_names.size(), 0.0);
+    iters_.assign(static_cast<std::size_t>(lp.iter_slot_count), 0);
+    stack_.assign(lp.max_stack, 0.0);
+    for (auto& data : storage_) data_.push_back(data.data());
+  }
+
+  void run();
+
+  ExecResult result() const {
+    ExecResult r;
+    r.flops = recorder_.flop_count();
+    r.loads = recorder_.load_count();
+    r.stores = recorder_.store_count();
+    if (recorder_.hierarchy() != nullptr) r.profile = recorder_.profile();
+    for (std::size_t s = 0; s < scalars_.size(); ++s)
+      r.scalars[lp_.scalar_names[s]] = scalars_[s];
+    r.array_bases = bases_;
+    double checksum = 0.0;
+    for (std::int32_t slot : lp_.output_scalar_slots)
+      checksum += scalars_[static_cast<std::size_t>(slot)];
+    for (std::int32_t a : lp_.output_arrays) {
+      for (double x : storage_[static_cast<std::size_t>(a)]) checksum += x;
+    }
+    r.checksum = checksum;
+    return r;
+  }
+
+ private:
+  std::int64_t eval_lin(const LinExpr& e) const {
+    std::int64_t v = e.base;
+    const LinTerm* t = lp_.terms.data() + e.first_term;
+    for (std::uint32_t k = 0; k < e.term_count; ++k)
+      v += t[k].coeff * iters_[static_cast<std::size_t>(t[k].slot)];
+    return v;
+  }
+
+  /// Evaluate and bounds-check an access's subscripts; returns the 0-based
+  /// linear element index (column-major strides are baked into the dims).
+  std::int64_t locate(const Op& op, const char* what) const {
+    const LoweredDim* dims = lp_.dims.data() + op.first_dim;
+    std::int64_t linear = 0;
+    for (std::uint32_t d = 0; d < op.dim_count; ++d) {
+      const std::int64_t idx = eval_lin(dims[d].index);
+      if (idx < 1 || idx > dims[d].extent) {
+        throw Error(std::string("index out of bounds for ") + what + " dim " +
+                    std::to_string(d) + ": " + std::to_string(idx));
+      }
+      linear += (idx - 1) * dims[d].stride;
+    }
+    return linear;
+  }
+
+  // -- Fused stream loops ---------------------------------------------------
+  // One kStreamLoop op replaces the whole innermost loop: pointers and
+  // simulated addresses advance incrementally, bounds were proven at lower
+  // time, and flops are charged in one batch. The per-element access stream
+  // (rhs loads left to right, then the store) is byte-for-byte the one the
+  // generic op sequence would produce, so coalescing and the cache
+  // simulation see no difference.
+
+  /// Runtime cursor for one operand: either an invariant value (constants
+  /// and scalars, hoisted -- the loop's only write is the lhs) or a pointer
+  /// walking an array stream.
+  struct Cursor {
+    double value = 0.0;
+    double* p = nullptr;
+    std::uint64_t addr = 0;
+    std::int64_t step = 0;        // elements per iteration (may be <= 0)
+    std::int64_t step_bytes = 0;  // step * elem_bytes
+    std::uint64_t bytes = 8;
+  };
+
+  Cursor make_cursor(const StreamOperand& o, std::int64_t lower) {
+    Cursor c;
+    switch (o.kind) {
+      case StreamOperand::Kind::kConst:
+        c.value = o.imm;
+        break;
+      case StreamOperand::Kind::kScalar:
+        c.value = scalars_[static_cast<std::size_t>(o.slot)];
+        break;
+      case StreamOperand::Kind::kIter:
+        break;  // read() substitutes the iteration value
+      case StreamOperand::Kind::kArray: {
+        const std::int64_t linear0 = o.lin_base + o.lin_coeff * lower - 1;
+        c.p = data_[static_cast<std::size_t>(o.slot)] + linear0;
+        c.addr = bases_[static_cast<std::size_t>(o.slot)] +
+                 static_cast<std::uint64_t>(linear0) * o.elem_bytes;
+        c.step = o.lin_coeff;
+        c.bytes = o.elem_bytes;
+        c.step_bytes = o.lin_coeff * static_cast<std::int64_t>(o.elem_bytes);
+        break;
+      }
+    }
+    return c;
+  }
+
+  double read(const StreamOperand& o, const Cursor& c, std::int64_t i) {
+    if (o.kind == StreamOperand::Kind::kArray) {
+      recorder_.load(c.addr, c.bytes);
+      return *c.p;
+    }
+    if (o.kind == StreamOperand::Kind::kIter) return static_cast<double>(i);
+    return c.value;
+  }
+
+  static void advance(const StreamOperand& o, Cursor& c) {
+    if (o.kind == StreamOperand::Kind::kArray) {
+      c.p += c.step;
+      c.addr += static_cast<std::uint64_t>(c.step_bytes);
+    }
+  }
+
+  void run_stream_loop(const StreamLoop& sl) {
+    const std::int64_t trips = sl.upper - sl.lower + 1;
+    if (trips <= 0) return;
+    Cursor lhs = make_cursor(sl.lhs, sl.lower);
+    Cursor a = make_cursor(sl.a, sl.lower);
+    Cursor b = make_cursor(sl.b, sl.lower);
+
+    std::uint64_t flops_per_iter = 0;
+    if (sl.body == StreamLoop::Body::kReduce) {
+      double acc = scalars_[static_cast<std::size_t>(sl.lhs.slot)];
+      for (std::int64_t i = sl.lower; i <= sl.upper; ++i) {
+        const double x = read(sl.a, a, i);
+        acc = apply_bin(sl.bin_op, acc, x);
+        advance(sl.a, a);
+      }
+      scalars_[static_cast<std::size_t>(sl.lhs.slot)] = acc;
+      flops_per_iter = ir::kBinaryFlops;
+    } else {
+      for (std::int64_t i = sl.lower; i <= sl.upper; ++i) {
+        double r;
+        switch (sl.body) {
+          case StreamLoop::Body::kCopy:
+            r = read(sl.a, a, i);
+            break;
+          case StreamLoop::Body::kBinary:
+            r = apply_bin(sl.bin_op, read(sl.a, a, i), read(sl.b, b, i));
+            break;
+          case StreamLoop::Body::kCallF:
+            r = intrinsic_f(read(sl.a, a, i), read(sl.b, b, i));
+            break;
+          default:  // kCallG; kReduce handled above
+            r = intrinsic_g(read(sl.a, a, i), read(sl.b, b, i));
+            break;
+        }
+        recorder_.store(lhs.addr, lhs.bytes);
+        *lhs.p = r;
+        advance(sl.lhs, lhs);
+        advance(sl.a, a);
+        advance(sl.b, b);
+      }
+      switch (sl.body) {
+        case StreamLoop::Body::kBinary: flops_per_iter = ir::kBinaryFlops; break;
+        case StreamLoop::Body::kCallF:
+        case StreamLoop::Body::kCallG:
+          flops_per_iter = static_cast<std::uint64_t>(sl.call_flops);
+          break;
+        default: break;
+      }
+    }
+    if (flops_per_iter != 0)
+      recorder_.flops(flops_per_iter * static_cast<std::uint64_t>(trips));
+  }
+
+  static double apply_bin(ir::BinOp op, double a, double b) {
+    switch (op) {
+      case ir::BinOp::kAdd: return a + b;
+      case ir::BinOp::kSub: return a - b;
+      case ir::BinOp::kMul: return a * b;
+      case ir::BinOp::kDiv: return a / b;
+      case ir::BinOp::kMin: return std::min(a, b);
+      case ir::BinOp::kMax: return std::max(a, b);
+    }
+    return 0.0;
+  }
+
+  [[noreturn]] void out_of_bounds(const Op& op, std::int64_t idx) const {
+    throw Error("index out of bounds for " +
+                lp_.arrays[static_cast<std::size_t>(op.slot)].name +
+                " dim 0: " + std::to_string(idx));
+  }
+
+  const LoweredProgram& lp_;
+  Recorder recorder_;
+  std::vector<std::uint64_t> bases_;
+  std::vector<std::vector<double>> storage_;
+  std::vector<double*> data_;  // storage_[a].data(), hot-path flat view
+  std::vector<double> scalars_;
+  std::vector<std::int64_t> iters_;
+  std::vector<double> stack_;
+};
+
+void Vm::run() {
+  const Op* ops = lp_.ops.data();
+  // Local copies of the container data pointers: after an opaque call
+  // (Recorder methods) the compiler would otherwise reload them through
+  // `this` on every use.
+  double* const* data = data_.data();
+  const std::uint64_t* bases = bases_.data();
+  double* scalars = scalars_.data();
+  std::int64_t* iters = iters_.data();
+  double* sp = stack_.data();  // next free stack cell
+  std::size_t pc = 0;
+  for (;;) {
+    const Op& op = ops[pc];
+    switch (op.code) {
+      case OpCode::kPushConst:
+        *sp++ = op.imm;
+        ++pc;
+        break;
+      case OpCode::kPushScalar:
+        *sp++ = scalars[op.slot];
+        ++pc;
+        break;
+      case OpCode::kPushLoopVar:
+        *sp++ = static_cast<double>(iters[op.slot]);
+        ++pc;
+        break;
+      case OpCode::kPushInput: {
+        // Inputs linearize against the original stream extents with 0-based
+        // offsets, exactly like the interpreter.
+        const std::int64_t linear = locate(op, "input stream");
+        *sp++ = ir::input_value(op.input_key, linear);
+        ++pc;
+        break;
+      }
+      case OpCode::kLoadArray: {
+        const auto a = static_cast<std::size_t>(op.slot);
+        const std::int64_t linear =
+            locate(op, lp_.arrays[a].name.c_str());
+        recorder_.load(bases_[a] + static_cast<std::uint64_t>(linear) *
+                                       op.elem_bytes,
+                       op.elem_bytes);
+        *sp++ = data[a][linear];
+        ++pc;
+        break;
+      }
+      case OpCode::kLoadArray1: {
+        const std::int64_t idx = op.lin_base + op.lin_coeff * iters[op.iter];
+        if (idx < 1 || idx > op.extent) out_of_bounds(op, idx);
+        const std::int64_t linear = idx - 1;
+        recorder_.load(
+            bases[op.slot] + static_cast<std::uint64_t>(linear) * op.elem_bytes,
+            op.elem_bytes);
+        *sp++ = data[op.slot][linear];
+        ++pc;
+        break;
+      }
+      case OpCode::kStoreArray1: {
+        const double value = *--sp;
+        const std::int64_t idx = op.lin_base + op.lin_coeff * iters[op.iter];
+        if (idx < 1 || idx > op.extent) out_of_bounds(op, idx);
+        const std::int64_t linear = idx - 1;
+        recorder_.store(
+            bases[op.slot] + static_cast<std::uint64_t>(linear) * op.elem_bytes,
+            op.elem_bytes);
+        data[op.slot][linear] = value;
+        ++pc;
+        break;
+      }
+      case OpCode::kBinary: {
+        const double b = *--sp;
+        const double a = *--sp;
+        recorder_.flops(ir::kBinaryFlops);
+        double r = 0.0;
+        switch (op.bin_op) {
+          case ir::BinOp::kAdd: r = a + b; break;
+          case ir::BinOp::kSub: r = a - b; break;
+          case ir::BinOp::kMul: r = a * b; break;
+          case ir::BinOp::kDiv: r = a / b; break;
+          case ir::BinOp::kMin: r = std::min(a, b); break;
+          case ir::BinOp::kMax: r = std::max(a, b); break;
+        }
+        *sp++ = r;
+        ++pc;
+        break;
+      }
+      case OpCode::kCallF: {
+        const double b = *--sp;
+        const double a = *--sp;
+        recorder_.flops(static_cast<std::uint64_t>(op.flops));
+        *sp++ = intrinsic_f(a, b);
+        ++pc;
+        break;
+      }
+      case OpCode::kCallG: {
+        const double b = *--sp;
+        const double a = *--sp;
+        recorder_.flops(static_cast<std::uint64_t>(op.flops));
+        *sp++ = intrinsic_g(a, b);
+        ++pc;
+        break;
+      }
+      case OpCode::kStoreArray: {
+        const double value = *--sp;
+        const auto a = static_cast<std::size_t>(op.slot);
+        const std::int64_t linear =
+            locate(op, lp_.arrays[a].name.c_str());
+        recorder_.store(bases_[a] + static_cast<std::uint64_t>(linear) *
+                                        op.elem_bytes,
+                        op.elem_bytes);
+        data[a][linear] = value;
+        ++pc;
+        break;
+      }
+      case OpCode::kStoreScalar:
+        scalars[op.slot] = *--sp;
+        ++pc;
+        break;
+      case OpCode::kBranch: {
+        const bool taken =
+            ir::evaluate_cmp(op.cmp, eval_lin(lp_.lin_exprs[op.lhs]),
+                             eval_lin(lp_.lin_exprs[op.rhs]));
+        pc = taken ? pc + 1 : static_cast<std::size_t>(op.target);
+        break;
+      }
+      case OpCode::kJump:
+        pc = static_cast<std::size_t>(op.target);
+        break;
+      case OpCode::kLoopBegin:
+        if (op.lower > op.upper) {
+          pc = static_cast<std::size_t>(op.target);
+        } else {
+          iters[op.slot] = op.lower;
+          ++pc;
+        }
+        break;
+      case OpCode::kLoopEnd:
+        if (++iters[op.slot] <= op.upper) {
+          pc = static_cast<std::size_t>(op.target);
+        } else {
+          ++pc;
+        }
+        break;
+      case OpCode::kStreamLoop:
+        run_stream_loop(lp_.stream_loops[static_cast<std::size_t>(op.slot)]);
+        ++pc;
+        break;
+      case OpCode::kHalt:
+        return;
+    }
+  }
+}
+
+}  // namespace
+
+ExecResult execute_lowered(const LoweredProgram& lowered,
+                           const ExecOptions& opts) {
+  Vm vm(lowered, opts);
+  vm.run();
+  return vm.result();
+}
+
+ExecResult execute_compiled(const ir::Program& program,
+                            const ExecOptions& opts) {
+  return execute_lowered(lower(program), opts);
+}
+
+}  // namespace bwc::runtime

@@ -90,10 +90,13 @@ class Machine {
   }
 
   /// Evaluate subscripts to 1-based indices, then to (address, linear).
+  /// Reuses a scratch index buffer so steady-state replay does not pay a
+  /// heap allocation per array reference.
   std::pair<std::uint64_t, std::int64_t> locate(
       ArrayId array, const std::vector<Affine>& subs) const {
     const auto& decl = program_.array(array);
-    std::vector<std::int64_t> idx(subs.size());
+    std::vector<std::int64_t>& idx = idx_scratch_;
+    idx.resize(subs.size());
     for (std::size_t d = 0; d < subs.size(); ++d) idx[d] = eval_affine(subs[d]);
     const std::int64_t linear = decl.linearize(idx);
     const std::uint64_t addr =
@@ -223,6 +226,7 @@ class Machine {
   std::vector<std::vector<double>> storage_;
   std::map<std::string, double> scalars_;
   std::vector<std::pair<std::string, std::int64_t>> loop_env_;
+  mutable std::vector<std::int64_t> idx_scratch_;
 };
 
 }  // namespace

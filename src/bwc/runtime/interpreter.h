@@ -34,6 +34,11 @@ struct ExecOptions {
   /// native workloads' AddressSpace), so physically-indexed cache models
   /// see realistic page-collision behaviour.
   std::uint64_t array_alignment = 4096;
+  /// Compiled engine only (execute_compiled): batch stride-1 access runs
+  /// into line-granular hierarchy accesses. Boundary traffic is preserved
+  /// byte-for-byte (see recorder.h); disable to force per-element
+  /// simulation. The reference interpreter ignores this flag.
+  bool coalesce_accesses = true;
 };
 
 struct ExecResult {

@@ -1,0 +1,170 @@
+// Lowering pass: resolve a loop-program IR to a slot-addressed, flat
+// bytecode form that the compiled executor can replay without any
+// per-access name lookups or heap allocation.
+//
+// The tree-walking interpreter (interpreter.h) pays three per-access
+// costs that dominate replay time: a string-hash lookup for every scalar,
+// a linear string-compare scan of the loop environment for every loop
+// variable, and a std::vector of subscript values for every array
+// reference. lower() pays those costs once per program instead:
+//
+//  * scalar names    -> dense integer slots into a double array
+//  * loop variables  -> dense iteration slots (one per nesting depth),
+//                       resolved lexically so shadowing works
+//  * affine exprs    -> LinExpr: base + sum(coeff * iter[slot])
+//  * subscripts      -> per-dimension {LinExpr, extent, stride} triples
+//                       with the column-major strides baked in, so
+//                       locate() becomes a few integer multiply-adds
+//  * statement tree  -> a compact Op array with explicit jump targets,
+//                       executed by a tight dispatch loop (compiled.h)
+//
+// Lowering validates what the interpreter would only discover at run
+// time: references to undeclared scalars, unbound loop variables and
+// malformed intrinsic calls all throw bwc::Error here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bwc/ir/program.h"
+
+namespace bwc::runtime {
+
+/// One term of a linear expression: coeff * iter[slot].
+struct LinTerm {
+  std::int32_t slot = 0;
+  std::int64_t coeff = 0;
+};
+
+/// base + sum of LinTerms stored in LoweredProgram::terms
+/// [first_term, first_term + term_count).
+struct LinExpr {
+  std::int64_t base = 0;
+  std::uint32_t first_term = 0;
+  std::uint32_t term_count = 0;
+};
+
+/// One subscript dimension of an array or input access. `index` yields the
+/// 1-based subscript; legal range is [1, extent]; `stride` is the element
+/// stride of this dimension under column-major layout.
+struct LoweredDim {
+  LinExpr index;
+  std::int64_t extent = 0;
+  std::int64_t stride = 1;
+};
+
+enum class OpCode : std::uint8_t {
+  kPushConst,    // push imm
+  kPushScalar,   // push scalars[slot]
+  kPushLoopVar,  // push (double)iters[slot]
+  kPushInput,    // push input_value(input_key, linearized dims)
+  kLoadArray,    // push storage[slot][linearized dims]; records a load
+  kLoadArray1,   // kLoadArray specialized: 1-D subscript lin_base +
+                 // lin_coeff * iters[iter], range [1, extent]
+  kStoreArray1,  // kStoreArray specialized the same way
+  kBinary,       // pop b, a; push a <bin_op> b; records kBinaryFlops
+  kCallF,        // pop b, a; push intrinsic_f(a, b); records `flops`
+  kCallG,        // pop b, a; push intrinsic_g(a, b); records `flops`
+  kStoreArray,   // pop v; storage[slot][dims] = v; records a store
+  kStoreScalar,  // pop v; scalars[slot] = v
+  kBranch,       // if !(lin_exprs[lhs] cmp lin_exprs[rhs]) goto target
+  kJump,         // goto target
+  kLoopBegin,    // if lower > upper goto target; else iters[slot] = lower
+  kLoopEnd,      // if ++iters[slot] <= upper goto target (body start)
+  kStreamLoop,   // run stream_loops[slot] natively (fused innermost loop)
+  kHalt,         // end of program
+};
+
+/// One operand of a fused stream loop: a constant, a scalar read, the loop
+/// variable itself, or a 1-D array reference whose subscript is
+/// `lin_base + lin_coeff * i` in the fused loop's variable.
+struct StreamOperand {
+  enum class Kind : std::uint8_t { kConst, kScalar, kIter, kArray };
+  Kind kind = Kind::kConst;
+  double imm = 0.0;            // kConst
+  std::int32_t slot = 0;       // kScalar: scalar slot; kArray: array id
+  std::int64_t lin_base = 0;   // kArray subscript intercept
+  std::int64_t lin_coeff = 0;  // kArray subscript slope in the loop var
+  std::uint64_t elem_bytes = 8;
+};
+
+/// A fused innermost loop: `for i = lower..upper` around one streaming
+/// statement. Lowering only builds one when every access is a 1-D affine
+/// subscript in the loop variable alone and provably in bounds over the
+/// whole trip range, so the executor can run the body as a tight native
+/// loop -- pointers advanced incrementally, no per-iteration dispatch,
+/// bounds checks hoisted out -- while producing the identical access
+/// stream, element order and flop totals as the generic op sequence.
+struct StreamLoop {
+  /// Statement shape. kReduce is `s = s <bin_op> operand_a` with the
+  /// accumulator carried in a register across iterations.
+  enum class Body : std::uint8_t { kCopy, kBinary, kCallF, kCallG, kReduce };
+  Body body = Body::kCopy;
+  ir::BinOp bin_op = ir::BinOp::kAdd;  // kBinary/kReduce
+  std::int32_t call_flops = 0;         // kCallF/kCallG per-iteration charge
+  std::int64_t lower = 0, upper = 0;
+  bool lhs_is_array = false;
+  StreamOperand lhs;       // kArray destination, or kScalar for kReduce
+  StreamOperand a, b;      // rhs operands (b unused for kCopy/kReduce)
+};
+
+/// One flat instruction. A plain struct (no unions) keeps the executor
+/// branch-free on field access; unused fields are simply ignored.
+struct Op {
+  OpCode code = OpCode::kHalt;
+  ir::BinOp bin_op = ir::BinOp::kAdd;  // kBinary
+  ir::CmpOp cmp = ir::CmpOp::kEq;      // kBranch
+  std::int32_t slot = 0;       // scalar slot, iter slot, or array id
+  std::int32_t flops = 0;      // kCallF/kCallG flop charge
+  std::int32_t input_key = 0;  // kPushInput
+  std::uint32_t first_dim = 0;  // into LoweredProgram::dims
+  std::uint32_t dim_count = 0;
+  std::uint32_t lhs = 0, rhs = 0;  // kBranch: into LoweredProgram::lin_exprs
+  std::int32_t target = 0;     // jump target pc
+  std::int64_t lower = 0, upper = 0;  // kLoopBegin/kLoopEnd bounds
+  double imm = 0.0;            // kPushConst
+  std::uint64_t elem_bytes = 8;  // kLoadArray/kStoreArray access size
+  // k{Load,Store}Array1: operands inlined so the executor chases no
+  // side-table pointers on the hot single-subscript path.
+  std::int32_t iter = 0;      // iteration slot of the subscript
+  std::int64_t lin_base = 0;  // subscript = lin_base + lin_coeff*iters[iter]
+  std::int64_t lin_coeff = 0;
+  std::int64_t extent = 0;    // legal subscript range [1, extent]
+};
+
+/// Everything the executor needs about one declared array, with the
+/// name-derived initial-contents key resolved ahead of time.
+struct LoweredArray {
+  std::string name;
+  std::vector<std::int64_t> extents;
+  std::uint64_t elem_bytes = 8;
+  std::int64_t element_count = 0;
+  int initial_key = 0;
+};
+
+/// A program lowered to slots and bytecode. Self-contained: owns copies of
+/// every declaration it needs, so it may outlive the ir::Program.
+struct LoweredProgram {
+  std::string name;
+  std::vector<LoweredArray> arrays;
+  std::vector<std::string> scalar_names;
+  std::vector<std::int32_t> output_scalar_slots;
+  std::vector<std::int32_t> output_arrays;
+  std::vector<Op> ops;
+  std::vector<LinTerm> terms;
+  std::vector<LoweredDim> dims;
+  std::vector<LinExpr> lin_exprs;
+  std::vector<StreamLoop> stream_loops;
+  /// Number of iteration slots (maximum loop nesting depth).
+  std::int32_t iter_slot_count = 0;
+  /// Deepest value-stack use of any expression; the executor preallocates.
+  std::size_t max_stack = 1;
+};
+
+/// Lower `program` once; the result can be executed any number of times.
+/// Throws bwc::Error on undeclared names, unbound loop variables or
+/// malformed intrinsic calls.
+LoweredProgram lower(const ir::Program& program);
+
+}  // namespace bwc::runtime

@@ -7,6 +7,7 @@ namespace bwc::runtime {
 machine::ExecutionProfile Recorder::profile() const {
   BWC_CHECK(hierarchy_ != nullptr,
             "profile() requires a memory hierarchy to have been attached");
+  flush();
   return machine::ExecutionProfile::capture(*hierarchy_, flops_);
 }
 

@@ -3,8 +3,19 @@
 //
 // Native workloads (matrix multiply, FFT, the SP and Sweep3D proxies) issue
 // their exact access streams through a Recorder; IR programs do the same
-// via the interpreter. Either way the result is an ExecutionProfile -- the
+// via the interpreters. Either way the result is an ExecutionProfile -- the
 // flop count and per-boundary transfer bytes that define program balance.
+//
+// Coalescing fast path: with `coalesce` enabled, runs of adjacent accesses
+// that are contiguous in the address space and of the same kind (all loads
+// or all stores) are issued to the hierarchy as one batched range instead
+// of element by element. The hierarchy splits a range into one
+// CacheLevel::access per cache line, so a stride-1 sweep costs one
+// simulated access per line rather than one per element (8x fewer for
+// 64 B lines of doubles) while every observable -- load/store counts and
+// per-boundary traffic bytes -- stays exactly the same: only accesses that
+// are *adjacent in stream order* merge, so fills, writebacks, write-through
+// forwarding and LRU ordering are unchanged. See docs/runtime.md.
 #pragma once
 
 #include <cstdint>
@@ -18,39 +29,91 @@ class Recorder {
  public:
   /// `hierarchy` may be null: flops and access counts are still tracked,
   /// but no cache simulation or boundary traffic is recorded.
-  explicit Recorder(memsim::MemoryHierarchy* hierarchy = nullptr)
-      : hierarchy_(hierarchy) {}
+  /// `coalesce` enables the batched stride-1 fast path described above.
+  explicit Recorder(memsim::MemoryHierarchy* hierarchy = nullptr,
+                    bool coalesce = false)
+      : hierarchy_(hierarchy), coalesce_(coalesce && hierarchy != nullptr) {}
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  ~Recorder() { flush(); }
 
   void load(std::uint64_t addr, std::uint64_t size) {
     ++loads_;
     reg_bytes_ += size;
-    if (hierarchy_ != nullptr) hierarchy_->load(addr, size);
+    if (hierarchy_ == nullptr) return;
+    if (coalesce_) {
+      extend_run(addr, size, /*is_store=*/false);
+    } else {
+      hierarchy_->load(addr, size);
+    }
   }
   void store(std::uint64_t addr, std::uint64_t size) {
     ++stores_;
     reg_bytes_ += size;
-    if (hierarchy_ != nullptr) hierarchy_->store(addr, size);
+    if (hierarchy_ == nullptr) return;
+    if (coalesce_) {
+      extend_run(addr, size, /*is_store=*/true);
+    } else {
+      hierarchy_->store(addr, size);
+    }
   }
   void load_double(std::uint64_t addr) { load(addr, 8); }
   void store_double(std::uint64_t addr) { store(addr, 8); }
 
   void flops(std::uint64_t n) { flops_ += n; }
 
+  /// Issue any pending coalesced run to the hierarchy. Must be called (or
+  /// implied by profile()/destruction) before reading hierarchy counters.
+  void flush() const {
+    if (run_bytes_ == 0) return;
+    if (run_is_store_) {
+      hierarchy_->store_run(run_addr_, run_bytes_, run_count_);
+    } else {
+      hierarchy_->load_run(run_addr_, run_bytes_, run_count_);
+    }
+    run_bytes_ = 0;
+  }
+
   std::uint64_t flop_count() const { return flops_; }
   std::uint64_t load_count() const { return loads_; }
   std::uint64_t store_count() const { return stores_; }
   std::uint64_t register_bytes() const { return reg_bytes_; }
   memsim::MemoryHierarchy* hierarchy() const { return hierarchy_; }
+  bool coalescing() const { return coalesce_; }
 
-  /// Snapshot flops + hierarchy boundary traffic. Requires a hierarchy.
+  /// Snapshot flops + hierarchy boundary traffic. Requires a hierarchy;
+  /// flushes any pending coalesced run first.
   machine::ExecutionProfile profile() const;
 
  private:
+  void extend_run(std::uint64_t addr, std::uint64_t size, bool is_store) {
+    if (run_bytes_ != 0 && is_store == run_is_store_ &&
+        addr == run_addr_ + run_bytes_) {
+      run_bytes_ += size;
+      ++run_count_;
+      return;
+    }
+    flush();
+    run_addr_ = addr;
+    run_bytes_ = size;
+    run_count_ = 1;
+    run_is_store_ = is_store;
+  }
+
   memsim::MemoryHierarchy* hierarchy_;
+  bool coalesce_;
   std::uint64_t flops_ = 0;
   std::uint64_t loads_ = 0;
   std::uint64_t stores_ = 0;
   std::uint64_t reg_bytes_ = 0;
+  // Pending contiguous run, not yet issued to the hierarchy. Mutable so
+  // that profile() (const) can flush before snapshotting.
+  mutable std::uint64_t run_addr_ = 0;
+  mutable std::uint64_t run_bytes_ = 0;
+  mutable std::uint64_t run_count_ = 0;
+  mutable bool run_is_store_ = false;
 };
 
 }  // namespace bwc::runtime

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "bench_common.h"
 #include "bwc/ir/dsl.h"
 #include "bwc/machine/machine_model.h"
 #include "bwc/runtime/interpreter.h"
@@ -190,6 +191,70 @@ TEST(Recorder, ProfilesWithHierarchy) {
   const auto p = rec.profile();
   EXPECT_EQ(p.flops, 2u);
   EXPECT_EQ(p.register_bytes(), 8u);
+}
+
+TEST(Recorder, CoalescingPreservesTrafficAndCounts) {
+  // A stride-1 sweep, a stride-1 store run, and a non-contiguous tail:
+  // the coalesced recorder must report identical boundary bytes and
+  // load/store counts to the per-element one.
+  const auto drive = [](Recorder& rec) {
+    for (int i = 0; i < 512; ++i) rec.load_double(4096 + 8u * i);
+    for (int i = 0; i < 512; ++i) rec.store_double(32768 + 8u * i);
+    rec.load_double(4096);           // revisit: hits in cache
+    rec.load_double(1 << 20);        // far away
+    rec.store_double(4096);          // kind switch on a cached line
+  };
+  memsim::MemoryHierarchy h1(machine::origin2000_r10k().caches);
+  Recorder plain(&h1);
+  drive(plain);
+  memsim::MemoryHierarchy h2(machine::origin2000_r10k().caches);
+  Recorder fast(&h2, /*coalesce=*/true);
+  drive(fast);
+
+  EXPECT_TRUE(fast.coalescing());
+  EXPECT_EQ(plain.load_count(), fast.load_count());
+  EXPECT_EQ(plain.store_count(), fast.store_count());
+  const auto p1 = plain.profile();
+  const auto p2 = fast.profile();
+  ASSERT_EQ(p1.boundaries.size(), p2.boundaries.size());
+  for (std::size_t b = 0; b < p1.boundaries.size(); ++b) {
+    EXPECT_EQ(p1.boundaries[b].bytes_toward_cpu,
+              p2.boundaries[b].bytes_toward_cpu);
+    EXPECT_EQ(p1.boundaries[b].bytes_from_cpu,
+              p2.boundaries[b].bytes_from_cpu);
+  }
+  // The hierarchy's own access counters also survive batching.
+  EXPECT_EQ(h1.load_count(), h2.load_count());
+  EXPECT_EQ(h1.store_count(), h2.store_count());
+}
+
+TEST(Recorder, CoalescedRunsFlushOnDestruction) {
+  memsim::MemoryHierarchy h(machine::origin2000_r10k().caches);
+  {
+    Recorder rec(&h, /*coalesce=*/true);
+    for (int i = 0; i < 8; ++i) rec.load_double(8u * i);
+  }  // destructor must flush the pending run into the hierarchy
+  EXPECT_EQ(h.load_count(), 8u);
+  EXPECT_EQ(h.register_traffic_bytes(), 64u);
+}
+
+TEST(BenchCommon, SteadyStateProfileResetsCountersBetweenPasses) {
+  // Regression: warm-up flops and accesses must not leak into the measured
+  // profile -- it reflects exactly one pass over a warmed hierarchy.
+  const machine::MachineModel m = machine::origin2000_r10k();
+  int pass = 0;
+  const auto profile = bwc::bench::steady_state_profile(m, [&](Recorder& rec) {
+    ++pass;
+    for (int i = 0; i < 64; ++i) {
+      rec.load_double(8u * i);
+      rec.flops(3);
+    }
+  });
+  EXPECT_EQ(pass, 2);  // one warm-up pass + one measured pass
+  EXPECT_EQ(profile.flops, 64u * 3);
+  EXPECT_EQ(profile.register_bytes(), 64u * 8);
+  // Warmed caches: the measured pass misses nothing, so no memory traffic.
+  EXPECT_EQ(profile.memory_bytes(), 0u);
 }
 
 }  // namespace

@@ -8,6 +8,10 @@
 //                                          fig6 uses a 2-D n x n)
 //     --machine <o2k|exemplar|modern>      machine model (default o2k)
 //     --scale <int>                        cache scale divisor (default 16)
+//     --engine <compiled|reference>        replay engine for measurement
+//                                          (default compiled; both are
+//                                          bit-identical, compiled is
+//                                          several times faster)
 //     --solver <best|exact|greedy|bisection|edge-weighted|none>
 //     --no-storage --no-stores             disable individual passes
 //     --regroup                            also run inter-array regrouping
@@ -49,6 +53,7 @@ struct Options {
   std::int64_t n = 100000;
   std::string machine = "o2k";
   std::uint64_t scale = 16;
+  std::string engine = "compiled";
   std::string solver = "best";
   bool storage = true;
   bool stores = true;
@@ -64,7 +69,7 @@ struct Options {
   std::cout <<
       "bwcopt --program <fig6|fig7|sec21|random> --n <int> "
       "--machine <o2k|exemplar|modern>\n"
-      "       --scale <int> --solver "
+      "       --scale <int> --engine <compiled|reference> --solver "
       "<best|exact|greedy|bisection|edge-weighted|none>\n"
       "       [--no-storage] [--no-stores] [--regroup] [--shift] "
       "[--seed <int>] [--print]\n";
@@ -89,6 +94,8 @@ Options parse(int argc, char** argv) {
       o.machine = value(i);
     } else if (arg == "--scale") {
       o.scale = std::stoull(value(i));
+    } else if (arg == "--engine") {
+      o.engine = value(i);
     } else if (arg == "--solver") {
       o.solver = value(i);
     } else if (arg == "--no-storage") {
@@ -152,6 +159,12 @@ machine::MachineModel make_machine(const Options& o) {
   return m.scaled(o.scale);
 }
 
+model::ExecEngine make_engine(const std::string& name) {
+  if (name == "compiled") return model::ExecEngine::kCompiled;
+  if (name == "reference") return model::ExecEngine::kReference;
+  throw Error("unknown engine: " + name);
+}
+
 core::FusionSolver make_solver(const std::string& name) {
   if (name == "best") return core::FusionSolver::kBest;
   if (name == "exact") return core::FusionSolver::kExact;
@@ -193,8 +206,9 @@ int main(int argc, char** argv) {
     }
     std::cout << "passes:\n" << core::render_log(result) << "\n";
 
-    const auto before = model::measure(original, machine);
-    const auto after = model::measure(result.program, machine);
+    const model::ExecEngine engine = make_engine(o.engine);
+    const auto before = model::measure(original, machine, engine);
+    const auto after = model::measure(result.program, machine, engine);
     TextTable t("on " + machine.name);
     t.set_header({"", "mem traffic", "predicted ms", "binding"});
     t.add_row({"original",
