@@ -9,15 +9,52 @@
 #include "bwc/transform/storage_reduction.h"
 #include "bwc/transform/scalar_replacement.h"
 #include "bwc/transform/store_elimination.h"
+#include "bwc/verify/verify.h"
 
 namespace bwc::core {
+
+namespace {
+
+/// Post-pass enforcement of a verifier report: a violation aborts the
+/// pipeline with the verifier's diagnostics; a skipped instance-level
+/// check (event budget) and a certification both land in the log.
+void enforce(const verify::Report& report, const std::string& pass,
+             std::vector<std::string>* log) {
+  if (!report.ok()) {
+    throw Error("verification failed after " + pass + ":\n" + report.render());
+  }
+  if (report.skipped) {
+    log->push_back("verify (" + pass + "): " + report.check +
+                   " skipped: " + report.skip_reason);
+  } else {
+    log->push_back("verify (" + pass + "): " + report.check + " certified, " +
+                   std::to_string(report.instances_checked) +
+                   " instance(s) checked");
+  }
+}
+
+}  // namespace
 
 OptimizeResult optimize(const ir::Program& program,
                         const OptimizerOptions& options) {
   OptimizeResult result;
   result.program = program.clone();
 
+  if (options.verify) {
+    const verify::Report structure = verify::validate_structure(program);
+    if (!structure.ok()) {
+      throw Error("input program is structurally invalid:\n" +
+                  structure.render());
+    }
+  }
+  // Snapshot for the pass-pair checks; maintained only when verifying.
+  ir::Program before;
+  auto snapshot = [&] {
+    if (options.verify) before = result.program.clone();
+  };
+
   if (options.auto_interchange) {
+    snapshot();
     transform::InterchangeResult ir = transform::auto_interchange(
         result.program);
     if (!ir.interchanged.empty()) {
@@ -25,6 +62,11 @@ OptimizeResult optimize(const ir::Program& program,
       result.log.push_back(
           "interchange: swapped " + std::to_string(ir.interchanged.size()) +
           " nest(s) to stride-1 order");
+      if (options.verify) {
+        enforce(verify::validate_translation(before, result.program,
+                                             {options.verify_max_events}),
+                "interchange", &result.log);
+      }
     }
   }
 
@@ -54,6 +96,7 @@ OptimizeResult optimize(const ir::Program& program,
     }
     const fusion::FusionPlan unfused = fusion::no_fusion(graph);
     if (result.plan.num_partitions < graph.node_count()) {
+      snapshot();
       result.program =
           transform::apply_fusion(result.program, graph, result.plan);
       std::ostringstream os;
@@ -62,12 +105,18 @@ OptimizeResult optimize(const ir::Program& program,
          << " partitions; arrays loaded " << unfused.cost << " -> "
          << result.plan.cost;
       result.log.push_back(os.str());
+      if (options.verify) {
+        enforce(verify::validate_translation(before, result.program,
+                                             {options.verify_max_events}),
+                "fusion", &result.log);
+      }
     } else {
       result.log.push_back("fusion: no profitable fusion found");
     }
   }
 
   if (options.reduce_storage) {
+    snapshot();
     transform::StorageReductionResult sr =
         transform::reduce_storage(result.program);
     if (!sr.actions.empty()) {
@@ -78,12 +127,18 @@ OptimizeResult optimize(const ir::Program& program,
       os << "storage reduction: referenced array bytes "
          << sr.referenced_bytes_before << " -> " << sr.referenced_bytes_after;
       result.log.push_back(os.str());
+      if (options.verify) {
+        enforce(verify::validate_storage_reduction(
+                    before, result.program, {options.verify_max_events}),
+                "storage reduction", &result.log);
+      }
     } else {
       result.log.push_back("storage reduction: no candidate arrays");
     }
   }
 
   if (options.eliminate_stores) {
+    snapshot();
     transform::StoreEliminationResult se =
         transform::eliminate_stores(result.program);
     if (!se.eliminated.empty()) {
@@ -93,6 +148,11 @@ OptimizeResult optimize(const ir::Program& program,
         os << " " << se.program.array(a).name;
       result.program = std::move(se.program);
       result.log.push_back(os.str());
+      if (options.verify) {
+        enforce(verify::validate_store_elimination(
+                    before, result.program, {options.verify_max_events}),
+                "store elimination", &result.log);
+      }
     } else {
       result.log.push_back("store elimination: no candidate arrays");
     }
@@ -105,6 +165,12 @@ OptimizeResult optimize(const ir::Program& program,
       result.program = std::move(sr.program);
       for (const auto& a : sr.actions)
         result.log.push_back("scalar replacement: " + a);
+      if (options.verify) {
+        // Scalar replacement rewrites array reads into rotating scalars;
+        // neither pair-check applies, but the result must stand on its own.
+        enforce(verify::validate_structure(result.program),
+                "scalar replacement", &result.log);
+      }
     } else {
       result.log.push_back("scalar replacement: no stencil candidates");
     }

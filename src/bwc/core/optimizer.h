@@ -6,6 +6,7 @@
 // whose uses complete inside the fused loop.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,15 @@ struct OptimizerOptions {
   /// rotating scalars (Callahan-Cocke-Kennedy register reuse): reduces
   /// register<->L1 traffic, the paper's second most critical resource.
   bool scalar_replacement = false;
+  /// Re-check every pass's output with the independent verifier
+  /// (bwc::verify): structural validation throughout, translation
+  /// validation for the scheduling passes (interchange, fusion),
+  /// observability certification for the storage passes. A violation
+  /// raises bwc::Error carrying the verifier's diagnostics.
+  bool verify = true;
+  /// Per-program event budget for the instance-level checks; programs
+  /// whose traces would exceed it degrade to structural validation only.
+  std::uint64_t verify_max_events = 2'000'000;
 };
 
 struct OptimizeResult {

@@ -11,6 +11,17 @@
 
 namespace bwc::fusion {
 
+FusionCapacityError::FusionCapacityError(const std::string& solver,
+                                         int loop_count, int max_nodes)
+    : Error("solver '" + solver + "' cannot handle " +
+            std::to_string(loop_count) + " loops: exact fusion enumeration "
+            "is limited to " + std::to_string(max_nodes) +
+            " (the problem is NP-complete); use the 'bisection' heuristic "
+            "or best_fusion, which falls back automatically"),
+      solver_(solver),
+      loop_count_(loop_count),
+      max_nodes_(max_nodes) {}
+
 namespace {
 
 /// Cost of an assignment under the edge-weighted (baseline) objective:
@@ -64,9 +75,9 @@ void enumerate_partitions(const FusionGraph& g,
 FusionPlan exact_minimize(
     const FusionGraph& g, int max_nodes, const std::string& solver,
     const std::function<std::int64_t(const std::vector<int>&)>& objective) {
-  BWC_CHECK(g.node_count() <= max_nodes,
-            "exact fusion enumeration limited to " +
-                std::to_string(max_nodes) + " loops (problem is NP-complete)");
+  if (g.node_count() > max_nodes) {
+    throw FusionCapacityError(solver, g.node_count(), max_nodes);
+  }
   std::int64_t best = std::numeric_limits<std::int64_t>::max();
   std::vector<int> best_assignment;
   enumerate_partitions(g, [&](const std::vector<int>& assignment) {

@@ -12,10 +12,36 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "bwc/fusion/fusion_graph.h"
+#include "bwc/support/error.h"
 
 namespace bwc::fusion {
+
+/// Thrown when an exact solver is asked for a graph beyond its capacity
+/// (set-partition enumeration is Bell-number sized; the general problem is
+/// NP-complete). Carries the offending loop count, the solver's limit and
+/// the heuristic to use instead, so callers can degrade deliberately
+/// rather than parse a message.
+class FusionCapacityError : public Error {
+ public:
+  FusionCapacityError(const std::string& solver, int loop_count,
+                      int max_nodes);
+
+  const std::string& solver() const { return solver_; }
+  int loop_count() const { return loop_count_; }
+  int max_nodes() const { return max_nodes_; }
+  /// Name of the recommended fallback ("bisection"; best_fusion applies
+  /// it automatically).
+  const std::string& suggested_solver() const { return suggested_; }
+
+ private:
+  std::string solver_;
+  int loop_count_;
+  int max_nodes_;
+  std::string suggested_ = "bisection";
+};
 
 /// Every loop in its own partition (cost = sum over loops of arrays
 /// accessed; 20 for the paper's Figure 4 example).

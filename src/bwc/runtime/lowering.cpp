@@ -359,6 +359,10 @@ class Lowerer {
     const std::string& var = loop.var;
     const std::int64_t lo = loop.lower, hi = loop.upper;
 
+    if (st.kind != StmtKind::kArrayAssign &&
+        st.kind != StmtKind::kScalarAssign)
+      return false;  // nested loops / guards carry no rhs
+
     StreamLoop sl;
     sl.lower = lo;
     sl.upper = hi;

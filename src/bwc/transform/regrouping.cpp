@@ -79,23 +79,27 @@ RegroupingResult regroup_arrays(
   std::set<ArrayId> used;
   for (const auto& group : groups) {
     BWC_CHECK(group.size() >= 2, "a regrouping needs at least two arrays");
-    const auto& first = p.array(group.front());
+    // Copied, not referenced: add_array() below may reallocate the
+    // declaration vector and invalidate references into it.
+    const std::vector<std::int64_t> member_extents =
+        p.array(group.front()).extents;
+    const std::size_t member_bytes = p.array(group.front()).elem_bytes;
     for (ArrayId a : group) {
       BWC_CHECK(!p.is_output_array(a),
                 "cannot regroup output array " + p.array(a).name);
-      BWC_CHECK(p.array(a).extents == first.extents &&
-                    p.array(a).elem_bytes == first.elem_bytes,
+      BWC_CHECK(p.array(a).extents == member_extents &&
+                    p.array(a).elem_bytes == member_bytes,
                 "regrouped arrays must have identical shape");
       BWC_CHECK(used.insert(a).second, "regrouping groups must be disjoint");
     }
 
     const std::int64_t k = static_cast<std::int64_t>(group.size());
     // New array: first dimension interleaved k-wide.
-    std::vector<std::int64_t> extents = first.extents;
+    std::vector<std::int64_t> extents = member_extents;
     extents[0] *= k;
     std::string name = "grp";
     for (ArrayId a : group) name += "_" + p.array(a).name;
-    const ArrayId grouped = p.add_array(name, extents, first.elem_bytes);
+    const ArrayId grouped = p.add_array(name, extents, member_bytes);
 
     // Rewrite every reference: member m's subscript s0 becomes
     // k*s0 - (k - 1 - m), mapping 1-based index i to k*(i-1) + m + 1.
@@ -133,7 +137,7 @@ RegroupingResult regroup_arrays(
       for (std::size_t m = 0; m < group.size(); ++m) {
         const std::int64_t mi = static_cast<std::int64_t>(m);
         const Affine row = Affine::var("__pack_i") * k - (k - 1 - mi);
-        if (first.extents.size() == 1) {
+        if (member_extents.size() == 1) {
           body.push_back(ir::make_array_assign(
               grouped, {row},
               ir::make_array_ref(group[m], {Affine::var("__pack_i")})));
@@ -145,15 +149,15 @@ RegroupingResult regroup_arrays(
         }
       }
       ir::StmtList pack;
-      if (first.extents.size() == 1) {
+      if (member_extents.size() == 1) {
         pack.push_back(
-            ir::make_loop("__pack_i", 1, first.extents[0], std::move(body)));
+            ir::make_loop("__pack_i", 1, member_extents[0], std::move(body)));
       } else {
         ir::StmtList mid;
         mid.push_back(
-            ir::make_loop("__pack_i", 1, first.extents[0], std::move(body)));
+            ir::make_loop("__pack_i", 1, member_extents[0], std::move(body)));
         pack.push_back(
-            ir::make_loop("__pack_j", 1, first.extents[1], std::move(mid)));
+            ir::make_loop("__pack_j", 1, member_extents[1], std::move(mid)));
       }
       p.top().insert(p.top().begin(),
                      std::make_move_iterator(pack.begin()),

@@ -455,20 +455,22 @@ std::optional<ShrinkPlan> plan_shrink(const Program& p, ArrayId array) {
 
 void apply_shrink(Program& p, ArrayId array, const ShrinkPlan& plan,
                   std::vector<std::string>& actions) {
-  const auto& decl = p.array(array);
-  const std::int64_t rows = decl.extents[0];
-  const std::string base = decl.name;
+  // Copy what we need out of the declaration: add_array() may reallocate
+  // the declaration vector and invalidate references into it.
+  const std::int64_t rows = p.array(array).extents[0];
+  const std::string base = p.array(array).name;
+  const std::size_t elem_bytes = p.array(array).elem_bytes;
 
   // New storage.
   std::map<std::int64_t, ArrayId> peel;
   for (std::int64_t c : plan.peel_columns) {
     const std::string name = base + "_col" + std::to_string(c);
-    peel[c] = p.add_array(name, {rows}, decl.elem_bytes);
+    peel[c] = p.add_array(name, {rows}, elem_bytes);
   }
-  const ArrayId cur = p.add_array(base + "_cur", {rows}, decl.elem_bytes);
+  const ArrayId cur = p.add_array(base + "_cur", {rows}, elem_bytes);
   ArrayId prev = ir::kInvalidArray;
   if (plan.reads_prev)
-    prev = p.add_array(base + "_prev", {rows}, decl.elem_bytes);
+    prev = p.add_array(base + "_prev", {rows}, elem_bytes);
 
   // Replace constant-column refs everywhere (all loops).
   auto rewrite_const_cols = [&](StmtList& body) {

@@ -1,0 +1,60 @@
+#include "bwc/verify/diagnostics.h"
+
+#include <sstream>
+
+namespace bwc::verify {
+
+bool Report::ok() const { return error_count() == 0; }
+
+int Report::error_count() const {
+  int n = 0;
+  for (const auto& d : diags) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::string Report::first_error() const {
+  for (const auto& d : diags) {
+    if (d.severity == Severity::kError) return d.message;
+  }
+  return {};
+}
+
+std::string Report::render() const {
+  std::ostringstream os;
+  os << "[" << check << "] ";
+  if (skipped) {
+    os << "SKIPPED: " << skip_reason << "\n";
+  } else if (ok()) {
+    os << "OK";
+    if (instances_checked > 0) os << " (" << instances_checked << " instances)";
+    os << "\n";
+  } else {
+    os << error_count() << " violation(s)\n";
+  }
+  for (const auto& d : diags) {
+    os << "  " << (d.severity == Severity::kError ? "error" : "note") << " ["
+       << d.code << "] " << d.message << "\n";
+  }
+  return os.str();
+}
+
+void Report::error(const std::string& code, const std::string& message) {
+  diags.push_back({Severity::kError, code, message});
+}
+
+void Report::info(const std::string& code, const std::string& message) {
+  diags.push_back({Severity::kInfo, code, message});
+}
+
+void Report::merge(const Report& other) {
+  for (const auto& d : other.diags) diags.push_back(d);
+  if (other.skipped) {
+    skipped = true;
+    skip_reason = other.skip_reason;
+  }
+  instances_checked += other.instances_checked;
+}
+
+}  // namespace bwc::verify

@@ -1,0 +1,51 @@
+// Diagnostics shared by all bwc::verify checkers.
+//
+// Every checker returns a Report: a list of diagnostics plus bookkeeping
+// about whether the check ran to completion. A report with no kError
+// diagnostic certifies the checked property; a skipped report certifies
+// nothing (the caller decides whether skipping is acceptable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bwc::verify {
+
+enum class Severity {
+  kInfo,   // certification detail, no legality impact
+  kError,  // the checked property is violated
+};
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  /// Stable machine-readable code, e.g. "flow-dependence-reversed".
+  std::string code;
+  /// Human-readable message naming the violated fact.
+  std::string message;
+};
+
+struct Report {
+  /// Which checker produced the report ("structure", "translation", ...).
+  std::string check;
+  std::vector<Diagnostic> diags;
+  /// The instance-level part of the check did not run (event budget).
+  bool skipped = false;
+  std::string skip_reason;
+  /// Instances examined by the check (0 for purely static checks).
+  std::uint64_t instances_checked = 0;
+
+  bool ok() const;
+  int error_count() const;
+  /// The first error message, or empty.
+  std::string first_error() const;
+  /// Multi-line human-readable rendering.
+  std::string render() const;
+
+  void error(const std::string& code, const std::string& message);
+  void info(const std::string& code, const std::string& message);
+  /// Append all of `other`'s diagnostics (and skip state) to this report.
+  void merge(const Report& other);
+};
+
+}  // namespace bwc::verify

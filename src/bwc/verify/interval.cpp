@@ -1,0 +1,86 @@
+#include "bwc/verify/interval.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bwc::verify {
+
+namespace {
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  // b > 0.
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return floor_div(a + b - 1, b);
+}
+
+}  // namespace
+
+void split_guard(ir::CmpOp op, std::int64_t c, std::int64_t k, Interval range,
+                 std::vector<Interval>* then_iv,
+                 std::vector<Interval>* else_iv) {
+  if (c < 0) {  // negate both sides, flipping the inequality
+    c = -c;
+    k = -k;
+    switch (op) {
+      case ir::CmpOp::kLt: op = ir::CmpOp::kGt; break;
+      case ir::CmpOp::kLe: op = ir::CmpOp::kGe; break;
+      case ir::CmpOp::kGt: op = ir::CmpOp::kLt; break;
+      case ir::CmpOp::kGe: op = ir::CmpOp::kLe; break;
+      case ir::CmpOp::kEq:
+      case ir::CmpOp::kNe: break;
+    }
+  }
+  auto add = [&](std::vector<Interval>* out, Interval iv) {
+    iv.lo = std::max(iv.lo, range.lo);
+    iv.hi = std::min(iv.hi, range.hi);
+    if (!iv.empty()) out->push_back(iv);
+  };
+  const std::int64_t kMin = std::numeric_limits<std::int64_t>::min() / 4;
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max() / 4;
+  switch (op) {
+    case ir::CmpOp::kEq:
+    case ir::CmpOp::kNe: {
+      const bool divides = k % c == 0;
+      const std::int64_t v0 = divides ? -k / c : 0;
+      std::vector<Interval>* eq = op == ir::CmpOp::kEq ? then_iv : else_iv;
+      std::vector<Interval>* ne = op == ir::CmpOp::kEq ? else_iv : then_iv;
+      if (divides) {
+        add(eq, {v0, v0});
+        add(ne, {kMin, v0 - 1});
+        add(ne, {v0 + 1, kMax});
+      } else {
+        add(ne, {kMin, kMax});
+      }
+      return;
+    }
+    case ir::CmpOp::kLt: {
+      const std::int64_t b = floor_div(-k - 1, c);  // v <= b
+      add(then_iv, {kMin, b});
+      add(else_iv, {b + 1, kMax});
+      return;
+    }
+    case ir::CmpOp::kLe: {
+      const std::int64_t b = floor_div(-k, c);
+      add(then_iv, {kMin, b});
+      add(else_iv, {b + 1, kMax});
+      return;
+    }
+    case ir::CmpOp::kGt: {
+      const std::int64_t b = floor_div(-k, c) + 1;  // v >= b
+      add(then_iv, {b, kMax});
+      add(else_iv, {kMin, b - 1});
+      return;
+    }
+    case ir::CmpOp::kGe: {
+      const std::int64_t b = ceil_div(-k, c);
+      add(then_iv, {b, kMax});
+      add(else_iv, {kMin, b - 1});
+      return;
+    }
+  }
+}
+
+}  // namespace bwc::verify

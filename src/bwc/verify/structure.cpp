@@ -1,0 +1,323 @@
+#include "bwc/verify/structure.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bwc/verify/interval.h"
+
+namespace bwc::verify {
+
+namespace {
+
+using Range = Interval;
+
+class StructureChecker {
+ public:
+  StructureChecker(const ir::Program& program, Report* report)
+      : program_(program), report_(report) {}
+
+  void run() {
+    check_declarations();
+    for (std::size_t i = 0; i < program_.top().size(); ++i) {
+      top_index_ = static_cast<int>(i);
+      walk(*program_.top()[i]);
+    }
+    check_outputs();
+  }
+
+ private:
+  void check_declarations() {
+    for (const auto& a : program_.arrays()) {
+      if (a.name.empty()) report_->error("array-unnamed", "array without a name");
+      if (a.extents.empty()) {
+        report_->error("array-rank-zero",
+                       "array '" + a.name + "' declared with no extents");
+      }
+      for (std::size_t d = 0; d < a.extents.size(); ++d) {
+        if (a.extents[d] <= 0) {
+          report_->error("array-extent-nonpositive",
+                         "array '" + a.name + "' dim " + std::to_string(d) +
+                             " has non-positive extent " +
+                             std::to_string(a.extents[d]));
+        }
+      }
+      if (a.elem_bytes == 0) {
+        report_->error("array-elem-bytes-zero",
+                       "array '" + a.name + "' has zero element size");
+      }
+    }
+  }
+
+  void check_outputs() {
+    for (const ir::ArrayId a : program_.output_arrays()) {
+      if (a < 0 || a >= program_.array_count()) {
+        report_->error("output-array-invalid",
+                       "output array id " + std::to_string(a) +
+                           " is not a declared array slot");
+      }
+    }
+    for (const auto& s : program_.output_scalars()) {
+      if (!program_.has_scalar(s)) {
+        report_->error("output-scalar-undeclared",
+                       "output scalar '" + s + "' is not declared");
+      }
+    }
+  }
+
+  std::string at() const { return " (at stmt #" + std::to_string(top_index_) + ")"; }
+
+  /// Range of an affine over the current loop environment; false when a
+  /// variable is unbound.
+  bool affine_range(const ir::Affine& a, Range* out) {
+    std::int64_t lo = a.constant_term();
+    std::int64_t hi = a.constant_term();
+    for (const auto& [name, coeff] : a.terms()) {
+      const Range* r = nullptr;
+      for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+        if (it->first == name) {
+          r = &it->second;
+          break;
+        }
+      }
+      if (r == nullptr) {
+        report_->error("unbound-loop-var",
+                       "affine expression '" + a.str() +
+                           "' uses loop variable '" + name +
+                           "' outside any enclosing loop" + at());
+        return false;
+      }
+      if (coeff >= 0) {
+        lo += coeff * r->lo;
+        hi += coeff * r->hi;
+      } else {
+        lo += coeff * r->hi;
+        hi += coeff * r->lo;
+      }
+    }
+    *out = {lo, hi};
+    return true;
+  }
+
+  void check_array_ref(ir::ArrayId array,
+                       const std::vector<ir::Affine>& subs) {
+    if (array < 0 || array >= program_.array_count()) {
+      report_->error("array-slot-invalid",
+                     "reference to array slot " + std::to_string(array) +
+                         ", program declares " +
+                         std::to_string(program_.array_count()) + at());
+      return;
+    }
+    const ir::ArrayDecl& decl = program_.array(array);
+    if (subs.size() != decl.extents.size()) {
+      report_->error("subscript-arity",
+                     "array '" + decl.name + "' referenced with " +
+                         std::to_string(subs.size()) +
+                         " subscript(s), declared rank " +
+                         std::to_string(decl.extents.size()) + at());
+      return;
+    }
+    for (std::size_t d = 0; d < subs.size(); ++d) {
+      Range r;
+      if (!affine_range(subs[d], &r)) continue;
+      if (r.lo < 1 || r.hi > decl.extents[d]) {
+        report_->error(
+            "subscript-out-of-bounds",
+            "array '" + decl.name + "' dim " + std::to_string(d) +
+                " subscript '" + subs[d].str() + "' ranges over [" +
+                std::to_string(r.lo) + ", " + std::to_string(r.hi) +
+                "], outside the declared [1, " +
+                std::to_string(decl.extents[d]) + "]" + at());
+      }
+    }
+  }
+
+  void check_expr(const ir::Expr& e) {
+    switch (e.kind) {
+      case ir::ExprKind::kConst:
+        break;
+      case ir::ExprKind::kScalarRef:
+        if (!program_.has_scalar(e.scalar)) {
+          report_->error("scalar-undeclared",
+                         "read of undeclared scalar '" + e.scalar + "'" + at());
+        }
+        break;
+      case ir::ExprKind::kLoopVar: {
+        bool bound = false;
+        for (const auto& [name, r] : env_) {
+          (void)r;
+          if (name == e.loop_var) bound = true;
+        }
+        if (!bound) {
+          report_->error("unbound-loop-var",
+                         "loop-variable expression '" + e.loop_var +
+                             "' outside any enclosing loop" + at());
+        }
+        break;
+      }
+      case ir::ExprKind::kArrayRef:
+        check_array_ref(e.array, e.subscripts);
+        break;
+      case ir::ExprKind::kBinary:
+        if (e.operands.size() != 2) {
+          report_->error("binary-arity",
+                         "binary expression with " +
+                             std::to_string(e.operands.size()) +
+                             " operand(s)" + at());
+        }
+        break;
+      case ir::ExprKind::kCall:
+        if (e.call_flops < 0) {
+          report_->error("call-flops-negative",
+                         "intrinsic '" + e.callee +
+                             "' with negative flop cost" + at());
+        }
+        break;
+      case ir::ExprKind::kInput:
+        if (e.input_extents.size() != e.subscripts.size()) {
+          report_->error("input-extent-arity",
+                         "input stream " + std::to_string(e.input_key) +
+                             " has " + std::to_string(e.subscripts.size()) +
+                             " subscript(s) but " +
+                             std::to_string(e.input_extents.size()) +
+                             " extent(s)" + at());
+        }
+        for (const auto& sub : e.subscripts) {
+          Range r;
+          affine_range(sub, &r);  // reports unbound vars
+        }
+        break;
+    }
+    for (const auto& o : e.operands) {
+      if (o == nullptr) {
+        report_->error("operand-null", "null expression operand" + at());
+        continue;
+      }
+      check_expr(*o);
+    }
+  }
+
+  void walk(const ir::Stmt& s) {
+    switch (s.kind) {
+      case ir::StmtKind::kArrayAssign:
+        check_array_ref(s.lhs_array, s.lhs_subscripts);
+        if (s.rhs == nullptr) {
+          report_->error("rhs-null", "array assignment without rhs" + at());
+        } else {
+          check_expr(*s.rhs);
+        }
+        return;
+      case ir::StmtKind::kScalarAssign:
+        if (!program_.has_scalar(s.lhs_scalar)) {
+          report_->error("scalar-undeclared",
+                         "assignment to undeclared scalar '" + s.lhs_scalar +
+                             "'" + at());
+        }
+        if (s.rhs == nullptr) {
+          report_->error("rhs-null", "scalar assignment without rhs" + at());
+        } else {
+          check_expr(*s.rhs);
+        }
+        return;
+      case ir::StmtKind::kIf: {
+        Range r;
+        affine_range(s.cmp_lhs, &r);
+        affine_range(s.cmp_rhs, &r);
+        const ir::Affine diff = s.cmp_lhs - s.cmp_rhs;
+        if (diff.is_constant()) {
+          // Statically decided: the untaken branch never executes, so its
+          // subscripts have no instances to fault on.
+          const auto& taken = ir::evaluate_cmp(s.cmp, diff.constant_term(), 0)
+                                  ? s.then_body
+                                  : s.else_body;
+          for (const auto& inner : taken) walk(*inner);
+          return;
+        }
+        Range* range = nullptr;
+        const std::optional<std::string> v = diff.single_var();
+        if (v) {
+          for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+            if (it->first == *v) {
+              range = &it->second;
+              break;
+            }
+          }
+        }
+        if (range != nullptr) {
+          // Single-variable guard: each branch only runs on the
+          // sub-intervals where its condition holds, so subscripts inside
+          // are validated against the refined range. This is what makes
+          // fused programs -- whose bodies sit under outer-union,
+          // alignment and promotion guards -- validate exactly.
+          std::vector<Interval> then_iv, else_iv;
+          split_guard(s.cmp, diff.coeff(*v), diff.constant_term(), *range,
+                      &then_iv, &else_iv);
+          const Range saved = *range;
+          for (const Interval& iv : then_iv) {
+            *range = iv;
+            for (const auto& inner : s.then_body) walk(*inner);
+          }
+          for (const Interval& iv : else_iv) {
+            *range = iv;
+            for (const auto& inner : s.else_body) walk(*inner);
+          }
+          *range = saved;
+          return;
+        }
+        for (const auto& inner : s.then_body) walk(*inner);
+        for (const auto& inner : s.else_body) walk(*inner);
+        return;
+      }
+      case ir::StmtKind::kLoop: {
+        if (s.loop == nullptr) {
+          report_->error("loop-null", "loop statement without loop data" + at());
+          return;
+        }
+        const ir::Loop& loop = *s.loop;
+        if (loop.var.empty()) {
+          report_->error("loop-var-unnamed", "loop without a variable" + at());
+        }
+        if (loop.trip_count() == 0) {
+          // An empty loop's body never executes; nothing to validate
+          // against (subscripts over an empty range have no instances).
+          report_->info("loop-empty",
+                        "loop over '" + loop.var + "' has zero iterations" +
+                            at());
+          return;
+        }
+        for (const auto& [name, r] : env_) {
+          (void)r;
+          if (name == loop.var) {
+            report_->info("loop-var-shadowed",
+                          "loop variable '" + loop.var +
+                              "' shadows an enclosing loop" + at());
+          }
+        }
+        env_.emplace_back(loop.var, Range{loop.lower, loop.upper});
+        for (const auto& inner : loop.body) walk(*inner);
+        env_.pop_back();
+        return;
+      }
+    }
+  }
+
+  const ir::Program& program_;
+  Report* report_;
+  std::vector<std::pair<std::string, Range>> env_;
+  int top_index_ = -1;
+};
+
+}  // namespace
+
+Report validate_structure(const ir::Program& program) {
+  Report report;
+  report.check = "structure";
+  StructureChecker checker(program, &report);
+  checker.run();
+  return report;
+}
+
+}  // namespace bwc::verify

@@ -1,0 +1,23 @@
+// Structural IR validation: slot validity, affine subscript
+// well-formedness and bounds sanity for any ir::Program.
+//
+// The checks are purely static. Subscript ranges are evaluated with
+// interval arithmetic over the enclosing loop bounds (every subscript is
+// affine over concretely-bounded loop variables, so the exact min/max is
+// computable); a subscript whose range can leave [1, extent] is an error
+// -- this is what catches the "shrunk live array" class of optimizer bugs,
+// where a transformed program still addresses elements its (reduced)
+// declaration no longer provides.
+#pragma once
+
+#include "bwc/ir/program.h"
+#include "bwc/verify/diagnostics.h"
+
+namespace bwc::verify {
+
+/// Validate the whole program. Errors name the offending statement and
+/// fact (undeclared name, rank mismatch, out-of-range subscript, malformed
+/// expression tree, invalid output declaration).
+Report validate_structure(const ir::Program& program);
+
+}  // namespace bwc::verify

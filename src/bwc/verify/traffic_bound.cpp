@@ -1,0 +1,314 @@
+#include "bwc/verify/traffic_bound.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "bwc/ir/stmt.h"
+#include "bwc/verify/interval.h"
+
+namespace bwc::verify {
+
+namespace {
+
+/// One array reference's static access description.
+struct Ref {
+  std::vector<Interval> box;  // per-dim subscript value range
+  bool boxy = true;           // all coefficients in {0, +-1}: box is exact
+  std::int64_t count = 0;     // distinct elements this ref alone touches
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(const ir::Program& program) : program_(program) {}
+
+  void run() {
+    for (const auto& s : program_.top()) walk(*s);
+  }
+
+  std::map<ir::ArrayId, std::vector<Ref>> refs;
+  std::map<ir::ArrayId, int> guarded;
+  std::int64_t flops = 0;
+
+ private:
+  Interval* find(const std::string& name) {
+    for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+      if (it->first == name) return &it->second;
+    }
+    return nullptr;
+  }
+
+  bool range_of(const ir::Affine& a, Interval* out) {
+    std::int64_t lo = a.constant_term();
+    std::int64_t hi = a.constant_term();
+    for (const auto& [name, coeff] : a.terms()) {
+      const Interval* r = find(name);
+      if (r == nullptr) return false;
+      if (coeff >= 0) {
+        lo += coeff * r->lo;
+        hi += coeff * r->hi;
+      } else {
+        lo += coeff * r->hi;
+        hi += coeff * r->lo;
+      }
+    }
+    *out = {lo, hi};
+    return true;
+  }
+
+  std::int64_t trip_product() const {
+    std::int64_t p = 1;
+    for (const auto& [name, iv] : env_) {
+      (void)name;
+      p *= iv.size();
+    }
+    return p;
+  }
+
+  void record_ref(ir::ArrayId array, const std::vector<ir::Affine>& subs) {
+    if (guard_depth_ > 0) {
+      ++guarded[array];
+      return;
+    }
+    Ref ref;
+    bool injective = true;
+    std::map<std::string, std::int64_t> used;  // var -> trip count
+    std::int64_t max_dim = subs.empty() ? 0 : 1;
+    for (const auto& sub : subs) {
+      Interval r;
+      if (!range_of(sub, &r)) {
+        ++guarded[array];  // unbound var: exclude, keep the bound sound
+        return;
+      }
+      ref.box.push_back(r);
+      int dim_vars = 0;
+      bool unit = true;
+      std::int64_t single_trip = 1;
+      for (const auto& [name, coeff] : sub.terms()) {
+        ++dim_vars;
+        if (coeff != 1 && coeff != -1) unit = false;
+        const std::int64_t trip = find(name)->size();
+        used[name] = trip;
+        single_trip = trip;
+      }
+      if (dim_vars > 1) injective = false;
+      if (!unit) ref.boxy = false;
+      const std::int64_t dim_count =
+          unit ? r.size() : (dim_vars == 1 ? single_trip : 1);
+      max_dim = std::max(max_dim, dim_count);
+    }
+    if (injective) {
+      ref.count = 1;
+      for (const auto& [name, trip] : used) {
+        (void)name;
+        ref.count *= trip;
+      }
+    } else {
+      ref.count = max_dim;
+    }
+    refs[array].push_back(std::move(ref));
+  }
+
+  std::int64_t expr_flops(const ir::Expr& e) const {
+    std::int64_t f = 0;
+    if (e.kind == ir::ExprKind::kBinary) f += ir::kBinaryFlops;
+    if (e.kind == ir::ExprKind::kCall) f += e.call_flops;
+    for (const auto& o : e.operands) {
+      if (o != nullptr) f += expr_flops(*o);
+    }
+    return f;
+  }
+
+  void walk_expr(const ir::Expr& e) {
+    if (e.kind == ir::ExprKind::kArrayRef) record_ref(e.array, e.subscripts);
+    for (const auto& o : e.operands) {
+      if (o != nullptr) walk_expr(*o);
+    }
+  }
+
+  void walk_body(const ir::StmtList& body) {
+    for (const auto& s : body) walk(*s);
+  }
+
+  void walk(const ir::Stmt& s) {
+    switch (s.kind) {
+      case ir::StmtKind::kArrayAssign:
+        record_ref(s.lhs_array, s.lhs_subscripts);
+        if (s.rhs != nullptr) {
+          walk_expr(*s.rhs);
+          flops += trip_product() * expr_flops(*s.rhs);
+        }
+        return;
+      case ir::StmtKind::kScalarAssign:
+        if (s.rhs != nullptr) {
+          walk_expr(*s.rhs);
+          flops += trip_product() * expr_flops(*s.rhs);
+        }
+        return;
+      case ir::StmtKind::kIf: {
+        const ir::Affine diff = s.cmp_lhs - s.cmp_rhs;
+        if (diff.is_constant()) {
+          // Statically decided: only the taken branch exists.
+          walk_body(ir::evaluate_cmp(s.cmp, diff.constant_term(), 0)
+                        ? s.then_body
+                        : s.else_body);
+          return;
+        }
+        const std::optional<std::string> v = diff.single_var();
+        Interval* range = v ? find(*v) : nullptr;
+        if (range != nullptr) {
+          // Refine the variable's interval: each branch sees exactly the
+          // iterations on which it runs, keeping footprints and the flop
+          // count exact.
+          std::vector<Interval> then_iv, else_iv;
+          split_guard(s.cmp, diff.coeff(*v), diff.constant_term(), *range,
+                      &then_iv, &else_iv);
+          const Interval saved = *range;
+          for (const Interval& iv : then_iv) {
+            *range = iv;
+            walk_body(s.then_body);
+          }
+          for (const Interval& iv : else_iv) {
+            *range = iv;
+            walk_body(s.else_body);
+          }
+          *range = saved;
+          return;
+        }
+        // Multi-variable guard: count flops for both branches (upper
+        // bound), exclude the references (lower bound).
+        ++guard_depth_;
+        walk_body(s.then_body);
+        walk_body(s.else_body);
+        --guard_depth_;
+        return;
+      }
+      case ir::StmtKind::kLoop: {
+        if (s.loop == nullptr || s.loop->trip_count() == 0) return;
+        env_.emplace_back(s.loop->var, Interval{s.loop->lower, s.loop->upper});
+        walk_body(s.loop->body);
+        env_.pop_back();
+        return;
+      }
+    }
+  }
+
+  const ir::Program& program_;
+  std::vector<std::pair<std::string, Interval>> env_;
+  int guard_depth_ = 0;
+};
+
+/// Exact cell count of a union of dense boxes via coordinate compression;
+/// -1 when the compressed grid would be unreasonably large.
+std::int64_t union_of_boxes(const std::vector<const Ref*>& boxes) {
+  if (boxes.empty()) return 0;
+  const std::size_t rank = boxes[0]->box.size();
+  std::vector<std::vector<std::int64_t>> coords(rank);
+  for (const Ref* r : boxes) {
+    if (r->box.size() != rank) return -1;  // rank mismatch: malformed
+    for (std::size_t d = 0; d < rank; ++d) {
+      coords[d].push_back(r->box[d].lo);
+      coords[d].push_back(r->box[d].hi + 1);
+    }
+  }
+  std::int64_t cells = 1;
+  for (auto& c : coords) {
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    cells *= static_cast<std::int64_t>(c.size()) - 1;
+    if (cells > 2'000'000) return -1;
+  }
+
+  std::int64_t covered = 0;
+  std::vector<std::size_t> idx(rank, 0);
+  while (true) {
+    std::int64_t volume = 1;
+    for (std::size_t d = 0; d < rank; ++d) {
+      volume *= coords[d][idx[d] + 1] - coords[d][idx[d]];
+    }
+    for (const Ref* r : boxes) {
+      bool inside = true;
+      for (std::size_t d = 0; d < rank; ++d) {
+        const std::int64_t lo = coords[d][idx[d]];
+        if (lo < r->box[d].lo || lo > r->box[d].hi) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) {
+        covered += volume;
+        break;
+      }
+    }
+    std::size_t d = 0;
+    for (; d < rank; ++d) {
+      if (++idx[d] < coords[d].size() - 1) break;
+      idx[d] = 0;
+    }
+    if (d == rank) break;
+  }
+  return covered;
+}
+
+}  // namespace
+
+TrafficBound compute_traffic_bound(const ir::Program& program) {
+  Analyzer analyzer(program);
+  analyzer.run();
+
+  TrafficBound bound;
+  bound.flops_upper_bound = analyzer.flops;
+  for (ir::ArrayId a = 0; a < program.array_count(); ++a) {
+    const ir::ArrayDecl& decl = program.array(a);
+    ArrayFootprint fp;
+    fp.name = decl.name;
+    const auto git = analyzer.guarded.find(a);
+    fp.guarded_refs = git == analyzer.guarded.end() ? 0 : git->second;
+    const auto rit = analyzer.refs.find(a);
+    if (rit != analyzer.refs.end()) {
+      const std::vector<Ref>& refs = rit->second;
+      std::vector<const Ref*> boxy;
+      std::int64_t max_count = 0;
+      for (const Ref& r : refs) {
+        if (r.boxy) boxy.push_back(&r);
+        max_count = std::max(max_count, r.count);
+      }
+      const std::int64_t cells = union_of_boxes(boxy);
+      const bool all_boxy = boxy.size() == refs.size();
+      if (all_boxy && cells >= 0) {
+        fp.distinct_elements = cells;
+        fp.exact = fp.guarded_refs == 0;
+      } else {
+        fp.distinct_elements = std::max(cells, max_count);
+      }
+    } else {
+      fp.exact = fp.guarded_refs == 0;
+    }
+    fp.bytes =
+        fp.distinct_elements * static_cast<std::int64_t>(decl.elem_bytes);
+    bound.lower_bound_bytes += fp.bytes;
+    bound.arrays.push_back(std::move(fp));
+  }
+  return bound;
+}
+
+std::string TrafficBound::render() const {
+  std::string out = "traffic lower bound: " +
+                    std::to_string(lower_bound_bytes) +
+                    " bytes memory<->L2 (flops upper bound: " +
+                    std::to_string(flops_upper_bound) + ")\n";
+  for (const ArrayFootprint& fp : arrays) {
+    out += "  " + fp.name + ": " + (fp.exact ? "" : ">= ") +
+           std::to_string(fp.distinct_elements) + " element(s), " +
+           std::to_string(fp.bytes) + " byte(s)";
+    if (fp.guarded_refs > 0) {
+      out += " (" + std::to_string(fp.guarded_refs) +
+             " guarded ref(s) excluded)";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace bwc::verify

@@ -1,0 +1,62 @@
+// Static memory-traffic lower bounds from affine access summaries.
+//
+// For a cold memory hierarchy, every distinct byte a program touches must
+// cross the memory<->L2 boundary at least once -- under a write-allocate
+// policy the line is fetched, under no-write-allocate the store itself
+// crosses. The number of distinct bytes touched is therefore a sound lower
+// bound on the simulated boundary traffic, whatever the cache geometry,
+// associativity or replacement policy. This analyzer computes that bound
+// statically, per array, from the affine subscripts:
+//
+//  - A reference whose every dimension uses at most one loop variable maps
+//    its iteration space injectively onto elements: its footprint is the
+//    product of the distinct variables' trip counts, exactly.
+//  - When every reference to an array has only {0, +-1} coefficients, each
+//    reference covers a dense box of elements and the array footprint is
+//    the exact union of boxes (computed by coordinate compression).
+//  - Otherwise the footprint falls back to the largest single-reference
+//    count (still a valid lower bound); references under guards are
+//    excluded entirely (a guard may suppress every access).
+//
+// The companion flops_upper_bound counts every arithmetic operation the
+// program could execute (both branches of each guard), giving a sound
+// static machine-balance denominator. EXPERIMENTS.md records the invariant
+// checked by the test suite: lower_bound_bytes <= the memsim-measured
+// memory<->L2 traffic on every workload, original and optimized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bwc/ir/program.h"
+
+namespace bwc::verify {
+
+/// Distinct-element footprint of one array.
+struct ArrayFootprint {
+  std::string name;
+  /// Distinct elements provably touched (lower bound; exact when `exact`).
+  std::int64_t distinct_elements = 0;
+  std::int64_t bytes = 0;
+  /// Every unguarded reference was covered by the union-of-boxes count.
+  bool exact = false;
+  /// References skipped because they sit under a guard.
+  int guarded_refs = 0;
+};
+
+struct TrafficBound {
+  std::vector<ArrayFootprint> arrays;
+  /// Sum of per-array footprint bytes: sound lower bound on the bytes
+  /// crossing the memory<->L2 boundary on a cold hierarchy.
+  std::int64_t lower_bound_bytes = 0;
+  /// Static upper bound on executed flops (guards counted both ways).
+  std::int64_t flops_upper_bound = 0;
+
+  /// Human-readable table of the per-array footprints and totals.
+  std::string render() const;
+};
+
+TrafficBound compute_traffic_bound(const ir::Program& program);
+
+}  // namespace bwc::verify

@@ -1,0 +1,15 @@
+// bwc::verify -- independent re-checking of everything the optimizer
+// emits. See docs/VERIFY.md for the architecture.
+//
+// The module deliberately depends only on support/ and ir/: it shares no
+// code with the analyses (analysis/), transformations (transform/,
+// fusion/) or execution engines (runtime/) it certifies, so a bug in any
+// of those cannot silently vouch for itself.
+#pragma once
+
+#include "bwc/verify/diagnostics.h"     // Report, Diagnostic
+#include "bwc/verify/events.h"          // concrete instance tracing
+#include "bwc/verify/observability.h"   // storage-pass certification
+#include "bwc/verify/structure.h"       // IR well-formedness
+#include "bwc/verify/traffic_bound.h"   // static traffic lower bounds
+#include "bwc/verify/translation.h"     // scheduling-pass validation

@@ -5,13 +5,19 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <tuple>
 
 #include "bwc/analysis/dependence.h"
+#include "bwc/core/optimizer.h"
 #include "bwc/fusion/solvers.h"
 #include "bwc/ir/dsl.h"
 #include "bwc/runtime/interpreter.h"
+#include "bwc/support/prng.h"
 #include "bwc/transform/distribute.h"
 #include "bwc/transform/fuse.h"
+#include "bwc/verify/verify.h"
+#include "bwc/workloads/random_programs.h"
 
 namespace bwc {
 namespace {
@@ -59,7 +65,9 @@ TEST_P(OffsetSweep, FusedSemanticsWheneverDeclaredLegal) {
   ASSERT_NEAR(before, after, 1e-9 * (std::abs(before) + 1.0))
       << "w=" << w << " r=" << r << " partitions=" << plan.num_partitions;
   // And when legal, the pair really fuses (the solver always profits).
-  if (r <= w) EXPECT_EQ(plan.num_partitions, 1);
+  if (r <= w) {
+    EXPECT_EQ(plan.num_partitions, 1);
+  }
 }
 
 TEST_P(OffsetSweep, ShiftEqualsRequiredDelay) {
@@ -115,6 +123,55 @@ TEST_P(DistributionSweep, SplitDecisionMatchesSignRule) {
 INSTANTIATE_TEST_SUITE_P(Window, DistributionSweep,
                          ::testing::Combine(::testing::Range(-3, 4),
                                             ::testing::Range(-3, 4)));
+
+/// Randomized full-pipeline sweep: every fusion solver crossed with every
+/// combination of {shifted fusion, interchange, storage reduction, store
+/// elimination}. Each run is certified by the independent verifier (on
+/// inside core::optimize) AND differentially executed against the
+/// interpreter's checksum of the original program.
+using PipelineParam = std::tuple<int /*solver*/, int /*option bitmask*/>;
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineParam> {};
+
+TEST_P(PipelineSweep, RandomProgramsVerifiedAndChecksumPreserved) {
+  const auto& [solver_index, mask] = GetParam();
+  const core::FusionSolver solvers[] = {
+      core::FusionSolver::kBest, core::FusionSolver::kExact,
+      core::FusionSolver::kGreedy, core::FusionSolver::kBisection,
+      core::FusionSolver::kEdgeWeighted};
+  core::OptimizerOptions opts;
+  opts.solver = solvers[solver_index];
+  opts.allow_shifted_fusion = (mask & 1) != 0;
+  opts.auto_interchange = (mask & 2) != 0;
+  opts.reduce_storage = (mask & 4) != 0;
+  opts.eliminate_stores = (mask & 8) != 0;
+  opts.verify = true;
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    Prng rng(seed);
+    const Program p = workloads::random_program(rng);
+    // optimize() throws if any pass fails translation / observability /
+    // structural validation.
+    const core::OptimizeResult result = core::optimize(p, opts);
+    const double before = runtime::execute(p).checksum;
+    const double after = runtime::execute(result.program).checksum;
+    ASSERT_NEAR(before, after, 1e-9 * (std::abs(before) + 1.0))
+        << "seed=" << seed << " solver=" << solver_index << " mask=" << mask
+        << "\n" << core::render_log(result);
+
+    Prng rng2(seed);
+    const Program p2 = workloads::random_program_2d(rng2, 10, 3);
+    const core::OptimizeResult result2 = core::optimize(p2, opts);
+    const double before2 = runtime::execute(p2).checksum;
+    const double after2 = runtime::execute(result2.program).checksum;
+    ASSERT_NEAR(before2, after2, 1e-9 * (std::abs(before2) + 1.0))
+        << "2d seed=" << seed << " solver=" << solver_index
+        << " mask=" << mask << "\n" << core::render_log(result2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SolversTimesOptions, PipelineSweep,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range(0, 16)));
 
 }  // namespace
 }  // namespace bwc

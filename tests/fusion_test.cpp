@@ -226,6 +226,32 @@ TEST(Solvers, ExactThrowsBeyondLimit) {
   EXPECT_THROW(exact_enumeration(g, 12), Error);
 }
 
+TEST(Solvers, CapacityErrorCarriesStructuredFields) {
+  Prng rng(1);
+  const FusionGraph g = random_spec(rng, 14, 3);
+  try {
+    exact_enumeration(g, 12);
+    FAIL() << "expected FusionCapacityError";
+  } catch (const FusionCapacityError& e) {
+    EXPECT_EQ(e.loop_count(), 14);
+    EXPECT_EQ(e.max_nodes(), 12);
+    EXPECT_EQ(e.solver(), "exact");
+    EXPECT_EQ(e.suggested_solver(), "bisection");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("14 loops"), std::string::npos) << what;
+    EXPECT_NE(what.find("bisection"), std::string::npos) << what;
+  }
+  // The weighted variant reports its own solver name; best_fusion never
+  // throws -- it applies the suggested fallback automatically.
+  try {
+    exact_enumeration_weighted(g, 12);
+    FAIL() << "expected FusionCapacityError";
+  } catch (const FusionCapacityError& e) {
+    EXPECT_EQ(e.solver(), "exact-weighted");
+  }
+  EXPECT_NO_THROW(best_fusion(g));
+}
+
 TEST(Solvers, NoFusionOnEmptyGraph) {
   const FusionGraph g = graph_from_spec(0, {}, {}, {});
   EXPECT_EQ(no_fusion(g).num_partitions, 0);

@@ -19,6 +19,13 @@
 //     --interchange                        stride-1 loop interchange first
 //     --scalar-replace                     rotating-scalar register reuse
 //     --seed <int>                         seed for --program random
+//     --verify                             print the static traffic
+//                                          lower-bound report and assert
+//                                          bound <= measured traffic
+//     --no-verify                          skip the in-pipeline verifier
+//                                          (translation validation and
+//                                          observability certification run
+//                                          after every pass by default)
 //     --print                              print before/after programs
 //     --help
 //
@@ -40,6 +47,7 @@
 #include "bwc/support/prng.h"
 #include "bwc/support/table.h"
 #include "bwc/transform/regrouping.h"
+#include "bwc/verify/verify.h"
 #include "bwc/workloads/paper_programs.h"
 #include "bwc/workloads/random_programs.h"
 
@@ -63,6 +71,10 @@ struct Options {
   bool scalar_replace = false;
   std::uint64_t seed = 1;
   bool print = false;
+  /// Print the traffic-bound report and assert bound <= measured traffic.
+  bool verify_report = false;
+  /// Run the independent verifier after every optimizer pass.
+  bool verify_pipeline = true;
 };
 
 [[noreturn]] void usage(int code) {
@@ -72,7 +84,7 @@ struct Options {
       "       --scale <int> --engine <compiled|reference> --solver "
       "<best|exact|greedy|bisection|edge-weighted|none>\n"
       "       [--no-storage] [--no-stores] [--regroup] [--shift] "
-      "[--seed <int>] [--print]\n";
+      "[--seed <int>] [--verify] [--no-verify] [--print]\n";
   std::exit(code);
 }
 
@@ -112,6 +124,10 @@ Options parse(int argc, char** argv) {
       o.scalar_replace = true;
     } else if (arg == "--seed") {
       o.seed = std::stoull(value(i));
+    } else if (arg == "--verify") {
+      o.verify_report = true;
+    } else if (arg == "--no-verify") {
+      o.verify_pipeline = false;
     } else if (arg == "--print") {
       o.print = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -190,6 +206,7 @@ int main(int argc, char** argv) {
     opts.allow_shifted_fusion = o.shift;
     opts.auto_interchange = o.interchange;
     opts.scalar_replacement = o.scalar_replace;
+    opts.verify = o.verify_pipeline;
     core::OptimizeResult result = core::optimize(original, opts);
     if (o.regroup) {
       transform::RegroupingResult rr =
@@ -224,9 +241,35 @@ int main(int argc, char** argv) {
               << fmt_fixed(before.time.total_s / after.time.total_s, 2)
               << "x\n";
 
+    bool bounds_ok = true;
+    if (o.verify_report) {
+      const struct {
+        const char* label;
+        const ir::Program& program;
+        std::uint64_t measured;
+      } sides[] = {
+          {"original", original, before.profile.memory_bytes()},
+          {"optimized", result.program, after.profile.memory_bytes()},
+      };
+      for (const auto& side : sides) {
+        const verify::TrafficBound bound =
+            verify::compute_traffic_bound(side.program);
+        std::cout << "\n[" << side.label << "] " << bound.render();
+        const bool holds =
+            static_cast<std::uint64_t>(bound.lower_bound_bytes) <=
+            side.measured;
+        std::cout << "  bound <= measured " << side.measured << " bytes: "
+                  << (holds ? "holds" : "VIOLATED -- please report a bug")
+                  << "\n";
+        bounds_ok = bounds_ok && holds;
+      }
+      std::cout << "\n";
+    }
+
     const double drift =
         std::abs(before.exec.checksum - after.exec.checksum);
-    const bool ok = drift <= 1e-9 * (std::abs(before.exec.checksum) + 1.0);
+    const bool ok = bounds_ok &&
+        drift <= 1e-9 * (std::abs(before.exec.checksum) + 1.0);
     std::cout << "semantics: "
               << (ok ? "preserved" : "MISMATCH -- please report a bug")
               << " (checksum " << before.exec.checksum << ")\n\n";
