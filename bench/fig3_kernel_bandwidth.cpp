@@ -5,60 +5,30 @@
 // other near the ~300 MB/s machine limit; on the Exemplar (PA-8000) they
 // range 417-551 MB/s with 3w6r as a conflict-driven outlier on the
 // direct-mapped cache.
-#include "bench_common.h"
+//
+// Row values come from bench/fig_data.h and are regression-locked by
+// tests/bench_golden_test.cpp against tests/golden/fig3_kernel_bandwidth.csv.
+#include "fig_data.h"
 
 #include <iostream>
 
 #include "bwc/support/csv.h"
 #include "bwc/support/stats.h"
 #include "bwc/support/table.h"
-#include "bwc/workloads/stride_kernels.h"
-
-namespace {
-
-struct Row {
-  std::string name;
-  double o2k_mbps = 0;
-  double exemplar_mbps = 0;
-};
-
-double effective_on(const bwc::machine::MachineModel& scaled_machine,
-                    const bwc::machine::MachineModel& full_machine,
-                    const bwc::workloads::StrideKernelSpec& spec,
-                    std::int64_t n) {
-  using namespace bwc;
-  workloads::AddressSpace space;
-  workloads::StrideKernel kernel(spec, n, space);
-  const auto profile = bench::steady_state_profile(
-      scaled_machine, [&](auto& rec) { kernel.run(rec); });
-  const auto t = machine::predict_time(profile, full_machine);
-  return machine::effective_bandwidth_mbps(kernel.useful_bytes(), t.total_s);
-}
-
-}  // namespace
 
 int main() {
   using namespace bwc;
   bench::print_header(
       "Figure 3: effective memory bandwidth of stride-1 kernels");
 
-  const std::int64_t n = 150000;  // arrays ~1.2 MB vs 256 KB scaled caches
-  std::vector<Row> rows;
-  for (const auto& spec : workloads::figure3_kernels()) {
-    Row r;
-    r.name = spec.name;
-    r.o2k_mbps = effective_on(bench::o2k(), machine::origin2000_r10k(),
-                              spec, n);
-    r.exemplar_mbps = effective_on(bench::exemplar(),
-                                   machine::exemplar_pa8000(), spec, n);
-    rows.push_back(r);
-  }
+  const std::vector<bench::Fig3Row> rows = bench::fig3_rows();
 
   TextTable t("Effective bandwidth (MB/s), steady state");
   t.set_header({"kernel", "Origin2000 (R10K)", "Exemplar (PA-8000)"});
   std::vector<double> o2k_series, ex_series;
   for (const auto& r : rows) {
-    t.add_row({r.name, fmt_fixed(r.o2k_mbps, 1), fmt_fixed(r.exemplar_mbps, 1)});
+    t.add_row({r.kernel, fmt_fixed(r.o2k_mbps, 1),
+               fmt_fixed(r.exemplar_mbps, 1)});
     o2k_series.push_back(r.o2k_mbps);
     ex_series.push_back(r.exemplar_mbps);
   }
@@ -71,11 +41,7 @@ int main() {
             << " - " << fmt_fixed(summarize(ex_series).max, 1)
             << " MB/s (paper: 417-551 MB/s, 3w6r low outlier)\n";
 
-  CsvWriter csv({"kernel", "o2k_mbps", "exemplar_mbps"});
-  for (const auto& r : rows)
-    csv.add_row({r.name, fmt_fixed(r.o2k_mbps, 2),
-                 fmt_fixed(r.exemplar_mbps, 2)});
-  csv.write_file("fig3_kernel_bandwidth.csv");
+  bench::fig3_csv(rows).write_file("fig3_kernel_bandwidth.csv");
   std::cout << "series written to fig3_kernel_bandwidth.csv\n";
   return 0;
 }

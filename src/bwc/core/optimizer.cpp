@@ -40,6 +40,12 @@ OptimizeResult optimize(const ir::Program& program,
   OptimizeResult result;
   result.program = program.clone();
 
+  BWC_CHECK(options.cores >= 1, "optimizer target core count must be >= 1");
+  if (options.cores > 1) {
+    result.log.push_back("target: " + std::to_string(options.cores) +
+                         " cores (minimizing shared-bus traffic)");
+  }
+
   if (options.verify) {
     const verify::Report structure = verify::validate_structure(program);
     if (!structure.ok()) {

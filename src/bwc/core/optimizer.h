@@ -48,6 +48,12 @@ struct OptimizerOptions {
   /// Per-program event budget for the instance-level checks; programs
   /// whose traces would exceed it degrade to structural validation only.
   std::uint64_t verify_max_events = 2'000'000;
+  /// Core count the optimized program is intended to run at. The passes
+  /// themselves are core-count independent (they minimize total shared
+  /// traffic, which is what binds at scale -- docs/MODEL.md section 7);
+  /// the value is recorded in the log and threaded to measurement by
+  /// callers such as bwcopt --cores.
+  int cores = 1;
 };
 
 struct OptimizeResult {

@@ -12,14 +12,42 @@ void MachineModel::validate() const {
             "need one bandwidth per hierarchy boundary");
   for (double bw : boundary_bandwidth_mbps)
     BWC_CHECK(bw > 0.0, "bandwidths must be positive");
+  BWC_CHECK(core_count >= 1, "core count must be at least 1");
+  BWC_CHECK(boundary_shared.empty() ||
+                boundary_shared.size() == boundary_bandwidth_mbps.size(),
+            "need one sharing flag per hierarchy boundary (or none)");
   for (const auto& c : caches) c.validate();
+}
+
+bool MachineModel::is_shared(std::size_t b) const {
+  BWC_CHECK(b < boundary_bandwidth_mbps.size(), "boundary out of range");
+  if (boundary_shared.empty())
+    return b + 1 == boundary_bandwidth_mbps.size();
+  return boundary_shared[b];
+}
+
+double MachineModel::aggregate_bandwidth_mbps(std::size_t b) const {
+  const double bw = boundary_bandwidth_mbps[b];
+  return is_shared(b) ? bw : bw * core_count;
+}
+
+double MachineModel::aggregate_peak_mflops() const {
+  return peak_mflops * core_count;
+}
+
+MachineModel MachineModel::with_cores(int cores) const {
+  BWC_CHECK(cores >= 1, "core count must be at least 1");
+  MachineModel m = *this;
+  m.core_count = cores;
+  return m;
 }
 
 std::vector<double> MachineModel::machine_balance() const {
   validate();
   std::vector<double> balance;
   balance.reserve(boundary_bandwidth_mbps.size());
-  for (double bw : boundary_bandwidth_mbps) balance.push_back(bw / peak_mflops);
+  for (std::size_t b = 0; b < boundary_bandwidth_mbps.size(); ++b)
+    balance.push_back(aggregate_bandwidth_mbps(b) / aggregate_peak_mflops());
   return balance;
 }
 

@@ -22,18 +22,45 @@ namespace bwc::machine {
 
 struct MachineModel {
   std::string name;
-  /// Peak floating-point rate in MFLOPS (10^6 flops/s).
+  /// Peak floating-point rate in MFLOPS (10^6 flops/s) of ONE core.
   double peak_mflops = 0.0;
   /// Sustained bandwidth in MB/s for each boundary, ordered from
   /// registers<->L1 to last-level<->memory. Size must be caches.size()+1.
+  /// Private boundaries are per-core (aggregate capacity scales with
+  /// core_count); shared boundaries are machine-wide (one bus).
   std::vector<double> boundary_bandwidth_mbps;
   /// Cache geometry from L1 to last level.
   std::vector<memsim::CacheConfig> caches;
   /// Fixed per-run overhead (loop startup, sync) in the timing model.
   double startup_overhead_s = 0.0;
+  /// Identical cores drawing on the hierarchy. Private boundaries and the
+  /// flop rate replicate per core; shared boundaries do not.
+  int core_count = 1;
+  /// Per-boundary sharing flags, same order and size as
+  /// boundary_bandwidth_mbps. Empty means the default topology: every
+  /// cache boundary private, the memory bus (last boundary) shared.
+  std::vector<bool> boundary_shared;
+
+  /// True when boundary `b` is one bus shared by all cores.
+  bool is_shared(std::size_t b) const;
+
+  /// Machine-wide capacity of boundary `b` in MB/s: the per-core figure
+  /// multiplied by core_count for private boundaries, unchanged for
+  /// shared ones.
+  double aggregate_bandwidth_mbps(std::size_t b) const;
+
+  /// Machine-wide peak flop rate: core_count * peak_mflops.
+  double aggregate_peak_mflops() const;
+
+  /// A copy of this model with `cores` cores (geometry and per-core
+  /// rates unchanged).
+  MachineModel with_cores(int cores) const;
 
   /// Bytes of transfer available per flop at each boundary (Figure 1's
-  /// machine row).
+  /// machine row): aggregate bandwidth over aggregate peak. At one core
+  /// this is the paper's uniprocessor balance; with more cores the
+  /// private boundaries hold their balance while every shared boundary's
+  /// balance shrinks by 1/core_count -- the shared-bus squeeze.
   std::vector<double> machine_balance() const;
 
   /// Memory bandwidth (last boundary) in MB/s.

@@ -32,9 +32,13 @@ TimePrediction predict_time(const ExecutionProfile& profile,
                 machine.boundary_bandwidth_mbps.size(),
             "profile boundaries must match machine hierarchy depth");
 
+  // Multicore generalization (docs/MODEL.md section 7): flops and private
+  // boundary traffic split evenly across the cores, so their rates scale
+  // with core_count; shared boundaries are one bus whatever the core
+  // count. T = max(F / (P*peak), B_private / (P*W), B_shared / W).
   TimePrediction t;
   t.compute_s = static_cast<double>(profile.flops) /
-                (machine.peak_mflops * kMega);
+                (machine.aggregate_peak_mflops() * kMega);
   t.total_s = t.compute_s;
   t.binding_resource = "flops";
 
@@ -42,7 +46,7 @@ TimePrediction predict_time(const ExecutionProfile& profile,
   for (std::size_t i = 0; i < profile.boundaries.size(); ++i) {
     const double bytes = static_cast<double>(profile.boundaries[i].total());
     const double seconds =
-        bytes / (machine.boundary_bandwidth_mbps[i] * kMega);
+        bytes / (machine.aggregate_bandwidth_mbps(i) * kMega);
     t.boundary_s.push_back(seconds);
     if (seconds > t.total_s) {
       t.total_s = seconds;

@@ -11,6 +11,11 @@ Measurement measure(const ir::Program& program,
   memsim::MemoryHierarchy hierarchy = machine.make_hierarchy();
   runtime::ExecOptions opts;
   opts.hierarchy = &hierarchy;
+  // A multicore machine is replayed by the parallel executor at its core
+  // count; traffic and checksums are bit-identical to serial (held by
+  // tests/parallel_runtime_test.cpp), so this only exercises the engine
+  // the machine model implies. The reference interpreter is serial-only.
+  opts.cores = engine == ExecEngine::kCompiled ? machine.core_count : 1;
   Measurement m;
   // Every figure/ablation that measures programs goes through here, so the
   // compiled engine is the default; the reference interpreter stays
@@ -22,6 +27,16 @@ Measurement measure(const ir::Program& program,
   m.time = machine::predict_time(m.profile, machine);
   m.balance = ProgramBalance::from_profile(program.name(), m.profile);
   return m;
+}
+
+std::vector<Measurement> measure_scaling(
+    const ir::Program& program, const machine::MachineModel& machine,
+    const std::vector<int>& core_counts) {
+  std::vector<Measurement> curve;
+  curve.reserve(core_counts.size());
+  for (int cores : core_counts)
+    curve.push_back(measure(program, machine.with_cores(cores)));
+  return curve;
 }
 
 std::string summarize(const Measurement& m) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "bwc/ir/program.h"
 #include "bwc/machine/machine_model.h"
@@ -26,10 +27,21 @@ struct Measurement {
 enum class ExecEngine { kCompiled, kReference };
 
 /// Execute `program` on the machine's simulated hierarchy (caches start
-/// cold) and evaluate the bandwidth-bound timing model.
+/// cold) and evaluate the bandwidth-bound timing model. A machine with
+/// core_count > 1 is measured with the parallel compiled engine at that
+/// core count (traffic is bit-identical to serial by construction) and
+/// timed under the multicore shared-bandwidth model.
 Measurement measure(const ir::Program& program,
                     const machine::MachineModel& machine,
                     ExecEngine engine = ExecEngine::kCompiled);
+
+/// Measured scaling curve: run the parallel engine at each core count in
+/// `core_counts` (machine.core_count is overridden per point) and
+/// evaluate the multicore timing model on each measured profile. One
+/// Measurement per core count, in the given order.
+std::vector<Measurement> measure_scaling(const ir::Program& program,
+                                         const machine::MachineModel& machine,
+                                         const std::vector<int>& core_counts);
 
 /// One-line summary: predicted time, binding resource, memory traffic.
 std::string summarize(const Measurement& m);

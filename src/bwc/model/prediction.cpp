@@ -1,6 +1,7 @@
 #include "bwc/model/prediction.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "bwc/support/error.h"
 #include "bwc/support/table.h"
@@ -44,6 +45,77 @@ std::vector<TuningAdvice> tuning_report(
     advice.push_back(a);
   }
   return advice;
+}
+
+int saturation_core_count(const machine::ExecutionProfile& profile,
+                          const machine::MachineModel& machine) {
+  machine.validate();
+  BWC_CHECK(profile.boundaries.size() ==
+                machine.boundary_bandwidth_mbps.size(),
+            "profile boundaries must match machine hierarchy depth");
+  const double mega = 1e6;
+  double shared_s = 0.0;   // per-run, core-count independent
+  double private_s = 0.0;  // per-run at one core, scales as 1/P
+  private_s = static_cast<double>(profile.flops) /
+              (machine.peak_mflops * mega);
+  for (std::size_t b = 0; b < profile.boundaries.size(); ++b) {
+    const double s = static_cast<double>(profile.boundaries[b].total()) /
+                     (machine.boundary_bandwidth_mbps[b] * mega);
+    if (machine.is_shared(b)) {
+      shared_s = std::max(shared_s, s);
+    } else {
+      private_s = std::max(private_s, s);
+    }
+  }
+  if (shared_s <= 0.0) return 0;
+  return static_cast<int>(std::max(1.0, std::ceil(private_s / shared_s)));
+}
+
+ScalingCurve scaling_curve(const std::string& name,
+                           const machine::ExecutionProfile& profile,
+                           const machine::MachineModel& machine,
+                           int max_cores) {
+  BWC_CHECK(max_cores >= 1, "need at least one core");
+  ScalingCurve curve;
+  curve.name = name;
+  curve.saturation_cores = saturation_core_count(profile, machine);
+  const double t1 =
+      machine::predict_time(profile, machine.with_cores(1)).total_s;
+  for (int p = 1; p <= max_cores; ++p) {
+    const machine::TimePrediction t =
+        machine::predict_time(profile, machine.with_cores(p));
+    ScalingPoint point;
+    point.cores = p;
+    point.seconds = t.total_s;
+    point.speedup = t.total_s > 0.0 ? t1 / t.total_s : 1.0;
+    point.binding_resource = t.binding_resource;
+    curve.points.push_back(point);
+  }
+  // Plateau: the shared-bus time alone (infinite cores).
+  double shared_s = 0.0;
+  for (std::size_t b = 0; b < profile.boundaries.size(); ++b) {
+    if (!machine.is_shared(b)) continue;
+    shared_s = std::max(
+        shared_s, static_cast<double>(profile.boundaries[b].total()) /
+                      (machine.boundary_bandwidth_mbps[b] * 1e6));
+  }
+  curve.plateau_speedup =
+      shared_s > 0.0 ? t1 / (shared_s + machine.startup_overhead_s) : 0.0;
+  return curve;
+}
+
+std::string render_scaling_curve(const ScalingCurve& curve) {
+  TextTable t("Scaling of " + curve.name +
+              (curve.saturation_cores > 0
+                   ? " (bus saturates at " +
+                         std::to_string(curve.saturation_cores) + " cores)"
+                   : " (never bus-bound)"));
+  t.set_header({"cores", "predicted ms", "speedup", "binding"});
+  for (const auto& p : curve.points) {
+    t.add_row({std::to_string(p.cores), fmt_fixed(p.seconds * 1e3, 3),
+               fmt_fixed(p.speedup, 2), p.binding_resource});
+  }
+  return t.render();
 }
 
 std::string render_tuning_report(const std::vector<TuningAdvice>& advice) {

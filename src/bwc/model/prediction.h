@@ -45,4 +45,52 @@ std::vector<TuningAdvice> tuning_report(
 /// Render the advice as a table.
 std::string render_tuning_report(const std::vector<TuningAdvice>& advice);
 
+// -- Multicore shared-bandwidth scaling (docs/MODEL.md section 7) ----------
+//
+// On a P-core machine the flop rate and the private cache boundaries
+// scale with P while the memory bus is one shared resource, so
+//   T(P) = max(T_scaling(1) / P, T_shared),
+// where T_shared = max over shared boundaries of bytes/bandwidth. Speedup
+// grows linearly until the shared bus binds and is flat afterwards; the
+// knee is the saturation core count. Bandwidth optimization lowers
+// T_shared, which both raises the plateau and *delays* the knee -- the
+// fusion/store-elimination wins grow with core count.
+
+/// One core count's predicted execution under the shared-bandwidth model.
+struct ScalingPoint {
+  int cores = 1;
+  double seconds = 0.0;
+  /// T(1) / T(cores).
+  double speedup = 1.0;
+  std::string binding_resource;
+};
+
+struct ScalingCurve {
+  std::string name;
+  std::vector<ScalingPoint> points;
+  /// Smallest core count at which a shared boundary becomes the binding
+  /// resource; 0 when no shared boundary ever binds (the curve never
+  /// saturates within any core count).
+  int saturation_cores = 0;
+  /// Asymptotic speedup T(1) / T_shared; 0 when T_shared is 0.
+  double plateau_speedup = 0.0;
+};
+
+/// Smallest core count at which the workload saturates a shared bus:
+/// ceil(T_private(1) / T_shared), where T_private(1) is the larger of the
+/// single-core compute time and every private boundary's transfer time.
+/// Returns 0 if no shared boundary carries traffic (never saturates).
+int saturation_core_count(const machine::ExecutionProfile& profile,
+                          const machine::MachineModel& machine);
+
+/// Evaluate the multicore timing model at 1..max_cores (the machine's own
+/// core_count is overridden at each point) and locate the saturation knee.
+ScalingCurve scaling_curve(const std::string& name,
+                           const machine::ExecutionProfile& profile,
+                           const machine::MachineModel& machine,
+                           int max_cores);
+
+/// Render a scaling curve as a table (cores, time, speedup, binding).
+std::string render_scaling_curve(const ScalingCurve& curve);
+
 }  // namespace bwc::model

@@ -4,7 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "bwc/runtime/parallel.h"
 #include "bwc/runtime/recorder.h"
+#include "bwc/runtime/stream_exec.h"
 #include "bwc/support/error.h"
 
 namespace bwc::runtime {
@@ -16,8 +18,11 @@ namespace {
 /// deterministic initial contents) so results are bit-identical.
 class Vm {
  public:
-  Vm(const LoweredProgram& lp, const ExecOptions& opts)
-      : lp_(lp), recorder_(opts.hierarchy, opts.coalesce_accesses) {
+  Vm(const LoweredProgram& lp, const ExecOptions& opts,
+     StreamScheduler* scheduler)
+      : lp_(lp),
+        recorder_(opts.hierarchy, opts.coalesce_accesses),
+        scheduler_(scheduler) {
     const std::uint64_t align = opts.array_alignment;
     BWC_CHECK(align > 0 && (align & (align - 1)) == 0,
               "array alignment must be a power of two");
@@ -86,129 +91,19 @@ class Vm {
   }
 
   // -- Fused stream loops ---------------------------------------------------
-  // One kStreamLoop op replaces the whole innermost loop: pointers and
-  // simulated addresses advance incrementally, bounds were proven at lower
-  // time, and flops are charged in one batch. The per-element access stream
-  // (rhs loads left to right, then the store) is byte-for-byte the one the
+  // One kStreamLoop op replaces the whole innermost loop (see
+  // stream_exec.h for the range executor shared with the parallel
+  // engine). The per-element access stream is byte-for-byte the one the
   // generic op sequence would produce, so coalescing and the cache
   // simulation see no difference.
 
-  /// Runtime cursor for one operand: either an invariant value (constants
-  /// and scalars, hoisted -- the loop's only write is the lhs) or a pointer
-  /// walking an array stream.
-  struct Cursor {
-    double value = 0.0;
-    double* p = nullptr;
-    std::uint64_t addr = 0;
-    std::int64_t step = 0;        // elements per iteration (may be <= 0)
-    std::int64_t step_bytes = 0;  // step * elem_bytes
-    std::uint64_t bytes = 8;
-  };
-
-  Cursor make_cursor(const StreamOperand& o, std::int64_t lower) {
-    Cursor c;
-    switch (o.kind) {
-      case StreamOperand::Kind::kConst:
-        c.value = o.imm;
-        break;
-      case StreamOperand::Kind::kScalar:
-        c.value = scalars_[static_cast<std::size_t>(o.slot)];
-        break;
-      case StreamOperand::Kind::kIter:
-        break;  // read() substitutes the iteration value
-      case StreamOperand::Kind::kArray: {
-        const std::int64_t linear0 = o.lin_base + o.lin_coeff * lower - 1;
-        c.p = data_[static_cast<std::size_t>(o.slot)] + linear0;
-        c.addr = bases_[static_cast<std::size_t>(o.slot)] +
-                 static_cast<std::uint64_t>(linear0) * o.elem_bytes;
-        c.step = o.lin_coeff;
-        c.bytes = o.elem_bytes;
-        c.step_bytes = o.lin_coeff * static_cast<std::int64_t>(o.elem_bytes);
-        break;
-      }
-    }
-    return c;
-  }
-
-  double read(const StreamOperand& o, const Cursor& c, std::int64_t i) {
-    if (o.kind == StreamOperand::Kind::kArray) {
-      recorder_.load(c.addr, c.bytes);
-      return *c.p;
-    }
-    if (o.kind == StreamOperand::Kind::kIter) return static_cast<double>(i);
-    return c.value;
-  }
-
-  static void advance(const StreamOperand& o, Cursor& c) {
-    if (o.kind == StreamOperand::Kind::kArray) {
-      c.p += c.step;
-      c.addr += static_cast<std::uint64_t>(c.step_bytes);
-    }
-  }
-
   void run_stream_loop(const StreamLoop& sl) {
-    const std::int64_t trips = sl.upper - sl.lower + 1;
-    if (trips <= 0) return;
-    Cursor lhs = make_cursor(sl.lhs, sl.lower);
-    Cursor a = make_cursor(sl.a, sl.lower);
-    Cursor b = make_cursor(sl.b, sl.lower);
-
-    std::uint64_t flops_per_iter = 0;
-    if (sl.body == StreamLoop::Body::kReduce) {
-      double acc = scalars_[static_cast<std::size_t>(sl.lhs.slot)];
-      for (std::int64_t i = sl.lower; i <= sl.upper; ++i) {
-        const double x = read(sl.a, a, i);
-        acc = apply_bin(sl.bin_op, acc, x);
-        advance(sl.a, a);
-      }
-      scalars_[static_cast<std::size_t>(sl.lhs.slot)] = acc;
-      flops_per_iter = ir::kBinaryFlops;
+    const StreamContext ctx{data_.data(), bases_.data(), scalars_.data()};
+    if (scheduler_ != nullptr) {
+      scheduler_->run(sl, ctx, recorder_);
     } else {
-      for (std::int64_t i = sl.lower; i <= sl.upper; ++i) {
-        double r;
-        switch (sl.body) {
-          case StreamLoop::Body::kCopy:
-            r = read(sl.a, a, i);
-            break;
-          case StreamLoop::Body::kBinary:
-            r = apply_bin(sl.bin_op, read(sl.a, a, i), read(sl.b, b, i));
-            break;
-          case StreamLoop::Body::kCallF:
-            r = intrinsic_f(read(sl.a, a, i), read(sl.b, b, i));
-            break;
-          default:  // kCallG; kReduce handled above
-            r = intrinsic_g(read(sl.a, a, i), read(sl.b, b, i));
-            break;
-        }
-        recorder_.store(lhs.addr, lhs.bytes);
-        *lhs.p = r;
-        advance(sl.lhs, lhs);
-        advance(sl.a, a);
-        advance(sl.b, b);
-      }
-      switch (sl.body) {
-        case StreamLoop::Body::kBinary: flops_per_iter = ir::kBinaryFlops; break;
-        case StreamLoop::Body::kCallF:
-        case StreamLoop::Body::kCallG:
-          flops_per_iter = static_cast<std::uint64_t>(sl.call_flops);
-          break;
-        default: break;
-      }
+      run_stream_range(sl, sl.lower, sl.upper, ctx, recorder_);
     }
-    if (flops_per_iter != 0)
-      recorder_.flops(flops_per_iter * static_cast<std::uint64_t>(trips));
-  }
-
-  static double apply_bin(ir::BinOp op, double a, double b) {
-    switch (op) {
-      case ir::BinOp::kAdd: return a + b;
-      case ir::BinOp::kSub: return a - b;
-      case ir::BinOp::kMul: return a * b;
-      case ir::BinOp::kDiv: return a / b;
-      case ir::BinOp::kMin: return std::min(a, b);
-      case ir::BinOp::kMax: return std::max(a, b);
-    }
-    return 0.0;
   }
 
   [[noreturn]] void out_of_bounds(const Op& op, std::int64_t idx) const {
@@ -219,6 +114,7 @@ class Vm {
 
   const LoweredProgram& lp_;
   Recorder recorder_;
+  StreamScheduler* scheduler_;
   std::vector<std::uint64_t> bases_;
   std::vector<std::vector<double>> storage_;
   std::vector<double*> data_;  // storage_[a].data(), hot-path flat view
@@ -381,11 +277,18 @@ void Vm::run() {
 
 }  // namespace
 
-ExecResult execute_lowered(const LoweredProgram& lowered,
-                           const ExecOptions& opts) {
-  Vm vm(lowered, opts);
+ExecResult execute_lowered_with_scheduler(const LoweredProgram& lowered,
+                                          const ExecOptions& opts,
+                                          StreamScheduler* scheduler) {
+  Vm vm(lowered, opts, scheduler);
   vm.run();
   return vm.result();
+}
+
+ExecResult execute_lowered(const LoweredProgram& lowered,
+                           const ExecOptions& opts) {
+  if (opts.cores > 1) return execute_parallel(lowered, opts);
+  return execute_lowered_with_scheduler(lowered, opts, nullptr);
 }
 
 ExecResult execute_compiled(const ir::Program& program,

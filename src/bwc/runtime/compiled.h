@@ -22,14 +22,26 @@
 
 namespace bwc::runtime {
 
+class StreamScheduler;
+
 /// Lower and execute in one call. Semantically identical to execute(),
-/// faster; honors ExecOptions::coalesce_accesses.
+/// faster; honors ExecOptions::coalesce_accesses and ExecOptions::cores
+/// (cores > 1 routes through the parallel executor, see parallel.h).
 ExecResult execute_compiled(const ir::Program& program,
                             const ExecOptions& opts = {});
 
 /// Execute an already-lowered program (amortizes lower() across repeated
-/// runs, e.g. steady-state measurement or benchmarking loops).
+/// runs, e.g. steady-state measurement or benchmarking loops). Honors
+/// ExecOptions::cores like execute_compiled().
 ExecResult execute_lowered(const LoweredProgram& lowered,
                            const ExecOptions& opts = {});
+
+/// Execute with an explicit stream-loop scheduler (the extension point
+/// the parallel engine plugs into; null runs every fused loop inline).
+/// Most callers want execute_lowered(), which picks the scheduler from
+/// ExecOptions::cores.
+ExecResult execute_lowered_with_scheduler(const LoweredProgram& lowered,
+                                          const ExecOptions& opts,
+                                          StreamScheduler* scheduler);
 
 }  // namespace bwc::runtime

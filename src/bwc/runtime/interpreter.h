@@ -39,6 +39,18 @@ struct ExecOptions {
   /// byte-for-byte (see recorder.h); disable to force per-element
   /// simulation. The reference interpreter ignores this flag.
   bool coalesce_accesses = true;
+  /// Compiled engine only: worker threads for the parallel executor
+  /// (parallel.h). With cores > 1, fused stream loops free of
+  /// cross-iteration dependences are chunked across a thread pool, each
+  /// chunk recording into a private trace that is merged into the shared
+  /// hierarchy in chunk-index order -- results (checksums, scalars,
+  /// counters, per-boundary traffic) are bit-identical to serial
+  /// execution at any core count. The reference interpreter ignores this.
+  int cores = 1;
+  /// Minimum trip count before a stream loop is worth chunking; shorter
+  /// loops run inline on the calling thread (results are identical either
+  /// way -- this is purely a fork/join overhead knob).
+  std::int64_t min_parallel_trips = 2;
 };
 
 struct ExecResult {

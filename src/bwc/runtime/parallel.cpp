@@ -1,0 +1,77 @@
+#include "bwc/runtime/parallel.h"
+
+#include <vector>
+
+#include "bwc/runtime/compiled.h"
+#include "bwc/runtime/recorder.h"
+#include "bwc/runtime/thread_pool.h"
+#include "bwc/support/error.h"
+
+namespace bwc::runtime {
+
+ParallelScheduler::ParallelScheduler(int cores, bool record_runs,
+                                     bool coalesce,
+                                     std::int64_t min_parallel_trips)
+    : pool_(std::make_unique<ThreadPool>(cores)),
+      cores_(cores),
+      record_runs_(record_runs),
+      coalesce_(coalesce),
+      min_parallel_trips_(min_parallel_trips) {
+  BWC_CHECK(cores >= 1, "parallel scheduler needs at least one core");
+}
+
+ParallelScheduler::~ParallelScheduler() = default;
+
+void ParallelScheduler::run(const StreamLoop& sl, const StreamContext& ctx,
+                            Recorder& rec) {
+  const std::int64_t trips = sl.upper - sl.lower + 1;
+  if (trips <= 0) return;
+  if (cores_ == 1 || trips < min_parallel_trips_ ||
+      !stream_loop_parallelizable(sl)) {
+    run_stream_range(sl, sl.lower, sl.upper, ctx, rec);
+    return;
+  }
+
+  // Deterministic chunking: trips split as evenly as possible, the first
+  // `trips % chunks` chunks one iteration longer, exactly like a static
+  // OpenMP schedule. Chunk boundaries depend only on (trips, cores), so
+  // the merged access stream is a pure function of the program.
+  const std::int64_t chunks =
+      std::min<std::int64_t>(static_cast<std::int64_t>(cores_), trips);
+  const std::int64_t base = trips / chunks;
+  const std::int64_t extra = trips % chunks;
+  std::vector<std::int64_t> chunk_lower(static_cast<std::size_t>(chunks));
+  std::vector<std::int64_t> chunk_upper(static_cast<std::size_t>(chunks));
+  std::int64_t next = sl.lower;
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t len = base + (c < extra ? 1 : 0);
+    chunk_lower[static_cast<std::size_t>(c)] = next;
+    chunk_upper[static_cast<std::size_t>(c)] = next + len - 1;
+    next += len;
+  }
+
+  std::vector<TraceRecorder> traces;
+  traces.reserve(static_cast<std::size_t>(chunks));
+  for (std::int64_t c = 0; c < chunks; ++c)
+    traces.emplace_back(record_runs_, coalesce_);
+
+  pool_->parallel_for(static_cast<std::size_t>(chunks), [&](std::size_t c) {
+    run_stream_range(sl, chunk_lower[c], chunk_upper[c], ctx, traces[c]);
+  });
+
+  // Join happened above; merge in chunk-index order, never completion
+  // order, so the hierarchy sees the serial access stream.
+  for (TraceRecorder& trace : traces) rec.merge(trace);
+  ++parallel_loops_;
+}
+
+ExecResult execute_parallel(const LoweredProgram& lowered,
+                            const ExecOptions& opts) {
+  BWC_CHECK(opts.cores >= 1, "core count must be at least 1");
+  ParallelScheduler scheduler(opts.cores,
+                              /*record_runs=*/opts.hierarchy != nullptr,
+                              opts.coalesce_accesses, opts.min_parallel_trips);
+  return execute_lowered_with_scheduler(lowered, opts, &scheduler);
+}
+
+}  // namespace bwc::runtime

@@ -11,4 +11,20 @@ machine::ExecutionProfile Recorder::profile() const {
   return machine::ExecutionProfile::capture(*hierarchy_, flops_);
 }
 
+void Recorder::merge(const TraceRecorder& trace) {
+  flush();
+  flops_ += trace.flop_count();
+  loads_ += trace.load_count();
+  stores_ += trace.store_count();
+  reg_bytes_ += trace.register_bytes();
+  if (hierarchy_ == nullptr) return;
+  for (const AccessRun& run : trace.runs()) {
+    if (run.is_store) {
+      hierarchy_->store_run(run.addr, run.bytes, run.count);
+    } else {
+      hierarchy_->load_run(run.addr, run.bytes, run.count);
+    }
+  }
+}
+
 }  // namespace bwc::runtime

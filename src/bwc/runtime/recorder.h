@@ -19,11 +19,14 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "bwc/machine/timing.h"
 #include "bwc/memsim/hierarchy.h"
 
 namespace bwc::runtime {
+
+class TraceRecorder;
 
 class Recorder {
  public:
@@ -87,6 +90,16 @@ class Recorder {
   /// flushes any pending coalesced run first.
   machine::ExecutionProfile profile() const;
 
+  /// Splice a captured trace into this recorder's stream at the current
+  /// point: the trace's runs are issued to the hierarchy in their recorded
+  /// order and its counters fold into this recorder's totals. Any pending
+  /// coalesced run here is flushed first so stream order is preserved.
+  /// The parallel executor merges per-chunk traces in chunk-index order
+  /// (never completion order), which -- by the run-splitting equivalence
+  /// the hierarchy guarantees (see hierarchy.h load_run/store_run) --
+  /// reproduces the serial engine's boundary traffic byte-for-byte.
+  void merge(const TraceRecorder& trace);
+
  private:
   void extend_run(std::uint64_t addr, std::uint64_t size, bool is_store) {
     if (run_bytes_ != 0 && is_store == run_is_store_ &&
@@ -114,6 +127,73 @@ class Recorder {
   mutable std::uint64_t run_bytes_ = 0;
   mutable std::uint64_t run_count_ = 0;
   mutable bool run_is_store_ = false;
+};
+
+/// One coalesced access run captured by a TraceRecorder: `count`
+/// same-kind accesses, contiguous in stream order, covering
+/// [addr, addr + bytes).
+struct AccessRun {
+  std::uint64_t addr = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t count = 0;
+  bool is_store = false;
+};
+
+/// A Recorder that captures the access stream into a buffer instead of a
+/// live hierarchy. Parallel workers each own one: chunks of a stream loop
+/// execute concurrently against private traces, and the main thread
+/// replays the traces into the shared hierarchy in chunk order via
+/// Recorder::merge() -- turning a nondeterministic execution order into
+/// the exact serial access stream.
+///
+/// Same access surface as Recorder (load/store/flops), so
+/// run_stream_range() is generic over the two.
+class TraceRecorder {
+ public:
+  /// `record_runs` false skips buffering entirely (counter-only mode, for
+  /// executions with no hierarchy attached). `coalesce` batches adjacent
+  /// same-kind accesses into one run, exactly like Recorder.
+  explicit TraceRecorder(bool record_runs, bool coalesce)
+      : record_runs_(record_runs), coalesce_(coalesce) {}
+
+  void load(std::uint64_t addr, std::uint64_t size) {
+    ++loads_;
+    reg_bytes_ += size;
+    if (record_runs_) append(addr, size, /*is_store=*/false);
+  }
+  void store(std::uint64_t addr, std::uint64_t size) {
+    ++stores_;
+    reg_bytes_ += size;
+    if (record_runs_) append(addr, size, /*is_store=*/true);
+  }
+  void flops(std::uint64_t n) { flops_ += n; }
+
+  std::uint64_t flop_count() const { return flops_; }
+  std::uint64_t load_count() const { return loads_; }
+  std::uint64_t store_count() const { return stores_; }
+  std::uint64_t register_bytes() const { return reg_bytes_; }
+  const std::vector<AccessRun>& runs() const { return runs_; }
+
+ private:
+  void append(std::uint64_t addr, std::uint64_t size, bool is_store) {
+    if (coalesce_ && !runs_.empty()) {
+      AccessRun& last = runs_.back();
+      if (last.is_store == is_store && addr == last.addr + last.bytes) {
+        last.bytes += size;
+        ++last.count;
+        return;
+      }
+    }
+    runs_.push_back({addr, size, 1, is_store});
+  }
+
+  bool record_runs_;
+  bool coalesce_;
+  std::uint64_t flops_ = 0;
+  std::uint64_t loads_ = 0;
+  std::uint64_t stores_ = 0;
+  std::uint64_t reg_bytes_ = 0;
+  std::vector<AccessRun> runs_;
 };
 
 }  // namespace bwc::runtime

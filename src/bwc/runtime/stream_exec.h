@@ -1,0 +1,207 @@
+// Range execution of fused stream loops, shared by the serial VM and the
+// parallel executor.
+//
+// A StreamLoop (lowering.h) is an innermost loop whose accesses are all
+// 1-D affine in the loop variable and provably in bounds, so any
+// contiguous sub-range [lower, upper] of its trip space can be replayed
+// independently given the program state (array storage, bases, scalars)
+// and a recorder. The serial engine runs the full range inline; the
+// parallel engine (parallel.h) splits the range into per-core chunks --
+// legality established by stream_loop_parallelizable() -- and runs each
+// chunk on a worker with a private trace recorder.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "bwc/ir/expr.h"
+#include "bwc/runtime/interpreter.h"
+#include "bwc/runtime/lowering.h"
+
+namespace bwc::runtime {
+
+class Recorder;
+
+/// The mutable program state a stream loop touches: flat per-array
+/// storage, simulated base addresses, and the scalar file.
+struct StreamContext {
+  double* const* data = nullptr;
+  const std::uint64_t* bases = nullptr;
+  double* scalars = nullptr;
+};
+
+inline double apply_stream_bin(ir::BinOp op, double a, double b) {
+  switch (op) {
+    case ir::BinOp::kAdd: return a + b;
+    case ir::BinOp::kSub: return a - b;
+    case ir::BinOp::kMul: return a * b;
+    case ir::BinOp::kDiv: return a / b;
+    case ir::BinOp::kMin: return std::min(a, b);
+    case ir::BinOp::kMax: return std::max(a, b);
+  }
+  return 0.0;
+}
+
+/// True when disjoint chunks of the trip range may execute concurrently
+/// and still produce the serial results bit-for-bit:
+///  - the body writes a distinct array element every iteration (array lhs
+///    with nonzero slope), never a scalar accumulation (kReduce carries
+///    the accumulator serially and its fold order is not associative in
+///    floating point);
+///  - any read of the *written* array uses the identical subscript, so
+///    every dependence stays within one iteration. Reads of other arrays
+///    and hoisted scalars/constants are trivially safe.
+inline bool stream_loop_parallelizable(const StreamLoop& sl) {
+  if (sl.body == StreamLoop::Body::kReduce) return false;
+  if (!sl.lhs_is_array || sl.lhs.kind != StreamOperand::Kind::kArray)
+    return false;
+  if (sl.lhs.lin_coeff == 0) return false;
+  for (const StreamOperand* o : {&sl.a, &sl.b}) {
+    if (o->kind != StreamOperand::Kind::kArray) continue;
+    if (o->slot != sl.lhs.slot) continue;
+    if (o->lin_base != sl.lhs.lin_base || o->lin_coeff != sl.lhs.lin_coeff)
+      return false;
+  }
+  return true;
+}
+
+namespace detail {
+
+/// Runtime cursor for one operand: either an invariant value (constants
+/// and scalars, hoisted -- the loop's only write is the lhs) or a pointer
+/// walking an array stream.
+struct StreamCursor {
+  double value = 0.0;
+  double* p = nullptr;
+  std::uint64_t addr = 0;
+  std::int64_t step = 0;        // elements per iteration (may be <= 0)
+  std::int64_t step_bytes = 0;  // step * elem_bytes
+  std::uint64_t bytes = 8;
+};
+
+inline StreamCursor make_stream_cursor(const StreamOperand& o,
+                                       std::int64_t lower,
+                                       const StreamContext& ctx) {
+  StreamCursor c;
+  switch (o.kind) {
+    case StreamOperand::Kind::kConst:
+      c.value = o.imm;
+      break;
+    case StreamOperand::Kind::kScalar:
+      c.value = ctx.scalars[static_cast<std::size_t>(o.slot)];
+      break;
+    case StreamOperand::Kind::kIter:
+      break;  // read substitutes the iteration value
+    case StreamOperand::Kind::kArray: {
+      const std::int64_t linear0 = o.lin_base + o.lin_coeff * lower - 1;
+      c.p = ctx.data[static_cast<std::size_t>(o.slot)] + linear0;
+      c.addr = ctx.bases[static_cast<std::size_t>(o.slot)] +
+               static_cast<std::uint64_t>(linear0) * o.elem_bytes;
+      c.step = o.lin_coeff;
+      c.bytes = o.elem_bytes;
+      c.step_bytes = o.lin_coeff * static_cast<std::int64_t>(o.elem_bytes);
+      break;
+    }
+  }
+  return c;
+}
+
+template <typename Rec>
+double stream_read(const StreamOperand& o, const StreamCursor& c,
+                   std::int64_t i, Rec& rec) {
+  if (o.kind == StreamOperand::Kind::kArray) {
+    rec.load(c.addr, c.bytes);
+    return *c.p;
+  }
+  if (o.kind == StreamOperand::Kind::kIter) return static_cast<double>(i);
+  return c.value;
+}
+
+inline void stream_advance(const StreamOperand& o, StreamCursor& c) {
+  if (o.kind == StreamOperand::Kind::kArray) {
+    c.p += c.step;
+    c.addr += static_cast<std::uint64_t>(c.step_bytes);
+  }
+}
+
+}  // namespace detail
+
+/// Replay iterations [lower, upper] of `sl` against `ctx`, reporting every
+/// access and flop to `rec`. The per-element access stream (rhs loads left
+/// to right, then the store) is byte-for-byte the one the generic op
+/// sequence would produce. `Rec` is any type with the Recorder access
+/// surface (load/store/flops) -- the live Recorder or a TraceRecorder.
+template <typename Rec>
+void run_stream_range(const StreamLoop& sl, std::int64_t lower,
+                      std::int64_t upper, const StreamContext& ctx,
+                      Rec& rec) {
+  const std::int64_t trips = upper - lower + 1;
+  if (trips <= 0) return;
+  detail::StreamCursor lhs = detail::make_stream_cursor(sl.lhs, lower, ctx);
+  detail::StreamCursor a = detail::make_stream_cursor(sl.a, lower, ctx);
+  detail::StreamCursor b = detail::make_stream_cursor(sl.b, lower, ctx);
+
+  std::uint64_t flops_per_iter = 0;
+  if (sl.body == StreamLoop::Body::kReduce) {
+    double acc = ctx.scalars[static_cast<std::size_t>(sl.lhs.slot)];
+    for (std::int64_t i = lower; i <= upper; ++i) {
+      const double x = detail::stream_read(sl.a, a, i, rec);
+      acc = apply_stream_bin(sl.bin_op, acc, x);
+      detail::stream_advance(sl.a, a);
+    }
+    ctx.scalars[static_cast<std::size_t>(sl.lhs.slot)] = acc;
+    flops_per_iter = ir::kBinaryFlops;
+  } else {
+    for (std::int64_t i = lower; i <= upper; ++i) {
+      double r;
+      switch (sl.body) {
+        case StreamLoop::Body::kCopy:
+          r = detail::stream_read(sl.a, a, i, rec);
+          break;
+        case StreamLoop::Body::kBinary:
+          r = apply_stream_bin(sl.bin_op, detail::stream_read(sl.a, a, i, rec),
+                               detail::stream_read(sl.b, b, i, rec));
+          break;
+        case StreamLoop::Body::kCallF:
+          r = intrinsic_f(detail::stream_read(sl.a, a, i, rec),
+                          detail::stream_read(sl.b, b, i, rec));
+          break;
+        default:  // kCallG; kReduce handled above
+          r = intrinsic_g(detail::stream_read(sl.a, a, i, rec),
+                          detail::stream_read(sl.b, b, i, rec));
+          break;
+      }
+      rec.store(lhs.addr, lhs.bytes);
+      *lhs.p = r;
+      detail::stream_advance(sl.lhs, lhs);
+      detail::stream_advance(sl.a, a);
+      detail::stream_advance(sl.b, b);
+    }
+    switch (sl.body) {
+      case StreamLoop::Body::kBinary:
+        flops_per_iter = ir::kBinaryFlops;
+        break;
+      case StreamLoop::Body::kCallF:
+      case StreamLoop::Body::kCallG:
+        flops_per_iter = static_cast<std::uint64_t>(sl.call_flops);
+        break;
+      default:
+        break;
+    }
+  }
+  if (flops_per_iter != 0)
+    rec.flops(flops_per_iter * static_cast<std::uint64_t>(trips));
+}
+
+/// Strategy hook for kStreamLoop dispatch: the VM hands every fused loop
+/// to its scheduler; the default runs the full range inline on the shared
+/// recorder, the parallel scheduler (parallel.h) chunks it across a
+/// thread pool and merges the traces deterministically.
+class StreamScheduler {
+ public:
+  virtual ~StreamScheduler() = default;
+  virtual void run(const StreamLoop& sl, const StreamContext& ctx,
+                   Recorder& rec) = 0;
+};
+
+}  // namespace bwc::runtime

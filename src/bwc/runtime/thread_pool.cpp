@@ -1,0 +1,79 @@
+#include "bwc/runtime/thread_pool.h"
+
+#include <algorithm>
+
+#include "bwc/support/error.h"
+
+namespace bwc::runtime {
+
+ThreadPool::ThreadPool(int threads) {
+  BWC_CHECK(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (generation_ != seen_generation &&
+                           next_index_ < batch_size_);
+    });
+    if (shutdown_) return;
+    if (next_index_ >= batch_size_) {
+      seen_generation = generation_;
+      continue;
+    }
+    const std::size_t i = next_index_++;
+    ++in_flight_;
+    const auto* fn = fn_;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*fn)(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !first_error_) first_error_ = error;
+    --in_flight_;
+    if (next_index_ >= batch_size_ && in_flight_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  BWC_CHECK(fn_ == nullptr, "parallel_for is not reentrant");
+  fn_ = &fn;
+  batch_size_ = n;
+  next_index_ = 0;
+  in_flight_ = 0;
+  first_error_ = nullptr;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return next_index_ >= batch_size_ &&
+                                   in_flight_ == 0; });
+  fn_ = nullptr;
+  batch_size_ = 0;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace bwc::runtime

@@ -1,0 +1,172 @@
+// Golden-file regression tests for the benchmark CSV series.
+//
+// The figure binaries (bench/) emit CSVs that plotting scripts and
+// EXPERIMENTS.md consume; this test recomputes the same rows through the
+// shared bench/fig_data.h helpers and diffs them against the files
+// checked into tests/golden/. Schema (header, row count, string cells)
+// must match exactly; numeric cells are compared under a small tolerance
+// so a last-ulp FP difference across compilers does not trip the gate
+// while a real model or simulator drift does. Monotonicity and the
+// optimized-vs-original scaling gate are asserted independently of the
+// golden data, so they hold even when goldens are regenerated.
+//
+// To regenerate after an intentional change:
+//   build/bench/fig3_kernel_bandwidth && build/bench/fig_multicore_scaling
+//   cp fig3_kernel_bandwidth.csv fig_multicore_scaling.csv tests/golden/
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fig_data.h"
+
+namespace bwc {
+namespace {
+
+using Table = std::vector<std::vector<std::string>>;
+
+/// Minimal CSV reader for our own output (no quoted cells in these
+/// series; csv_escape only quotes on comma/quote/newline, and kernel,
+/// workload, variant and binding names contain none).
+Table read_csv(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open golden file " << path;
+  Table table;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    table.push_back(std::move(cells));
+  }
+  return table;
+}
+
+Table parse_csv_text(const std::string& text) {
+  Table table;
+  std::stringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    table.push_back(std::move(cells));
+  }
+  return table;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(BWC_TEST_GOLDEN_DIR) + "/" + name;
+}
+
+bool is_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  std::strtod(cell.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Cell-for-cell comparison: string cells exact, numeric cells within
+/// max(abs_tol, rel_tol * |golden|).
+void expect_matches_golden(const Table& got, const Table& golden,
+                           double abs_tol, double rel_tol) {
+  ASSERT_FALSE(golden.empty());
+  ASSERT_FALSE(got.empty());
+  EXPECT_EQ(got[0], golden[0]) << "CSV header (schema) drifted";
+  ASSERT_EQ(got.size(), golden.size()) << "row count drifted";
+  for (std::size_t r = 1; r < golden.size(); ++r) {
+    ASSERT_EQ(got[r].size(), golden[r].size()) << "row " << r;
+    for (std::size_t c = 0; c < golden[r].size(); ++c) {
+      SCOPED_TRACE("row " + std::to_string(r) + " col " + golden[0][c]);
+      if (is_numeric(golden[r][c])) {
+        const double want = std::strtod(golden[r][c].c_str(), nullptr);
+        const double have = std::strtod(got[r][c].c_str(), nullptr);
+        EXPECT_NEAR(have, want,
+                    std::max(abs_tol, rel_tol * std::abs(want)));
+      } else {
+        EXPECT_EQ(got[r][c], golden[r][c]);
+      }
+    }
+  }
+}
+
+TEST(BenchGolden, Fig3KernelBandwidth) {
+  const Table golden = read_csv(golden_path("fig3_kernel_bandwidth.csv"));
+  const Table got = parse_csv_text(bench::fig3_csv(bench::fig3_rows()).str());
+  // 2-decimal MB/s cells: one rounding step of absolute slack, 0.1% rel.
+  expect_matches_golden(got, golden, /*abs_tol=*/0.011, /*rel_tol=*/1e-3);
+
+  // Schema/sanity independent of golden content: 13 kernels, positive
+  // bandwidth everywhere, and no kernel exceeds either machine's bus.
+  ASSERT_EQ(got.size(), 14u);  // header + 13 kernels
+  for (std::size_t r = 1; r < got.size(); ++r) {
+    const double o2k = std::strtod(got[r][1].c_str(), nullptr);
+    const double ex = std::strtod(got[r][2].c_str(), nullptr);
+    EXPECT_GT(o2k, 0.0) << got[r][0];
+    EXPECT_GT(ex, 0.0) << got[r][0];
+  }
+}
+
+TEST(BenchGolden, MulticoreScaling) {
+  const Table golden = read_csv(golden_path("fig_multicore_scaling.csv"));
+  const std::vector<bench::ScalingRow> rows =
+      bench::multicore_scaling_rows();
+  const Table got = parse_csv_text(bench::multicore_scaling_csv(rows).str());
+  expect_matches_golden(got, golden, /*abs_tol=*/1e-3, /*rel_tol=*/1e-3);
+
+  // Monotonicity per (workload, variant) group, independent of goldens:
+  // times never increase with cores, speedups never decrease, one core
+  // means speedup exactly 1, and past the predicted saturation point the
+  // binding resource is a shared boundary (time is flat).
+  struct Group {
+    std::vector<bench::ScalingRow> rows;
+  };
+  std::map<std::string, Group> groups;
+  for (const auto& r : rows)
+    groups[r.workload + "/" + r.variant].rows.push_back(r);
+  ASSERT_EQ(groups.size(), 4u);  // 2 workloads x {original, optimized}
+  for (const auto& [name, g] : groups) {
+    SCOPED_TRACE(name);
+    ASSERT_EQ(g.rows.size(),
+              static_cast<std::size_t>(bench::kScalingMaxCores));
+    EXPECT_EQ(g.rows[0].cores, 1);
+    EXPECT_DOUBLE_EQ(g.rows[0].speedup, 1.0);
+    EXPECT_GE(g.rows[0].saturation_cores, 1);
+    for (std::size_t i = 1; i < g.rows.size(); ++i) {
+      EXPECT_EQ(g.rows[i].cores, g.rows[i - 1].cores + 1);
+      EXPECT_LE(g.rows[i].predicted_ms, g.rows[i - 1].predicted_ms);
+      EXPECT_GE(g.rows[i].speedup, g.rows[i - 1].speedup);
+      EXPECT_EQ(g.rows[i].saturation_cores, g.rows[0].saturation_cores);
+      if (g.rows[i].cores > g.rows[0].saturation_cores) {
+        EXPECT_DOUBLE_EQ(g.rows[i].predicted_ms,
+                         g.rows[i - 1].predicted_ms)
+            << "time must be flat past bus saturation";
+      }
+    }
+  }
+
+  // The CI-gated floor (also enforced by the fig_multicore_scaling
+  // binary's exit code): optimization delays the saturation knee or
+  // raises the plateau throughput on every workload.
+  for (const std::string workload : {"fig7", "sec21"}) {
+    const Group& orig = groups.at(workload + "/original");
+    const Group& opt = groups.at(workload + "/optimized");
+    const bool later_knee =
+        opt.rows[0].saturation_cores > orig.rows[0].saturation_cores;
+    const bool higher_plateau =
+        opt.rows.back().predicted_ms < orig.rows.back().predicted_ms;
+    EXPECT_TRUE(later_knee || higher_plateau) << workload;
+  }
+}
+
+}  // namespace
+}  // namespace bwc

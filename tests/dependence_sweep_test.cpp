@@ -12,6 +12,8 @@
 #include "bwc/core/optimizer.h"
 #include "bwc/fusion/solvers.h"
 #include "bwc/ir/dsl.h"
+#include "bwc/machine/machine_model.h"
+#include "bwc/runtime/compiled.h"
 #include "bwc/runtime/interpreter.h"
 #include "bwc/support/prng.h"
 #include "bwc/transform/distribute.h"
@@ -126,12 +128,34 @@ INSTANTIATE_TEST_SUITE_P(Window, DistributionSweep,
 
 /// Randomized full-pipeline sweep: every fusion solver crossed with every
 /// combination of {shifted fusion, interchange, storage reduction, store
-/// elimination}. Each run is certified by the independent verifier (on
-/// inside core::optimize) AND differentially executed against the
-/// interpreter's checksum of the original program.
+/// elimination}, each run at a (deterministically) randomized core count.
+/// Each run is certified by the independent verifier (on inside
+/// core::optimize), differentially executed against the interpreter's
+/// checksum of the original program, and its *merged parallel* traffic
+/// measurement is checked against the static traffic lower bound from
+/// bwc::verify -- the bound must hold no matter how many cores replayed
+/// the program.
 using PipelineParam = std::tuple<int /*solver*/, int /*option bitmask*/>;
 
 class PipelineSweep : public ::testing::TestWithParam<PipelineParam> {};
+
+/// Replay `p` with the parallel compiled engine at `cores` on a
+/// scaled-down hierarchy; assert the verifier's static lower bound does
+/// not exceed the measured memory traffic, and return the checksum.
+double run_parallel_with_bound_check(const Program& p, int cores,
+                                     const std::string& label) {
+  memsim::MemoryHierarchy h =
+      machine::origin2000_r10k().scaled(16).make_hierarchy();
+  runtime::ExecOptions exec_opts;
+  exec_opts.hierarchy = &h;
+  exec_opts.cores = cores;
+  const runtime::ExecResult run = runtime::execute_compiled(p, exec_opts);
+  const verify::TrafficBound bound = verify::compute_traffic_bound(p);
+  EXPECT_LE(static_cast<std::uint64_t>(bound.lower_bound_bytes),
+            run.profile.memory_bytes())
+      << label << " cores=" << cores << "\n" << bound.render();
+  return run.checksum;
+}
 
 TEST_P(PipelineSweep, RandomProgramsVerifiedAndChecksumPreserved) {
   const auto& [solver_index, mask] = GetParam();
@@ -139,6 +163,9 @@ TEST_P(PipelineSweep, RandomProgramsVerifiedAndChecksumPreserved) {
       core::FusionSolver::kBest, core::FusionSolver::kExact,
       core::FusionSolver::kGreedy, core::FusionSolver::kBisection,
       core::FusionSolver::kEdgeWeighted};
+  // Core count varies with the parameter point but is deterministic, so
+  // every pipeline combination eventually meets every core count.
+  const int core_choices[] = {1, 2, 4, 8};
   core::OptimizerOptions opts;
   opts.solver = solvers[solver_index];
   opts.allow_shifted_fusion = (mask & 1) != 0;
@@ -147,6 +174,11 @@ TEST_P(PipelineSweep, RandomProgramsVerifiedAndChecksumPreserved) {
   opts.eliminate_stores = (mask & 8) != 0;
   opts.verify = true;
   for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    const int cores =
+        core_choices[(static_cast<std::uint64_t>(solver_index) + mask +
+                      seed) %
+                     4];
+    opts.cores = cores;
     Prng rng(seed);
     const Program p = workloads::random_program(rng);
     // optimize() throws if any pass fails translation / observability /
@@ -157,6 +189,10 @@ TEST_P(PipelineSweep, RandomProgramsVerifiedAndChecksumPreserved) {
     ASSERT_NEAR(before, after, 1e-9 * (std::abs(before) + 1.0))
         << "seed=" << seed << " solver=" << solver_index << " mask=" << mask
         << "\n" << core::render_log(result);
+    const double par =
+        run_parallel_with_bound_check(result.program, cores, "1d");
+    ASSERT_NEAR(before, par, 1e-9 * (std::abs(before) + 1.0))
+        << "parallel seed=" << seed << " cores=" << cores;
 
     Prng rng2(seed);
     const Program p2 = workloads::random_program_2d(rng2, 10, 3);
@@ -166,6 +202,10 @@ TEST_P(PipelineSweep, RandomProgramsVerifiedAndChecksumPreserved) {
     ASSERT_NEAR(before2, after2, 1e-9 * (std::abs(before2) + 1.0))
         << "2d seed=" << seed << " solver=" << solver_index
         << " mask=" << mask << "\n" << core::render_log(result2);
+    const double par2 =
+        run_parallel_with_bound_check(result2.program, cores, "2d");
+    ASSERT_NEAR(before2, par2, 1e-9 * (std::abs(before2) + 1.0))
+        << "2d parallel seed=" << seed << " cores=" << cores;
   }
 }
 

@@ -61,6 +61,63 @@ TEST(Presets, AllValid) {
   for (const auto& m : all_presets()) EXPECT_NO_THROW(m.validate());
 }
 
+// -- Multicore shared-bandwidth model -------------------------------------
+
+TEST(Multicore, DefaultTopologySharesOnlyTheMemoryBus) {
+  const MachineModel m = origin2000_r10k();
+  EXPECT_TRUE(m.boundary_shared.empty());
+  EXPECT_FALSE(m.is_shared(0));  // registers<->L1: per-core
+  EXPECT_FALSE(m.is_shared(1));  // L1<->L2: per-core
+  EXPECT_TRUE(m.is_shared(2));   // memory bus: one for the machine
+}
+
+TEST(Multicore, AggregateRatesScalePrivateBoundariesOnly) {
+  const MachineModel m = origin2000_r10k().with_cores(4);
+  EXPECT_EQ(m.core_count, 4);
+  EXPECT_NO_THROW(m.validate());
+  const MachineModel one = origin2000_r10k();
+  EXPECT_DOUBLE_EQ(m.aggregate_peak_mflops(), 4 * one.peak_mflops);
+  EXPECT_DOUBLE_EQ(m.aggregate_bandwidth_mbps(0),
+                   4 * one.boundary_bandwidth_mbps[0]);
+  EXPECT_DOUBLE_EQ(m.aggregate_bandwidth_mbps(1),
+                   4 * one.boundary_bandwidth_mbps[1]);
+  // The shared bus does not multiply -- that is the whole point.
+  EXPECT_DOUBLE_EQ(m.aggregate_bandwidth_mbps(2),
+                   one.boundary_bandwidth_mbps[2]);
+}
+
+TEST(Multicore, BalanceShrinksOnSharedBoundariesWithCores) {
+  const auto one = origin2000_r10k().machine_balance();
+  const auto four = origin2000_r10k().with_cores(4).machine_balance();
+  ASSERT_EQ(one.size(), four.size());
+  EXPECT_DOUBLE_EQ(four[0], one[0]);      // private: balance holds
+  EXPECT_DOUBLE_EQ(four[1], one[1]);      // private: balance holds
+  EXPECT_DOUBLE_EQ(four[2], one[2] / 4);  // shared bus: squeezed 1/P
+}
+
+TEST(Multicore, ExplicitSharingFlagsOverrideTheDefault) {
+  MachineModel m = origin2000_r10k();
+  m.core_count = 2;
+  // Model a shared L2: its boundary stops scaling with cores.
+  m.boundary_shared = {false, true, true};
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_FALSE(m.is_shared(0));
+  EXPECT_TRUE(m.is_shared(1));
+  EXPECT_TRUE(m.is_shared(2));
+  EXPECT_DOUBLE_EQ(m.aggregate_bandwidth_mbps(1),
+                   m.boundary_bandwidth_mbps[1]);
+}
+
+TEST(Multicore, ValidateRejectsBadCoreCountAndFlagSize) {
+  MachineModel m = origin2000_r10k();
+  m.core_count = 0;
+  EXPECT_THROW(m.validate(), Error);
+  m.core_count = 1;
+  m.boundary_shared = {true};  // must match boundary count (3)
+  EXPECT_THROW(m.validate(), Error);
+}
+
+
 // -- Timing model ----------------------------------------------------------------
 
 ExecutionProfile profile_of(std::uint64_t flops,
@@ -118,6 +175,35 @@ TEST(Timing, UtilizationBelowOneWhenComputeBound) {
   const MachineModel m = origin2000_r10k();
   const auto p = profile_of(400000000, {1 << 20, 1 << 20, 1 << 20});
   EXPECT_LT(memory_bandwidth_utilization(p, m), 0.05);
+}
+
+TEST(MulticoreTiming, OneCoreIsTheUniprocessorModel) {
+  // with_cores(1) must be observationally identical to the seed model:
+  // same balance, same timing on any profile.
+  const MachineModel base = origin2000_r10k();
+  const MachineModel one = base.with_cores(1);
+  EXPECT_EQ(one.machine_balance(), base.machine_balance());
+  const ExecutionProfile p = profile_of(1000000, {8000, 8000, 4000});
+  const TimePrediction a = predict_time(p, base);
+  const TimePrediction b = predict_time(p, one);
+  EXPECT_DOUBLE_EQ(a.total_s, b.total_s);
+  EXPECT_EQ(a.binding_resource, b.binding_resource);
+}
+
+TEST(MulticoreTiming, DividesPrivateTimeUntilTheBusBinds) {
+  // Compute-heavy profile: flops bind at 1 core, so doubling cores
+  // halves time until the (unchanged) shared-bus time is reached.
+  const MachineModel m = origin2000_r10k();
+  ExecutionProfile p = profile_of(
+      static_cast<std::uint64_t>(m.peak_mflops) * 1000000, {64, 64, 64});
+  const double t1 = predict_time(p, m).total_s;
+  const double t2 = predict_time(p, m.with_cores(2)).total_s;
+  EXPECT_NEAR(t2, t1 / 2, 1e-12);
+  // A memory-bound profile does not speed up at all: the bus is shared.
+  ExecutionProfile mem = profile_of(1, {64, 64, 64000000});
+  EXPECT_DOUBLE_EQ(predict_time(mem, m).total_s,
+                   predict_time(mem, m.with_cores(8)).total_s);
+  EXPECT_EQ(predict_time(mem, m.with_cores(8)).binding_resource, "Mem-L2");
 }
 
 TEST(Profile, CaptureFromHierarchy) {

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "bwc/machine/machine_model.h"
 #include "bwc/model/balance.h"
 #include "bwc/model/measure.h"
+#include "bwc/model/prediction.h"
 #include "bwc/support/error.h"
 #include "bwc/workloads/paper_programs.h"
 
@@ -97,6 +100,71 @@ TEST(Measure, WriteLoopVsReadLoopParity) {
       static_cast<double>(ro.profile.memory_bytes());
   EXPECT_NEAR(traffic_ratio, 2.0, 0.1);
   EXPECT_NEAR(rw.time.total_s / ro.time.total_s, 2.0, 0.2);
+}
+
+// -- Multicore scaling prediction (docs/MODEL.md section 7) ---------------
+
+TEST(Scaling, SaturationCoreCountMatchesHandComputation) {
+  // Origin2000: peak 400 MFLOPS, bandwidths 1600/1600/320 MB/s.
+  const machine::MachineModel m = machine::origin2000_r10k();
+  // 4e8 flops = 1.0 s of compute at one core; 32 MB of memory traffic =
+  // 0.1 s on the 320 MB/s bus; cache boundaries negligible. The bus
+  // saturates at ceil(1.0 / 0.1) = 10 cores.
+  const auto p = make_profile(400000000, {64, 64, 32000000});
+  EXPECT_EQ(saturation_core_count(p, m), 10);
+}
+
+TEST(Scaling, NoSharedTrafficNeverSaturates) {
+  const machine::MachineModel m = machine::origin2000_r10k();
+  const auto p = make_profile(1000, {8000, 4000, 0});
+  EXPECT_EQ(saturation_core_count(p, m), 0);
+}
+
+TEST(Scaling, BusBoundAtOneCoreSaturatesImmediately) {
+  // The paper's regime: memory time exceeds every private resource
+  // already on a uniprocessor, so more cores buy nothing.
+  const machine::MachineModel m = machine::origin2000_r10k();
+  const auto p = make_profile(1000, {64, 64, 32000000});
+  EXPECT_EQ(saturation_core_count(p, m), 1);
+}
+
+TEST(Scaling, CurveKneesAtTheSaturationPoint) {
+  const machine::MachineModel m = machine::origin2000_r10k();
+  const auto p = make_profile(400000000, {64, 64, 32000000});
+  const ScalingCurve curve = scaling_curve("synthetic", p, m, 16);
+  ASSERT_EQ(curve.points.size(), 16u);
+  EXPECT_EQ(curve.saturation_cores, 10);
+  EXPECT_DOUBLE_EQ(curve.points[0].speedup, 1.0);
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_LE(curve.points[i].seconds, curve.points[i - 1].seconds);
+    EXPECT_GE(curve.points[i].speedup, curve.points[i - 1].speedup);
+  }
+  // Below the knee compute binds and scaling is ideal; past it the bus
+  // binds and the curve is flat at the plateau.
+  EXPECT_NEAR(curve.points[4].speedup, 5.0, 1e-9);
+  EXPECT_EQ(curve.points[4].binding_resource, "flops");
+  EXPECT_EQ(curve.points[15].binding_resource, "Mem-L2");
+  EXPECT_DOUBLE_EQ(curve.points[15].seconds, curve.points[10].seconds);
+  // Plateau speedup: T(1)=1.0 s over T_shared=0.1 s.
+  EXPECT_NEAR(curve.plateau_speedup, 10.0, 1e-9);
+  const std::string rendered = render_scaling_curve(curve);
+  EXPECT_NE(rendered.find("saturates at 10 cores"), std::string::npos);
+}
+
+TEST(Scaling, MeasuredCurveKeepsTrafficInvariant) {
+  // measure_scaling replays the program with the parallel engine at each
+  // core count: simulated traffic must not depend on the core count, and
+  // predicted time must be non-increasing.
+  const machine::MachineModel m = machine::origin2000_r10k().scaled(16);
+  const auto curve = measure_scaling(workloads::fig7_original(20000), m,
+                                     {1, 2, 4, 8});
+  ASSERT_EQ(curve.size(), 4u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_EQ(curve[i].exec.checksum, curve[0].exec.checksum);
+    EXPECT_EQ(curve[i].profile.memory_bytes(),
+              curve[0].profile.memory_bytes());
+    EXPECT_LE(curve[i].time.total_s, curve[0].time.total_s);
+  }
 }
 
 }  // namespace

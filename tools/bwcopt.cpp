@@ -7,6 +7,12 @@
 //     --n <int>                            problem size (default 100000;
 //                                          fig6 uses a 2-D n x n)
 //     --machine <o2k|exemplar|modern>      machine model (default o2k)
+//     --cores <int>                        core count for the multicore
+//                                          shared-bandwidth model (default
+//                                          1); runs the parallel compiled
+//                                          engine and prints the scaling
+//                                          curve with the bus-saturation
+//                                          point
 //     --scale <int>                        cache scale divisor (default 16)
 //     --engine <compiled|reference>        replay engine for measurement
 //                                          (default compiled; both are
@@ -60,6 +66,7 @@ struct Options {
   std::string file;
   std::int64_t n = 100000;
   std::string machine = "o2k";
+  int cores = 1;
   std::uint64_t scale = 16;
   std::string engine = "compiled";
   std::string solver = "best";
@@ -80,7 +87,7 @@ struct Options {
 [[noreturn]] void usage(int code) {
   std::cout <<
       "bwcopt --program <fig6|fig7|sec21|random> --n <int> "
-      "--machine <o2k|exemplar|modern>\n"
+      "--machine <o2k|exemplar|modern> --cores <int>\n"
       "       --scale <int> --engine <compiled|reference> --solver "
       "<best|exact|greedy|bisection|edge-weighted|none>\n"
       "       [--no-storage] [--no-stores] [--regroup] [--shift] "
@@ -104,6 +111,8 @@ Options parse(int argc, char** argv) {
       o.n = std::stoll(value(i));
     } else if (arg == "--machine") {
       o.machine = value(i);
+    } else if (arg == "--cores") {
+      o.cores = std::stoi(value(i));
     } else if (arg == "--scale") {
       o.scale = std::stoull(value(i));
     } else if (arg == "--engine") {
@@ -172,7 +181,7 @@ machine::MachineModel make_machine(const Options& o) {
   } else {
     throw Error("unknown machine: " + o.machine);
   }
-  return m.scaled(o.scale);
+  return m.scaled(o.scale).with_cores(o.cores);
 }
 
 model::ExecEngine make_engine(const std::string& name) {
@@ -207,6 +216,7 @@ int main(int argc, char** argv) {
     opts.auto_interchange = o.interchange;
     opts.scalar_replacement = o.scalar_replace;
     opts.verify = o.verify_pipeline;
+    opts.cores = o.cores;
     core::OptimizeResult result = core::optimize(original, opts);
     if (o.regroup) {
       transform::RegroupingResult rr =
@@ -240,6 +250,17 @@ int main(int argc, char** argv) {
     std::cout << "speedup: "
               << fmt_fixed(before.time.total_s / after.time.total_s, 2)
               << "x\n";
+
+    if (o.cores > 1) {
+      // Scaling curves up to the requested core count: optimization lowers
+      // shared-bus traffic, so the optimized program should saturate the
+      // bus at strictly more cores (or plateau higher).
+      std::cout << "\n"
+                << model::render_scaling_curve(model::scaling_curve(
+                       "original", before.profile, machine, o.cores))
+                << model::render_scaling_curve(model::scaling_curve(
+                       "optimized", after.profile, machine, o.cores));
+    }
 
     bool bounds_ok = true;
     if (o.verify_report) {
