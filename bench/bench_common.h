@@ -33,18 +33,27 @@ inline machine::MachineModel exemplar() {
 /// Run `workload(rec)` to steady state on the machine's hierarchy: one
 /// warm-up pass, then one measured pass. Returns the measured profile.
 ///
+/// The warm-up pass only has to leave the hierarchy in the exact state a
+/// full pass would, so it runs with the online steady-state fast-forward
+/// detector attached (memsim/fastforward.h): periodic spans of the access
+/// stream are absorbed and folded in analytically, which cuts warm-up
+/// simulation cost without changing the warmed state or the measured pass
+/// by a byte. Machines whose hierarchies are not translation-invariant
+/// (page randomization) warm up by full simulation automatically.
+///
 /// Counter hygiene (regression-tested in tests/runtime_test.cpp): the
-/// warm-up pass uses its own Recorder whose scope ends -- flushing any
-/// coalesced run into the hierarchy -- before reset_stats() clears the
-/// boundary counters; the measured pass then starts from a *fresh*
-/// Recorder, so warm-up flops and access counts never leak into the
-/// profile while the cache contents stay warm.
+/// warm-up pass uses its own Recorder whose scope ends -- settling the
+/// detector and flushing any coalesced run into the hierarchy -- before
+/// reset_stats() clears the boundary counters; the measured pass then
+/// starts from a *fresh* Recorder, so warm-up flops and access counts
+/// never leak into the profile while the cache contents stay warm.
 template <typename Fn>
 machine::ExecutionProfile steady_state_profile(
     const machine::MachineModel& machine, Fn&& workload) {
   memsim::MemoryHierarchy h = machine.make_hierarchy();
   {
-    runtime::Recorder warmup(&h, /*coalesce=*/true);
+    runtime::Recorder warmup(&h, /*coalesce=*/true,
+                             /*warmup_fast_forward=*/true);
     workload(warmup);
   }
   h.reset_stats();

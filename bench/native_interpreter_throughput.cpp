@@ -10,12 +10,13 @@
 // configuration, where coalescing batches stride-1 runs into line-granular
 // simulator accesses).
 //
-//   native_interpreter_throughput [--smoke]
+//   native_interpreter_throughput [--smoke] [--json]
 //
 // --smoke shrinks the problem size, and exits non-zero if the two engines
 // disagree on any observable or the compiled engine's speedup falls below
 // the regression floor -- CI runs this mode so perf regressions fail
-// loudly. Numbers are recorded in EXPERIMENTS.md.
+// loudly. --json emits one JSON object of metrics for
+// tools/check_bench_regression.py. Numbers are recorded in EXPERIMENTS.md.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -151,9 +152,10 @@ void print_row(const std::string& name, const char* config,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
+  bool smoke = false, json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
   }
 
   const std::int64_t n1 = smoke ? 100000 : 1000000;  // fig3-scale stride-1
@@ -162,37 +164,54 @@ int main(int argc, char** argv) {
   const int reps = smoke ? 2 : 3;
   const machine::MachineModel o2k = bench::o2k();
 
-  bench::print_header(
-      "Replay-engine throughput: reference interpreter vs compiled engine" +
-      std::string(smoke ? " (smoke)" : ""));
-  std::printf("%-28s %-14s %12s %12s %9s\n", "program", "config",
-              "ref acc/s", "compiled", "speedup");
+  if (!json) {
+    bench::print_header(
+        "Replay-engine throughput: reference interpreter vs compiled engine" +
+        std::string(smoke ? " (smoke)" : ""));
+    std::printf("%-28s %-14s %12s %12s %9s\n", "program", "config",
+                "ref acc/s", "compiled", "speedup");
+  }
 
   bool exact = true;
   double min_semantics = 1e300, min_hierarchy = 1e300;
+  std::vector<std::pair<std::string, double>> metrics;
   // `gate`: steady-state stride-1 kernels enter the regression floors; the
   // cold single-pass programs (dominated by identical init cost in both
   // engines) are reported for context only.
-  const auto bench_one = [&](const ir::Program& p, bool gate) {
+  const auto bench_one = [&](const ir::Program& p, const char* key,
+                             bool gate) {
     const EngineRow plain = profile_engines(p, nullptr, reps, &exact);
-    print_row(p.name(), "semantics", plain);
     const EngineRow sim = profile_engines(p, &o2k, reps, &exact);
-    print_row(p.name(), "o2k hierarchy", sim);
+    if (!json) {
+      print_row(p.name(), "semantics", plain);
+      print_row(p.name(), "o2k hierarchy", sim);
+    }
+    if (key != nullptr) {
+      metrics.emplace_back(std::string("semantics_") + key, plain.speedup());
+      metrics.emplace_back(std::string("hierarchy_") + key, sim.speedup());
+    }
     if (gate) {
       min_semantics = std::min(min_semantics, plain.speedup());
       min_hierarchy = std::min(min_hierarchy, sim.speedup());
     }
   };
 
-  bench_one(stride1_sweep(n1, sweeps), /*gate=*/true);
-  bench_one(stride1_1w2r(n1, sweeps), /*gate=*/true);
-  bench_one(workloads::fig7_original(n1), /*gate=*/false);
-  bench_one(workloads::fig6_original(n2), /*gate=*/false);
+  bench_one(stride1_sweep(n1, sweeps), "sweep", /*gate=*/true);
+  bench_one(stride1_1w2r(n1, sweeps), "1w2r", /*gate=*/true);
+  bench_one(workloads::fig7_original(n1), nullptr, /*gate=*/false);
+  bench_one(workloads::fig6_original(n2), nullptr, /*gate=*/false);
 
-  std::printf(
-      "\nexactness: %s, min steady-state speedup: %.2fx semantics, "
-      "%.2fx hierarchy\n",
-      exact ? "byte-identical" : "MISMATCH", min_semantics, min_hierarchy);
+  if (json) {
+    std::printf("{\"bench\": \"native_interpreter_throughput\"");
+    for (const auto& [key, value] : metrics)
+      std::printf(", \"%s\": %.3f", key.c_str(), value);
+    std::printf("}\n");
+  } else {
+    std::printf(
+        "\nexactness: %s, min steady-state speedup: %.2fx semantics, "
+        "%.2fx hierarchy\n",
+        exact ? "byte-identical" : "MISMATCH", min_semantics, min_hierarchy);
+  }
   if (!exact) return 1;
   if (smoke && (min_semantics < kSemanticsSpeedupFloor ||
                 min_hierarchy < kHierarchySpeedupFloor)) {

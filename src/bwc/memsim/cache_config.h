@@ -61,6 +61,8 @@ struct CacheLevelStats {
     return read_hits + read_misses + write_hits + write_misses;
   }
   std::uint64_t misses() const { return read_misses + write_misses; }
+  friend bool operator==(const CacheLevelStats&,
+                         const CacheLevelStats&) = default;
   double miss_rate() const {
     const std::uint64_t a = accesses();
     return a == 0 ? 0.0 : static_cast<double>(misses()) / static_cast<double>(a);

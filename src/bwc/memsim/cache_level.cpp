@@ -1,5 +1,8 @@
 #include "bwc/memsim/cache_level.h"
 
+#include <algorithm>
+#include <cstddef>
+
 #include "bwc/support/error.h"
 #include "bwc/support/prng.h"
 
@@ -18,6 +21,11 @@ void CacheConfig::validate() const {
   BWC_CHECK(w >= 1 && w <= lines, "associativity out of range");
   BWC_CHECK(lines % w == 0, "line count must be divisible by associativity");
   BWC_CHECK(is_pow2(lines / w), "set count must be a power of two");
+  if (page_randomization_seed != 0) {
+    BWC_CHECK(is_pow2(page_bytes) && page_bytes >= line_bytes,
+              "page randomization needs a power-of-two page holding at "
+              "least one line");
+  }
 }
 
 CacheLevel::CacheLevel(CacheConfig config) : config_(std::move(config)) {
@@ -26,6 +34,17 @@ CacheLevel::CacheLevel(CacheConfig config) : config_(std::move(config)) {
   ways_ = config_.ways();
   while ((std::uint64_t{1} << line_shift_) < config_.line_bytes) ++line_shift_;
   lines_.assign(static_cast<std::size_t>(sets_ * ways_), Line{});
+  set_mask_ = sets_ - 1;
+  randomized_ = config_.page_randomization_seed != 0;
+  if (randomized_) {
+    while ((std::uint64_t{1} << page_shift_) < config_.page_bytes)
+      ++page_shift_;
+    const std::uint64_t lines_per_page =
+        config_.page_bytes / config_.line_bytes;
+    line_in_page_mask_ = lines_per_page - 1;
+    frames_geometry_ = lines_per_page <= sets_;
+    if (frames_geometry_) frame_mask_ = sets_ / lines_per_page - 1;
+  }
 }
 
 void CacheLevel::reset() {
@@ -36,51 +55,75 @@ void CacheLevel::reset() {
 
 std::size_t CacheLevel::set_index(std::uint64_t line_addr) const {
   const std::uint64_t line_id = line_addr >> line_shift_;
-  if (config_.page_randomization_seed == 0) {
-    return static_cast<std::size_t>(line_id & (sets_ - 1));
+  if (!randomized_) {
+    return static_cast<std::size_t>(line_id & set_mask_);
   }
   // Random physical page placement: the page picks a pseudo-random frame
   // slot; lines keep their order within the page (spatial locality holds).
-  const std::uint64_t page = line_addr / config_.page_bytes;
-  std::uint64_t state = page ^ config_.page_randomization_seed;
-  const std::uint64_t hash = splitmix64(state);
-  const std::uint64_t lines_per_page =
-      config_.page_bytes / config_.line_bytes;
-  const std::uint64_t line_in_page = line_id % lines_per_page;
-  if (lines_per_page <= sets_ && sets_ % lines_per_page == 0) {
-    const std::uint64_t frames = sets_ / lines_per_page;
-    return static_cast<std::size_t>((hash % frames) * lines_per_page +
+  // Geometry is power-of-two throughout (validated), so the page split and
+  // frame pick are shifts and masks; the per-page hash is memoized because
+  // streaming accesses stay in one page for many consecutive lines.
+  const std::uint64_t page = line_addr >> page_shift_;
+  if (page != cached_page_) {
+    std::uint64_t state = page ^ config_.page_randomization_seed;
+    cached_page_hash_ = splitmix64(state);
+    cached_page_ = page;
+  }
+  const std::uint64_t hash = cached_page_hash_;
+  const std::uint64_t line_in_page = line_id & line_in_page_mask_;
+  if (frames_geometry_) {
+    return static_cast<std::size_t>((hash & frame_mask_) *
+                                        (line_in_page_mask_ + 1) +
                                     line_in_page);
   }
   // Degenerate geometry (page larger than the cache): hash per page but
   // keep distinct lines in distinct sets.
-  return static_cast<std::size_t>((line_id ^ hash) & (sets_ - 1));
+  return static_cast<std::size_t>((line_id ^ hash) & set_mask_);
 }
 
 CacheLevel::AccessResult CacheLevel::access(std::uint64_t line_addr,
                                             bool is_write) {
   BWC_ASSERT(line_addr % config_.line_bytes == 0,
              "line address must be line-aligned");
-  const std::uint64_t tag = tag_of(line_addr);
-  const std::size_t base = set_index(line_addr) * static_cast<std::size_t>(ways_);
-  ++tick_;
+  const std::uint64_t tag = line_addr >> line_shift_;
+  Line* const set =
+      lines_.data() + set_index(line_addr) * static_cast<std::size_t>(ways_);
+  const std::uint64_t now = ++tick_;
 
   AccessResult result;
 
-  // Hit path.
+  // One pass over the set finds the hit way and, failing that, the victim
+  // (first invalid way if any, else LRU among the valid ways).
+  Line* hit = nullptr;
+  Line* invalid = nullptr;
+  Line* lru = set;
+  std::uint64_t oldest = ~std::uint64_t{0};
   for (std::size_t w = 0; w < ways_; ++w) {
-    Line& line = lines_[base + w];
-    if (line.valid && line.tag == tag) {
-      line.last_used = tick_;
-      if (is_write) {
-        ++stats_.write_hits;
-        if (config_.write_policy == WritePolicy::kWriteBack) line.dirty = true;
-      } else {
-        ++stats_.read_hits;
-      }
-      result.hit = true;
-      return result;
+    Line& line = set[w];
+    if (!line.valid) {
+      if (invalid == nullptr) invalid = &line;
+      continue;
     }
+    if (line.tag == tag) {
+      hit = &line;
+      break;
+    }
+    if (line.last_used < oldest) {
+      oldest = line.last_used;
+      lru = &line;
+    }
+  }
+
+  if (hit != nullptr) {
+    hit->last_used = now;
+    if (is_write) {
+      ++stats_.write_hits;
+      if (config_.write_policy == WritePolicy::kWriteBack) hit->dirty = true;
+    } else {
+      ++stats_.read_hits;
+    }
+    result.hit = true;
+    return result;
   }
 
   // Miss path.
@@ -93,25 +136,8 @@ CacheLevel::AccessResult CacheLevel::access(std::uint64_t line_addr,
     ++stats_.read_misses;
   }
 
-  // Choose a victim: an invalid way if any, else the LRU way.
-  std::size_t victim = 0;
-  std::uint64_t oldest = ~std::uint64_t{0};
-  bool found_invalid = false;
-  for (std::size_t w = 0; w < ways_; ++w) {
-    Line& line = lines_[base + w];
-    if (!line.valid) {
-      victim = w;
-      found_invalid = true;
-      break;
-    }
-    if (line.last_used < oldest) {
-      oldest = line.last_used;
-      victim = w;
-    }
-  }
-
-  Line& line = lines_[base + victim];
-  if (!found_invalid) {
+  Line& line = invalid != nullptr ? *invalid : *lru;
+  if (invalid == nullptr) {
     ++stats_.evictions;
     if (line.dirty) {
       ++stats_.writebacks;
@@ -122,7 +148,7 @@ CacheLevel::AccessResult CacheLevel::access(std::uint64_t line_addr,
 
   line.valid = true;
   line.tag = tag;
-  line.last_used = tick_;
+  line.last_used = now;
   line.dirty =
       is_write && config_.write_policy == WritePolicy::kWriteBack;
   result.filled = true;
@@ -158,6 +184,88 @@ std::uint64_t CacheLevel::valid_line_count() const {
   for (const Line& line : lines_)
     if (line.valid) ++count;
   return count;
+}
+
+// Ticks are unique (every access bumps the level-wide counter), so the
+// oldest-to-youngest order within a set is total.
+void CacheLevel::snapshot_state(ResidentState* out) const {
+  out->entries.clear();
+  out->set_begin.clear();
+  out->set_begin.reserve(static_cast<std::size_t>(sets_) + 1);
+  std::vector<const Line*> order;
+  order.reserve(static_cast<std::size_t>(ways_));
+  for (std::uint64_t s = 0; s < sets_; ++s) {
+    out->set_begin.push_back(static_cast<std::uint32_t>(out->entries.size()));
+    const Line* set = lines_.data() + s * ways_;
+    order.clear();
+    for (std::uint64_t w = 0; w < ways_; ++w)
+      if (set[w].valid) order.push_back(&set[w]);
+    std::sort(order.begin(), order.end(), [](const Line* a, const Line* b) {
+      return a->last_used < b->last_used;
+    });
+    for (const Line* line : order)
+      out->entries.push_back((line->tag << 1) |
+                             static_cast<std::uint64_t>(line->dirty));
+  }
+  out->set_begin.push_back(static_cast<std::uint32_t>(out->entries.size()));
+}
+
+bool CacheLevel::state_equals_shifted(const ResidentState& snap,
+                                      std::int64_t delta_lines) const {
+  BWC_ASSERT(modulo_indexed(),
+             "state translation requires modulo set indexing");
+  const std::uint64_t delta = static_cast<std::uint64_t>(delta_lines);
+  std::vector<const Line*> order;
+  order.reserve(static_cast<std::size_t>(ways_));
+  for (std::uint64_t s = 0; s < sets_; ++s) {
+    // Set s's content must be snapshot set (s - delta) mod sets, shifted.
+    const std::uint64_t src = (s - delta) & set_mask_;
+    const std::uint32_t begin = snap.set_begin[static_cast<std::size_t>(src)];
+    const std::uint32_t end = snap.set_begin[static_cast<std::size_t>(src) + 1];
+    const Line* set = lines_.data() + s * ways_;
+    order.clear();
+    for (std::uint64_t w = 0; w < ways_; ++w)
+      if (set[w].valid) order.push_back(&set[w]);
+    if (order.size() != static_cast<std::size_t>(end - begin)) return false;
+    std::sort(order.begin(), order.end(), [](const Line* a, const Line* b) {
+      return a->last_used < b->last_used;
+    });
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const std::uint64_t want = snap.entries[begin + k];
+      const std::uint64_t have =
+          (((want >> 1) + delta) << 1) | (want & 1);
+      const std::uint64_t got = (order[k]->tag << 1) |
+                                static_cast<std::uint64_t>(order[k]->dirty);
+      if (got != have) return false;
+    }
+  }
+  return true;
+}
+
+void CacheLevel::shift_state(std::int64_t delta_lines) {
+  BWC_ASSERT(modulo_indexed(),
+             "state translation requires modulo set indexing");
+  const std::uint64_t delta = static_cast<std::uint64_t>(delta_lines);
+  const std::uint64_t delta_sets = delta & set_mask_;
+  if (delta_sets != 0) {
+    // New set s takes old set (s - delta) mod sets: a right rotation of
+    // the set-major line array by delta_sets whole sets.
+    const auto pivot = static_cast<std::ptrdiff_t>((sets_ - delta_sets) *
+                                                   ways_);
+    std::rotate(lines_.begin(), lines_.begin() + pivot, lines_.end());
+  }
+  for (Line& line : lines_)
+    if (line.valid) line.tag += delta;
+}
+
+void CacheLevel::add_stats_scaled(const CacheLevelStats& delta,
+                                  std::uint64_t times) {
+  stats_.read_hits += delta.read_hits * times;
+  stats_.read_misses += delta.read_misses * times;
+  stats_.write_hits += delta.write_hits * times;
+  stats_.write_misses += delta.write_misses * times;
+  stats_.writebacks += delta.writebacks * times;
+  stats_.evictions += delta.evictions * times;
 }
 
 }  // namespace bwc::memsim

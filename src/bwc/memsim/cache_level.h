@@ -44,6 +44,41 @@ class CacheLevel {
   /// Number of currently valid lines (for footprint-style diagnostics).
   std::uint64_t valid_line_count() const;
 
+  /// True when set selection is pure modulo indexing, i.e. set_index
+  /// commutes with line-granular address shifts. Page randomization hashes
+  /// the page number, which breaks that commutation -- such a level can
+  /// never certify the fast-forward state translation.
+  bool modulo_indexed() const { return config_.page_randomization_seed == 0; }
+
+  /// Behavior-complete snapshot of the resident lines: per set, the valid
+  /// ways ordered oldest-to-youngest by last use, each encoded as
+  /// (tag << 1) | dirty. Two levels with equal snapshots respond
+  /// identically to every future access stream -- which physical way holds
+  /// a line (and the absolute last_used ticks) never reaches an observable,
+  /// only the per-set LRU order does.
+  struct ResidentState {
+    std::vector<std::uint64_t> entries;    // (tag << 1) | dirty, LRU order
+    std::vector<std::uint32_t> set_begin;  // sets_ + 1 offsets into entries
+  };
+  void snapshot_state(ResidentState* out) const;
+
+  /// True when the current resident state equals `snap` translated by
+  /// `delta_lines` line addresses: set s must hold snap's set
+  /// (s - delta) mod sets with every tag shifted by +delta, same dirty
+  /// bits, same LRU order. Meaningful only for modulo_indexed() levels.
+  bool state_equals_shifted(const ResidentState& snap,
+                            std::int64_t delta_lines) const;
+
+  /// Translate the resident state by `delta_lines`: rotate whole sets and
+  /// shift every valid tag, preserving per-set LRU order and dirty bits.
+  /// This is the state full simulation of one more period would reach when
+  /// state_equals_shifted held for the previous one.
+  void shift_state(std::int64_t delta_lines);
+
+  /// stats += delta * times: analytic extrapolation of `times` periods
+  /// whose per-period stat delta is `delta`.
+  void add_stats_scaled(const CacheLevelStats& delta, std::uint64_t times);
+
  private:
   struct Line {
     std::uint64_t tag = 0;
@@ -66,6 +101,18 @@ class CacheLevel {
   std::uint64_t ways_ = 0;
   std::uint64_t tick_ = 0;
   std::uint32_t line_shift_ = 0;  // log2(config_.line_bytes)
+  // Hot-path geometry, precomputed once (sizes are validated powers of
+  // two, so set selection is shifts and masks, never division).
+  std::uint64_t set_mask_ = 0;            // sets_ - 1
+  bool randomized_ = false;               // page_randomization_seed != 0
+  std::uint32_t page_shift_ = 0;          // log2(page_bytes), randomized only
+  std::uint64_t line_in_page_mask_ = 0;   // lines_per_page - 1
+  std::uint64_t frame_mask_ = 0;          // sets_ / lines_per_page - 1
+  bool frames_geometry_ = false;          // lines_per_page <= sets_
+  // Streams hit the same page for many consecutive lines; caching the last
+  // page's hash removes the splitmix64 from the randomized hot path.
+  mutable std::uint64_t cached_page_ = ~std::uint64_t{0};
+  mutable std::uint64_t cached_page_hash_ = 0;
 };
 
 }  // namespace bwc::memsim

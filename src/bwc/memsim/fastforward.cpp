@@ -1,0 +1,245 @@
+#include "bwc/memsim/fastforward.h"
+
+#include <numeric>
+
+#include "bwc/support/error.h"
+
+namespace bwc::memsim {
+
+namespace {
+
+// Detection knobs. The window must hold two occurrences of the longest
+// period considered; adoption attempts are spaced so the O(period^2) scan
+// amortizes to a few ops per access. Streams that keep defeating
+// verification get a bounded number of chances before the detector turns
+// itself off and the stream pays nothing but one branch per access.
+constexpr std::size_t kMaxPeriod = 32;
+constexpr std::size_t kWindow = 2 * kMaxPeriod;  // power of two (ring mask)
+constexpr std::uint64_t kAttemptInterval = 128;
+constexpr int kMaxFailedAdoptions = 8;
+constexpr std::int64_t kStateRetrySlack = 64;
+// State snapshots/comparisons are O(resident lines); during a capacity-
+// long drain they back off exponentially (super-periods 1, 2, 4, ...
+// apart, capped) while the counter delta stays stable, bounding total
+// state work to O(resident * log(drain)).
+constexpr std::int64_t kMaxStateCheckGap = 256;
+// A super-period's access span is buffered while skipping (the partial
+// tail must be replayable); refuse hypotheses that would buffer more.
+constexpr std::size_t kMaxSuperPeriodAccesses = 4096;
+
+}  // namespace
+
+AccessFastForward::AccessFastForward(MemoryHierarchy* hierarchy)
+    : hierarchy_(hierarchy), attempt_countdown_(kWindow) {
+  BWC_CHECK(hierarchy_ != nullptr && hierarchy_->translation_invariant(),
+            "online fast-forward requires a translation-invariant hierarchy");
+  history_.resize(kWindow);
+}
+
+void AccessFastForward::forward(const Access& a) {
+  if (a.is_store) {
+    hierarchy_->store(a.addr, a.size);
+  } else {
+    hierarchy_->load(a.addr, a.size);
+  }
+}
+
+bool AccessFastForward::matches_expected(const Access& a) const {
+  const Access& p = pattern_[pos_];
+  return a.is_store == p.is_store && a.size == p.size &&
+         a.addr == p.addr + static_cast<std::uint64_t>(
+                                shift_ * static_cast<std::int64_t>(rep_));
+}
+
+void AccessFastForward::access(bool is_store, std::uint64_t addr,
+                               std::uint64_t size) {
+  const Access a{addr, static_cast<std::uint32_t>(size), is_store};
+  switch (mode_) {
+    case Mode::kOff:
+      forward(a);
+      return;
+    case Mode::kCollect:
+      collect(a);
+      return;
+    case Mode::kVerify:
+      if (!matches_expected(a)) {
+        fail_adoption();
+        if (mode_ == Mode::kOff) {
+          forward(a);
+        } else {
+          collect(a);
+        }
+        return;
+      }
+      forward(a);
+      if (++pos_ == pattern_.size()) {
+        pos_ = 0;
+        ++rep_;
+        if (++rep_in_sp_ == sp_reps_) {
+          rep_in_sp_ = 0;
+          on_super_period();
+        }
+      }
+      return;
+    case Mode::kSkip:
+      if (!matches_expected(a)) {
+        settle();  // returns to kCollect
+        collect(a);
+        return;
+      }
+      ++skipped_accesses_;
+      partial_.push_back(a);
+      if (++pos_ == pattern_.size()) {
+        pos_ = 0;
+        ++rep_;
+        if (++rep_in_sp_ == sp_reps_) {
+          rep_in_sp_ = 0;
+          ++skipped_sps_;
+          partial_.clear();
+        }
+      }
+      return;
+  }
+}
+
+void AccessFastForward::collect(const Access& a) {
+  forward(a);
+  history_[history_head_] = a;
+  history_head_ = (history_head_ + 1) & (kWindow - 1);
+  if (history_count_ < kWindow) ++history_count_;
+  if (--attempt_countdown_ == 0) {
+    try_adopt();
+    if (mode_ == Mode::kCollect) attempt_countdown_ = kAttemptInterval;
+  }
+}
+
+void AccessFastForward::try_adopt() {
+  // `back(k)` is the k-th most recent access.
+  const auto back = [&](std::size_t k) -> const Access& {
+    return history_[(history_head_ + kWindow - 1 - k) & (kWindow - 1)];
+  };
+  for (std::size_t p = 1; 2 * p <= history_count_ && p <= kMaxPeriod; ++p) {
+    const std::int64_t delta = static_cast<std::int64_t>(back(0).addr) -
+                               static_cast<std::int64_t>(back(p).addr);
+    if (delta == 0) continue;
+    bool ok = true;
+    for (std::size_t j = 0; j < p && ok; ++j) {
+      const Access& x = back(j);
+      const Access& y = back(j + p);
+      ok = x.is_store == y.is_store && x.size == y.size &&
+           static_cast<std::int64_t>(x.addr) -
+                   static_cast<std::int64_t>(y.addr) ==
+               delta;
+    }
+    if (!ok) continue;
+
+    const std::uint64_t line = hierarchy_->max_line_bytes();
+    const std::uint64_t mag =
+        static_cast<std::uint64_t>(delta < 0 ? -delta : delta);
+    const std::uint64_t reps = line / std::gcd(mag, line);
+    if (reps * p > kMaxSuperPeriodAccesses) continue;
+
+    pattern_.assign(p, Access{});
+    for (std::size_t j = 0; j < p; ++j) pattern_[p - 1 - j] = back(j);
+    shift_ = delta;
+    sp_reps_ = reps;
+    sp_shift_ = delta * static_cast<std::int64_t>(reps);
+    pos_ = 0;
+    rep_ = 1;
+    rep_in_sp_ = 0;
+    hierarchy_->snapshot_counters(&prev_counters_);
+    have_last_delta_ = false;
+    have_state_snap_ = false;
+    state_retries_ = 0;
+    state_check_gap_ = 1;
+    state_check_wait_ = 0;
+    // Patience for the cold fill: the state cannot be translation-
+    // stationary until the stream has swept past every level's capacity.
+    state_retry_budget_ =
+        static_cast<std::int64_t>(
+            2 * hierarchy_->total_capacity_bytes() /
+            static_cast<std::uint64_t>(delta < 0 ? -sp_shift_ : sp_shift_)) +
+        kStateRetrySlack;
+    mode_ = Mode::kVerify;
+    return;
+  }
+}
+
+void AccessFastForward::on_super_period() {
+  hierarchy_->snapshot_counters(&cur_counters_);
+  MemoryHierarchy::subtract_counters(cur_counters_, prev_counters_, &delta_);
+  std::swap(prev_counters_, cur_counters_);
+
+  if (++state_retries_ > state_retry_budget_) {
+    fail_adoption();
+    return;
+  }
+  if (!have_last_delta_ || !(delta_ == last_delta_)) {
+    // Delta changed: new traffic regime, restart the state protocol.
+    std::swap(last_delta_, delta_);
+    have_last_delta_ = true;
+    have_state_snap_ = false;
+    state_check_gap_ = 1;
+    state_check_wait_ = 0;
+    return;
+  }
+  // Delta stable (last_delta_ is the candidate per-super-period advance).
+  if (have_state_snap_) {
+    if (hierarchy_->state_equals_shifted(state_snap_, sp_shift_)) {
+      mode_ = Mode::kSkip;
+      skipped_sps_ = 0;
+      partial_.clear();
+      return;
+    }
+    // The traffic delta stabilizes while stale lines are still draining
+    // out of the state; back off and retry at the next check point.
+    have_state_snap_ = false;
+    state_check_gap_ = std::min(2 * state_check_gap_, kMaxStateCheckGap);
+    state_check_wait_ = state_check_gap_ - 1;
+    return;
+  }
+  if (state_check_wait_ > 0) {
+    --state_check_wait_;
+    return;
+  }
+  hierarchy_->snapshot_state(&state_snap_);
+  have_state_snap_ = true;
+}
+
+void AccessFastForward::fail_adoption() {
+  pattern_.clear();
+  have_last_delta_ = false;
+  have_state_snap_ = false;
+  if (++failed_adoptions_ >= kMaxFailedAdoptions) {
+    mode_ = Mode::kOff;
+    return;
+  }
+  mode_ = Mode::kCollect;
+  history_count_ = 0;
+  history_head_ = 0;
+  attempt_countdown_ = kWindow;
+}
+
+void AccessFastForward::settle() {
+  if (mode_ != Mode::kSkip) return;
+  if (skipped_sps_ > 0) {
+    hierarchy_->apply_counters_scaled(last_delta_, skipped_sps_);
+    hierarchy_->shift_state(sp_shift_ *
+                            static_cast<std::int64_t>(skipped_sps_));
+  }
+  // The absorbed tail past the last super-period boundary matched the
+  // prediction but was never simulated; replay it against the translated
+  // state, exactly where full simulation would have issued it.
+  for (const Access& a : partial_) forward(a);
+  partial_.clear();
+  skipped_sps_ = 0;
+  // Back to collection: the next access either re-establishes the same
+  // pattern (a new phase of the stream) or the stream has moved on.
+  pattern_.clear();
+  mode_ = Mode::kCollect;
+  history_count_ = 0;
+  history_head_ = 0;
+  attempt_countdown_ = kWindow;
+}
+
+}  // namespace bwc::memsim

@@ -1,0 +1,121 @@
+// Online steady-state fast-forward for raw access streams.
+//
+// Native workloads (the Figure 3 stride kernels, STREAM, the proxies)
+// issue per-element access streams with no loop metadata attached, yet in
+// steady state those streams are periodic: a fixed tuple of accesses
+// repeats, every address advancing by a constant shift per repetition.
+// AccessFastForward watches such a stream on its way into a
+// MemoryHierarchy, infers the period online, proves the hierarchy has
+// reached its periodic fixpoint -- identical per-super-period counter
+// deltas plus resident state that equals its own translation by the
+// super-period's address shift -- and then *absorbs* matching accesses
+// instead of simulating them, folding the skipped super-periods back into
+// the hierarchy analytically on settle(). Every counter and the final
+// resident state are exactly what full simulation would have produced,
+// which is why bench::steady_state_profile can use it for warm-up passes
+// without perturbing the measured pass by a single byte.
+//
+// The compiled engine's stream loops use the offline twin of this driver
+// (runtime/fastforward.h), which gets the period from lowering metadata
+// instead of inferring it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bwc/memsim/hierarchy.h"
+
+namespace bwc::memsim {
+
+class AccessFastForward {
+ public:
+  /// The hierarchy must be translation_invariant() (checked); callers gate
+  /// construction on that, so page-randomized machines (Exemplar) simply
+  /// never get a detector and always simulate in full.
+  explicit AccessFastForward(MemoryHierarchy* hierarchy);
+
+  AccessFastForward(const AccessFastForward&) = delete;
+  AccessFastForward& operator=(const AccessFastForward&) = delete;
+
+  /// Observe one program access. In the detection phases the access is
+  /// forwarded to the hierarchy unchanged; once the periodic fixpoint is
+  /// certified, accesses matching the predicted stream are absorbed and a
+  /// mismatch settles the skipped span before re-entering detection.
+  void access(bool is_store, std::uint64_t addr, std::uint64_t size);
+
+  /// Fold any absorbed-but-unapplied span into the hierarchy: scale the
+  /// certified per-super-period counter delta by the super-periods
+  /// skipped, translate the resident state, and replay the partial tail
+  /// element by element. Must be called before the hierarchy's counters or
+  /// state are read; safe to call at any time.
+  void settle();
+
+  /// Accesses absorbed by the skip path so far (observability).
+  std::uint64_t skipped_accesses() const { return skipped_accesses_; }
+
+ private:
+  struct Access {
+    std::uint64_t addr = 0;
+    std::uint32_t size = 0;
+    bool is_store = false;
+  };
+
+  // kCollect: forward everything, look for a period in the recent window.
+  // kVerify: forward everything while checking each access against the
+  //          adopted pattern and fingerprinting super-period boundaries.
+  // kSkip:   absorb matching accesses; counters/state owed until settle().
+  // kOff:    detection failed too often; forward-only, zero overhead.
+  enum class Mode : std::uint8_t { kCollect, kVerify, kSkip, kOff };
+
+  void forward(const Access& a);
+  bool matches_expected(const Access& a) const;
+  void collect(const Access& a);
+  void try_adopt();
+  void on_super_period();  // kVerify super-period fingerprinting
+  void fail_adoption();
+
+  MemoryHierarchy* hierarchy_;
+  Mode mode_ = Mode::kCollect;
+
+  // Collection window (ring buffer of the most recent accesses).
+  std::vector<Access> history_;
+  std::size_t history_head_ = 0;  // next write slot
+  std::size_t history_count_ = 0;
+  std::uint64_t attempt_countdown_;
+  int failed_adoptions_ = 0;
+
+  // Adopted hypothesis: `pattern_` is one period of the stream as last
+  // seen; occurrence r of pattern slot j is predicted at
+  // pattern_[j].addr + shift_ * r. A super-period is `sp_reps_` pattern
+  // repetitions, chosen so its total shift is line-granular at every
+  // level.
+  std::vector<Access> pattern_;
+  std::int64_t shift_ = 0;     // bytes per pattern repetition
+  std::uint64_t sp_reps_ = 0;  // pattern repetitions per super-period
+  std::int64_t sp_shift_ = 0;  // shift_ * sp_reps_
+  std::size_t pos_ = 0;        // next pattern slot expected
+  std::uint64_t rep_ = 0;      // current repetition number (shift multiple)
+  std::uint64_t rep_in_sp_ = 0;
+
+  // Super-period fingerprints (kVerify).
+  MemoryHierarchy::Counters prev_counters_, cur_counters_, delta_, last_delta_;
+  bool have_last_delta_ = false;
+  MemoryHierarchy::ResidentState state_snap_;
+  bool have_state_snap_ = false;
+  // The counter delta stabilizes from the first cold miss, but the
+  // resident state only becomes translation-stationary once the stream
+  // has swept every level's capacity; the retry budget is sized for that
+  // fill at adoption time (capacity / super-period shift, plus slack).
+  std::int64_t state_retries_ = 0;       // super-periods since adoption
+  std::int64_t state_retry_budget_ = 0;  // capacity-scaled patience
+  std::int64_t state_check_gap_ = 1;     // backoff between state checks
+  std::int64_t state_check_wait_ = 0;    // super-periods until next check
+
+  // Skip-phase debt: super-periods fully absorbed, plus the partial tail
+  // of absorbed accesses past the last super-period boundary.
+  std::uint64_t skipped_sps_ = 0;
+  std::vector<Access> partial_;
+  std::uint64_t skipped_accesses_ = 0;
+};
+
+}  // namespace bwc::memsim

@@ -38,23 +38,24 @@ void MemoryHierarchy::store(std::uint64_t addr, std::uint64_t size) {
 }
 
 void MemoryHierarchy::load_run(std::uint64_t addr, std::uint64_t size,
-                               std::uint64_t count) {
+                               std::uint64_t count, bool descending) {
   BWC_CHECK(size > 0 && count > 0, "run size and count must be positive");
   loads_ += count;
   boundary_[0].bytes_toward_cpu += size;
-  access(0, addr, size, /*is_write=*/false);
+  access(0, addr, size, /*is_write=*/false, descending);
 }
 
 void MemoryHierarchy::store_run(std::uint64_t addr, std::uint64_t size,
-                                std::uint64_t count) {
+                                std::uint64_t count, bool descending) {
   BWC_CHECK(size > 0 && count > 0, "run size and count must be positive");
   stores_ += count;
   boundary_[0].bytes_from_cpu += size;
-  access(0, addr, size, /*is_write=*/true);
+  access(0, addr, size, /*is_write=*/true, descending);
 }
 
 void MemoryHierarchy::access(std::size_t level_index, std::uint64_t addr,
-                             std::uint64_t size, bool is_write) {
+                             std::uint64_t size, bool is_write,
+                             bool descending) {
   if (level_index == levels_.size()) return;  // reached memory
 
   CacheLevel& level = levels_[level_index];
@@ -63,7 +64,7 @@ void MemoryHierarchy::access(std::size_t level_index, std::uint64_t addr,
   const std::uint64_t first = addr & mask;
   const std::uint64_t last = (addr + size - 1) & mask;
 
-  for (std::uint64_t la = first; la <= last; la += line) {
+  const auto touch = [&](std::uint64_t la) {
     const auto result = level.access(la, is_write);
 
     if (result.filled && !result.hit) {
@@ -91,6 +92,19 @@ void MemoryHierarchy::access(std::size_t level_index, std::uint64_t addr,
         access(level_index + 1, begin, chunk, /*is_write=*/true);
       }
     }
+  };
+
+  if (!descending) {
+    for (std::uint64_t la = first; la <= last; la += line) touch(la);
+  } else {
+    // A stride -1 stream touches its lines high-to-low; walking the run
+    // the same way keeps fills, evictions and LRU order element-exact.
+    // Sub-accesses (fills, writebacks, forwarded chunks) each cover at
+    // most one line of the next level, so they need no direction.
+    for (std::uint64_t la = last;; la -= line) {
+      touch(la);
+      if (la == first) break;
+    }
   }
 }
 
@@ -106,6 +120,102 @@ void MemoryHierarchy::reset_stats() {
 void MemoryHierarchy::reset() {
   reset_stats();
   for (auto& level : levels_) level.reset();
+}
+
+bool MemoryHierarchy::translation_invariant() const {
+  for (const auto& level : levels_)
+    if (!level.modulo_indexed()) return false;
+  return true;
+}
+
+std::uint64_t MemoryHierarchy::max_line_bytes() const {
+  std::uint64_t line = 1;
+  for (const auto& level : levels_)
+    line = std::max(line, level.config().line_bytes);
+  return line;
+}
+
+std::uint64_t MemoryHierarchy::total_capacity_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& level : levels_) total += level.config().size_bytes;
+  return total;
+}
+
+void MemoryHierarchy::snapshot_counters(Counters* out) const {
+  out->levels.resize(levels_.size());
+  out->toward_cpu.resize(boundary_.size());
+  out->from_cpu.resize(boundary_.size());
+  for (std::size_t i = 0; i < levels_.size(); ++i)
+    out->levels[i] = levels_[i].stats();
+  for (std::size_t i = 0; i < boundary_.size(); ++i) {
+    out->toward_cpu[i] = boundary_[i].bytes_toward_cpu;
+    out->from_cpu[i] = boundary_[i].bytes_from_cpu;
+  }
+  out->loads = loads_;
+  out->stores = stores_;
+}
+
+void MemoryHierarchy::subtract_counters(const Counters& a, const Counters& b,
+                                        Counters* out) {
+  out->levels.resize(a.levels.size());
+  out->toward_cpu.resize(a.toward_cpu.size());
+  out->from_cpu.resize(a.from_cpu.size());
+  for (std::size_t i = 0; i < a.levels.size(); ++i) {
+    const CacheLevelStats& x = a.levels[i];
+    const CacheLevelStats& y = b.levels[i];
+    out->levels[i] = {x.read_hits - y.read_hits,
+                      x.read_misses - y.read_misses,
+                      x.write_hits - y.write_hits,
+                      x.write_misses - y.write_misses,
+                      x.writebacks - y.writebacks,
+                      x.evictions - y.evictions};
+  }
+  for (std::size_t i = 0; i < a.toward_cpu.size(); ++i) {
+    out->toward_cpu[i] = a.toward_cpu[i] - b.toward_cpu[i];
+    out->from_cpu[i] = a.from_cpu[i] - b.from_cpu[i];
+  }
+  out->loads = a.loads - b.loads;
+  out->stores = a.stores - b.stores;
+}
+
+void MemoryHierarchy::apply_counters_scaled(const Counters& delta,
+                                            std::uint64_t times) {
+  for (std::size_t i = 0; i < levels_.size(); ++i)
+    levels_[i].add_stats_scaled(delta.levels[i], times);
+  for (std::size_t i = 0; i < boundary_.size(); ++i) {
+    boundary_[i].bytes_toward_cpu += delta.toward_cpu[i] * times;
+    boundary_[i].bytes_from_cpu += delta.from_cpu[i] * times;
+  }
+  loads_ += delta.loads * times;
+  stores_ += delta.stores * times;
+}
+
+void MemoryHierarchy::snapshot_state(ResidentState* out) const {
+  out->levels.resize(levels_.size());
+  for (std::size_t i = 0; i < levels_.size(); ++i)
+    levels_[i].snapshot_state(&out->levels[i]);
+}
+
+bool MemoryHierarchy::state_equals_shifted(const ResidentState& snap,
+                                           std::int64_t shift_bytes) const {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const auto line =
+        static_cast<std::int64_t>(levels_[i].config().line_bytes);
+    BWC_ASSERT(shift_bytes % line == 0,
+               "state shift must be line-granular at every level");
+    if (!levels_[i].state_equals_shifted(snap.levels[i], shift_bytes / line))
+      return false;
+  }
+  return true;
+}
+
+void MemoryHierarchy::shift_state(std::int64_t shift_bytes) {
+  for (auto& level : levels_) {
+    const auto line = static_cast<std::int64_t>(level.config().line_bytes);
+    BWC_ASSERT(shift_bytes % line == 0,
+               "state shift must be line-granular at every level");
+    level.shift_state(shift_bytes / line);
+  }
 }
 
 void MemoryHierarchy::discard_dirty_range(std::uint64_t addr,

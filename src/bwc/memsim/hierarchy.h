@@ -42,10 +42,14 @@ class MemoryHierarchy {
   /// Issue a coalesced run of `count` contiguous same-kind accesses
   /// covering [addr, addr+size) in one walk. Equivalent -- boundary bytes,
   /// fills, writebacks and load/store counts all included -- to issuing
-  /// the `count` accesses individually in ascending address order, but
-  /// touches each cache line once instead of once per element.
-  void load_run(std::uint64_t addr, std::uint64_t size, std::uint64_t count);
-  void store_run(std::uint64_t addr, std::uint64_t size, std::uint64_t count);
+  /// the `count` accesses individually in ascending address order (or
+  /// descending order with `descending`, where the lines are walked
+  /// high-to-low so fill/eviction/LRU order matches a stride -1 stream),
+  /// but touches each cache line once instead of once per element.
+  void load_run(std::uint64_t addr, std::uint64_t size, std::uint64_t count,
+                bool descending = false);
+  void store_run(std::uint64_t addr, std::uint64_t size, std::uint64_t count,
+                 bool descending = false);
 
   /// Convenience for double-precision elements.
   void load_double(std::uint64_t addr) { load(addr, 8); }
@@ -78,9 +82,68 @@ class MemoryHierarchy {
   /// itself removes the stores from the program instead).
   void discard_dirty_range(std::uint64_t addr, std::uint64_t size);
 
+  // -- Steady-state fast-forward support (see docs/runtime.md) ------------
+  //
+  // A periodic access stream shifts every address by a constant delta per
+  // period. When set indexing is pure modulo everywhere, the cache is a
+  // deterministic automaton that *commutes* with such shifts: if the
+  // resident state after period k+1 equals the state after period k
+  // translated by the shift, and the per-period counter deltas agree, then
+  // every remaining period repeats that delta and translation exactly.
+  // The replay engine uses the snapshots below to detect that fixpoint and
+  // then advances counters and state analytically.
+
+  /// True when every level uses modulo set indexing, so resident state
+  /// translates exactly under line-granular address shifts. Page
+  /// randomization (Exemplar) hashes page numbers into frame positions and
+  /// breaks the commutation -- such a hierarchy refuses to fast-forward.
+  bool translation_invariant() const;
+
+  /// Largest line size over all levels (1 for a cache-less machine).
+  /// Address shifts that are multiples of this are line-granular at every
+  /// level at once.
+  std::uint64_t max_line_bytes() const;
+
+  /// Sum of all levels' capacities. A streaming access pattern only
+  /// reaches a translation-stationary resident state once it has swept
+  /// past every level's capacity (all sets full, evictions steady), so
+  /// fast-forward detectors size their patience budgets by this.
+  std::uint64_t total_capacity_bytes() const;
+
+  /// The hierarchy's complete counter state: per-level stats, per-boundary
+  /// bytes, and load/store counts. The delta between two snapshots
+  /// fingerprints the traffic of the stream replayed in between.
+  struct Counters {
+    std::vector<CacheLevelStats> levels;
+    std::vector<std::uint64_t> toward_cpu;  // per boundary
+    std::vector<std::uint64_t> from_cpu;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    friend bool operator==(const Counters&, const Counters&) = default;
+  };
+  void snapshot_counters(Counters* out) const;
+  /// out = a - b, componentwise (a, b snapshots with a taken later).
+  static void subtract_counters(const Counters& a, const Counters& b,
+                                Counters* out);
+  /// counters += delta * times: analytic advance of `times` periods.
+  void apply_counters_scaled(const Counters& delta, std::uint64_t times);
+
+  /// Resident tag/dirty/LRU state of every level (see CacheLevel).
+  struct ResidentState {
+    std::vector<CacheLevel::ResidentState> levels;
+  };
+  void snapshot_state(ResidentState* out) const;
+  /// Current state == `snap` translated by `shift_bytes`? The shift must
+  /// be a (signed) multiple of max_line_bytes() and the hierarchy
+  /// translation_invariant().
+  bool state_equals_shifted(const ResidentState& snap,
+                            std::int64_t shift_bytes) const;
+  /// Translate every level's resident state by `shift_bytes`.
+  void shift_state(std::int64_t shift_bytes);
+
  private:
   void access(std::size_t level_index, std::uint64_t addr, std::uint64_t size,
-              bool is_write);
+              bool is_write, bool descending = false);
 
   std::vector<CacheLevel> levels_;
   std::vector<BoundaryTraffic> boundary_;

@@ -7,7 +7,8 @@
 namespace bwc::model {
 
 Measurement measure(const ir::Program& program,
-                    const machine::MachineModel& machine, ExecEngine engine) {
+                    const machine::MachineModel& machine,
+                    const MeasureOptions& options) {
   memsim::MemoryHierarchy hierarchy = machine.make_hierarchy();
   runtime::ExecOptions opts;
   opts.hierarchy = &hierarchy;
@@ -15,12 +16,14 @@ Measurement measure(const ir::Program& program,
   // count; traffic and checksums are bit-identical to serial (held by
   // tests/parallel_runtime_test.cpp), so this only exercises the engine
   // the machine model implies. The reference interpreter is serial-only.
-  opts.cores = engine == ExecEngine::kCompiled ? machine.core_count : 1;
+  opts.cores =
+      options.engine == ExecEngine::kCompiled ? machine.core_count : 1;
+  opts.fast_forward = options.fast_forward;
   Measurement m;
   // Every figure/ablation that measures programs goes through here, so the
   // compiled engine is the default; the reference interpreter stays
   // selectable for debugging and differential checks.
-  m.exec = engine == ExecEngine::kCompiled
+  m.exec = options.engine == ExecEngine::kCompiled
                ? runtime::execute_compiled(program, opts)
                : runtime::execute(program, opts);
   m.profile = m.exec.profile;
@@ -29,13 +32,20 @@ Measurement measure(const ir::Program& program,
   return m;
 }
 
+Measurement measure(const ir::Program& program,
+                    const machine::MachineModel& machine, ExecEngine engine) {
+  MeasureOptions options;
+  options.engine = engine;
+  return measure(program, machine, options);
+}
+
 std::vector<Measurement> measure_scaling(
     const ir::Program& program, const machine::MachineModel& machine,
-    const std::vector<int>& core_counts) {
+    const std::vector<int>& core_counts, const MeasureOptions& options) {
   std::vector<Measurement> curve;
   curve.reserve(core_counts.size());
   for (int cores : core_counts)
-    curve.push_back(measure(program, machine.with_cores(cores)));
+    curve.push_back(measure(program, machine.with_cores(cores), options));
   return curve;
 }
 

@@ -26,11 +26,24 @@ struct Measurement {
 /// interpreter remains selectable for debugging and A/B checks.
 enum class ExecEngine { kCompiled, kReference };
 
+/// Knobs for measure(). `fast_forward` controls the compiled engine's
+/// steady-state fast-forward (see runtime::ExecOptions::fast_forward);
+/// measured profiles are bit-identical either way, so this is purely a
+/// replay-speed / A-B-debugging toggle. The reference interpreter ignores
+/// it.
+struct MeasureOptions {
+  ExecEngine engine = ExecEngine::kCompiled;
+  bool fast_forward = true;
+};
+
 /// Execute `program` on the machine's simulated hierarchy (caches start
 /// cold) and evaluate the bandwidth-bound timing model. A machine with
 /// core_count > 1 is measured with the parallel compiled engine at that
 /// core count (traffic is bit-identical to serial by construction) and
 /// timed under the multicore shared-bandwidth model.
+Measurement measure(const ir::Program& program,
+                    const machine::MachineModel& machine,
+                    const MeasureOptions& options);
 Measurement measure(const ir::Program& program,
                     const machine::MachineModel& machine,
                     ExecEngine engine = ExecEngine::kCompiled);
@@ -41,7 +54,8 @@ Measurement measure(const ir::Program& program,
 /// Measurement per core count, in the given order.
 std::vector<Measurement> measure_scaling(const ir::Program& program,
                                          const machine::MachineModel& machine,
-                                         const std::vector<int>& core_counts);
+                                         const std::vector<int>& core_counts,
+                                         const MeasureOptions& options = {});
 
 /// One-line summary: predicted time, binding resource, memory traffic.
 std::string summarize(const Measurement& m);

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "bwc/runtime/fastforward.h"
 #include "bwc/runtime/parallel.h"
 #include "bwc/runtime/recorder.h"
 #include "bwc/runtime/stream_exec.h"
@@ -22,7 +23,8 @@ class Vm {
      StreamScheduler* scheduler)
       : lp_(lp),
         recorder_(opts.hierarchy, opts.coalesce_accesses),
-        scheduler_(scheduler) {
+        scheduler_(scheduler),
+        fast_forward_(opts.fast_forward) {
     const std::uint64_t align = opts.array_alignment;
     BWC_CHECK(align > 0 && (align & (align - 1)) == 0,
               "array alignment must be a power of two");
@@ -51,6 +53,8 @@ class Vm {
     r.flops = recorder_.flop_count();
     r.loads = recorder_.load_count();
     r.stores = recorder_.store_count();
+    r.fast_forward_events = recorder_.fast_forward_events();
+    r.fast_forwarded_iterations = recorder_.fast_forwarded_iterations();
     if (recorder_.hierarchy() != nullptr) r.profile = recorder_.profile();
     for (std::size_t s = 0; s < scalars_.size(); ++s)
       r.scalars[lp_.scalar_names[s]] = scalars_[s];
@@ -102,7 +106,8 @@ class Vm {
     if (scheduler_ != nullptr) {
       scheduler_->run(sl, ctx, recorder_);
     } else {
-      run_stream_range(sl, sl.lower, sl.upper, ctx, recorder_);
+      run_stream_serial(sl, sl.lower, sl.upper, ctx, recorder_,
+                        fast_forward_);
     }
   }
 
@@ -115,6 +120,7 @@ class Vm {
   const LoweredProgram& lp_;
   Recorder recorder_;
   StreamScheduler* scheduler_;
+  bool fast_forward_;
   std::vector<std::uint64_t> bases_;
   std::vector<std::vector<double>> storage_;
   std::vector<double*> data_;  // storage_[a].data(), hot-path flat view

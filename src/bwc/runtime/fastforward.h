@@ -1,0 +1,88 @@
+// Offline steady-state fast-forward for fused stream loops.
+//
+// A stream loop whose array accesses all advance by the same byte step per
+// iteration (StreamLoop::uniform_step_bytes, computed by lowering) drives
+// the memory hierarchy with a *periodic* access stream: after
+// P = line_bytes / gcd(|step|, line_bytes) iterations the whole access
+// tuple has shifted by exactly one cache-line multiple at every level.
+// On a translation-invariant hierarchy (pure modulo set indexing -- see
+// MemoryHierarchy::translation_invariant) the simulator therefore reaches
+// a periodic fixpoint: identical per-period counter deltas and a resident
+// state that equals its own translation by the period shift. Once that
+// fixpoint is *certified* (delta repeated, state compared modulo the
+// shift), the remaining m full periods need no simulation at all:
+// counters advance by m * delta, the resident tags translate by
+// m * shift, and only the arithmetic still runs -- as a tight native loop
+// with a no-op recorder, which the compiler can vectorize.
+//
+// Every observable is bit-identical to full simulation by construction:
+// the certified delta *is* what one more period does, induction extends
+// it to m periods, and downstream code sees the exact translated cache
+// contents. Loops that break the preconditions -- reductions, mixed
+// strides, stride-0 destinations, page-randomized machines (Exemplar) --
+// never enter the detector and replay in full.
+//
+// The warm-up passes of the native benchmark kernels use the *online*
+// twin of this driver (memsim/fastforward.h), which infers the period
+// from the raw access stream instead of reading lowering metadata.
+#pragma once
+
+#include <cstdint>
+
+#include "bwc/runtime/recorder.h"
+#include "bwc/runtime/stream_exec.h"
+
+namespace bwc::runtime {
+
+/// Recorder stand-in that discards accesses and flops: run_stream_range
+/// instantiated with it compiles to the bare arithmetic loop, used for the
+/// value-carrying pass over fast-forwarded iterations.
+struct NullRecorder {
+  void load(std::uint64_t, std::uint64_t) {}
+  void store(std::uint64_t, std::uint64_t) {}
+  void flops(std::uint64_t) {}
+};
+
+/// Flops one iteration of `sl` charges (the bulk charge run_stream_range
+/// applies at the end of a range).
+std::uint64_t stream_flops_per_iter(const StreamLoop& sl);
+
+/// Execute only the *values* of iterations [lower, upper] of `sl` -- no
+/// recorder, no flop accounting. The common shapes (copy / binary bodies
+/// over unit-stride arrays and hoisted invariants, order-free by
+/// stream_loop_parallelizable) run as tight specialized loops the
+/// compiler vectorizes; everything else falls back to run_stream_range
+/// over a NullRecorder, which preserves iteration order for dependent
+/// loops. This is what makes fast-forwarded spans cheap: their simulation
+/// cost is gone and their arithmetic runs at native speed.
+void run_stream_values(const StreamLoop& sl, std::int64_t lower,
+                       std::int64_t upper, const StreamContext& ctx);
+
+/// True when `sl` against `rec`'s hierarchy satisfies the fast-forward
+/// preconditions: a uniform per-iteration byte step and a
+/// translation-invariant hierarchy. Necessary, not sufficient -- the
+/// periodic fixpoint must still be certified at run time.
+bool stream_fast_forwardable(const StreamLoop& sl, const Recorder& rec);
+
+/// Run iterations [lower, upper] of `sl` on the calling thread, exactly
+/// like run_stream_range(), but with steady-state fast-forward when
+/// `fast_forward` is set and the preconditions hold: the loop replays
+/// period by period until the hierarchy's periodic fixpoint is certified,
+/// then skips the remaining full periods analytically (arithmetic still
+/// runs, simulation does not) and replays the tail. Checksums, flop/load/
+/// store counts and boundary traffic are bit-identical either way.
+void run_stream_serial(const StreamLoop& sl, std::int64_t lower,
+                       std::int64_t upper, const StreamContext& ctx,
+                       Recorder& rec, bool fast_forward);
+
+/// Replay only the *access stream* of iterations [lower, upper] of `sl`
+/// into `rec` -- no values, no flops -- with the same fast-forward
+/// protocol. The parallel engine uses this to merge compute-only worker
+/// chunks: workers do the arithmetic, the merge replays each chunk's
+/// addresses into the shared hierarchy in chunk order and fast-forwards
+/// within each chunk. `bases` is the per-array simulated base table.
+void replay_stream_accesses(const StreamLoop& sl, std::int64_t lower,
+                            std::int64_t upper, const std::uint64_t* bases,
+                            Recorder& rec, bool fast_forward);
+
+}  // namespace bwc::runtime

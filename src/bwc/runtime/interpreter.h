@@ -51,6 +51,16 @@ struct ExecOptions {
   /// loops run inline on the calling thread (results are identical either
   /// way -- this is purely a fork/join overhead knob).
   std::int64_t min_parallel_trips = 2;
+  /// Compiled engine only: steady-state fast-forward for fused stream
+  /// loops (runtime/fastforward.h). Once the hierarchy's periodic
+  /// fixpoint is certified for a loop, the remaining full periods advance
+  /// analytically instead of being simulated; checksums, counts and
+  /// boundary traffic are bit-identical either way (held differentially
+  /// by tests/fastforward_test.cpp). Automatically inert on hierarchies
+  /// that are not translation-invariant (page-randomized machines) and on
+  /// loops without a uniform access step. The reference interpreter
+  /// ignores this flag.
+  bool fast_forward = true;
 };
 
 struct ExecResult {
@@ -65,6 +75,12 @@ struct ExecResult {
   std::map<std::string, double> scalars;
   /// Base address assigned to each array (by ArrayId).
   std::vector<std::uint64_t> array_bases;
+  /// Steady-state fast-forward observability (compiled engine only):
+  /// certified fast-forward events (one per loop, or per parallel chunk)
+  /// and total loop iterations they skipped past simulation. Zero when
+  /// fast-forward is off, refused, or never certified.
+  std::uint64_t fast_forward_events = 0;
+  std::uint64_t fast_forwarded_iterations = 0;
 };
 
 /// Execute the program. Throws bwc::Error on out-of-bounds subscripts,

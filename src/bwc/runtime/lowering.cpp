@@ -416,10 +416,31 @@ class Lowerer {
       return false;
     }
 
+    sl.uniform_step_bytes = uniform_stream_step(sl);
+
     Op& op = emit(OpCode::kStreamLoop);
     op.slot = static_cast<std::int32_t>(out_.stream_loops.size());
     out_.stream_loops.push_back(sl);
     return true;
+  }
+
+  /// The constant byte shift every array access of `sl` undergoes per
+  /// iteration, or 0 when the accesses do not translate uniformly.
+  /// Reductions are excluded outright: their accumulator makes the body
+  /// value-carried, and fast-forward only reasons about addresses.
+  static std::int64_t uniform_stream_step(const StreamLoop& sl) {
+    if (sl.body == StreamLoop::Body::kReduce || !sl.lhs_is_array) return 0;
+    const std::int64_t step =
+        sl.lhs.lin_coeff * static_cast<std::int64_t>(sl.lhs.elem_bytes);
+    if (step == 0) return 0;
+    const bool uses_b = sl.body != StreamLoop::Body::kCopy;
+    for (const StreamOperand* o : {&sl.a, &sl.b}) {
+      if (o == &sl.b && !uses_b) continue;
+      if (o->kind != StreamOperand::Kind::kArray) continue;
+      if (o->lin_coeff * static_cast<std::int64_t>(o->elem_bytes) != step)
+        return 0;
+    }
+    return step;
   }
 
   const Program& program_;

@@ -107,6 +107,12 @@ struct StreamLoop {
   bool lhs_is_array = false;
   StreamOperand lhs;       // kArray destination, or kScalar for kReduce
   StreamOperand a, b;      // rhs operands (b unused for kCopy/kReduce)
+  /// Per-iteration byte shift shared by *every* array access of the body,
+  /// or 0 when no such uniform shift exists (reductions, mixed strides,
+  /// stride-0 destinations). Nonzero means the loop's whole access tuple
+  /// translates by this constant each iteration -- the precondition for
+  /// steady-state fast-forward (runtime/fastforward.h).
+  std::int64_t uniform_step_bytes = 0;
 };
 
 /// One flat instruction. A plain struct (no unions) keeps the executor

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "bwc/runtime/compiled.h"
+#include "bwc/runtime/fastforward.h"
 #include "bwc/runtime/recorder.h"
 #include "bwc/runtime/thread_pool.h"
 #include "bwc/support/error.h"
@@ -11,12 +12,14 @@ namespace bwc::runtime {
 
 ParallelScheduler::ParallelScheduler(int cores, bool record_runs,
                                      bool coalesce,
-                                     std::int64_t min_parallel_trips)
+                                     std::int64_t min_parallel_trips,
+                                     bool fast_forward)
     : pool_(std::make_unique<ThreadPool>(cores)),
       cores_(cores),
       record_runs_(record_runs),
       coalesce_(coalesce),
-      min_parallel_trips_(min_parallel_trips) {
+      min_parallel_trips_(min_parallel_trips),
+      fast_forward_(fast_forward) {
   BWC_CHECK(cores >= 1, "parallel scheduler needs at least one core");
 }
 
@@ -28,7 +31,7 @@ void ParallelScheduler::run(const StreamLoop& sl, const StreamContext& ctx,
   if (trips <= 0) return;
   if (cores_ == 1 || trips < min_parallel_trips_ ||
       !stream_loop_parallelizable(sl)) {
-    run_stream_range(sl, sl.lower, sl.upper, ctx, rec);
+    run_stream_serial(sl, sl.lower, sl.upper, ctx, rec, fast_forward_);
     return;
   }
 
@@ -55,9 +58,33 @@ void ParallelScheduler::run(const StreamLoop& sl, const StreamContext& ctx,
   for (std::int64_t c = 0; c < chunks; ++c)
     traces.emplace_back(record_runs_, coalesce_);
 
-  pool_->parallel_for(static_cast<std::size_t>(chunks), [&](std::size_t c) {
-    run_stream_range(sl, chunk_lower[c], chunk_upper[c], ctx, traces[c]);
-  });
+  // Fast-forwardable loops skip run capture entirely: workers do only the
+  // arithmetic (the loop is parallelizable, so writes are disjoint), each
+  // trace carrying a segment descriptor plus the chunk's flop charge, and
+  // the merge below regenerates the access stream per chunk with the
+  // steady-state detector applied. Gated on record_runs_ so hierarchy-less
+  // executions keep their counter-only traces, and on fast_forward_ so
+  // --no-fast-forward runs are byte-identical to the trace-and-replay
+  // engine.
+  const bool segments =
+      fast_forward_ && record_runs_ && stream_fast_forwardable(sl, rec);
+  if (segments) {
+    const std::uint64_t fpi = stream_flops_per_iter(sl);
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      traces[ci].set_stream_segment(&sl, chunk_lower[ci], chunk_upper[ci],
+                                    ctx.bases);
+      traces[ci].flops(fpi * static_cast<std::uint64_t>(
+                                 chunk_upper[ci] - chunk_lower[ci] + 1));
+    }
+    pool_->parallel_for(static_cast<std::size_t>(chunks), [&](std::size_t c) {
+      run_stream_values(sl, chunk_lower[c], chunk_upper[c], ctx);
+    });
+  } else {
+    pool_->parallel_for(static_cast<std::size_t>(chunks), [&](std::size_t c) {
+      run_stream_range(sl, chunk_lower[c], chunk_upper[c], ctx, traces[c]);
+    });
+  }
 
   // Join happened above; merge in chunk-index order, never completion
   // order, so the hierarchy sees the serial access stream.
@@ -70,7 +97,8 @@ ExecResult execute_parallel(const LoweredProgram& lowered,
   BWC_CHECK(opts.cores >= 1, "core count must be at least 1");
   ParallelScheduler scheduler(opts.cores,
                               /*record_runs=*/opts.hierarchy != nullptr,
-                              opts.coalesce_accesses, opts.min_parallel_trips);
+                              opts.coalesce_accesses, opts.min_parallel_trips,
+                              opts.fast_forward);
   return execute_lowered_with_scheduler(lowered, opts, &scheduler);
 }
 

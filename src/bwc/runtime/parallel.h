@@ -34,9 +34,13 @@ class ParallelScheduler : public StreamScheduler {
  public:
   /// `cores` worker threads; `min_parallel_trips` gates chunking (see
   /// ExecOptions). The options' hierarchy/coalesce settings determine
-  /// whether worker traces buffer access runs at all.
+  /// whether worker traces buffer access runs at all. With `fast_forward`
+  /// set, chunks of fast-forwardable loops run compute-only on the
+  /// workers and the merge regenerates each chunk's access stream with
+  /// the steady-state detector applied per chunk (runtime/fastforward.h);
+  /// all other loops keep the trace-and-replay path.
   ParallelScheduler(int cores, bool record_runs, bool coalesce,
-                    std::int64_t min_parallel_trips);
+                    std::int64_t min_parallel_trips, bool fast_forward);
   ~ParallelScheduler() override;
 
   void run(const StreamLoop& sl, const StreamContext& ctx,
@@ -51,6 +55,7 @@ class ParallelScheduler : public StreamScheduler {
   bool record_runs_;
   bool coalesce_;
   std::int64_t min_parallel_trips_;
+  bool fast_forward_;
   std::uint64_t parallel_loops_ = 0;
 };
 

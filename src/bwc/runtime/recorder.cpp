@@ -1,5 +1,6 @@
 #include "bwc/runtime/recorder.h"
 
+#include "bwc/runtime/fastforward.h"
 #include "bwc/support/error.h"
 
 namespace bwc::runtime {
@@ -18,11 +19,21 @@ void Recorder::merge(const TraceRecorder& trace) {
   stores_ += trace.store_count();
   reg_bytes_ += trace.register_bytes();
   if (hierarchy_ == nullptr) return;
+  if (trace.has_segment()) {
+    // Compute-only chunk: the worker did the arithmetic; regenerate its
+    // access stream here (in chunk order) with fast-forward enabled. The
+    // replay issues through this recorder, so the chunk's load/store/
+    // register totals accrue exactly as if the runs had been captured.
+    replay_stream_accesses(*trace.segment_loop(), trace.segment_lower(),
+                           trace.segment_upper(), trace.segment_bases(),
+                           *this, /*fast_forward=*/true);
+    return;
+  }
   for (const AccessRun& run : trace.runs()) {
     if (run.is_store) {
-      hierarchy_->store_run(run.addr, run.bytes, run.count);
+      hierarchy_->store_run(run.addr, run.bytes, run.count, run.descending);
     } else {
-      hierarchy_->load_run(run.addr, run.bytes, run.count);
+      hierarchy_->load_run(run.addr, run.bytes, run.count, run.descending);
     }
   }
 }

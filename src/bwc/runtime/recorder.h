@@ -19,23 +19,37 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bwc/machine/timing.h"
+#include "bwc/memsim/fastforward.h"
 #include "bwc/memsim/hierarchy.h"
 
 namespace bwc::runtime {
 
 class TraceRecorder;
+struct StreamLoop;
 
 class Recorder {
  public:
   /// `hierarchy` may be null: flops and access counts are still tracked,
   /// but no cache simulation or boundary traffic is recorded.
   /// `coalesce` enables the batched stride-1 fast path described above.
+  /// `warmup_fast_forward` attaches an online steady-state detector
+  /// (memsim::AccessFastForward) that absorbs periodic spans of the raw
+  /// access stream and folds them into the hierarchy analytically --
+  /// counters and final cache state stay exact, so warm-up passes use it
+  /// to reach steady state without simulating every element. Ignored
+  /// (full simulation) when the hierarchy is null or not
+  /// translation-invariant (page-randomized machines).
   explicit Recorder(memsim::MemoryHierarchy* hierarchy = nullptr,
-                    bool coalesce = false)
-      : hierarchy_(hierarchy), coalesce_(coalesce && hierarchy != nullptr) {}
+                    bool coalesce = false, bool warmup_fast_forward = false)
+      : hierarchy_(hierarchy), coalesce_(coalesce && hierarchy != nullptr) {
+    if (warmup_fast_forward && hierarchy != nullptr &&
+        hierarchy->translation_invariant())
+      online_ff_ = std::make_unique<memsim::AccessFastForward>(hierarchy);
+  }
 
   Recorder(const Recorder&) = delete;
   Recorder& operator=(const Recorder&) = delete;
@@ -46,7 +60,11 @@ class Recorder {
     ++loads_;
     reg_bytes_ += size;
     if (hierarchy_ == nullptr) return;
-    if (coalesce_) {
+    if (online_ff_ != nullptr) {
+      // The online detector needs the elementwise stream (it infers the
+      // period from it), so it bypasses coalescing.
+      online_ff_->access(/*is_store=*/false, addr, size);
+    } else if (coalesce_) {
       extend_run(addr, size, /*is_store=*/false);
     } else {
       hierarchy_->load(addr, size);
@@ -56,7 +74,9 @@ class Recorder {
     ++stores_;
     reg_bytes_ += size;
     if (hierarchy_ == nullptr) return;
-    if (coalesce_) {
+    if (online_ff_ != nullptr) {
+      online_ff_->access(/*is_store=*/true, addr, size);
+    } else if (coalesce_) {
       extend_run(addr, size, /*is_store=*/true);
     } else {
       hierarchy_->store(addr, size);
@@ -67,16 +87,42 @@ class Recorder {
 
   void flops(std::uint64_t n) { flops_ += n; }
 
-  /// Issue any pending coalesced run to the hierarchy. Must be called (or
+  /// Issue any pending coalesced run to the hierarchy and settle the
+  /// online fast-forward detector (if attached). Must be called (or
   /// implied by profile()/destruction) before reading hierarchy counters.
   void flush() const {
+    if (online_ff_ != nullptr) online_ff_->settle();
     if (run_bytes_ == 0) return;
     if (run_is_store_) {
-      hierarchy_->store_run(run_addr_, run_bytes_, run_count_);
+      hierarchy_->store_run(run_addr_, run_bytes_, run_count_,
+                            run_descending_);
     } else {
-      hierarchy_->load_run(run_addr_, run_bytes_, run_count_);
+      hierarchy_->load_run(run_addr_, run_bytes_, run_count_,
+                           run_descending_);
     }
     run_bytes_ = 0;
+  }
+
+  /// Bulk-account `iterations` fast-forwarded loop iterations whose
+  /// accesses were applied to the hierarchy analytically (never issued
+  /// through load()/store()). Keeps this recorder's load/store/register
+  /// totals exact; see runtime/fastforward.h for the caller.
+  void count_fast_forward(std::uint64_t loads, std::uint64_t stores,
+                          std::uint64_t reg_bytes, std::uint64_t iterations) {
+    loads_ += loads;
+    stores_ += stores;
+    reg_bytes_ += reg_bytes;
+    ++ff_events_;
+    ff_iterations_ += iterations;
+  }
+
+  /// Fast-forward events applied through count_fast_forward() (one per
+  /// certified loop or parallel chunk) and iterations they skipped.
+  std::uint64_t fast_forward_events() const { return ff_events_; }
+  std::uint64_t fast_forwarded_iterations() const { return ff_iterations_; }
+  /// Accesses absorbed by the online warm-up detector (0 when detached).
+  std::uint64_t online_skipped_accesses() const {
+    return online_ff_ != nullptr ? online_ff_->skipped_accesses() : 0;
   }
 
   std::uint64_t flop_count() const { return flops_; }
@@ -102,41 +148,60 @@ class Recorder {
 
  private:
   void extend_run(std::uint64_t addr, std::uint64_t size, bool is_store) {
-    if (run_bytes_ != 0 && is_store == run_is_store_ &&
-        addr == run_addr_ + run_bytes_) {
-      run_bytes_ += size;
-      ++run_count_;
-      return;
+    if (run_bytes_ != 0 && is_store == run_is_store_) {
+      // A one-access run has no direction yet and may grow either way;
+      // afterwards the run only extends in its established direction.
+      if ((run_count_ == 1 || !run_descending_) &&
+          addr == run_addr_ + run_bytes_) {
+        run_bytes_ += size;
+        ++run_count_;
+        run_descending_ = false;
+        return;
+      }
+      if ((run_count_ == 1 || run_descending_) && addr + size == run_addr_) {
+        run_addr_ = addr;
+        run_bytes_ += size;
+        ++run_count_;
+        run_descending_ = true;
+        return;
+      }
     }
     flush();
     run_addr_ = addr;
     run_bytes_ = size;
     run_count_ = 1;
     run_is_store_ = is_store;
+    run_descending_ = false;
   }
 
   memsim::MemoryHierarchy* hierarchy_;
   bool coalesce_;
+  std::unique_ptr<memsim::AccessFastForward> online_ff_;
   std::uint64_t flops_ = 0;
   std::uint64_t loads_ = 0;
   std::uint64_t stores_ = 0;
   std::uint64_t reg_bytes_ = 0;
+  std::uint64_t ff_events_ = 0;
+  std::uint64_t ff_iterations_ = 0;
   // Pending contiguous run, not yet issued to the hierarchy. Mutable so
   // that profile() (const) can flush before snapshotting.
   mutable std::uint64_t run_addr_ = 0;
   mutable std::uint64_t run_bytes_ = 0;
   mutable std::uint64_t run_count_ = 0;
   mutable bool run_is_store_ = false;
+  mutable bool run_descending_ = false;
 };
 
 /// One coalesced access run captured by a TraceRecorder: `count`
 /// same-kind accesses, contiguous in stream order, covering
-/// [addr, addr + bytes).
+/// [addr, addr + bytes) in ascending address order (or descending when
+/// flagged -- a stride -1 stream).
 struct AccessRun {
   std::uint64_t addr = 0;
   std::uint64_t bytes = 0;
   std::uint64_t count = 0;
   bool is_store = false;
+  bool descending = false;
 };
 
 /// A Recorder that captures the access stream into a buffer instead of a
@@ -174,17 +239,48 @@ class TraceRecorder {
   std::uint64_t register_bytes() const { return reg_bytes_; }
   const std::vector<AccessRun>& runs() const { return runs_; }
 
+  /// Describe this trace as a compute-only stream-loop chunk instead of a
+  /// run buffer: the workers did the arithmetic (and counted the flops
+  /// here), and Recorder::merge() regenerates the chunk's access stream
+  /// from the loop metadata -- fast-forwarding within the chunk -- rather
+  /// than replaying captured runs. `sl` and `bases` must outlive the
+  /// merge (both belong to the executing VM).
+  void set_stream_segment(const StreamLoop* sl, std::int64_t lower,
+                          std::int64_t upper, const std::uint64_t* bases) {
+    segment_loop_ = sl;
+    segment_lower_ = lower;
+    segment_upper_ = upper;
+    segment_bases_ = bases;
+  }
+  bool has_segment() const { return segment_loop_ != nullptr; }
+  const StreamLoop* segment_loop() const { return segment_loop_; }
+  std::int64_t segment_lower() const { return segment_lower_; }
+  std::int64_t segment_upper() const { return segment_upper_; }
+  const std::uint64_t* segment_bases() const { return segment_bases_; }
+
  private:
   void append(std::uint64_t addr, std::uint64_t size, bool is_store) {
     if (coalesce_ && !runs_.empty()) {
       AccessRun& last = runs_.back();
-      if (last.is_store == is_store && addr == last.addr + last.bytes) {
-        last.bytes += size;
-        ++last.count;
-        return;
+      if (last.is_store == is_store) {
+        if ((last.count == 1 || !last.descending) &&
+            addr == last.addr + last.bytes) {
+          last.bytes += size;
+          ++last.count;
+          last.descending = false;
+          return;
+        }
+        if ((last.count == 1 || last.descending) &&
+            addr + size == last.addr) {
+          last.addr = addr;
+          last.bytes += size;
+          ++last.count;
+          last.descending = true;
+          return;
+        }
       }
     }
-    runs_.push_back({addr, size, 1, is_store});
+    runs_.push_back({addr, size, 1, is_store, false});
   }
 
   bool record_runs_;
@@ -194,6 +290,10 @@ class TraceRecorder {
   std::uint64_t stores_ = 0;
   std::uint64_t reg_bytes_ = 0;
   std::vector<AccessRun> runs_;
+  const StreamLoop* segment_loop_ = nullptr;
+  std::int64_t segment_lower_ = 0;
+  std::int64_t segment_upper_ = 0;
+  const std::uint64_t* segment_bases_ = nullptr;
 };
 
 }  // namespace bwc::runtime

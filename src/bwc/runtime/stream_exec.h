@@ -158,18 +158,27 @@ void run_stream_range(const StreamLoop& sl, std::int64_t lower,
         case StreamLoop::Body::kCopy:
           r = detail::stream_read(sl.a, a, i, rec);
           break;
-        case StreamLoop::Body::kBinary:
-          r = apply_stream_bin(sl.bin_op, detail::stream_read(sl.a, a, i, rec),
-                               detail::stream_read(sl.b, b, i, rec));
+        case StreamLoop::Body::kBinary: {
+          // Sequence the reads explicitly: the access stream is a then b
+          // (as the generic op sequence pushes them), never left to the
+          // unspecified argument evaluation order.
+          const double x = detail::stream_read(sl.a, a, i, rec);
+          const double y = detail::stream_read(sl.b, b, i, rec);
+          r = apply_stream_bin(sl.bin_op, x, y);
           break;
-        case StreamLoop::Body::kCallF:
-          r = intrinsic_f(detail::stream_read(sl.a, a, i, rec),
-                          detail::stream_read(sl.b, b, i, rec));
+        }
+        case StreamLoop::Body::kCallF: {
+          const double x = detail::stream_read(sl.a, a, i, rec);
+          const double y = detail::stream_read(sl.b, b, i, rec);
+          r = intrinsic_f(x, y);
           break;
-        default:  // kCallG; kReduce handled above
-          r = intrinsic_g(detail::stream_read(sl.a, a, i, rec),
-                          detail::stream_read(sl.b, b, i, rec));
+        }
+        default: {  // kCallG; kReduce handled above
+          const double x = detail::stream_read(sl.a, a, i, rec);
+          const double y = detail::stream_read(sl.b, b, i, rec);
+          r = intrinsic_g(x, y);
           break;
+        }
       }
       rec.store(lhs.addr, lhs.bytes);
       *lhs.p = r;

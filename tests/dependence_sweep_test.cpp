@@ -140,21 +140,35 @@ using PipelineParam = std::tuple<int /*solver*/, int /*option bitmask*/>;
 class PipelineSweep : public ::testing::TestWithParam<PipelineParam> {};
 
 /// Replay `p` with the parallel compiled engine at `cores` on a
-/// scaled-down hierarchy; assert the verifier's static lower bound does
-/// not exceed the measured memory traffic, and return the checksum.
+/// scaled-down hierarchy -- once with steady-state fast-forward, once
+/// without. Both legs must agree byte-for-byte (fast-forward is an exact
+/// macrosimulation, not an approximation) and both must respect the
+/// verifier's static traffic lower bound. Returns the checksum.
 double run_parallel_with_bound_check(const Program& p, int cores,
                                      const std::string& label) {
-  memsim::MemoryHierarchy h =
-      machine::origin2000_r10k().scaled(16).make_hierarchy();
-  runtime::ExecOptions exec_opts;
-  exec_opts.hierarchy = &h;
-  exec_opts.cores = cores;
-  const runtime::ExecResult run = runtime::execute_compiled(p, exec_opts);
   const verify::TrafficBound bound = verify::compute_traffic_bound(p);
-  EXPECT_LE(static_cast<std::uint64_t>(bound.lower_bound_bytes),
-            run.profile.memory_bytes())
-      << label << " cores=" << cores << "\n" << bound.render();
-  return run.checksum;
+  runtime::ExecResult runs[2];
+  for (const bool fast_forward : {false, true}) {
+    memsim::MemoryHierarchy h =
+        machine::origin2000_r10k().scaled(16).make_hierarchy();
+    runtime::ExecOptions exec_opts;
+    exec_opts.hierarchy = &h;
+    exec_opts.cores = cores;
+    exec_opts.fast_forward = fast_forward;
+    runtime::ExecResult run = runtime::execute_compiled(p, exec_opts);
+    EXPECT_LE(static_cast<std::uint64_t>(bound.lower_bound_bytes),
+              run.profile.memory_bytes())
+        << label << " cores=" << cores << " ff=" << fast_forward << "\n"
+        << bound.render();
+    runs[fast_forward ? 1 : 0] = std::move(run);
+  }
+  EXPECT_EQ(runs[0].checksum, runs[1].checksum) << label;
+  EXPECT_EQ(runs[0].flops, runs[1].flops) << label;
+  EXPECT_EQ(runs[0].loads, runs[1].loads) << label;
+  EXPECT_EQ(runs[0].stores, runs[1].stores) << label;
+  EXPECT_EQ(runs[0].profile.memory_bytes(), runs[1].profile.memory_bytes())
+      << label;
+  return runs[1].checksum;
 }
 
 TEST_P(PipelineSweep, RandomProgramsVerifiedAndChecksumPreserved) {

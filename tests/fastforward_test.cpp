@@ -1,0 +1,442 @@
+// Steady-state fast-forward: exactness and observability.
+//
+// Fast-forward (offline: runtime/fastforward.h, online:
+// memsim/fastforward.h) is an exact macrosimulation, not an
+// approximation: every test here holds its observables bit-identical to
+// full simulation -- checksums, flop/load/store counts, per-boundary
+// traffic bytes, and (for the memsim layer) the hierarchy's complete
+// counter and resident state. The sweeps also assert the accelerations
+// *engage* where they should and *refuse* where they must
+// (page-randomized hierarchies, aperiodic streams, reductions).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bwc/core/optimizer.h"
+#include "bwc/ir/dsl.h"
+#include "bwc/machine/machine_model.h"
+#include "bwc/memsim/fastforward.h"
+#include "bwc/memsim/hierarchy.h"
+#include "bwc/model/measure.h"
+#include "bwc/runtime/compiled.h"
+#include "bwc/runtime/fastforward.h"
+#include "bwc/runtime/interpreter.h"
+#include "bwc/runtime/lowering.h"
+#include "bwc/runtime/recorder.h"
+#include "bwc/support/prng.h"
+#include "bwc/workloads/extra_programs.h"
+#include "bwc/workloads/paper_programs.h"
+#include "bwc/workloads/random_programs.h"
+
+namespace bwc {
+namespace {
+
+using ir::Program;
+using runtime::ExecOptions;
+using runtime::ExecResult;
+
+void expect_profile_eq(const machine::ExecutionProfile& a,
+                       const machine::ExecutionProfile& b,
+                       const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.flops, b.flops);
+  ASSERT_EQ(a.boundaries.size(), b.boundaries.size());
+  for (std::size_t i = 0; i < a.boundaries.size(); ++i) {
+    SCOPED_TRACE("boundary " + a.boundaries[i].name);
+    EXPECT_EQ(a.boundaries[i].bytes_toward_cpu,
+              b.boundaries[i].bytes_toward_cpu);
+    EXPECT_EQ(a.boundaries[i].bytes_from_cpu, b.boundaries[i].bytes_from_cpu);
+  }
+}
+
+void expect_result_eq(const ExecResult& a, const ExecResult& b,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.flops, b.flops);
+  EXPECT_EQ(a.loads, b.loads);
+  EXPECT_EQ(a.stores, b.stores);
+  EXPECT_EQ(a.scalars, b.scalars);
+  expect_profile_eq(a.profile, b.profile, label);
+}
+
+// -- Memsim layer: state snapshots and translation ------------------------
+
+/// Feed `count` interleaved two-load-one-store stride-8 triples starting
+/// at `base`, the shape of a fused a[i] = a[i] + b[i] loop.
+void feed_stream(memsim::MemoryHierarchy& h, std::uint64_t base,
+                 std::uint64_t count) {
+  const std::uint64_t b2 = base + (8u << 20);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    h.load(base + 8 * i, 8);
+    h.load(b2 + 8 * i, 8);
+    h.store(base + 8 * i, 8);
+  }
+}
+
+TEST(MemsimState, TranslationInvariancePerMachine) {
+  // Pure modulo indexing translates; page randomization must refuse.
+  EXPECT_TRUE(bench::o2k().make_hierarchy().translation_invariant());
+  EXPECT_FALSE(bench::exemplar().make_hierarchy().translation_invariant());
+}
+
+TEST(MemsimState, ShiftedStreamYieldsTranslatedState) {
+  memsim::MemoryHierarchy h1 = bench::o2k().make_hierarchy();
+  memsim::MemoryHierarchy h2 = bench::o2k().make_hierarchy();
+  const std::int64_t shift =
+      4 * static_cast<std::int64_t>(h1.max_line_bytes());
+  const std::uint64_t base = 1u << 20;
+  feed_stream(h1, base, 2000);
+  feed_stream(h2, base + static_cast<std::uint64_t>(shift), 2000);
+
+  memsim::MemoryHierarchy::ResidentState s1;
+  h1.snapshot_state(&s1);
+  // h2's state is exactly h1's translated by the shift...
+  EXPECT_TRUE(h2.state_equals_shifted(s1, shift));
+  // ...and by no other line-granular shift.
+  EXPECT_FALSE(h2.state_equals_shifted(s1, 0));
+  EXPECT_FALSE(h2.state_equals_shifted(
+      s1, shift + static_cast<std::int64_t>(h1.max_line_bytes())));
+
+  // Counters are identical: a pure address translation moves the same
+  // bytes across every boundary.
+  memsim::MemoryHierarchy::Counters c1, c2;
+  h1.snapshot_counters(&c1);
+  h2.snapshot_counters(&c2);
+  EXPECT_TRUE(c1 == c2);
+}
+
+TEST(MemsimState, ShiftStateMatchesShiftedReplay) {
+  memsim::MemoryHierarchy h1 = bench::o2k().make_hierarchy();
+  memsim::MemoryHierarchy h2 = bench::o2k().make_hierarchy();
+  const std::int64_t shift =
+      -3 * static_cast<std::int64_t>(h1.max_line_bytes());
+  const std::uint64_t base = 4u << 20;
+  feed_stream(h1, base, 1500);
+  feed_stream(h2, base + static_cast<std::uint64_t>(shift), 1500);
+
+  // Analytically translating h1 must land exactly on h2's state.
+  h1.shift_state(shift);
+  memsim::MemoryHierarchy::ResidentState s2;
+  h2.snapshot_state(&s2);
+  EXPECT_TRUE(h1.state_equals_shifted(s2, 0));
+}
+
+// -- Online detector (warm-up path) ---------------------------------------
+
+TEST(OnlineFastForward, ExactOnPeriodicStream) {
+  memsim::MemoryHierarchy h_ref = bench::o2k().make_hierarchy();
+  memsim::MemoryHierarchy h_ff = bench::o2k().make_hierarchy();
+  memsim::AccessFastForward ff(&h_ff);
+
+  const std::uint64_t base = 1u << 20;
+  const std::uint64_t b2 = base + (8u << 20);
+  const std::uint64_t n = 100000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    h_ref.load(base + 8 * i, 8);
+    h_ref.load(b2 + 8 * i, 8);
+    h_ref.store(base + 8 * i, 8);
+    ff.access(false, base + 8 * i, 8);
+    ff.access(false, b2 + 8 * i, 8);
+    ff.access(true, base + 8 * i, 8);
+  }
+  ff.settle();
+
+  // The detector must have absorbed the bulk of the post-fill stream...
+  EXPECT_GT(ff.skipped_accesses(), 3 * n / 2);
+  // ...while reproducing full simulation exactly: counters and state.
+  memsim::MemoryHierarchy::Counters cr, cf;
+  h_ref.snapshot_counters(&cr);
+  h_ff.snapshot_counters(&cf);
+  EXPECT_TRUE(cr == cf);
+  memsim::MemoryHierarchy::ResidentState sr;
+  h_ref.snapshot_state(&sr);
+  EXPECT_TRUE(h_ff.state_equals_shifted(sr, 0));
+}
+
+TEST(OnlineFastForward, ForwardsAperiodicStreamUnchanged) {
+  memsim::MemoryHierarchy h_ref = bench::o2k().make_hierarchy();
+  memsim::MemoryHierarchy h_ff = bench::o2k().make_hierarchy();
+  memsim::AccessFastForward ff(&h_ff);
+
+  Prng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t addr =
+        (1u << 20) + 8 * static_cast<std::uint64_t>(rng.uniform_in(0, 1 << 16));
+    const bool is_store = rng.uniform_in(0, 3) == 0;
+    if (is_store) {
+      h_ref.store(addr, 8);
+    } else {
+      h_ref.load(addr, 8);
+    }
+    ff.access(is_store, addr, 8);
+  }
+  ff.settle();
+
+  EXPECT_EQ(ff.skipped_accesses(), 0u);
+  memsim::MemoryHierarchy::Counters cr, cf;
+  h_ref.snapshot_counters(&cr);
+  h_ff.snapshot_counters(&cf);
+  EXPECT_TRUE(cr == cf);
+}
+
+// -- Lowering metadata ----------------------------------------------------
+
+TEST(LoweringMetadata, UniformStepBytes) {
+  using namespace ir::dsl;  // NOLINT
+  const std::int64_t n = 4096;
+
+  {  // Stride-1 update: every access advances 8 bytes per iteration.
+    const runtime::LoweredProgram lp =
+        runtime::lower(workloads::sec21_write_loop(n));
+    ASSERT_EQ(lp.stream_loops.size(), 1u);
+    EXPECT_EQ(lp.stream_loops[0].uniform_step_bytes, 8);
+  }
+  {  // Reductions are excluded outright.
+    const runtime::LoweredProgram lp =
+        runtime::lower(workloads::sec21_read_loop(n));
+    ASSERT_EQ(lp.stream_loops.size(), 1u);
+    EXPECT_EQ(lp.stream_loops[0].uniform_step_bytes, 0);
+  }
+  {  // Reversed traversal: uniform step of -8 bytes.
+    Program p("reversed");
+    const ir::ArrayId a = p.add_array("A", {n});
+    p.mark_output_array(a);
+    p.append(loop("i", 1, n,
+                  assign(a, {ir::Affine::var("i", -1, n + 1)},
+                         at(a, ir::Affine::var("i", -1, n + 1)) + lit(0.5))));
+    const runtime::LoweredProgram lp = runtime::lower(p);
+    ASSERT_EQ(lp.stream_loops.size(), 1u);
+    EXPECT_EQ(lp.stream_loops[0].uniform_step_bytes, -8);
+  }
+  {  // Mixed strides (a[i] vs b[2i]) have no uniform shift.
+    Program p("mixed stride");
+    const ir::ArrayId a = p.add_array("A", {n});
+    const ir::ArrayId b = p.add_array("B", {2 * n + 1});
+    p.mark_output_array(a);
+    p.append(loop("i", 1, n,
+                  assign(a, {v("i")},
+                         at(a, v("i")) + at(b, ir::Affine::var("i", 2)))));
+    const runtime::LoweredProgram lp = runtime::lower(p);
+    ASSERT_EQ(lp.stream_loops.size(), 1u);
+    EXPECT_EQ(lp.stream_loops[0].uniform_step_bytes, 0);
+  }
+}
+
+// -- Compiled engine: differential exactness ------------------------------
+
+/// Run `p` with fast-forward off and on (serial and at 4 cores) and hold
+/// every observable identical; returns the ff-on serial result for
+/// engagement checks.
+ExecResult expect_fast_forward_exact(const Program& p,
+                                     const machine::MachineModel& machine) {
+  memsim::MemoryHierarchy h_off = machine.make_hierarchy();
+  ExecOptions off;
+  off.hierarchy = &h_off;
+  off.fast_forward = false;
+  const ExecResult r_off = runtime::execute_compiled(p, off);
+
+  memsim::MemoryHierarchy h_on = machine.make_hierarchy();
+  ExecOptions on;
+  on.hierarchy = &h_on;
+  on.fast_forward = true;
+  const ExecResult r_on = runtime::execute_compiled(p, on);
+  expect_result_eq(r_off, r_on, p.name() + " [serial ff]");
+
+  for (const int cores : {4}) {
+    memsim::MemoryHierarchy h_par = machine.make_hierarchy();
+    ExecOptions par;
+    par.hierarchy = &h_par;
+    par.fast_forward = true;
+    par.cores = cores;
+    const ExecResult r_par = runtime::execute_compiled(p, par);
+    expect_result_eq(r_off, r_par,
+                     p.name() + " [ff cores=" + std::to_string(cores) + "]");
+  }
+  return r_on;
+}
+
+TEST(FastForwardExact, PaperAndExtraWorkloads) {
+  const machine::MachineModel m = bench::o2k();
+  expect_fast_forward_exact(workloads::sec21_write_loop(65536), m);
+  expect_fast_forward_exact(workloads::sec21_both_loops(65536), m);
+  expect_fast_forward_exact(workloads::fig7_original(16384), m);
+  expect_fast_forward_exact(workloads::jacobi_chain(8192, 4), m);
+  expect_fast_forward_exact(workloads::blur_sharpen(8192), m);
+  expect_fast_forward_exact(workloads::reduction_cascade(4096, 4), m);
+}
+
+TEST(FastForwardExact, OptimizedWorkloads) {
+  const machine::MachineModel m = bench::o2k();
+  expect_fast_forward_exact(
+      core::optimize(workloads::fig7_original(16384)).program, m);
+  expect_fast_forward_exact(
+      core::optimize(workloads::sec21_both_loops(65536)).program, m);
+}
+
+TEST(FastForwardExact, RandomWorkloads) {
+  const machine::MachineModel m = bench::o2k();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Prng rng(seed);
+    expect_fast_forward_exact(workloads::random_program(rng), m);
+  }
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Prng rng(seed);
+    expect_fast_forward_exact(workloads::random_program_2d(rng, 12, 3), m);
+  }
+}
+
+TEST(FastForwardExact, AllMachinePresets) {
+  for (const auto& m : machine::all_presets()) {
+    SCOPED_TRACE(m.name);
+    expect_fast_forward_exact(workloads::sec21_both_loops(32768),
+                              m.scaled(16));
+    expect_fast_forward_exact(workloads::fig7_original(8192), m.scaled(16));
+  }
+}
+
+TEST(FastForwardExact, EngagesOnStride1Loops) {
+  const ExecResult r =
+      expect_fast_forward_exact(workloads::sec21_write_loop(100000),
+                                bench::o2k());
+  EXPECT_GT(r.fast_forward_events, 0u);
+  // Certification can only happen after the cold fill (the stream must
+  // sweep every level's capacity first), but the bulk of the trip space
+  // past that point must be skipped, not simulated.
+  EXPECT_GT(r.fast_forwarded_iterations, 50000u);
+}
+
+TEST(FastForwardExact, PageRandomizedMachineRefuses) {
+  // Exemplar hashes page numbers into frame positions; resident state does
+  // not commute with address shifts there, so the engine must refuse to
+  // fast-forward -- and still match full simulation exactly (trivially,
+  // since it *is* full simulation).
+  const ExecResult r = expect_fast_forward_exact(
+      workloads::sec21_write_loop(100000), bench::exemplar());
+  EXPECT_EQ(r.fast_forward_events, 0u);
+  EXPECT_EQ(r.fast_forwarded_iterations, 0u);
+}
+
+TEST(FastForwardExact, ReductionLoopsFallBack) {
+  const ExecResult r = expect_fast_forward_exact(
+      workloads::sec21_read_loop(100000), bench::o2k());
+  EXPECT_EQ(r.fast_forwarded_iterations, 0u);
+}
+
+TEST(FastForwardExact, MeasureOptionsToggle) {
+  const Program p = workloads::fig7_original(16384);
+  const machine::MachineModel m = bench::o2k().with_cores(4);
+  model::MeasureOptions on, off;
+  off.fast_forward = false;
+  const model::Measurement a = model::measure(p, m, on);
+  const model::Measurement b = model::measure(p, m, off);
+  EXPECT_EQ(a.exec.checksum, b.exec.checksum);
+  expect_profile_eq(a.profile, b.profile, "measure ff toggle");
+  EXPECT_EQ(a.time.total_s, b.time.total_s);
+}
+
+// -- Descending (stride -1) run coalescing --------------------------------
+
+TEST(DescendingRuns, ReversedTraversalExact) {
+  using namespace ir::dsl;  // NOLINT
+  const std::int64_t n = 32768;
+  Program p("reversed sweep");
+  const ir::ArrayId a = p.add_array("A", {n});
+  const ir::ArrayId b = p.add_array("B", {n});
+  p.mark_output_array(a);
+  // Reversed update then a reversed copy: both stream loops walk their
+  // arrays high-to-low.
+  p.append(loop("i", 1, n,
+                assign(a, {ir::Affine::var("i", -1, n + 1)},
+                       at(a, ir::Affine::var("i", -1, n + 1)) + lit(0.25))));
+  p.append(loop("i", 1, n,
+                assign(b, {ir::Affine::var("i", -1, n + 1)},
+                       at(a, ir::Affine::var("i", -1, n + 1)))));
+
+  memsim::MemoryHierarchy href = bench::o2k().make_hierarchy();
+  ExecOptions ref_opts;
+  ref_opts.hierarchy = &href;
+  const ExecResult ref = runtime::execute(p, ref_opts);
+
+  for (const bool coalesce : {true, false}) {
+    for (const bool fast_forward : {true, false}) {
+      memsim::MemoryHierarchy h = bench::o2k().make_hierarchy();
+      ExecOptions opts;
+      opts.hierarchy = &h;
+      opts.coalesce_accesses = coalesce;
+      opts.fast_forward = fast_forward;
+      const ExecResult got = runtime::execute_compiled(p, opts);
+      expect_result_eq(ref, got,
+                       "reversed [coalesce=" + std::to_string(coalesce) +
+                           ", ff=" + std::to_string(fast_forward) + "]");
+    }
+  }
+  expect_fast_forward_exact(p, bench::o2k());
+}
+
+TEST(DescendingRuns, RecorderCoalescesDescendingStream) {
+  // Elementwise descending stream vs coalesced: observables identical,
+  // but the coalesced hierarchy touches each line once instead of once
+  // per element.
+  memsim::MemoryHierarchy h_el = bench::o2k().make_hierarchy();
+  memsim::MemoryHierarchy h_co = bench::o2k().make_hierarchy();
+  const std::uint64_t base = 1u << 20;
+  const std::uint64_t n = 4096;
+  {
+    runtime::Recorder el(&h_el, /*coalesce=*/false);
+    runtime::Recorder co(&h_co, /*coalesce=*/true);
+    for (std::uint64_t i = n; i-- > 0;) {
+      el.load(base + 8 * i, 8);
+      co.load(base + 8 * i, 8);
+    }
+  }
+  for (std::size_t bnd = 0; bnd < h_el.boundaries().size(); ++bnd) {
+    EXPECT_EQ(h_el.boundaries()[bnd].bytes_toward_cpu,
+              h_co.boundaries()[bnd].bytes_toward_cpu);
+    EXPECT_EQ(h_el.boundaries()[bnd].bytes_from_cpu,
+              h_co.boundaries()[bnd].bytes_from_cpu);
+  }
+  EXPECT_EQ(h_el.load_count(), h_co.load_count());
+  EXPECT_LT(h_co.level(0).stats().accesses(), h_el.level(0).stats().accesses());
+}
+
+// -- Warm-up fast-forward in steady_state_profile -------------------------
+
+TEST(WarmupFastForward, SteadyStateProfileUnchanged) {
+  const auto workload = [](runtime::Recorder& rec) {
+    const std::uint64_t a = 1u << 20;
+    const std::uint64_t b = a + (8u << 20);
+    for (std::uint64_t i = 0; i < 150000; ++i) {
+      rec.load_double(a + 8 * i);
+      rec.load_double(b + 8 * i);
+      rec.store_double(a + 8 * i);
+      rec.flops(1);
+    }
+  };
+  for (const auto& machine : {bench::o2k(), bench::exemplar()}) {
+    SCOPED_TRACE(machine.name);
+    // Reference: warm up by full simulation, exactly the pre-fast-forward
+    // recipe.
+    memsim::MemoryHierarchy h = machine.make_hierarchy();
+    {
+      runtime::Recorder warmup(&h, /*coalesce=*/true);
+      workload(warmup);
+    }
+    h.reset_stats();
+    machine::ExecutionProfile want;
+    {
+      runtime::Recorder rec(&h, /*coalesce=*/true);
+      workload(rec);
+      want = rec.profile();
+    }
+    const machine::ExecutionProfile got =
+        bench::steady_state_profile(machine, workload);
+    expect_profile_eq(want, got, "steady_state_profile warm-up");
+  }
+}
+
+}  // namespace
+}  // namespace bwc

@@ -65,31 +65,37 @@ void expect_parallel_identical(const Program& p,
   ref_opts.hierarchy = &href;
   const ExecResult ref = execute(p, ref_opts);
 
+  // Full cross of {coalescing} x {steady-state fast-forward}: both are
+  // exactness-preserving replay accelerations and must be invisible in
+  // every observable, serial or parallel.
   for (const bool coalesce : {true, false}) {
-    memsim::MemoryHierarchy hser = machine.make_hierarchy();
-    ExecOptions ser_opts;
-    ser_opts.hierarchy = &hser;
-    ser_opts.coalesce_accesses = coalesce;
-    const ExecResult serial = execute_compiled(p, ser_opts);
-    expect_identical(ref, serial,
-                     p.name() + " [serial, coalesce=" +
-                         std::to_string(coalesce) + "]");
+    for (const bool fast_forward : {true, false}) {
+      const std::string tag = ", coalesce=" + std::to_string(coalesce) +
+                              ", ff=" + std::to_string(fast_forward) + "]";
+      memsim::MemoryHierarchy hser = machine.make_hierarchy();
+      ExecOptions ser_opts;
+      ser_opts.hierarchy = &hser;
+      ser_opts.coalesce_accesses = coalesce;
+      ser_opts.fast_forward = fast_forward;
+      const ExecResult serial = execute_compiled(p, ser_opts);
+      expect_identical(ref, serial, p.name() + " [serial" + tag);
 
-    for (const int cores : kCoreCounts) {
-      memsim::MemoryHierarchy hpar = machine.make_hierarchy();
-      ExecOptions par_opts;
-      par_opts.hierarchy = &hpar;
-      par_opts.coalesce_accesses = coalesce;
-      par_opts.cores = cores;
-      const ExecResult par = execute_compiled(p, par_opts);
-      expect_identical(ref, par,
-                       p.name() + " [parallel, cores=" +
-                           std::to_string(cores) +
-                           ", coalesce=" + std::to_string(coalesce) + "]");
-      // The simulator's own access counters agree with the serial run:
-      // chunk-order merge preserves the access stream, not just totals.
-      EXPECT_EQ(hser.load_count(), hpar.load_count()) << p.name();
-      EXPECT_EQ(hser.store_count(), hpar.store_count()) << p.name();
+      for (const int cores : kCoreCounts) {
+        memsim::MemoryHierarchy hpar = machine.make_hierarchy();
+        ExecOptions par_opts;
+        par_opts.hierarchy = &hpar;
+        par_opts.coalesce_accesses = coalesce;
+        par_opts.cores = cores;
+        par_opts.fast_forward = fast_forward;
+        const ExecResult par = execute_compiled(p, par_opts);
+        expect_identical(ref, par,
+                         p.name() + " [parallel, cores=" +
+                             std::to_string(cores) + tag);
+        // The simulator's own access counters agree with the serial run:
+        // chunk-order merge preserves the access stream, not just totals.
+        EXPECT_EQ(hser.load_count(), hpar.load_count()) << p.name();
+        EXPECT_EQ(hser.store_count(), hpar.store_count()) << p.name();
+      }
     }
   }
 }
@@ -169,7 +175,8 @@ TEST(ParallelEngine, SchedulerActuallyChunks) {
   ExecOptions opts;
   opts.cores = 4;
   ParallelScheduler sched(/*cores=*/4, /*record_runs=*/false,
-                          /*coalesce=*/true, /*min_parallel_trips=*/2);
+                          /*coalesce=*/true, /*min_parallel_trips=*/2,
+                          /*fast_forward=*/true);
   const ExecResult par = execute_lowered_with_scheduler(lowered, opts,
                                                         &sched);
   EXPECT_GT(sched.parallel_loops(), 0u);
@@ -182,7 +189,8 @@ TEST(ParallelEngine, MinTripsGateForcesSerial) {
   opts.cores = 4;
   ParallelScheduler sched(/*cores=*/4, /*record_runs=*/false,
                           /*coalesce=*/true,
-                          /*min_parallel_trips=*/1 << 30);
+                          /*min_parallel_trips=*/1 << 30,
+                          /*fast_forward=*/true);
   const ExecResult par = execute_lowered_with_scheduler(lowered, opts,
                                                         &sched);
   EXPECT_EQ(sched.parallel_loops(), 0u);

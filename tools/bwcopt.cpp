@@ -18,6 +18,13 @@
 //                                          (default compiled; both are
 //                                          bit-identical, compiled is
 //                                          several times faster)
+//     --fast-forward / --no-fast-forward   steady-state fast-forward in
+//                                          the compiled replay (default
+//                                          on; exact macrosimulation, all
+//                                          observables bit-identical --
+//                                          the off switch exists for
+//                                          timing comparisons and
+//                                          debugging)
 //     --solver <best|exact|greedy|bisection|edge-weighted|none>
 //     --no-storage --no-stores             disable individual passes
 //     --regroup                            also run inter-array regrouping
@@ -69,6 +76,7 @@ struct Options {
   int cores = 1;
   std::uint64_t scale = 16;
   std::string engine = "compiled";
+  bool fast_forward = true;
   std::string solver = "best";
   bool storage = true;
   bool stores = true;
@@ -88,7 +96,8 @@ struct Options {
   std::cout <<
       "bwcopt --program <fig6|fig7|sec21|random> --n <int> "
       "--machine <o2k|exemplar|modern> --cores <int>\n"
-      "       --scale <int> --engine <compiled|reference> --solver "
+      "       --scale <int> --engine <compiled|reference> "
+      "[--fast-forward|--no-fast-forward] --solver "
       "<best|exact|greedy|bisection|edge-weighted|none>\n"
       "       [--no-storage] [--no-stores] [--regroup] [--shift] "
       "[--seed <int>] [--verify] [--no-verify] [--print]\n";
@@ -117,6 +126,10 @@ Options parse(int argc, char** argv) {
       o.scale = std::stoull(value(i));
     } else if (arg == "--engine") {
       o.engine = value(i);
+    } else if (arg == "--fast-forward") {
+      o.fast_forward = true;
+    } else if (arg == "--no-fast-forward") {
+      o.fast_forward = false;
     } else if (arg == "--solver") {
       o.solver = value(i);
     } else if (arg == "--no-storage") {
@@ -233,9 +246,11 @@ int main(int argc, char** argv) {
     }
     std::cout << "passes:\n" << core::render_log(result) << "\n";
 
-    const model::ExecEngine engine = make_engine(o.engine);
-    const auto before = model::measure(original, machine, engine);
-    const auto after = model::measure(result.program, machine, engine);
+    model::MeasureOptions measure_opts;
+    measure_opts.engine = make_engine(o.engine);
+    measure_opts.fast_forward = o.fast_forward;
+    const auto before = model::measure(original, machine, measure_opts);
+    const auto after = model::measure(result.program, machine, measure_opts);
     TextTable t("on " + machine.name);
     t.set_header({"", "mem traffic", "predicted ms", "binding"});
     t.add_row({"original",

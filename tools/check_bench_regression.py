@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare native-bench JSON output against a committed baseline.
+
+Usage:
+    check_bench_regression.py BENCH_baseline.json current.jsonl
+
+`current.jsonl` holds one JSON object per line, each emitted by a bench
+binary run with --json and carrying a "bench" key naming it (CI
+concatenates the outputs). Repeated lines for the same bench are
+aggregated per-metric by median before comparison -- CI runs the
+wall-clock benches several times so one descheduled run doesn't fail
+the job. The baseline maps bench name -> {metric: value}; metric
+medians are recorded by tools/update_bench_baseline.py.
+
+A metric regresses when it is more than 20% worse than its baseline.
+"Worse" is direction-aware: keys ending in `_ms` are lower-is-better
+(predicted times); everything else -- speedups, accesses/sec, MB/s,
+saturation core counts -- is higher-is-better. Wall-clock metrics wobble
+run to run, which is why the tolerance is 20% and the benches gate their
+own hard floors separately; this check catches the slow drift and the
+big cliffs.
+
+Exits non-zero listing every regressed metric. Metrics present on only
+one side are reported (a renamed or dropped metric should update the
+baseline deliberately) but only missing-from-current fails.
+"""
+
+import json
+import statistics
+import sys
+
+TOLERANCE = 0.20
+
+
+def lower_is_better(metric: str) -> bool:
+    return metric.endswith("_ms")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    current: dict[str, dict[str, list[float]]] = {}
+    with open(argv[2], encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            samples = current.setdefault(obj.pop("bench"), {})
+            for metric, value in obj.items():
+                samples.setdefault(metric, []).append(float(value))
+
+    failures = []
+    checked = 0
+    for bench, metrics in baseline.items():
+        cur = current.get(bench)
+        if cur is None:
+            failures.append(f"{bench}: no current output (bench not run?)")
+            continue
+        for metric, base in metrics.items():
+            if metric not in cur:
+                failures.append(f"{bench}.{metric}: missing from current run")
+                continue
+            now = statistics.median(cur[metric])
+            checked += 1
+            if lower_is_better(metric):
+                bad = now > base * (1.0 + TOLERANCE)
+                arrow = f"{base:g} -> {now:g} (+{(now / base - 1) * 100:.1f}%)"
+            else:
+                bad = now < base * (1.0 - TOLERANCE)
+                arrow = f"{base:g} -> {now:g} ({(now / base - 1) * 100:+.1f}%)"
+            status = "REGRESSED" if bad else "ok"
+            print(f"{bench}.{metric}: {arrow} {status}")
+            if bad:
+                failures.append(f"{bench}.{metric}: {arrow}")
+
+    for bench in current:
+        if bench not in baseline:
+            print(f"note: {bench} has no baseline entry (add one?)")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed >{TOLERANCE:.0%}:")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print(f"\nOK: {checked} metrics within {TOLERANCE:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Regenerate BENCH_baseline.json from repeated --json bench runs.
+
+Usage:
+    update_bench_baseline.py BUILD_DIR [RUNS]
+
+Runs each baselined bench binary RUNS times (default 3) with --json
+(--smoke for the wall-clock benches, matching what CI measures), takes
+the per-metric median, and writes BENCH_baseline.json next to this
+script's repo root. Commit the result together with whatever change
+moved the numbers; tools/check_bench_regression.py fails CI when a
+later run drifts >20% worse than these medians.
+"""
+
+import json
+import pathlib
+import statistics
+import subprocess
+import sys
+
+# (binary relative to the build dir, extra args). The deterministic
+# model benches need one run; repetition only matters for wall-clock.
+BENCHES = [
+    ("bench/fig3_kernel_bandwidth", ["--json"]),
+    ("bench/fig_multicore_scaling", ["--json"]),
+    ("bench/native_interpreter_throughput", ["--smoke", "--json"]),
+    ("bench/native_fastforward_throughput", ["--smoke", "--json"]),
+    ("bench/native_memsim_throughput", ["--smoke", "--json"]),
+]
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print("usage: update_bench_baseline.py BUILD_DIR [RUNS]",
+              file=sys.stderr)
+        return 2
+    build = pathlib.Path(argv[1])
+    runs = int(argv[2]) if len(argv) == 3 else 3
+
+    baseline: dict[str, dict[str, float]] = {}
+    for rel, args in BENCHES:
+        samples: dict[str, list[float]] = {}
+        name = None
+        for _ in range(runs):
+            # check=False: a smoke-floor trip on a loaded host still prints
+            # valid metrics, and the medians are what we're here for.
+            proc = subprocess.run([str(build / rel), *args], check=False,
+                                  capture_output=True, text=True)
+            if proc.returncode != 0:
+                print(f"warning: {rel} exited {proc.returncode}",
+                      file=sys.stderr)
+            obj = json.loads(proc.stdout.strip().splitlines()[0])
+            name = obj.pop("bench")
+            for metric, value in obj.items():
+                samples.setdefault(metric, []).append(float(value))
+        assert name is not None
+        baseline[name] = {m: round(statistics.median(v), 4)
+                          for m, v in samples.items()}
+        print(f"{name}: {baseline[name]}")
+
+    out_path = pathlib.Path(__file__).resolve().parent.parent
+    out_path = out_path / "BENCH_baseline.json"
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
