@@ -41,7 +41,12 @@ bool ArrayLiveness::stores_unobserved() const {
   return last_read() <= last_write();
 }
 
-std::vector<ArrayLiveness> analyze_liveness(const ir::Program& program) {
+std::vector<ArrayLiveness> analyze_liveness(
+    const ir::Program& program,
+    const std::vector<LoopSummary>* statement_summaries) {
+  BWC_CHECK(statement_summaries == nullptr ||
+                statement_summaries->size() == program.top().size(),
+            "statement summaries must cover every top-level statement");
   std::vector<ArrayLiveness> result(
       static_cast<std::size_t>(program.array_count()));
   for (int a = 0; a < program.array_count(); ++a) {
@@ -49,7 +54,13 @@ std::vector<ArrayLiveness> analyze_liveness(const ir::Program& program) {
     result[static_cast<std::size_t>(a)].is_output = program.is_output_array(a);
   }
   for (int i = 0; i < static_cast<int>(program.top().size()); ++i) {
-    const LoopSummary summary = summarize_statement(program, i);
+    LoopSummary computed;
+    if (statement_summaries == nullptr)
+      computed = summarize_statement(program, i);
+    const LoopSummary& summary =
+        statement_summaries != nullptr
+            ? (*statement_summaries)[static_cast<std::size_t>(i)]
+            : computed;
     for (const auto& [array, access] : summary.arrays) {
       auto& live = result[static_cast<std::size_t>(array)];
       if (access.has_reads()) live.reading_stmts.push_back(i);

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "bwc/analysis/access_summary.h"
 #include "bwc/ir/program.h"
 
 namespace bwc::analysis {
@@ -35,7 +36,13 @@ struct ArrayLiveness {
   bool stores_unobserved() const;
 };
 
-/// Liveness for every array of the program (indexed by ArrayId).
-std::vector<ArrayLiveness> analyze_liveness(const ir::Program& program);
+/// Liveness for every array of the program (indexed by ArrayId). When
+/// `statement_summaries` is given it must hold one summarize_statement
+/// result per top-level statement of `program` (pass::AnalysisManager
+/// provides exactly that); liveness is then derived without re-walking
+/// the IR.
+std::vector<ArrayLiveness> analyze_liveness(
+    const ir::Program& program,
+    const std::vector<LoopSummary>* statement_summaries = nullptr);
 
 }  // namespace bwc::analysis

@@ -1,193 +1,102 @@
 #include "bwc/core/optimizer.h"
 
 #include <sstream>
+#include <utility>
 
-#include "bwc/fusion/solvers.h"
+#include "bwc/pass/pass_manager.h"
+#include "bwc/pass/passes.h"
 #include "bwc/support/error.h"
-#include "bwc/transform/fuse.h"
-#include "bwc/transform/interchange.h"
-#include "bwc/transform/storage_reduction.h"
-#include "bwc/transform/scalar_replacement.h"
-#include "bwc/transform/store_elimination.h"
-#include "bwc/verify/verify.h"
 
 namespace bwc::core {
 
 namespace {
 
-/// Post-pass enforcement of a verifier report: a violation aborts the
-/// pipeline with the verifier's diagnostics; a skipped instance-level
-/// check (event budget) and a certification both land in the log.
-void enforce(const verify::Report& report, const std::string& pass,
-             std::vector<std::string>* log) {
-  if (!report.ok()) {
-    throw Error("verification failed after " + pass + ":\n" + report.render());
+const char* solver_name(FusionSolver solver) {
+  switch (solver) {
+    case FusionSolver::kBest: return "best";
+    case FusionSolver::kExact: return "exact";
+    case FusionSolver::kGreedy: return "greedy";
+    case FusionSolver::kBisection: return "bisection";
+    case FusionSolver::kEdgeWeighted: return "edge-weighted";
+    case FusionSolver::kNone: return "none";
   }
-  if (report.skipped) {
-    log->push_back("verify (" + pass + "): " + report.check +
-                   " skipped: " + report.skip_reason);
-  } else {
-    log->push_back("verify (" + pass + "): " + report.check + " certified, " +
-                   std::to_string(report.instances_checked) +
-                   " instance(s) checked");
-  }
+  return "best";
 }
 
 }  // namespace
 
+std::string default_pipeline(const OptimizerOptions& options) {
+  std::ostringstream os;
+  const char* sep = "";
+  if (options.auto_interchange) {
+    os << sep << "interchange";
+    sep = ",";
+  }
+  if (options.solver != FusionSolver::kNone) {
+    os << sep << "fuse(solver=" << solver_name(options.solver);
+    if (options.allow_shifted_fusion) os << ",shift=1";
+    os << ")";
+    sep = ",";
+  }
+  if (options.reduce_storage) {
+    os << sep << "reduce-storage";
+    sep = ",";
+  }
+  if (options.eliminate_stores) {
+    os << sep << "eliminate-stores";
+    sep = ",";
+  }
+  if (options.scalar_replacement) {
+    os << sep << "scalar-replace";
+    sep = ",";
+  }
+  return os.str();
+}
+
 OptimizeResult optimize(const ir::Program& program,
                         const OptimizerOptions& options) {
+  BWC_CHECK(options.cores >= 1, "optimizer target core count must be >= 1");
+
+  const std::string spec_text =
+      options.passes.empty() ? default_pipeline(options) : options.passes;
+  const pass::PipelineSpec spec = pass::parse_pipeline_spec(spec_text);
+
+  pass::PipelineOptions pipeline_options;
+  pipeline_options.verify = options.verify;
+  pipeline_options.verify_max_events = options.verify_max_events;
+  pipeline_options.cache_analyses = options.cache_analyses;
+  pipeline_options.audit_analyses = options.audit_analyses;
+  pipeline_options.print_after = options.print_after;
+
+  pass::PassManager manager(std::move(pipeline_options));
+  manager.add(pass::build_pipeline(spec));
+
   OptimizeResult result;
   result.program = program.clone();
+  result.cores = options.cores;
+  result.pipeline = manager.run(result.program);
 
-  BWC_CHECK(options.cores >= 1, "optimizer target core count must be >= 1");
-  if (options.cores > 1) {
-    result.log.push_back("target: " + std::to_string(options.cores) +
-                         " cores (minimizing shared-bus traffic)");
+  // The applied fusion plan, for callers inspecting partition structure.
+  for (const auto& pass : manager.passes()) {
+    if (const auto* fuse = dynamic_cast<const pass::FusePass*>(pass.get()))
+      result.plan = fuse->plan();
   }
-
-  if (options.verify) {
-    const verify::Report structure = verify::validate_structure(program);
-    if (!structure.ok()) {
-      throw Error("input program is structurally invalid:\n" +
-                  structure.render());
-    }
-  }
-  // Snapshot for the pass-pair checks; maintained only when verifying.
-  ir::Program before;
-  auto snapshot = [&] {
-    if (options.verify) before = result.program.clone();
-  };
-
-  if (options.auto_interchange) {
-    snapshot();
-    transform::InterchangeResult ir = transform::auto_interchange(
-        result.program);
-    if (!ir.interchanged.empty()) {
-      result.program = std::move(ir.program);
-      result.log.push_back(
-          "interchange: swapped " + std::to_string(ir.interchanged.size()) +
-          " nest(s) to stride-1 order");
-      if (options.verify) {
-        enforce(verify::validate_translation(before, result.program,
-                                             {options.verify_max_events}),
-                "interchange", &result.log);
-      }
-    }
-  }
-
-  if (options.solver != FusionSolver::kNone) {
-    fusion::FusionGraphOptions graph_options;
-    graph_options.allow_shifted_fusion = options.allow_shifted_fusion;
-    const fusion::FusionGraph graph =
-        fusion::build_fusion_graph(result.program, graph_options);
-    switch (options.solver) {
-      case FusionSolver::kBest:
-        result.plan = fusion::best_fusion(graph);
-        break;
-      case FusionSolver::kExact:
-        result.plan = fusion::exact_enumeration(graph);
-        break;
-      case FusionSolver::kGreedy:
-        result.plan = fusion::greedy_fusion(graph);
-        break;
-      case FusionSolver::kBisection:
-        result.plan = fusion::recursive_bisection(graph);
-        break;
-      case FusionSolver::kEdgeWeighted:
-        result.plan = fusion::edge_weighted_baseline(graph);
-        break;
-      case FusionSolver::kNone:
-        break;
-    }
-    const fusion::FusionPlan unfused = fusion::no_fusion(graph);
-    if (result.plan.num_partitions < graph.node_count()) {
-      snapshot();
-      result.program =
-          transform::apply_fusion(result.program, graph, result.plan);
-      std::ostringstream os;
-      os << "fusion (" << result.plan.solver << "): " << graph.node_count()
-         << " loops -> " << result.plan.num_partitions
-         << " partitions; arrays loaded " << unfused.cost << " -> "
-         << result.plan.cost;
-      result.log.push_back(os.str());
-      if (options.verify) {
-        enforce(verify::validate_translation(before, result.program,
-                                             {options.verify_max_events}),
-                "fusion", &result.log);
-      }
-    } else {
-      result.log.push_back("fusion: no profitable fusion found");
-    }
-  }
-
-  if (options.reduce_storage) {
-    snapshot();
-    transform::StorageReductionResult sr =
-        transform::reduce_storage(result.program);
-    if (!sr.actions.empty()) {
-      result.program = std::move(sr.program);
-      for (const auto& a : sr.actions)
-        result.log.push_back("storage reduction: " + a);
-      std::ostringstream os;
-      os << "storage reduction: referenced array bytes "
-         << sr.referenced_bytes_before << " -> " << sr.referenced_bytes_after;
-      result.log.push_back(os.str());
-      if (options.verify) {
-        enforce(verify::validate_storage_reduction(
-                    before, result.program, {options.verify_max_events}),
-                "storage reduction", &result.log);
-      }
-    } else {
-      result.log.push_back("storage reduction: no candidate arrays");
-    }
-  }
-
-  if (options.eliminate_stores) {
-    snapshot();
-    transform::StoreEliminationResult se =
-        transform::eliminate_stores(result.program);
-    if (!se.eliminated.empty()) {
-      std::ostringstream os;
-      os << "store elimination: removed writebacks to";
-      for (ir::ArrayId a : se.eliminated)
-        os << " " << se.program.array(a).name;
-      result.program = std::move(se.program);
-      result.log.push_back(os.str());
-      if (options.verify) {
-        enforce(verify::validate_store_elimination(
-                    before, result.program, {options.verify_max_events}),
-                "store elimination", &result.log);
-      }
-    } else {
-      result.log.push_back("store elimination: no candidate arrays");
-    }
-  }
-
-  if (options.scalar_replacement) {
-    transform::ScalarReplacementResult sr =
-        transform::replace_scalars(result.program);
-    if (!sr.actions.empty()) {
-      result.program = std::move(sr.program);
-      for (const auto& a : sr.actions)
-        result.log.push_back("scalar replacement: " + a);
-      if (options.verify) {
-        // Scalar replacement rewrites array reads into rotating scalars;
-        // neither pair-check applies, but the result must stand on its own.
-        enforce(verify::validate_structure(result.program),
-                "scalar replacement", &result.log);
-      }
-    } else {
-      result.log.push_back("scalar replacement: no stencil candidates");
-    }
-  }
-
   return result;
+}
+
+std::vector<std::string> OptimizeResult::log_lines() const {
+  std::vector<std::string> lines;
+  if (cores > 1) {
+    lines.push_back("target: " + std::to_string(cores) +
+                    " cores (minimizing shared-bus traffic)");
+  }
+  for (auto& line : pipeline.legacy_lines()) lines.push_back(std::move(line));
+  return lines;
 }
 
 std::string render_log(const OptimizeResult& result) {
   std::ostringstream os;
-  for (const auto& line : result.log) os << "  - " << line << "\n";
+  for (const auto& line : result.log_lines()) os << "  - " << line << "\n";
   return os.str();
 }
 

@@ -1,17 +1,32 @@
-// BandwidthOptimizer: the paper's compiler strategy as one entry point.
+// core::optimize -- the paper's compiler strategy as one entry point, now
+// a thin wrapper over the bwc::pass pipeline machinery.
 //
-// Pipeline (paper Section 3): bandwidth-minimal loop fusion organizes the
-// global computation to minimize total memory transfer; storage reduction
-// shrinks localized arrays; store elimination removes writebacks to arrays
-// whose uses complete inside the fused loop.
+// The option struct maps to a PipelineSpec (default_pipeline): bandwidth-
+// minimal loop fusion organizes the global computation to minimize total
+// memory transfer (paper Section 3), storage reduction shrinks localized
+// arrays, store elimination removes writebacks to arrays whose uses
+// complete inside the fused loop; interchange and scalar replacement are
+// opt-in satellites. Callers wanting a non-default ordering set
+// OptimizerOptions::passes to a spec string ("interchange,fuse(solver=
+// exact),reduce-storage") -- see docs/PIPELINE.md for the grammar, the
+// pass catalogue, and the PassReport/remark schema. Per-pass facts
+// (timing, IR deltas, predicted traffic deltas, verifier outcomes,
+// machine-readable remarks) live in OptimizeResult::pipeline; the
+// human-readable log lines of the old free-form interface are derived
+// from it by log_lines()/render_log, byte-identical to the pre-pass-
+// manager output.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "bwc/fusion/fusion_graph.h"
 #include "bwc/ir/program.h"
+#include "bwc/pass/pass.h"
+#include "bwc/pass/pipeline_spec.h"
+#include "bwc/pass/report.h"
 
 namespace bwc::core {
 
@@ -25,6 +40,11 @@ enum class FusionSolver {
 };
 
 struct OptimizerOptions {
+  /// Explicit pipeline spec ("fuse(solver=exact),reduce-storage", see
+  /// docs/PIPELINE.md). When empty, the pipeline is derived from the
+  /// flags below by default_pipeline(); when set, it wins and the
+  /// per-pass flags (solver, reduce_storage, ...) are ignored.
+  std::string passes;
   FusionSolver solver = FusionSolver::kBest;
   bool reduce_storage = true;
   bool eliminate_stores = true;
@@ -48,6 +68,18 @@ struct OptimizerOptions {
   /// Per-program event budget for the instance-level checks; programs
   /// whose traces would exceed it degrade to structural validation only.
   std::uint64_t verify_max_events = 2'000'000;
+  /// Serve repeated analysis queries (statement summaries, liveness,
+  /// fusion graph, traffic bounds) from the pass::AnalysisManager cache.
+  /// Off recomputes every query; results are identical either way.
+  bool cache_analyses = true;
+  /// Fingerprint every cache entry against the IR it was computed from
+  /// and raise bwc::Error on a hit whose program has since changed -- a
+  /// pass mutated the IR without declaring the invalidation. Debugging
+  /// aid (bwcopt --audit-analyses); costs one ir::to_string per query.
+  bool audit_analyses = false;
+  /// When set, called with each pass and the program state after it ran
+  /// (bwcopt --print-after-all).
+  std::function<void(const pass::Pass&, const ir::Program&)> print_after;
   /// Core count the optimized program is intended to run at. The passes
   /// themselves are core-count independent (they minimize total shared
   /// traffic, which is what binds at scale -- docs/MODEL.md section 7);
@@ -60,9 +92,21 @@ struct OptimizeResult {
   ir::Program program;
   /// Plan actually applied (empty assignment when fusion was skipped).
   fusion::FusionPlan plan;
-  /// Human-readable log of what each pass did.
-  std::vector<std::string> log;
+  /// Structured per-pass reports: remarks, timing, IR and predicted
+  /// memory-traffic deltas, verifier outcomes, analysis-cache counters.
+  pass::PipelineReport pipeline;
+  /// Core count the run targeted (OptimizerOptions::cores).
+  int cores = 1;
+
+  /// The human-readable log: the multicore prelude line (cores > 1)
+  /// followed by each pass's legacy lines, byte-identical to the old
+  /// free-form `log` vector.
+  std::vector<std::string> log_lines() const;
 };
+
+/// The PipelineSpec string the given options denote -- what optimize()
+/// runs when options.passes is empty.
+std::string default_pipeline(const OptimizerOptions& options = {});
 
 /// Run the bandwidth-reduction pipeline on a program.
 OptimizeResult optimize(const ir::Program& program,

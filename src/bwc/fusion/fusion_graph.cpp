@@ -21,12 +21,20 @@ bool FusionGraph::is_preventing(int i, int j) const {
   return pair(i, j).fusion_preventing;
 }
 
-FusionGraph build_fusion_graph(const ir::Program& program,
-                               const FusionGraphOptions& options) {
+FusionGraph build_fusion_graph(
+    const ir::Program& program, const FusionGraphOptions& options,
+    const std::vector<analysis::LoopSummary>* statement_summaries) {
+  BWC_CHECK(statement_summaries == nullptr ||
+                statement_summaries->size() == program.top().size(),
+            "statement summaries must cover every top-level statement");
   FusionGraph g;
   g.loop_tops = program.top_loop_indices();
-  for (int idx : g.loop_tops)
-    g.summaries.push_back(analysis::summarize_loop(program, idx));
+  for (int idx : g.loop_tops) {
+    g.summaries.push_back(
+        statement_summaries != nullptr
+            ? (*statement_summaries)[static_cast<std::size_t>(idx)]
+            : analysis::summarize_loop(program, idx));
+  }
 
   const int n = g.node_count();
   g.sharing = graph::Hypergraph(n);
@@ -101,7 +109,13 @@ FusionGraph build_fusion_graph(const ir::Program& program,
     if (program.top()[static_cast<std::size_t>(k)]->kind ==
         ir::StmtKind::kLoop)
       continue;
-    const analysis::LoopSummary sk = analysis::summarize_statement(program, k);
+    analysis::LoopSummary computed;
+    if (statement_summaries == nullptr)
+      computed = analysis::summarize_statement(program, k);
+    const analysis::LoopSummary& sk =
+        statement_summaries != nullptr
+            ? (*statement_summaries)[static_cast<std::size_t>(k)]
+            : computed;
     for (int i = 0; i < n; ++i) {
       if (g.loop_tops[static_cast<std::size_t>(i)] > k) break;
       if (!stmt_conflicts(sk, g.summaries[static_cast<std::size_t>(i)]))

@@ -61,9 +61,14 @@ struct FusionGraphOptions {
   std::int64_t max_shift = 8;
 };
 
-/// Build the fusion graph of a program's top-level loops.
-FusionGraph build_fusion_graph(const ir::Program& program,
-                               const FusionGraphOptions& options = {});
+/// Build the fusion graph of a program's top-level loops. When
+/// `statement_summaries` is given it must hold one summarize_statement
+/// result per top-level statement of `program` (pass::AnalysisManager
+/// provides exactly that); the builder then reuses them instead of
+/// re-deriving every access summary from the IR.
+FusionGraph build_fusion_graph(
+    const ir::Program& program, const FusionGraphOptions& options = {},
+    const std::vector<analysis::LoopSummary>* statement_summaries = nullptr);
 
 /// A partitioning of the fusion graph: assignment[node] = partition id,
 /// with partition ids 0..num_partitions-1 forming a valid execution order.

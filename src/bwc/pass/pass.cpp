@@ -1,0 +1,13 @@
+#include "bwc/pass/pass.h"
+
+#include "bwc/verify/structure.h"
+
+namespace bwc::pass {
+
+verify::Report Pass::check(const ir::Program& /*before*/,
+                           const ir::Program& after,
+                           const CheckOptions& /*options*/) const {
+  return verify::validate_structure(after);
+}
+
+}  // namespace bwc::pass

@@ -1,0 +1,351 @@
+#include "bwc/pass/passes.h"
+
+#include <sstream>
+#include <utility>
+
+#include "bwc/fusion/solvers.h"
+#include "bwc/support/error.h"
+#include "bwc/transform/distribute.h"
+#include "bwc/transform/fuse.h"
+#include "bwc/transform/interchange.h"
+#include "bwc/transform/regrouping.h"
+#include "bwc/transform/scalar_replacement.h"
+#include "bwc/transform/storage_reduction.h"
+#include "bwc/transform/store_elimination.h"
+#include "bwc/verify/observability.h"
+#include "bwc/verify/translation.h"
+
+namespace bwc::pass {
+
+// ---------------------------------------------------------------------------
+// interchange
+
+PassResult InterchangePass::run(ir::Program& program, AnalysisManager& am,
+                                PassReport& report) {
+  transform::InterchangeResult result =
+      transform::auto_interchange(program, &am.statement_summaries(program));
+  PassResult pr;
+  if (result.interchanged.empty()) {
+    // The legacy optimizer logged nothing when no nest was interchanged;
+    // record the miss as a note so render_log stays byte-identical.
+    report.note("interchange-no-candidates",
+                "no 2-deep nest both profits from and permits interchange");
+    return pr;
+  }
+  std::ostringstream args;
+  for (std::size_t i = 0; i < result.interchanged.size(); ++i) {
+    if (i > 0) args << " ";
+    args << result.interchanged[i];
+  }
+  report.applied("interchange-applied",
+                 "interchange: swapped " +
+                     std::to_string(result.interchanged.size()) +
+                     " nest(s) to stride-1 order",
+                 {{"nests", std::to_string(result.interchanged.size())},
+                  {"top_indices", args.str()}});
+  program = std::move(result.program);
+  pr.changed = true;
+  // Interchange permutes the spine of individual nests: per-statement
+  // access summaries change (loop order), but which statements touch
+  // which arrays does not (liveness), and footprints are unchanged
+  // (traffic bound).
+  pr.preserved = PreservedAnalyses::none()
+                     .preserve(AnalysisId::kLiveness)
+                     .preserve(AnalysisId::kTrafficBound);
+  return pr;
+}
+
+verify::Report InterchangePass::check(const ir::Program& before,
+                                      const ir::Program& after,
+                                      const CheckOptions& options) const {
+  return verify::validate_translation(before, after, {options.max_events});
+}
+
+// ---------------------------------------------------------------------------
+// fuse
+
+FusePass::FusePass(Options options) : options_(std::move(options)) {}
+
+namespace {
+
+fusion::FusionPlan solve(const std::string& solver,
+                         const fusion::FusionGraph& graph) {
+  if (solver == "best") return fusion::best_fusion(graph);
+  if (solver == "exact") return fusion::exact_enumeration(graph);
+  if (solver == "greedy") return fusion::greedy_fusion(graph);
+  if (solver == "bisection") return fusion::recursive_bisection(graph);
+  if (solver == "edge-weighted") return fusion::edge_weighted_baseline(graph);
+  throw Error("unknown fusion solver: " + solver);
+}
+
+}  // namespace
+
+PassResult FusePass::run(ir::Program& program, AnalysisManager& am,
+                         PassReport& report) {
+  fusion::FusionGraphOptions graph_options;
+  graph_options.allow_shifted_fusion = options_.allow_shifted_fusion;
+  graph_options.max_shift = options_.max_shift;
+  const fusion::FusionGraph& graph = am.fusion_graph(program, graph_options);
+  plan_ = solve(options_.solver, graph);
+  const fusion::FusionPlan unfused = fusion::no_fusion(graph);
+
+  PassResult pr;
+  if (plan_.num_partitions >= graph.node_count()) {
+    report.missed("fusion-not-profitable", "fusion: no profitable fusion found",
+                  {{"solver", plan_.solver},
+                   {"loops", std::to_string(graph.node_count())},
+                   {"unfused_cost", std::to_string(unfused.cost)}});
+    return pr;
+  }
+  ir::Program fused = transform::apply_fusion(program, graph, plan_);
+  std::ostringstream os;
+  os << "fusion (" << plan_.solver << "): " << graph.node_count()
+     << " loops -> " << plan_.num_partitions << " partitions; arrays loaded "
+     << unfused.cost << " -> " << plan_.cost;
+  report.applied("fusion-applied", os.str(),
+                 {{"solver", plan_.solver},
+                  {"loops", std::to_string(graph.node_count())},
+                  {"partitions", std::to_string(plan_.num_partitions)},
+                  {"cost_before", std::to_string(unfused.cost)},
+                  {"cost_after", std::to_string(plan_.cost)},
+                  {"bytes_cost", std::to_string(plan_.bytes_cost)}});
+  program = std::move(fused);
+  pr.changed = true;
+  return pr;
+}
+
+verify::Report FusePass::check(const ir::Program& before,
+                               const ir::Program& after,
+                               const CheckOptions& options) const {
+  return verify::validate_translation(before, after, {options.max_events});
+}
+
+// ---------------------------------------------------------------------------
+// reduce-storage
+
+PassResult ReduceStoragePass::run(ir::Program& program, AnalysisManager& am,
+                                  PassReport& report) {
+  transform::StorageReductionResult result =
+      transform::reduce_storage(program, &am.statement_summaries(program));
+  PassResult pr;
+  if (result.actions.empty()) {
+    report.missed("storage-no-candidates",
+                  "storage reduction: no candidate arrays");
+    return pr;
+  }
+  for (const auto& action : result.actions)
+    report.applied("storage-reduced", "storage reduction: " + action);
+  std::ostringstream os;
+  os << "storage reduction: referenced array bytes "
+     << result.referenced_bytes_before << " -> "
+     << result.referenced_bytes_after;
+  report.applied(
+      "storage-bytes", os.str(),
+      {{"bytes_before", std::to_string(result.referenced_bytes_before)},
+       {"bytes_after", std::to_string(result.referenced_bytes_after)}});
+  program = std::move(result.program);
+  pr.changed = true;
+  return pr;
+}
+
+verify::Report ReduceStoragePass::check(const ir::Program& before,
+                                        const ir::Program& after,
+                                        const CheckOptions& options) const {
+  return verify::validate_storage_reduction(before, after,
+                                            {options.max_events});
+}
+
+// ---------------------------------------------------------------------------
+// eliminate-stores
+
+PassResult EliminateStoresPass::run(ir::Program& program, AnalysisManager& am,
+                                    PassReport& report) {
+  transform::StoreEliminationResult result =
+      transform::eliminate_stores(program, &am.liveness(program));
+  PassResult pr;
+  if (result.eliminated.empty()) {
+    report.missed("stores-no-candidates",
+                  "store elimination: no candidate arrays");
+    return pr;
+  }
+  std::ostringstream os;
+  std::ostringstream names;
+  os << "store elimination: removed writebacks to";
+  for (std::size_t i = 0; i < result.eliminated.size(); ++i) {
+    const std::string& name =
+        result.program.array(result.eliminated[i]).name;
+    os << " " << name;
+    if (i > 0) names << " ";
+    names << name;
+  }
+  report.applied("stores-eliminated", os.str(),
+                 {{"arrays", names.str()},
+                  {"count", std::to_string(result.eliminated.size())}});
+  program = std::move(result.program);
+  pr.changed = true;
+  return pr;
+}
+
+verify::Report EliminateStoresPass::check(const ir::Program& before,
+                                          const ir::Program& after,
+                                          const CheckOptions& options) const {
+  return verify::validate_store_elimination(before, after,
+                                            {options.max_events});
+}
+
+// ---------------------------------------------------------------------------
+// scalar-replace
+
+PassResult ScalarReplacePass::run(ir::Program& program, AnalysisManager& am,
+                                  PassReport& report) {
+  (void)am;  // purely local rewrite; needs no whole-program analysis
+  transform::ScalarReplacementResult result =
+      transform::replace_scalars(program);
+  PassResult pr;
+  if (result.actions.empty()) {
+    report.missed("scalars-no-candidates",
+                  "scalar replacement: no stencil candidates");
+    return pr;
+  }
+  for (const auto& action : result.actions)
+    report.applied("scalars-replaced", "scalar replacement: " + action);
+  report.note("scalars-loads-removed",
+              std::to_string(result.loads_removed) +
+                  " static load(s) removed per iteration",
+              {{"loads_removed", std::to_string(result.loads_removed)}});
+  program = std::move(result.program);
+  pr.changed = true;
+  return pr;
+}
+
+// ---------------------------------------------------------------------------
+// regroup
+
+PassResult RegroupPass::run(ir::Program& program, AnalysisManager& am,
+                            PassReport& report) {
+  (void)am;  // candidate detection does its own co-access scan
+  transform::RegroupingResult result = transform::regroup_all(program);
+  PassResult pr;
+  if (result.actions.empty()) {
+    report.note("regroup-no-candidates",
+                "no arrays are always accessed together");
+    return pr;
+  }
+  for (const auto& action : result.actions)
+    report.applied("regrouped", "regrouping: " + action);
+  program = std::move(result.program);
+  pr.changed = true;
+  return pr;
+}
+
+// ---------------------------------------------------------------------------
+// distribute
+
+PassResult DistributePass::run(ir::Program& program, AnalysisManager& am,
+                               PassReport& report) {
+  (void)am;
+  transform::DistributionResult result = transform::distribute_loops(program);
+  PassResult pr;
+  if (result.loops_after <= result.loops_before) {
+    report.missed("distribute-no-candidates",
+                  "distribution: no loop could be split");
+    return pr;
+  }
+  report.applied("distributed",
+                 "distribution: split " +
+                     std::to_string(result.loops_before) + " loop(s) into " +
+                     std::to_string(result.loops_after),
+                 {{"loops_before", std::to_string(result.loops_before)},
+                  {"loops_after", std::to_string(result.loops_after)}});
+  program = std::move(result.program);
+  pr.changed = true;
+  return pr;
+}
+
+verify::Report DistributePass::check(const ir::Program& before,
+                                     const ir::Program& after,
+                                     const CheckOptions& options) const {
+  return verify::validate_translation(before, after, {options.max_events});
+}
+
+// ---------------------------------------------------------------------------
+// registry
+
+namespace {
+
+[[noreturn]] void bad_param(const PassSpec& spec, const std::string& key) {
+  throw Error("pass \"" + spec.name + "\" does not take parameter \"" + key +
+              "\"");
+}
+
+void expect_no_params(const PassSpec& spec) {
+  if (!spec.params.empty()) bad_param(spec, spec.params.front().first);
+}
+
+std::unique_ptr<Pass> create_fuse(const PassSpec& spec) {
+  FusePass::Options options;
+  for (const auto& [key, value] : spec.params) {
+    if (key == "solver") {
+      if (value != "best" && value != "exact" && value != "greedy" &&
+          value != "bisection" && value != "edge-weighted") {
+        throw Error("unknown fusion solver: " + value);
+      }
+      options.solver = value;
+    } else if (key == "shift") {
+      if (value != "0" && value != "1")
+        throw Error("fuse parameter shift must be 0 or 1, got \"" + value +
+                    "\"");
+      options.allow_shifted_fusion = value == "1";
+    } else if (key == "max-shift") {
+      try {
+        options.max_shift = std::stoll(value);
+      } catch (const std::exception&) {
+        throw Error("fuse parameter max-shift must be an integer, got \"" +
+                    value + "\"");
+      }
+    } else {
+      bad_param(spec, key);
+    }
+  }
+  return std::make_unique<FusePass>(options);
+}
+
+}  // namespace
+
+std::unique_ptr<Pass> create_pass(const PassSpec& spec) {
+  if (spec.name == "fuse") return create_fuse(spec);
+  if (spec.name == "interchange") {
+    expect_no_params(spec);
+    return std::make_unique<InterchangePass>();
+  }
+  if (spec.name == "reduce-storage") {
+    expect_no_params(spec);
+    return std::make_unique<ReduceStoragePass>();
+  }
+  if (spec.name == "eliminate-stores") {
+    expect_no_params(spec);
+    return std::make_unique<EliminateStoresPass>();
+  }
+  if (spec.name == "scalar-replace") {
+    expect_no_params(spec);
+    return std::make_unique<ScalarReplacePass>();
+  }
+  if (spec.name == "regroup") {
+    expect_no_params(spec);
+    return std::make_unique<RegroupPass>();
+  }
+  if (spec.name == "distribute") {
+    expect_no_params(spec);
+    return std::make_unique<DistributePass>();
+  }
+  throw Error("unknown pass: " + spec.name);
+}
+
+std::vector<std::unique_ptr<Pass>> build_pipeline(const PipelineSpec& spec) {
+  std::vector<std::unique_ptr<Pass>> passes;
+  passes.reserve(spec.passes.size());
+  for (const PassSpec& pass : spec.passes) passes.push_back(create_pass(pass));
+  return passes;
+}
+
+}  // namespace bwc::pass

@@ -1,0 +1,140 @@
+#include "bwc/pass/pipeline_spec.h"
+
+#include <sstream>
+
+#include "bwc/support/error.h"
+
+namespace bwc::pass {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+bool valid_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-'))
+      return false;
+  }
+  return true;
+}
+
+[[noreturn]] void bad(const std::string& text, const std::string& why) {
+  throw Error("invalid pipeline spec \"" + text + "\": " + why);
+}
+
+/// Split on commas that are not inside parentheses.
+std::vector<std::string> split_top(const std::string& text,
+                                   const std::string& full) {
+  std::vector<std::string> parts;
+  std::string current;
+  int depth = 0;
+  for (const char c : text) {
+    if (c == '(') ++depth;
+    if (c == ')') {
+      --depth;
+      if (depth < 0) bad(full, "unbalanced ')'");
+    }
+    if (c == ',' && depth == 0) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (depth != 0) bad(full, "unbalanced '('");
+  parts.push_back(current);
+  return parts;
+}
+
+PassSpec parse_pass(const std::string& entry, const std::string& full) {
+  PassSpec spec;
+  const std::size_t paren = entry.find('(');
+  if (paren == std::string::npos) {
+    spec.name = trim(entry);
+    if (!valid_name(spec.name))
+      bad(full, "bad pass name \"" + trim(entry) + "\"");
+    return spec;
+  }
+  spec.name = trim(entry.substr(0, paren));
+  if (!valid_name(spec.name))
+    bad(full, "bad pass name \"" + spec.name + "\"");
+  const std::string rest = trim(entry.substr(paren + 1));
+  if (rest.empty() || rest.back() != ')')
+    bad(full, "missing ')' after \"" + spec.name + "(\"");
+  const std::string body = rest.substr(0, rest.size() - 1);
+  if (body.find('(') != std::string::npos ||
+      body.find(')') != std::string::npos) {
+    bad(full, "nested parentheses in \"" + spec.name + "\" parameters");
+  }
+  if (trim(body).empty()) return spec;  // "name()" == "name"
+  std::stringstream params(body);
+  std::string param;
+  while (std::getline(params, param, ',')) {
+    const std::size_t eq = param.find('=');
+    if (eq == std::string::npos)
+      bad(full, "parameter \"" + trim(param) + "\" is not key=value");
+    const std::string key = trim(param.substr(0, eq));
+    const std::string value = trim(param.substr(eq + 1));
+    if (!valid_name(key)) bad(full, "bad parameter key \"" + key + "\"");
+    if (value.empty()) bad(full, "empty value for parameter \"" + key + "\"");
+    spec.params.emplace_back(key, value);
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::string PassSpec::param(const std::string& key,
+                            const std::string& fallback) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+bool PassSpec::has_param(const std::string& key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string PassSpec::to_string() const {
+  if (params.empty()) return name;
+  std::ostringstream os;
+  os << name << "(";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) os << ",";
+    os << params[i].first << "=" << params[i].second;
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string PipelineSpec::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    if (i > 0) os << ",";
+    os << passes[i].to_string();
+  }
+  return os.str();
+}
+
+PipelineSpec parse_pipeline_spec(const std::string& text) {
+  PipelineSpec spec;
+  if (trim(text).empty()) return spec;
+  for (const std::string& entry : split_top(text, text)) {
+    if (trim(entry).empty()) bad(text, "empty pass entry");
+    spec.passes.push_back(parse_pass(entry, text));
+  }
+  return spec;
+}
+
+}  // namespace bwc::pass

@@ -1,0 +1,45 @@
+// Pipelines as data: a PipelineSpec is the parsed form of a spec string
+// like "interchange,fuse(solver=exact),reduce-storage,eliminate-stores".
+//
+// Grammar (docs/PIPELINE.md):
+//   pipeline := [ pass { "," pass } ]
+//   pass     := name [ "(" param { "," param } ")" ]
+//   param    := key "=" value
+//   name,key := [a-z0-9-]+        value := any char except "," ")" "("
+// Whitespace around names, keys and values is ignored. Parsing validates
+// syntax only; pass names and parameters are checked by create_pass when
+// the pipeline is built.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bwc::pass {
+
+/// One pass invocation: name plus key=value parameters in written order.
+struct PassSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// Value of `key`, or `fallback` when absent.
+  std::string param(const std::string& key,
+                    const std::string& fallback = "") const;
+  bool has_param(const std::string& key) const;
+  std::string to_string() const;
+};
+
+struct PipelineSpec {
+  std::vector<PassSpec> passes;
+
+  bool empty() const { return passes.empty(); }
+  /// Canonical spec string; parse_pipeline_spec(to_string()) round-trips.
+  std::string to_string() const;
+};
+
+/// Parse a spec string. Throws bwc::Error (message prefixed
+/// "invalid pipeline spec") on malformed input. The empty string parses to
+/// an empty pipeline.
+PipelineSpec parse_pipeline_spec(const std::string& text);
+
+}  // namespace bwc::pass

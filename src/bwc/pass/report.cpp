@@ -1,0 +1,183 @@
+#include "bwc/pass/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace bwc::pass {
+
+namespace {
+
+/// JSON string escaping (control characters, quotes, backslashes).
+std::string json_escape(const std::string& s) {
+  std::ostringstream os;
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+std::string json_str(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+void append_ir_stats(std::ostringstream& os, const char* key,
+                     const IrStats& s) {
+  os << json_str(key) << ": {\"loops\": " << s.loops
+     << ", \"statements\": " << s.statements
+     << ", \"arrays_referenced\": " << s.arrays_referenced
+     << ", \"referenced_bytes\": " << s.referenced_bytes << "}";
+}
+
+}  // namespace
+
+const char* remark_kind_name(RemarkKind kind) {
+  switch (kind) {
+    case RemarkKind::kApplied: return "applied";
+    case RemarkKind::kMissed: return "missed";
+    case RemarkKind::kNote: return "note";
+  }
+  return "note";
+}
+
+IrStats compute_ir_stats(const ir::Program& program,
+                         const std::vector<analysis::LoopSummary>& summaries) {
+  IrStats stats;
+  stats.statements = static_cast<int>(program.top().size());
+  stats.loops = static_cast<int>(program.top_loop_indices().size());
+  std::vector<bool> referenced(
+      static_cast<std::size_t>(program.array_count()), false);
+  for (const auto& s : summaries) {
+    for (const auto& [array, access] : s.arrays)
+      referenced[static_cast<std::size_t>(array)] = true;
+  }
+  for (int a = 0; a < program.array_count(); ++a) {
+    if (referenced[static_cast<std::size_t>(a)]) {
+      ++stats.arrays_referenced;
+      stats.referenced_bytes += program.array(a).byte_size();
+    }
+  }
+  return stats;
+}
+
+std::int64_t PassReport::traffic_bound_delta() const {
+  if (traffic_bound_before < 0 || traffic_bound_after < 0) return 0;
+  return traffic_bound_after - traffic_bound_before;
+}
+
+void PassReport::applied(
+    std::string code, std::string message,
+    std::vector<std::pair<std::string, std::string>> args) {
+  remarks.push_back(Remark{RemarkKind::kApplied, std::move(code),
+                           std::move(message), std::move(args)});
+}
+
+void PassReport::missed(
+    std::string code, std::string message,
+    std::vector<std::pair<std::string, std::string>> args) {
+  remarks.push_back(Remark{RemarkKind::kMissed, std::move(code),
+                           std::move(message), std::move(args)});
+}
+
+void PassReport::note(std::string code, std::string message,
+                      std::vector<std::pair<std::string, std::string>> args) {
+  remarks.push_back(Remark{RemarkKind::kNote, std::move(code),
+                           std::move(message), std::move(args)});
+}
+
+std::vector<std::string> PassReport::legacy_lines() const {
+  std::vector<std::string> lines;
+  for (const auto& r : remarks) {
+    if (r.kind != RemarkKind::kNote) lines.push_back(r.message);
+  }
+  if (verify.ran) {
+    std::string line = "verify (" + label + "): " + verify.check;
+    if (verify.skipped) {
+      line += " skipped: " + verify.skip_reason;
+    } else {
+      line += " certified, " + std::to_string(verify.instances_checked) +
+              " instance(s) checked";
+    }
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::vector<std::string> PipelineReport::legacy_lines() const {
+  std::vector<std::string> lines;
+  for (const auto& report : passes) {
+    for (auto& line : report.legacy_lines()) lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::string PipelineReport::to_json(const std::string& program,
+                                    const std::string& pipeline) const {
+  std::ostringstream os;
+  os << "{\"schema\": \"bwc-remarks-v1\"";
+  os << ", \"program\": " << json_str(program);
+  os << ", \"pipeline\": " << json_str(pipeline);
+  os << ", \"analysis_cache\": {\"hits\": " << analysis.hits
+     << ", \"misses\": " << analysis.misses
+     << ", \"invalidations\": " << analysis.invalidations << "}";
+  os << ", \"passes\": [";
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    const PassReport& p = passes[i];
+    if (i > 0) os << ", ";
+    os << "{\"pass\": " << json_str(p.pass)
+       << ", \"label\": " << json_str(p.label)
+       << ", \"changed\": " << (p.changed ? "true" : "false");
+    char ms[64];
+    std::snprintf(ms, sizeof(ms), "%.6f", p.wall_ms);
+    os << ", \"wall_ms\": " << ms;
+    std::snprintf(ms, sizeof(ms), "%.6f", p.verify_ms);
+    os << ", \"verify_ms\": " << ms;
+    os << ", ";
+    append_ir_stats(os, "ir_before", p.ir_before);
+    os << ", ";
+    append_ir_stats(os, "ir_after", p.ir_after);
+    os << ", \"traffic_bound_before_bytes\": " << p.traffic_bound_before
+       << ", \"traffic_bound_after_bytes\": " << p.traffic_bound_after
+       << ", \"traffic_bound_delta_bytes\": " << p.traffic_bound_delta();
+    if (p.verify.ran) {
+      os << ", \"verify\": {\"check\": " << json_str(p.verify.check)
+         << ", \"skipped\": " << (p.verify.skipped ? "true" : "false")
+         << ", \"skip_reason\": " << json_str(p.verify.skip_reason)
+         << ", \"instances_checked\": " << p.verify.instances_checked << "}";
+    } else {
+      os << ", \"verify\": null";
+    }
+    os << ", \"remarks\": [";
+    for (std::size_t r = 0; r < p.remarks.size(); ++r) {
+      const Remark& rem = p.remarks[r];
+      if (r > 0) os << ", ";
+      os << "{\"kind\": " << json_str(remark_kind_name(rem.kind))
+         << ", \"code\": " << json_str(rem.code)
+         << ", \"message\": " << json_str(rem.message) << ", \"args\": {";
+      for (std::size_t a = 0; a < rem.args.size(); ++a) {
+        if (a > 0) os << ", ";
+        os << json_str(rem.args[a].first) << ": "
+           << json_str(rem.args[a].second);
+      }
+      os << "}}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace bwc::pass

@@ -1,0 +1,117 @@
+// Structured per-pass reporting: remarks, IR deltas, timing and verifier
+// outcomes, replacing the optimizer's old free-form string log. Every pass
+// run produces one PassReport; a pipeline run produces a PipelineReport.
+// The legacy log lines are derived from the reports (legacy_lines), so
+// core::render_log output stays stable while every fact is also available
+// as a typed field. docs/PIPELINE.md documents the remark schema; the JSON
+// rendering is validated in CI by tools/check_remarks_schema.py.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bwc/analysis/access_summary.h"
+#include "bwc/ir/program.h"
+
+namespace bwc::pass {
+
+/// How a remark relates to the legacy log: kApplied and kMissed remarks
+/// are exactly the lines the pre-pass-manager optimizer logged (their
+/// `message` is byte-identical to the old line); kNote remarks are
+/// additional machine-readable detail (why a fusion was rejected, which
+/// array shrank) that never appears in render_log.
+enum class RemarkKind { kApplied, kMissed, kNote };
+
+const char* remark_kind_name(RemarkKind kind);
+
+/// One machine-readable observation from a pass run.
+struct Remark {
+  RemarkKind kind = RemarkKind::kNote;
+  /// Stable kebab-case code, e.g. "fusion-applied", "store-eliminated".
+  std::string code;
+  /// Human-readable text; for kApplied/kMissed this is the legacy log line.
+  std::string message;
+  /// Structured key=value detail (all values rendered as strings).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Coarse shape of the IR, captured before and after every pass.
+struct IrStats {
+  int loops = 0;       // top-level loop nests
+  int statements = 0;  // top-level statements (loops included)
+  int arrays_referenced = 0;
+  std::uint64_t referenced_bytes = 0;
+};
+
+/// Compute IrStats from cached per-statement summaries (one per top-level
+/// statement, as produced by AnalysisManager::statement_summaries).
+IrStats compute_ir_stats(const ir::Program& program,
+                         const std::vector<analysis::LoopSummary>& summaries);
+
+/// Outcome of the inter-pass verifier check that followed a pass.
+struct VerifyOutcome {
+  bool ran = false;
+  /// Which checker ran ("translation", "storage-reduction", ...).
+  std::string check;
+  /// The instance-level part was skipped (event budget).
+  bool skipped = false;
+  std::string skip_reason;
+  std::uint64_t instances_checked = 0;
+};
+
+/// Everything one pass run produced.
+struct PassReport {
+  std::string pass;   // PipelineSpec name, e.g. "fuse"
+  std::string label;  // human label used in logs, e.g. "fusion"
+  bool changed = false;
+  double wall_ms = 0.0;    // transform time (excludes verification)
+  double verify_ms = 0.0;  // inter-pass checker time
+  IrStats ir_before;
+  IrStats ir_after;
+  /// Static memory-traffic lower bound (verify::traffic_bound) of the
+  /// program before/after the pass, in bytes; -1 when not computed.
+  std::int64_t traffic_bound_before = -1;
+  std::int64_t traffic_bound_after = -1;
+  VerifyOutcome verify;
+  std::vector<Remark> remarks;
+
+  /// after - before, or 0 when either side was not computed.
+  std::int64_t traffic_bound_delta() const;
+
+  void applied(std::string code, std::string message,
+               std::vector<std::pair<std::string, std::string>> args = {});
+  void missed(std::string code, std::string message,
+              std::vector<std::pair<std::string, std::string>> args = {});
+  void note(std::string code, std::string message,
+            std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// The legacy optimizer log lines for this pass: kApplied/kMissed remark
+  /// messages in order, then the verify line when the checker ran.
+  std::vector<std::string> legacy_lines() const;
+};
+
+/// Analysis-cache counters (filled from AnalysisManager::stats()).
+struct AnalysisCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;
+};
+
+/// One pipeline run: per-pass reports plus cache counters.
+struct PipelineReport {
+  std::vector<PassReport> passes;
+  AnalysisCacheStats analysis;
+
+  /// Legacy log lines of all passes, in pipeline order.
+  std::vector<std::string> legacy_lines() const;
+
+  /// Machine-readable rendering (schema "bwc-remarks-v1"; validated by
+  /// tools/check_remarks_schema.py). `program` and `pipeline` name the
+  /// optimized program and the PipelineSpec that produced the run.
+  std::string to_json(const std::string& program,
+                      const std::string& pipeline) const;
+};
+
+}  // namespace bwc::pass

@@ -57,7 +57,12 @@ void interchange(ir::Program& program, int top_index) {
   std::swap(outer.loop->upper, inner->loop->upper);
 }
 
-InterchangeResult auto_interchange(const ir::Program& program) {
+InterchangeResult auto_interchange(
+    const ir::Program& program,
+    const std::vector<analysis::LoopSummary>* statement_summaries) {
+  BWC_CHECK(statement_summaries == nullptr ||
+                statement_summaries->size() == program.top().size(),
+            "statement summaries must cover every top-level statement");
   InterchangeResult result;
   result.program = program.clone();
 
@@ -65,8 +70,15 @@ InterchangeResult auto_interchange(const ir::Program& program) {
     const Stmt& stmt =
         *result.program.top()[static_cast<std::size_t>(idx)];
     if (inner_of(const_cast<Stmt&>(stmt)) == nullptr) continue;
-    const analysis::LoopSummary s =
-        analysis::summarize_loop(result.program, idx);
+    // Earlier swaps touch other nests only, so the cached summary of this
+    // nest is still the summary of the cloned nest.
+    analysis::LoopSummary computed;
+    if (statement_summaries == nullptr)
+      computed = analysis::summarize_loop(result.program, idx);
+    const analysis::LoopSummary& s =
+        statement_summaries != nullptr
+            ? (*statement_summaries)[static_cast<std::size_t>(idx)]
+            : computed;
     if (s.depth() != 2) continue;
 
     // Profitability: the stride-1 dimension (first subscript) of the

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bwc/analysis/access_summary.h"
 #include "bwc/ir/program.h"
 
 namespace bwc::transform {
@@ -39,7 +40,12 @@ struct InterchangeResult {
 /// Heuristic driver: interchange every 2-deep nest whose innermost loop
 /// variable does not appear in the stride-1 (first) subscript dimension of
 /// the nest's array references -- i.e. nests traversing column-major data
-/// row-by-row -- whenever legal.
-InterchangeResult auto_interchange(const ir::Program& program);
+/// row-by-row -- whenever legal. When `statement_summaries` is given it
+/// must hold one summarize_statement result per top-level statement of
+/// `program` (pass::AnalysisManager provides exactly that); candidate
+/// nests are then screened against the cached summaries.
+InterchangeResult auto_interchange(
+    const ir::Program& program,
+    const std::vector<analysis::LoopSummary>* statement_summaries = nullptr);
 
 }  // namespace bwc::transform

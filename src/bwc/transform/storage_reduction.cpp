@@ -653,12 +653,22 @@ void apply_shrink(Program& p, ArrayId array, const ShrinkPlan& plan,
 
 }  // namespace
 
-std::uint64_t referenced_array_bytes(const Program& program) {
+std::uint64_t referenced_array_bytes(
+    const Program& program,
+    const std::vector<analysis::LoopSummary>* statement_summaries) {
+  BWC_CHECK(statement_summaries == nullptr ||
+                statement_summaries->size() == program.top().size(),
+            "statement summaries must cover every top-level statement");
   std::vector<bool> referenced(
       static_cast<std::size_t>(program.array_count()), false);
   for (int k = 0; k < static_cast<int>(program.top().size()); ++k) {
-    const analysis::LoopSummary s =
-        analysis::summarize_statement(program, k);
+    analysis::LoopSummary computed;
+    if (statement_summaries == nullptr)
+      computed = analysis::summarize_statement(program, k);
+    const analysis::LoopSummary& s =
+        statement_summaries != nullptr
+            ? (*statement_summaries)[static_cast<std::size_t>(k)]
+            : computed;
     for (const auto& [array, access] : s.arrays)
       referenced[static_cast<std::size_t>(array)] = true;
   }
@@ -670,11 +680,14 @@ std::uint64_t referenced_array_bytes(const Program& program) {
   return bytes;
 }
 
-StorageReductionResult reduce_storage(const Program& program) {
+StorageReductionResult reduce_storage(
+    const Program& program,
+    const std::vector<analysis::LoopSummary>* statement_summaries) {
   StorageReductionResult result;
   result.program = program.clone();
   Program& p = result.program;
-  result.referenced_bytes_before = referenced_array_bytes(p);
+  result.referenced_bytes_before =
+      referenced_array_bytes(p, statement_summaries);
 
   std::vector<std::string> scalar_names(p.scalars());
   const int original_arrays = p.array_count();

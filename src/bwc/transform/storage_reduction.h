@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bwc/analysis/access_summary.h"
 #include "bwc/ir/program.h"
 
 namespace bwc::transform {
@@ -36,10 +37,20 @@ struct StorageReductionResult {
   std::uint64_t referenced_bytes_after = 0;
 };
 
-/// Apply storage reduction to every array where it is provably safe.
-StorageReductionResult reduce_storage(const ir::Program& program);
+/// Apply storage reduction to every array where it is provably safe. When
+/// `statement_summaries` is given it must hold one summarize_statement
+/// result per top-level statement of `program` (pass::AnalysisManager
+/// provides exactly that); the pre-transform referenced-bytes census then
+/// reuses them (the post-transform census always re-walks the rewritten
+/// IR).
+StorageReductionResult reduce_storage(
+    const ir::Program& program,
+    const std::vector<analysis::LoopSummary>* statement_summaries = nullptr);
 
-/// Bytes of arrays that are referenced by at least one statement.
-std::uint64_t referenced_array_bytes(const ir::Program& program);
+/// Bytes of arrays that are referenced by at least one statement. The
+/// optional `statement_summaries` follow the reduce_storage contract.
+std::uint64_t referenced_array_bytes(
+    const ir::Program& program,
+    const std::vector<analysis::LoopSummary>* statement_summaries = nullptr);
 
 }  // namespace bwc::transform

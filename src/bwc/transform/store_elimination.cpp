@@ -152,17 +152,26 @@ bool forward_through_scalar(StmtList& body, ArrayId array,
 
 }  // namespace
 
-StoreEliminationResult eliminate_stores(const Program& program) {
+StoreEliminationResult eliminate_stores(
+    const Program& program,
+    const std::vector<analysis::ArrayLiveness>* liveness) {
   StoreEliminationResult result;
   result.program = program.clone();
   Program& p = result.program;
 
-  const auto liveness = analysis::analyze_liveness(p);
+  const std::vector<analysis::ArrayLiveness> computed =
+      liveness != nullptr ? std::vector<analysis::ArrayLiveness>{}
+                          : analysis::analyze_liveness(p);
+  const std::vector<analysis::ArrayLiveness>& live_arrays =
+      liveness != nullptr ? *liveness : computed;
+  BWC_CHECK(live_arrays.size() ==
+                static_cast<std::size_t>(p.array_count()),
+            "liveness must cover every array of the program");
   std::vector<std::string> scalar_names(p.scalars());
 
   for (int a = 0; a < p.array_count(); ++a) {
     const analysis::ArrayLiveness& live =
-        liveness[static_cast<std::size_t>(a)];
+        live_arrays[static_cast<std::size_t>(a)];
     if (live.is_output || live.writing_stmts.empty()) continue;
     // All writes in one statement; no later statement reads the array.
     if (live.writing_stmts.front() != live.writing_stmts.back()) continue;

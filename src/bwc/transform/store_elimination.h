@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "bwc/analysis/liveness.h"
 #include "bwc/ir/program.h"
 
 namespace bwc::transform {
@@ -34,6 +35,11 @@ struct StoreEliminationResult {
 ///  - no reference sits under a guard (conservative).
 /// Writes become scalar assignments; subsequent same-iteration reads use
 /// the scalar; reads before the write keep reading the array's old values.
-StoreEliminationResult eliminate_stores(const ir::Program& program);
+/// When `liveness` is given it must be analyze_liveness of `program`
+/// (pass::AnalysisManager provides exactly that); the transform then skips
+/// its own liveness derivation.
+StoreEliminationResult eliminate_stores(
+    const ir::Program& program,
+    const std::vector<analysis::ArrayLiveness>* liveness = nullptr);
 
 }  // namespace bwc::transform

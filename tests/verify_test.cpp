@@ -487,11 +487,15 @@ TEST(Pipeline, VerifierCertifiesEveryPass) {
   opts.scalar_replacement = true;
   const core::OptimizeResult result =
       core::optimize(workloads::blur_sharpen(256), opts);
-  int verify_lines = 0;
-  for (const auto& line : result.log) {
-    if (line.rfind("verify (", 0) == 0) ++verify_lines;
+  int verified_passes = 0;
+  for (const auto& report : result.pipeline.passes) {
+    if (report.verify.ran) {
+      ++verified_passes;
+      EXPECT_TRUE(report.changed) << report.pass;
+      EXPECT_FALSE(report.verify.check.empty()) << report.pass;
+    }
   }
-  EXPECT_GE(verify_lines, 2) << core::render_log(result);
+  EXPECT_GE(verified_passes, 2) << core::render_log(result);
 }
 
 TEST(Pipeline, VerifyOffProducesNoVerifyLines) {
@@ -499,8 +503,8 @@ TEST(Pipeline, VerifyOffProducesNoVerifyLines) {
   opts.verify = false;
   const core::OptimizeResult result =
       core::optimize(workloads::blur_sharpen(256), opts);
-  for (const auto& line : result.log) {
-    EXPECT_NE(line.rfind("verify (", 0), 0u) << line;
+  for (const auto& report : result.pipeline.passes) {
+    EXPECT_FALSE(report.verify.ran) << report.pass;
   }
 }
 
@@ -510,10 +514,10 @@ TEST(Pipeline, OversizedProgramsDegradeToStructuralChecks) {
   const core::OptimizeResult result =
       core::optimize(workloads::fig7_original(400000), opts);
   bool skipped = false;
-  for (const auto& line : result.log) {
-    if (line.rfind("verify (", 0) == 0 &&
-        line.find("skipped") != std::string::npos) {
+  for (const auto& report : result.pipeline.passes) {
+    if (report.verify.ran && report.verify.skipped) {
       skipped = true;
+      EXPECT_FALSE(report.verify.skip_reason.empty()) << report.pass;
     }
   }
   EXPECT_TRUE(skipped) << core::render_log(result);

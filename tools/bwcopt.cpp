@@ -1,54 +1,19 @@
 // bwcopt — command-line driver for the bandwidth optimizer.
 //
-//   bwcopt [options]
-//     --program <fig6|fig7|sec21|random>   workload (default fig7)
-//     --file <path>                        parse a program from a text
-//                                          file (printer format) instead
-//     --n <int>                            problem size (default 100000;
-//                                          fig6 uses a 2-D n x n)
-//     --machine <o2k|exemplar|modern>      machine model (default o2k)
-//     --cores <int>                        core count for the multicore
-//                                          shared-bandwidth model (default
-//                                          1); runs the parallel compiled
-//                                          engine and prints the scaling
-//                                          curve with the bus-saturation
-//                                          point
-//     --scale <int>                        cache scale divisor (default 16)
-//     --engine <compiled|reference>        replay engine for measurement
-//                                          (default compiled; both are
-//                                          bit-identical, compiled is
-//                                          several times faster)
-//     --fast-forward / --no-fast-forward   steady-state fast-forward in
-//                                          the compiled replay (default
-//                                          on; exact macrosimulation, all
-//                                          observables bit-identical --
-//                                          the off switch exists for
-//                                          timing comparisons and
-//                                          debugging)
-//     --solver <best|exact|greedy|bisection|edge-weighted|none>
-//     --no-storage --no-stores             disable individual passes
-//     --regroup                            also run inter-array regrouping
-//     --shift                              allow fusion with loop alignment
-//     --interchange                        stride-1 loop interchange first
-//     --scalar-replace                     rotating-scalar register reuse
-//     --seed <int>                         seed for --program random
-//     --verify                             print the static traffic
-//                                          lower-bound report and assert
-//                                          bound <= measured traffic
-//     --no-verify                          skip the in-pipeline verifier
-//                                          (translation validation and
-//                                          observability certification run
-//                                          after every pass by default)
-//     --print                              print before/after programs
-//     --help
+// Runs the pass pipeline over a workload, measures original vs optimized
+// on a machine model, and reports: the pass log, before/after traffic +
+// predicted time, scaling curves (--cores), the tuning report, and a
+// semantics check. `bwcopt --help` documents every flag.
 //
-// Output: the pass log, before/after traffic + predicted time on the
-// chosen machine, the tuning report, and a semantics check.
-#include <cstring>
+// Exit status: 0 on success, 1 when the traffic-bound or semantics check
+// fails (a bug), 2 on bad usage or any error.
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bwc/core/optimizer.h"
 #include "bwc/ir/parser.h"
@@ -59,7 +24,6 @@
 #include "bwc/support/error.h"
 #include "bwc/support/prng.h"
 #include "bwc/support/table.h"
-#include "bwc/transform/regrouping.h"
 #include "bwc/verify/verify.h"
 #include "bwc/workloads/paper_programs.h"
 #include "bwc/workloads/random_programs.h"
@@ -77,6 +41,7 @@ struct Options {
   std::uint64_t scale = 16;
   std::string engine = "compiled";
   bool fast_forward = true;
+  std::string passes;
   std::string solver = "best";
   bool storage = true;
   bool stores = true;
@@ -86,79 +51,200 @@ struct Options {
   bool scalar_replace = false;
   std::uint64_t seed = 1;
   bool print = false;
+  bool print_after_all = false;
+  /// "json": print the structured pass reports as the only stdout output.
+  std::string remarks;
   /// Print the traffic-bound report and assert bound <= measured traffic.
   bool verify_report = false;
   /// Run the independent verifier after every optimizer pass.
   bool verify_pipeline = true;
+  /// Serve repeated analysis queries from the AnalysisManager cache.
+  bool cache_analyses = true;
+  /// Fingerprint cache entries and fail on undeclared invalidations.
+  bool audit_analyses = false;
 };
 
-[[noreturn]] void usage(int code) {
-  std::cout <<
-      "bwcopt --program <fig6|fig7|sec21|random> --n <int> "
-      "--machine <o2k|exemplar|modern> --cores <int>\n"
-      "       --scale <int> --engine <compiled|reference> "
-      "[--fast-forward|--no-fast-forward] --solver "
-      "<best|exact|greedy|bisection|edge-weighted|none>\n"
-      "       [--no-storage] [--no-stores] [--regroup] [--shift] "
-      "[--seed <int>] [--verify] [--no-verify] [--print]\n";
-  std::exit(code);
+/// One entry of the flag table: every flag bwcopt accepts, its value
+/// placeholder (empty for boolean flags), one-line help, and its effect.
+struct Flag {
+  const char* name;
+  const char* value;  // e.g. "<int>"; "" for flags taking no value
+  const char* help;
+  void (*apply)(Options&, const std::string&);
+};
+
+const Flag kFlags[] = {
+    // Workload selection.
+    {"--program", "<fig6|fig7|sec21|random>",
+     "workload to optimize (default fig7)",
+     [](Options& o, const std::string& v) { o.program = v; }},
+    {"--file", "<path>",
+     "parse the program from a text file (printer format) instead",
+     [](Options& o, const std::string& v) { o.file = v; }},
+    {"--n", "<int>",
+     "problem size (default 100000; fig6 uses a 2-D n x n, capped at 2000)",
+     [](Options& o, const std::string& v) { o.n = std::stoll(v); }},
+    {"--seed", "<int>", "PRNG seed for --program random (default 1)",
+     [](Options& o, const std::string& v) { o.seed = std::stoull(v); }},
+    // Machine model and measurement.
+    {"--machine", "<o2k|exemplar|modern>", "machine model (default o2k)",
+     [](Options& o, const std::string& v) { o.machine = v; }},
+    {"--cores", "<int>",
+     "core count for the multicore shared-bandwidth model (default 1); "
+     "runs the parallel compiled engine and prints the scaling curve with "
+     "the bus-saturation point",
+     [](Options& o, const std::string& v) { o.cores = std::stoi(v); }},
+    {"--scale", "<int>", "cache scale divisor (default 16)",
+     [](Options& o, const std::string& v) { o.scale = std::stoull(v); }},
+    {"--engine", "<compiled|reference>",
+     "replay engine for measurement (default compiled; both are "
+     "bit-identical, compiled is several times faster)",
+     [](Options& o, const std::string& v) { o.engine = v; }},
+    {"--fast-forward", "",
+     "steady-state fast-forward in the compiled replay (default on; exact "
+     "macrosimulation, all observables bit-identical)",
+     [](Options& o, const std::string&) { o.fast_forward = true; }},
+    {"--no-fast-forward", "",
+     "disable fast-forward (for timing comparisons and debugging)",
+     [](Options& o, const std::string&) { o.fast_forward = false; }},
+    // Pipeline selection.
+    {"--passes", "<spec>",
+     "explicit pass pipeline, e.g. "
+     "\"interchange,fuse(solver=exact),reduce-storage,eliminate-stores\" "
+     "(grammar in docs/PIPELINE.md); overrides --solver, --no-storage, "
+     "--no-stores, --shift, --interchange and --scalar-replace",
+     [](Options& o, const std::string& v) { o.passes = v; }},
+    {"--solver", "<best|exact|greedy|bisection|edge-weighted|none>",
+     "fusion solver (default best; none skips fusion)",
+     [](Options& o, const std::string& v) { o.solver = v; }},
+    {"--no-storage", "", "disable the storage-reduction pass",
+     [](Options& o, const std::string&) { o.storage = false; }},
+    {"--no-stores", "", "disable the store-elimination pass",
+     [](Options& o, const std::string&) { o.stores = false; }},
+    {"--regroup", "", "also run inter-array regrouping (appends the "
+     "regroup pass to the pipeline)",
+     [](Options& o, const std::string&) { o.regroup = true; }},
+    {"--shift", "", "allow fusion with loop alignment (bounded shifts)",
+     [](Options& o, const std::string&) { o.shift = true; }},
+    {"--interchange", "", "run stride-1 loop interchange before fusion",
+     [](Options& o, const std::string&) { o.interchange = true; }},
+    {"--scalar-replace", "", "rotating-scalar register reuse after the "
+     "bandwidth passes",
+     [](Options& o, const std::string&) { o.scalar_replace = true; }},
+    // Verification and reporting.
+    {"--verify", "",
+     "print the static traffic lower-bound report and assert bound <= "
+     "measured traffic",
+     [](Options& o, const std::string&) { o.verify_report = true; }},
+    {"--no-verify", "",
+     "skip the in-pipeline verifier (translation validation and "
+     "observability certification run after every pass by default)",
+     [](Options& o, const std::string&) { o.verify_pipeline = false; }},
+    {"--no-cache-analyses", "",
+     "recompute every analysis query instead of serving it from the "
+     "pass-manager cache (the pre-pass-manager behavior; results are "
+     "identical either way)",
+     [](Options& o, const std::string&) { o.cache_analyses = false; }},
+    {"--audit-analyses", "",
+     "fingerprint analysis-cache entries against the IR they were "
+     "computed from and fail on a stale hit -- catches passes that "
+     "mutate the program without declaring the invalidation",
+     [](Options& o, const std::string&) { o.audit_analyses = true; }},
+    {"--remarks", "<json>",
+     "print the structured per-pass reports (remarks, timing, predicted "
+     "traffic deltas) in the given format as the only output; skips "
+     "measurement (schema bwc-remarks-v1, docs/PIPELINE.md)",
+     [](Options& o, const std::string& v) { o.remarks = v; }},
+    {"--print", "", "print the original and optimized programs",
+     [](Options& o, const std::string&) { o.print = true; }},
+    {"--print-after-all", "", "print the program after every pass",
+     [](Options& o, const std::string&) { o.print_after_all = true; }},
+};
+
+void print_help(std::ostream& os) {
+  os << "bwcopt -- drive the bandwidth optimizer over a workload and "
+        "measure it\n\n"
+        "usage: bwcopt [options]\n\n"
+        "Output: the pass log, before/after memory traffic and predicted "
+        "time on the\nchosen machine model, scaling curves (--cores > 1), "
+        "the tuning report, and a\nsemantics check. Exit 0 on success, 1 "
+        "when a bound or the semantics check is\nviolated, 2 on bad usage "
+        "or any error.\n\noptions:\n";
+  for (const Flag& flag : kFlags) {
+    std::string head = "  " + std::string(flag.name);
+    if (flag.value[0] != '\0') head += " " + std::string(flag.value);
+    os << head << "\n";
+    // Wrap the help text at 70 columns under an 8-column indent.
+    std::istringstream words(flag.help);
+    std::string word;
+    std::string line;
+    while (words >> word) {
+      if (!line.empty() && line.size() + 1 + word.size() > 70) {
+        os << "        " << line << "\n";
+        line.clear();
+      }
+      if (!line.empty()) line += " ";
+      line += word;
+    }
+    if (!line.empty()) os << "        " << line << "\n";
+  }
+  os << "  --help\n        print this help and exit\n";
+}
+
+[[noreturn]] void usage_error(const std::string& why) {
+  std::cerr << "bwcopt: " << why << "\n"
+            << "usage: bwcopt [options]; run bwcopt --help for the flag "
+               "list\n";
+  std::exit(2);
 }
 
 Options parse(int argc, char** argv) {
   Options o;
-  auto value = [&](int& i) -> std::string {
-    if (i + 1 >= argc) usage(2);
-    return argv[++i];
-  };
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--program") {
-      o.program = value(i);
-    } else if (arg == "--file") {
-      o.file = value(i);
-    } else if (arg == "--n") {
-      o.n = std::stoll(value(i));
-    } else if (arg == "--machine") {
-      o.machine = value(i);
-    } else if (arg == "--cores") {
-      o.cores = std::stoi(value(i));
-    } else if (arg == "--scale") {
-      o.scale = std::stoull(value(i));
-    } else if (arg == "--engine") {
-      o.engine = value(i);
-    } else if (arg == "--fast-forward") {
-      o.fast_forward = true;
-    } else if (arg == "--no-fast-forward") {
-      o.fast_forward = false;
-    } else if (arg == "--solver") {
-      o.solver = value(i);
-    } else if (arg == "--no-storage") {
-      o.storage = false;
-    } else if (arg == "--no-stores") {
-      o.stores = false;
-    } else if (arg == "--regroup") {
-      o.regroup = true;
-    } else if (arg == "--shift") {
-      o.shift = true;
-    } else if (arg == "--interchange") {
-      o.interchange = true;
-    } else if (arg == "--scalar-replace") {
-      o.scalar_replace = true;
-    } else if (arg == "--seed") {
-      o.seed = std::stoull(value(i));
-    } else if (arg == "--verify") {
-      o.verify_report = true;
-    } else if (arg == "--no-verify") {
-      o.verify_pipeline = false;
-    } else if (arg == "--print") {
-      o.print = true;
-    } else if (arg == "--help" || arg == "-h") {
-      usage(0);
-    } else {
-      std::cerr << "unknown flag: " << arg << "\n";
-      usage(2);
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(std::cout);
+      std::exit(0);
+    }
+    // Accept both "--flag value" and "--flag=value".
+    std::string inline_value;
+    bool has_inline = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline = true;
+    }
+    const Flag* found = nullptr;
+    for (const Flag& flag : kFlags) {
+      if (arg == flag.name) {
+        found = &flag;
+        break;
+      }
+    }
+    if (found == nullptr) usage_error("unknown flag: " + arg);
+    const bool takes_value = found->value[0] != '\0';
+    std::string value;
+    if (takes_value) {
+      if (has_inline) {
+        value = inline_value;
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        usage_error("flag " + arg + " requires a value " + found->value);
+      }
+    } else if (has_inline) {
+      usage_error("flag " + arg + " takes no value");
+    }
+    try {
+      found->apply(o, value);
+    } catch (const std::exception&) {
+      usage_error("bad value \"" + value + "\" for flag " + arg);
     }
   }
+  if (!o.remarks.empty() && o.remarks != "json")
+    usage_error("unknown remarks format: " + o.remarks + " (supported: json)");
+  if (o.cores < 1) usage_error("--cores must be >= 1");
   return o;
 }
 
@@ -213,13 +299,23 @@ core::FusionSolver make_solver(const std::string& name) {
   throw Error("unknown solver: " + name);
 }
 
+/// The PipelineSpec string this invocation runs: --passes verbatim, else
+/// the default pipeline of the per-pass flags; --regroup appends the
+/// regroup pass either way.
+std::string effective_pipeline(const Options& o,
+                               const core::OptimizerOptions& opts) {
+  std::string spec = o.passes.empty() ? core::default_pipeline(opts)
+                                      : o.passes;
+  if (o.regroup) spec += (spec.empty() ? "regroup" : ",regroup");
+  return spec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
   try {
-    const Options o = parse(argc, argv);
     const ir::Program original = make_program(o);
-    const machine::MachineModel machine = make_machine(o);
 
     core::OptimizerOptions opts;
     opts.solver = make_solver(o.solver);
@@ -229,16 +325,28 @@ int main(int argc, char** argv) {
     opts.auto_interchange = o.interchange;
     opts.scalar_replacement = o.scalar_replace;
     opts.verify = o.verify_pipeline;
+    opts.cache_analyses = o.cache_analyses;
+    opts.audit_analyses = o.audit_analyses;
     opts.cores = o.cores;
-    core::OptimizeResult result = core::optimize(original, opts);
-    if (o.regroup) {
-      transform::RegroupingResult rr =
-          transform::regroup_all(result.program);
-      for (const auto& a : rr.actions)
-        result.log.push_back("regrouping: " + a);
-      result.program = std::move(rr.program);
+    opts.passes = effective_pipeline(o, opts);
+    if (o.print_after_all) {
+      opts.print_after = [](const pass::Pass& pass,
+                            const ir::Program& program) {
+        std::cout << "---- after " << pass.name() << " ----\n"
+                  << ir::to_string(program) << "\n";
+      };
+    }
+    const core::OptimizeResult result = core::optimize(original, opts);
+
+    if (!o.remarks.empty()) {
+      // Machine-readable mode: the JSON document is the only stdout
+      // output, so CI can pipe it straight into the schema validator.
+      const std::string name = o.file.empty() ? o.program : o.file;
+      std::cout << result.pipeline.to_json(name, opts.passes) << "\n";
+      return 0;
     }
 
+    const machine::MachineModel machine = make_machine(o);
     if (o.print) {
       std::cout << "---- original ----\n" << ir::to_string(original)
                 << "\n---- optimized ----\n" << ir::to_string(result.program)
@@ -312,7 +420,7 @@ int main(int argc, char** argv) {
     std::cout << model::render_tuning_report(
         model::tuning_report(after.profile, machine));
     return ok ? 0 : 1;
-  } catch (const bwc::Error& e) {
+  } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
