@@ -17,15 +17,25 @@ Measurement measure(const ir::Program& program,
   // tests/parallel_runtime_test.cpp), so this only exercises the engine
   // the machine model implies. The reference interpreter is serial-only.
   opts.cores =
-      options.engine == ExecEngine::kCompiled ? machine.core_count : 1;
+      options.engine == ExecEngine::kReference ? 1 : machine.core_count;
   opts.fast_forward = options.fast_forward;
   Measurement m;
   // Every figure/ablation that measures programs goes through here, so the
   // compiled engine is the default; the reference interpreter stays
-  // selectable for debugging and differential checks.
-  m.exec = options.engine == ExecEngine::kCompiled
-               ? runtime::execute_compiled(program, opts)
-               : runtime::execute(program, opts);
+  // selectable for debugging and differential checks, and the native
+  // engine (host-compiled kernels, VM fallback) rides the same options.
+  switch (options.engine) {
+    case ExecEngine::kCompiled:
+      m.exec = runtime::execute_compiled(program, opts);
+      break;
+    case ExecEngine::kNative:
+      m.exec = runtime::execute_native(program, opts, options.native,
+                                       options.native_report);
+      break;
+    case ExecEngine::kReference:
+      m.exec = runtime::execute(program, opts);
+      break;
+  }
   m.profile = m.exec.profile;
   m.time = machine::predict_time(m.profile, machine);
   m.balance = ProgramBalance::from_profile(program.name(), m.profile);

@@ -9,6 +9,7 @@
 #include "bwc/machine/machine_model.h"
 #include "bwc/machine/timing.h"
 #include "bwc/model/balance.h"
+#include "bwc/runtime/codegen.h"
 #include "bwc/runtime/compiled.h"
 
 namespace bwc::model {
@@ -20,20 +21,28 @@ struct Measurement {
   ProgramBalance balance;
 };
 
-/// Which replay engine performs the measurement. Both are bit-identical
-/// (held so by tests/compiled_runtime_test.cpp); the compiled engine is
-/// several times faster and is the default everywhere. The reference
-/// interpreter remains selectable for debugging and A/B checks.
-enum class ExecEngine { kCompiled, kReference };
+/// Which replay engine performs the measurement. All are bit-identical
+/// (held so by tests/compiled_runtime_test.cpp and tests/codegen_test.cpp);
+/// the compiled bytecode VM is several times faster than the reference
+/// interpreter and is the default everywhere. kNative compiles the
+/// lowered program to host machine code (runtime/codegen.h) and falls
+/// back to the VM when no host C compiler is available -- the fallback
+/// reason lands in MeasureOptions::native_report.
+enum class ExecEngine { kCompiled, kReference, kNative };
 
-/// Knobs for measure(). `fast_forward` controls the compiled engine's
+/// Knobs for measure(). `fast_forward` controls the compiled engines'
 /// steady-state fast-forward (see runtime::ExecOptions::fast_forward);
 /// measured profiles are bit-identical either way, so this is purely a
 /// replay-speed / A-B-debugging toggle. The reference interpreter ignores
-/// it.
+/// it. `native` configures the kNative engine's compile step (cache
+/// directory, compiler override) and is ignored by the other engines;
+/// `native_report`, when non-null, receives what the native engine
+/// actually did (including the VM-fallback warning).
 struct MeasureOptions {
   ExecEngine engine = ExecEngine::kCompiled;
   bool fast_forward = true;
+  runtime::NativeOptions native;
+  runtime::NativeReport* native_report = nullptr;
 };
 
 /// Execute `program` on the machine's simulated hierarchy (caches start

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "bwc/runtime/exec_state.h"
 #include "bwc/runtime/fastforward.h"
 #include "bwc/runtime/parallel.h"
 #include "bwc/runtime/recorder.h"
@@ -14,60 +15,26 @@ namespace bwc::runtime {
 
 namespace {
 
-/// Runtime state for one execution of a lowered program. Mirrors the
-/// reference interpreter's Machine exactly (same base-address walk, same
-/// deterministic initial contents) so results are bit-identical.
+/// Bytecode executor over the shared ExecState (exec_state.h), which
+/// mirrors the reference interpreter's Machine exactly (same base-address
+/// walk, same deterministic initial contents) so results are
+/// bit-identical.
 class Vm {
  public:
   Vm(const LoweredProgram& lp, const ExecOptions& opts,
      StreamScheduler* scheduler)
       : lp_(lp),
+        st_(lp, opts),
         recorder_(opts.hierarchy, opts.coalesce_accesses),
         scheduler_(scheduler),
         fast_forward_(opts.fast_forward) {
-    const std::uint64_t align = opts.array_alignment;
-    BWC_CHECK(align > 0 && (align & (align - 1)) == 0,
-              "array alignment must be a power of two");
-    std::uint64_t next = opts.base_address;
-    storage_.reserve(lp.arrays.size());
-    for (const auto& decl : lp.arrays) {
-      next = (next + align - 1) / align * align;
-      bases_.push_back(next);
-      next += static_cast<std::uint64_t>(decl.element_count) * decl.elem_bytes;
-      std::vector<double>& data = storage_.emplace_back();
-      data.resize(static_cast<std::size_t>(decl.element_count));
-      for (std::int64_t k = 0; k < decl.element_count; ++k)
-        data[static_cast<std::size_t>(k)] =
-            ir::input_value(decl.initial_key, k);
-    }
-    scalars_.assign(lp.scalar_names.size(), 0.0);
     iters_.assign(static_cast<std::size_t>(lp.iter_slot_count), 0);
     stack_.assign(lp.max_stack, 0.0);
-    for (auto& data : storage_) data_.push_back(data.data());
   }
 
   void run();
 
-  ExecResult result() const {
-    ExecResult r;
-    r.flops = recorder_.flop_count();
-    r.loads = recorder_.load_count();
-    r.stores = recorder_.store_count();
-    r.fast_forward_events = recorder_.fast_forward_events();
-    r.fast_forwarded_iterations = recorder_.fast_forwarded_iterations();
-    if (recorder_.hierarchy() != nullptr) r.profile = recorder_.profile();
-    for (std::size_t s = 0; s < scalars_.size(); ++s)
-      r.scalars[lp_.scalar_names[s]] = scalars_[s];
-    r.array_bases = bases_;
-    double checksum = 0.0;
-    for (std::int32_t slot : lp_.output_scalar_slots)
-      checksum += scalars_[static_cast<std::size_t>(slot)];
-    for (std::int32_t a : lp_.output_arrays) {
-      for (double x : storage_[static_cast<std::size_t>(a)]) checksum += x;
-    }
-    r.checksum = checksum;
-    return r;
-  }
+  ExecResult result() const { return st_.result(recorder_); }
 
  private:
   std::int64_t eval_lin(const LinExpr& e) const {
@@ -102,7 +69,8 @@ class Vm {
   // simulation see no difference.
 
   void run_stream_loop(const StreamLoop& sl) {
-    const StreamContext ctx{data_.data(), bases_.data(), scalars_.data()};
+    const StreamContext ctx{st_.data.data(), st_.bases.data(),
+                            st_.scalars.data()};
     if (scheduler_ != nullptr) {
       scheduler_->run(sl, ctx, recorder_);
     } else {
@@ -118,13 +86,10 @@ class Vm {
   }
 
   const LoweredProgram& lp_;
+  ExecState st_;
   Recorder recorder_;
   StreamScheduler* scheduler_;
   bool fast_forward_;
-  std::vector<std::uint64_t> bases_;
-  std::vector<std::vector<double>> storage_;
-  std::vector<double*> data_;  // storage_[a].data(), hot-path flat view
-  std::vector<double> scalars_;
   std::vector<std::int64_t> iters_;
   std::vector<double> stack_;
 };
@@ -134,9 +99,9 @@ void Vm::run() {
   // Local copies of the container data pointers: after an opaque call
   // (Recorder methods) the compiler would otherwise reload them through
   // `this` on every use.
-  double* const* data = data_.data();
-  const std::uint64_t* bases = bases_.data();
-  double* scalars = scalars_.data();
+  double* const* data = st_.data.data();
+  const std::uint64_t* bases = st_.bases.data();
+  double* scalars = st_.scalars.data();
   std::int64_t* iters = iters_.data();
   double* sp = stack_.data();  // next free stack cell
   std::size_t pc = 0;
@@ -167,8 +132,8 @@ void Vm::run() {
         const auto a = static_cast<std::size_t>(op.slot);
         const std::int64_t linear =
             locate(op, lp_.arrays[a].name.c_str());
-        recorder_.load(bases_[a] + static_cast<std::uint64_t>(linear) *
-                                       op.elem_bytes,
+        recorder_.load(bases[a] + static_cast<std::uint64_t>(linear) *
+                                      op.elem_bytes,
                        op.elem_bytes);
         *sp++ = data[a][linear];
         ++pc;
@@ -235,8 +200,8 @@ void Vm::run() {
         const auto a = static_cast<std::size_t>(op.slot);
         const std::int64_t linear =
             locate(op, lp_.arrays[a].name.c_str());
-        recorder_.store(bases_[a] + static_cast<std::uint64_t>(linear) *
-                                        op.elem_bytes,
+        recorder_.store(bases[a] + static_cast<std::uint64_t>(linear) *
+                                       op.elem_bytes,
                         op.elem_bytes);
         data[a][linear] = value;
         ++pc;

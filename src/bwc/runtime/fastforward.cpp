@@ -237,7 +237,30 @@ bool try_stream_values_fast(const StreamLoop& sl, std::int64_t lower,
   return false;
 }
 
+/// The VM's own kernels behind the StreamRangeExec interface.
+class DefaultRangeExec final : public StreamRangeExec {
+ public:
+  void range(const StreamLoop& sl, std::int64_t lower, std::int64_t upper,
+             const StreamContext& ctx, Recorder& rec) override {
+    run_stream_range(sl, lower, upper, ctx, rec);
+  }
+  void range_trace(const StreamLoop& sl, std::int64_t lower,
+                   std::int64_t upper, const StreamContext& ctx,
+                   TraceRecorder& trace) override {
+    run_stream_range(sl, lower, upper, ctx, trace);
+  }
+  void values(const StreamLoop& sl, std::int64_t lower, std::int64_t upper,
+              const StreamContext& ctx) override {
+    run_stream_values(sl, lower, upper, ctx);
+  }
+};
+
 }  // namespace
+
+StreamRangeExec& default_range_exec() {
+  static DefaultRangeExec exec;
+  return exec;
+}
 
 void run_stream_values(const StreamLoop& sl, std::int64_t lower,
                        std::int64_t upper, const StreamContext& ctx) {
@@ -269,16 +292,24 @@ bool stream_fast_forwardable(const StreamLoop& sl, const Recorder& rec) {
 void run_stream_serial(const StreamLoop& sl, std::int64_t lower,
                        std::int64_t upper, const StreamContext& ctx,
                        Recorder& rec, bool fast_forward) {
+  run_stream_serial_with(sl, lower, upper, ctx, rec, fast_forward,
+                         default_range_exec());
+}
+
+void run_stream_serial_with(const StreamLoop& sl, std::int64_t lower,
+                            std::int64_t upper, const StreamContext& ctx,
+                            Recorder& rec, bool fast_forward,
+                            StreamRangeExec& exec) {
   const std::int64_t trips = upper - lower + 1;
   if (trips <= 0) return;
   if (!fast_forward || !stream_fast_forwardable(sl, rec)) {
-    run_stream_range(sl, lower, upper, ctx, rec);
+    exec.range(sl, lower, upper, ctx, rec);
     return;
   }
   memsim::MemoryHierarchy* h = rec.hierarchy();
   const std::int64_t P = period_iters(sl, *h);
   if (trips < kMinPeriodsToAttempt * P) {
-    run_stream_range(sl, lower, upper, ctx, rec);
+    exec.range(sl, lower, upper, ctx, rec);
     return;
   }
   const std::int64_t period_shift = sl.uniform_step_bytes * P;
@@ -293,7 +324,7 @@ void run_stream_serial(const StreamLoop& sl, std::int64_t lower,
   std::int64_t i = lower;
   bool certified = false;
   while (i + P - 1 <= upper) {
-    run_stream_range(sl, i, i + P - 1, ctx, rec);
+    exec.range(sl, i, i + P - 1, ctx, rec);
     i += P;
     rec.flush();
     if (detector.boundary()) {
@@ -310,14 +341,14 @@ void run_stream_serial(const StreamLoop& sl, std::int64_t lower,
       // The arithmetic of the skipped iterations still runs -- values must
       // be exact for downstream statements and the checksum -- but as a
       // bare vectorizable loop with no recorder.
-      run_stream_values(sl, i, i + m * P - 1, ctx);
+      exec.values(sl, i, i + m * P - 1, ctx);
       const std::uint64_t fpi = stream_flops_per_iter(sl);
       if (fpi != 0)
         rec.flops(fpi * static_cast<std::uint64_t>(m * P));
       i += m * P;
     }
   }
-  if (i <= upper) run_stream_range(sl, i, upper, ctx, rec);
+  if (i <= upper) exec.range(sl, i, upper, ctx, rec);
 }
 
 void replay_stream_accesses(const StreamLoop& sl, std::int64_t lower,

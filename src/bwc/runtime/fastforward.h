@@ -64,6 +64,35 @@ void run_stream_values(const StreamLoop& sl, std::int64_t lower,
 /// periodic fixpoint must still be certified at run time.
 bool stream_fast_forwardable(const StreamLoop& sl, const Recorder& rec);
 
+/// How a stream-loop driver executes sub-ranges of a fused loop. The
+/// bytecode VM's drivers run them through run_stream_range /
+/// run_stream_values (default_range_exec()); the native backend
+/// (runtime/codegen.h) substitutes dlopen'ed per-loop kernels. Every
+/// implementation must be observably identical to the default: same
+/// values in the same order, same per-access stream into the recorder,
+/// same bulk flop charge at the end of a range. That contract is what
+/// lets the fast-forward protocol below and the parallel scheduler
+/// (parallel.h) drive either engine without knowing which one runs.
+class StreamRangeExec {
+ public:
+  virtual ~StreamRangeExec() = default;
+  /// run_stream_range() semantics into a live Recorder.
+  virtual void range(const StreamLoop& sl, std::int64_t lower,
+                     std::int64_t upper, const StreamContext& ctx,
+                     Recorder& rec) = 0;
+  /// run_stream_range() semantics into a parallel worker's private trace.
+  virtual void range_trace(const StreamLoop& sl, std::int64_t lower,
+                           std::int64_t upper, const StreamContext& ctx,
+                           TraceRecorder& trace) = 0;
+  /// run_stream_values() semantics: values only, no accesses, no flops.
+  virtual void values(const StreamLoop& sl, std::int64_t lower,
+                      std::int64_t upper, const StreamContext& ctx) = 0;
+};
+
+/// The VM's executor: run_stream_range / run_stream_values. Stateless
+/// shared instance.
+StreamRangeExec& default_range_exec();
+
 /// Run iterations [lower, upper] of `sl` on the calling thread, exactly
 /// like run_stream_range(), but with steady-state fast-forward when
 /// `fast_forward` is set and the preconditions hold: the loop replays
@@ -74,6 +103,15 @@ bool stream_fast_forwardable(const StreamLoop& sl, const Recorder& rec);
 void run_stream_serial(const StreamLoop& sl, std::int64_t lower,
                        std::int64_t upper, const StreamContext& ctx,
                        Recorder& rec, bool fast_forward);
+
+/// run_stream_serial() with an explicit range executor: the same
+/// period-detection protocol (replay period by period, certify, skip,
+/// tail) driving `exec`'s kernels instead of the VM's. run_stream_serial
+/// is exactly this with default_range_exec().
+void run_stream_serial_with(const StreamLoop& sl, std::int64_t lower,
+                            std::int64_t upper, const StreamContext& ctx,
+                            Recorder& rec, bool fast_forward,
+                            StreamRangeExec& exec);
 
 /// Replay only the *access stream* of iterations [lower, upper] of `sl`
 /// into `rec` -- no values, no flops -- with the same fast-forward

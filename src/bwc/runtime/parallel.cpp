@@ -27,11 +27,13 @@ ParallelScheduler::~ParallelScheduler() = default;
 
 void ParallelScheduler::run(const StreamLoop& sl, const StreamContext& ctx,
                             Recorder& rec) {
+  StreamRangeExec& exec = exec_ != nullptr ? *exec_ : default_range_exec();
   const std::int64_t trips = sl.upper - sl.lower + 1;
   if (trips <= 0) return;
   if (cores_ == 1 || trips < min_parallel_trips_ ||
       !stream_loop_parallelizable(sl)) {
-    run_stream_serial(sl, sl.lower, sl.upper, ctx, rec, fast_forward_);
+    run_stream_serial_with(sl, sl.lower, sl.upper, ctx, rec, fast_forward_,
+                           exec);
     return;
   }
 
@@ -78,11 +80,11 @@ void ParallelScheduler::run(const StreamLoop& sl, const StreamContext& ctx,
                                  chunk_upper[ci] - chunk_lower[ci] + 1));
     }
     pool_->parallel_for(static_cast<std::size_t>(chunks), [&](std::size_t c) {
-      run_stream_values(sl, chunk_lower[c], chunk_upper[c], ctx);
+      exec.values(sl, chunk_lower[c], chunk_upper[c], ctx);
     });
   } else {
     pool_->parallel_for(static_cast<std::size_t>(chunks), [&](std::size_t c) {
-      run_stream_range(sl, chunk_lower[c], chunk_upper[c], ctx, traces[c]);
+      exec.range_trace(sl, chunk_lower[c], chunk_upper[c], ctx, traces[c]);
     });
   }
 

@@ -26,6 +26,7 @@
 
 namespace bwc::runtime {
 
+class StreamRangeExec;
 class ThreadPool;
 
 /// StreamScheduler that chunks parallelizable stream loops across a
@@ -49,6 +50,14 @@ class ParallelScheduler : public StreamScheduler {
   /// Stream loops actually chunked so far (observability for tests).
   std::uint64_t parallel_loops() const { return parallel_loops_; }
 
+  /// Substitute the range executor that runs chunks (and serial
+  /// fallbacks). Null restores the VM's kernels (default_range_exec()).
+  /// The native backend (runtime/codegen.h) plugs its dlopen'ed per-loop
+  /// entry points in here; the executor must honor the StreamRangeExec
+  /// exactness contract (fastforward.h) and be callable concurrently from
+  /// the pool's workers.
+  void set_range_exec(StreamRangeExec* exec) { exec_ = exec; }
+
  private:
   std::unique_ptr<ThreadPool> pool_;
   int cores_;
@@ -56,6 +65,7 @@ class ParallelScheduler : public StreamScheduler {
   bool coalesce_;
   std::int64_t min_parallel_trips_;
   bool fast_forward_;
+  StreamRangeExec* exec_ = nullptr;
   std::uint64_t parallel_loops_ = 0;
 };
 

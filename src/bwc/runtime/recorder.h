@@ -103,6 +103,19 @@ class Recorder {
     run_bytes_ = 0;
   }
 
+  /// Bulk-account accesses that were executed without per-access hooks --
+  /// the native backend's hierarchy-less stream kernels (runtime/codegen.h)
+  /// run bare value loops and charge their load/store/register totals in
+  /// one call. Only legal when no hierarchy is attached: nothing is
+  /// simulated here, so with a hierarchy the caller must issue real
+  /// load()/store() calls (or a trace merge) instead.
+  void count_accesses(std::uint64_t loads, std::uint64_t stores,
+                      std::uint64_t reg_bytes) {
+    loads_ += loads;
+    stores_ += stores;
+    reg_bytes_ += reg_bytes;
+  }
+
   /// Bulk-account `iterations` fast-forwarded loop iterations whose
   /// accesses were applied to the hierarchy analytically (never issued
   /// through load()/store()). Keeps this recorder's load/store/register
@@ -232,6 +245,20 @@ class TraceRecorder {
     if (record_runs_) append(addr, size, /*is_store=*/true);
   }
   void flops(std::uint64_t n) { flops_ += n; }
+
+  /// Counter-only bulk accounting, mirroring Recorder::count_accesses():
+  /// legal only in counter-only mode (record_runs false), where no run
+  /// buffer exists to keep in step.
+  void count_accesses(std::uint64_t loads, std::uint64_t stores,
+                      std::uint64_t reg_bytes) {
+    loads_ += loads;
+    stores_ += stores;
+    reg_bytes_ += reg_bytes;
+  }
+
+  /// True when this trace buffers access runs (a hierarchy is attached to
+  /// the merging recorder); false means counter-only mode.
+  bool recording_runs() const { return record_runs_; }
 
   std::uint64_t flop_count() const { return flops_; }
   std::uint64_t load_count() const { return loads_; }

@@ -41,6 +41,7 @@ struct Options {
   std::uint64_t scale = 16;
   std::string engine = "compiled";
   bool fast_forward = true;
+  std::string codegen_cache_dir;
   std::string passes;
   std::string solver = "best";
   bool storage = true;
@@ -96,10 +97,16 @@ const Flag kFlags[] = {
      [](Options& o, const std::string& v) { o.cores = std::stoi(v); }},
     {"--scale", "<int>", "cache scale divisor (default 16)",
      [](Options& o, const std::string& v) { o.scale = std::stoull(v); }},
-    {"--engine", "<compiled|reference>",
-     "replay engine for measurement (default compiled; both are "
-     "bit-identical, compiled is several times faster)",
+    {"--engine", "<compiled|reference|native>",
+     "replay engine for measurement (default compiled; all are "
+     "bit-identical; native compiles each lowered workload to host "
+     "machine code via the system C compiler and falls back to the "
+     "compiled VM with a warning when none is available)",
      [](Options& o, const std::string& v) { o.engine = v; }},
+    {"--codegen-cache-dir", "<path>",
+     "on-disk cache for --engine native objects (default "
+     "$BWC_CODEGEN_CACHE_DIR or ./.bwc-codegen-cache)",
+     [](Options& o, const std::string& v) { o.codegen_cache_dir = v; }},
     {"--fast-forward", "",
      "steady-state fast-forward in the compiled replay (default on; exact "
      "macrosimulation, all observables bit-identical)",
@@ -286,6 +293,7 @@ machine::MachineModel make_machine(const Options& o) {
 model::ExecEngine make_engine(const std::string& name) {
   if (name == "compiled") return model::ExecEngine::kCompiled;
   if (name == "reference") return model::ExecEngine::kReference;
+  if (name == "native") return model::ExecEngine::kNative;
   throw Error("unknown engine: " + name);
 }
 
@@ -357,7 +365,16 @@ int main(int argc, char** argv) {
     model::MeasureOptions measure_opts;
     measure_opts.engine = make_engine(o.engine);
     measure_opts.fast_forward = o.fast_forward;
+    measure_opts.native.cache_dir = o.codegen_cache_dir;
+    runtime::NativeReport native_report;
+    if (measure_opts.engine == model::ExecEngine::kNative)
+      measure_opts.native_report = &native_report;
     const auto before = model::measure(original, machine, measure_opts);
+    if (!native_report.warning.empty()) {
+      // Native fell back to the VM; say so once (results are identical).
+      std::cerr << "warning: " << native_report.warning << "\n";
+      measure_opts.native_report = nullptr;
+    }
     const auto after = model::measure(result.program, machine, measure_opts);
     TextTable t("on " + machine.name);
     t.set_header({"", "mem traffic", "predicted ms", "binding"});

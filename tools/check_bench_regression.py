@@ -45,25 +45,53 @@ def main(argv: list[str]) -> int:
 
     current: dict[str, dict[str, list[float]]] = {}
     with open(argv[2], encoding="utf-8") as f:
-        for line in f:
+        for lineno, line in enumerate(f, start=1):
             line = line.strip()
             if not line:
                 continue
             obj = json.loads(line)
+            if "bench" not in obj:
+                print(
+                    f"error: {argv[2]}:{lineno}: JSON object has no 'bench'"
+                    " key naming the benchmark; every --json line must carry"
+                    " one",
+                    file=sys.stderr,
+                )
+                return 2
             samples = current.setdefault(obj.pop("bench"), {})
             for metric, value in obj.items():
                 samples.setdefault(metric, []).append(float(value))
+
+    # An empty current file means the bench step produced nothing at all
+    # (build failure swallowed by `|| true`, wrong path, ...). That is a
+    # harness problem, not a clean "0 regressions" -- fail loudly and
+    # distinctly.
+    if not current:
+        print(
+            f"error: {argv[2]} contains no bench output lines; did the"
+            " bench binaries run?",
+            file=sys.stderr,
+        )
+        return 2
 
     failures = []
     checked = 0
     for bench, metrics in baseline.items():
         cur = current.get(bench)
         if cur is None:
-            failures.append(f"{bench}: no current output (bench not run?)")
+            failures.append(
+                f"{bench}: no current output -- bench missing from the run"
+                " (not built, crashed before --json, or renamed without"
+                " updating BENCH_baseline.json)"
+            )
             continue
         for metric, base in metrics.items():
             if metric not in cur:
-                failures.append(f"{bench}.{metric}: missing from current run")
+                failures.append(
+                    f"{bench}.{metric}: missing from current run -- metric"
+                    " renamed or dropped? update BENCH_baseline.json via"
+                    " tools/update_bench_baseline.py if deliberate"
+                )
                 continue
             now = statistics.median(cur[metric])
             checked += 1
