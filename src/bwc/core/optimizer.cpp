@@ -64,6 +64,7 @@ OptimizeResult optimize(const ir::Program& program,
   pass::PipelineOptions pipeline_options;
   pipeline_options.verify = options.verify;
   pipeline_options.verify_max_events = options.verify_max_events;
+  pipeline_options.static_verify = options.static_verify;
   pipeline_options.cache_analyses = options.cache_analyses;
   pipeline_options.audit_analyses = options.audit_analyses;
   pipeline_options.print_after = options.print_after;

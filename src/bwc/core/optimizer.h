@@ -68,6 +68,11 @@ struct OptimizerOptions {
   /// Per-program event budget for the instance-level checks; programs
   /// whose traces would exceed it degrade to structural validation only.
   std::uint64_t verify_max_events = 2'000'000;
+  /// Static-prover-first checking (pass::StaticVerifyMode): kOn consults
+  /// the input-independent legality provers before replaying traces and
+  /// skips the replay on a proof; kOff is trace-only; kOnly never replays
+  /// (a static refutation fails, an unknown is reported as skipped).
+  pass::StaticVerifyMode static_verify = pass::StaticVerifyMode::kOn;
   /// Serve repeated analysis queries (statement summaries, liveness,
   /// fusion graph, traffic bounds) from the pass::AnalysisManager cache.
   /// Off recomputes every query; results are identical either way.

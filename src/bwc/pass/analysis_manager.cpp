@@ -82,6 +82,18 @@ const verify::TrafficBound& AnalysisManager::traffic_bound(
   return bound_;
 }
 
+const verify::DependenceSummary& AnalysisManager::dependence_summary(
+    const ir::Program& program) {
+  if (serve_from_cache(program, deps_valid_, deps_fp_,
+                       "dependence summary")) {
+    return deps_;
+  }
+  deps_ = verify::summarize_dependences(program);
+  deps_valid_ = true;
+  if (options_.audit) deps_fp_ = fingerprint_of(program);
+  return deps_;
+}
+
 void AnalysisManager::invalidate(const PreservedAnalyses& preserved) {
   if (preserved.preserves_all()) return;
   ++stats_.invalidations;
@@ -90,6 +102,8 @@ void AnalysisManager::invalidate(const PreservedAnalyses& preserved) {
   if (!preserved.preserves(AnalysisId::kLiveness)) liveness_valid_ = false;
   if (!preserved.preserves(AnalysisId::kFusionGraph)) graph_valid_ = false;
   if (!preserved.preserves(AnalysisId::kTrafficBound)) bound_valid_ = false;
+  if (!preserved.preserves(AnalysisId::kStaticDependence))
+    deps_valid_ = false;
 }
 
 }  // namespace bwc::pass

@@ -19,6 +19,7 @@
 #include "bwc/fusion/fusion_graph.h"
 #include "bwc/ir/program.h"
 #include "bwc/pass/report.h"
+#include "bwc/verify/static_dependence.h"
 #include "bwc/verify/traffic_bound.h"
 
 namespace bwc::pass {
@@ -29,6 +30,7 @@ enum class AnalysisId : unsigned {
   kLiveness = 1,            // analysis::analyze_liveness
   kFusionGraph = 2,         // fusion::build_fusion_graph (per options)
   kTrafficBound = 3,        // verify::compute_traffic_bound
+  kStaticDependence = 4,    // verify::summarize_dependences
 };
 
 /// What a transform promises it did NOT clobber. A pass that changed the
@@ -83,6 +85,11 @@ class AnalysisManager {
   const fusion::FusionGraph& fusion_graph(
       const ir::Program& program, const fusion::FusionGraphOptions& options);
   const verify::TrafficBound& traffic_bound(const ir::Program& program);
+  /// Statement-pair symbolic dependence verdicts (ZIV/SIV/GCD/Banerjee
+  /// over guard-refined domains); consumed by the lint pass and any pass
+  /// wanting input-independent dependence facts.
+  const verify::DependenceSummary& dependence_summary(
+      const ir::Program& program);
 
   /// Drop every cached analysis the pass did not declare preserved.
   void invalidate(const PreservedAnalyses& preserved);
@@ -116,6 +123,10 @@ class AnalysisManager {
   bool bound_valid_ = false;
   verify::TrafficBound bound_;
   std::string bound_fp_;
+
+  bool deps_valid_ = false;
+  verify::DependenceSummary deps_;
+  std::string deps_fp_;
 };
 
 }  // namespace bwc::pass

@@ -1,0 +1,44 @@
+// bwc-lint: a diagnostics-only pass built on the symbolic dependence
+// machinery (verify/static_dependence.h). It never rewrites the program;
+// it grades findings about it:
+//
+//   lint-dead-store        (error)   an array is written but never read
+//                                    and is not a program output -- the
+//                                    computation is unobservable, and the
+//                                    store-elimination pass missed it or
+//                                    was not run
+//   lint-unreachable-guard (warning) a guard arm's refined iteration
+//                                    domain is empty: the branch can
+//                                    never execute
+//   lint-opaque-context    (warning) references sit under a guard the
+//                                    interval splitter cannot refine
+//                                    (multi-variable condition), so every
+//                                    static analysis over-approximates
+//                                    their iteration domain
+//   lint-at-traffic-bound  (info)    a loop nest provably revisits no
+//                                    array element across iterations: its
+//                                    memory traffic already meets the
+//                                    distinct-byte lower bound, so no
+//                                    intra-loop scheduling change can
+//                                    reduce it
+//
+// Registered as pass "lint" (bwcopt --lint); findings are Remarks with a
+// RemarkSeverity, rendered in bwc-remarks-v1 JSON, and bwcopt exits 1
+// when any error-severity finding was produced.
+#pragma once
+
+#include <string>
+
+#include "bwc/pass/pass.h"
+
+namespace bwc::pass {
+
+class LintPass : public Pass {
+ public:
+  std::string name() const override { return "lint"; }
+  std::string label() const override { return "lint"; }
+  PassResult run(ir::Program& program, AnalysisManager& am,
+                 PassReport& report) override;
+};
+
+}  // namespace bwc::pass

@@ -4,6 +4,18 @@
 
 namespace bwc::pass {
 
+const char* static_verify_mode_name(StaticVerifyMode mode) {
+  switch (mode) {
+    case StaticVerifyMode::kOn:
+      return "on";
+    case StaticVerifyMode::kOff:
+      return "off";
+    case StaticVerifyMode::kOnly:
+      return "only";
+  }
+  return "?";
+}
+
 verify::Report Pass::check(const ir::Program& /*before*/,
                            const ir::Program& after,
                            const CheckOptions& /*options*/) const {

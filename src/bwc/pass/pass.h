@@ -16,11 +16,28 @@
 
 namespace bwc::pass {
 
+/// How the static legality provers and the trace validators divide the
+/// inter-pass checking work.
+enum class StaticVerifyMode {
+  /// Try the static prover first; a kProven certificate (valid for every
+  /// input) skips trace validation entirely, anything else falls back to
+  /// the trace validator for the current problem size.
+  kOn,
+  /// Trace validation only (the pre-prover behavior).
+  kOff,
+  /// Static proofs only: kRefuted fails the pipeline, kUnknown is
+  /// reported as a skipped check. No traces are ever replayed.
+  kOnly,
+};
+
+const char* static_verify_mode_name(StaticVerifyMode mode);
+
 /// Options threaded to the inter-pass checkers (bwc::verify).
 struct CheckOptions {
   /// Per-program event budget for instance-level checks; larger programs
   /// degrade to structural validation (the checker reports skipped).
   std::uint64_t max_events = 2'000'000;
+  StaticVerifyMode static_verify = StaticVerifyMode::kOn;
 };
 
 /// What one pass run did.

@@ -23,6 +23,10 @@ struct PipelineOptions {
   bool verify = true;
   /// Event budget for the instance-level checks (CheckOptions).
   std::uint64_t verify_max_events = 2'000'000;
+  /// Static-prover-first checking policy (CheckOptions::static_verify):
+  /// kOn tries the input-independent legality provers before replaying
+  /// traces, kOff is trace-only, kOnly never replays.
+  StaticVerifyMode static_verify = StaticVerifyMode::kOn;
   /// Serve repeated analysis queries from the AnalysisManager cache. Off
   /// recomputes everything on every query (the benchmark's control arm).
   bool cache_analyses = true;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "bwc/fusion/solvers.h"
+#include "bwc/pass/lint.h"
 #include "bwc/support/error.h"
 #include "bwc/transform/distribute.h"
 #include "bwc/transform/fuse.h"
@@ -13,9 +14,33 @@
 #include "bwc/transform/storage_reduction.h"
 #include "bwc/transform/store_elimination.h"
 #include "bwc/verify/observability.h"
+#include "bwc/verify/static_legality.h"
 #include "bwc/verify/translation.h"
 
 namespace bwc::pass {
+
+namespace {
+
+/// Static-first checking: a kProven certificate (input-independent) makes
+/// the trace replay unnecessary; otherwise the trace validator decides for
+/// the current problem size -- except in kOnly mode, where the static
+/// verdict is final (kRefuted fails, kUnknown reports a skipped check).
+template <typename Prover, typename TraceCheck>
+verify::Report static_first(const ir::Program& before,
+                            const ir::Program& after,
+                            const CheckOptions& options, Prover prove,
+                            const std::string& static_check,
+                            const std::string& code, TraceCheck trace) {
+  if (options.static_verify == StaticVerifyMode::kOff) return trace();
+  const verify::LegalityResult result = prove(before, after);
+  if (result.verdict == verify::LegalityVerdict::kProven ||
+      options.static_verify == StaticVerifyMode::kOnly) {
+    return result.to_report(static_check, code);
+  }
+  return trace();
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // interchange
@@ -58,7 +83,11 @@ PassResult InterchangePass::run(ir::Program& program, AnalysisManager& am,
 verify::Report InterchangePass::check(const ir::Program& before,
                                       const ir::Program& after,
                                       const CheckOptions& options) const {
-  return verify::validate_translation(before, after, {options.max_events});
+  return static_first(before, after, options, verify::prove_reschedule,
+                      "static-reschedule", "reschedule", [&] {
+                        return verify::validate_translation(
+                            before, after, {options.max_events});
+                      });
 }
 
 // ---------------------------------------------------------------------------
@@ -117,7 +146,11 @@ PassResult FusePass::run(ir::Program& program, AnalysisManager& am,
 verify::Report FusePass::check(const ir::Program& before,
                                const ir::Program& after,
                                const CheckOptions& options) const {
-  return verify::validate_translation(before, after, {options.max_events});
+  return static_first(before, after, options, verify::prove_reschedule,
+                      "static-reschedule", "reschedule", [&] {
+                        return verify::validate_translation(
+                            before, after, {options.max_events});
+                      });
 }
 
 // ---------------------------------------------------------------------------
@@ -151,8 +184,11 @@ PassResult ReduceStoragePass::run(ir::Program& program, AnalysisManager& am,
 verify::Report ReduceStoragePass::check(const ir::Program& before,
                                         const ir::Program& after,
                                         const CheckOptions& options) const {
-  return verify::validate_storage_reduction(before, after,
-                                            {options.max_events});
+  return static_first(before, after, options, verify::prove_storage_reduction,
+                      "static-storage-reduction", "storage-reduction", [&] {
+                        return verify::validate_storage_reduction(
+                            before, after, {options.max_events});
+                      });
 }
 
 // ---------------------------------------------------------------------------
@@ -189,8 +225,11 @@ PassResult EliminateStoresPass::run(ir::Program& program, AnalysisManager& am,
 verify::Report EliminateStoresPass::check(const ir::Program& before,
                                           const ir::Program& after,
                                           const CheckOptions& options) const {
-  return verify::validate_store_elimination(before, after,
-                                            {options.max_events});
+  return static_first(before, after, options, verify::prove_store_elimination,
+                      "static-store-elimination", "store-elimination", [&] {
+                        return verify::validate_store_elimination(
+                            before, after, {options.max_events});
+                      });
 }
 
 // ---------------------------------------------------------------------------
@@ -265,7 +304,11 @@ PassResult DistributePass::run(ir::Program& program, AnalysisManager& am,
 verify::Report DistributePass::check(const ir::Program& before,
                                      const ir::Program& after,
                                      const CheckOptions& options) const {
-  return verify::validate_translation(before, after, {options.max_events});
+  return static_first(before, after, options, verify::prove_reschedule,
+                      "static-reschedule", "reschedule", [&] {
+                        return verify::validate_translation(
+                            before, after, {options.max_events});
+                      });
 }
 
 // ---------------------------------------------------------------------------
@@ -337,6 +380,10 @@ std::unique_ptr<Pass> create_pass(const PassSpec& spec) {
   if (spec.name == "distribute") {
     expect_no_params(spec);
     return std::make_unique<DistributePass>();
+  }
+  if (spec.name == "lint") {
+    expect_no_params(spec);
+    return std::make_unique<LintPass>();
   }
   throw Error("unknown pass: " + spec.name);
 }

@@ -11,6 +11,7 @@
 //   scalar-replace    rotating-scalar register reuse
 //   regroup           inter-array data regrouping
 //   distribute        maximal loop distribution (fusion's inverse)
+//   lint              diagnostics only: bwc-lint findings (pass/lint.h)
 #pragma once
 
 #include <cstdint>

@@ -53,6 +53,15 @@ const char* remark_kind_name(RemarkKind kind) {
   return "note";
 }
 
+const char* remark_severity_name(RemarkSeverity severity) {
+  switch (severity) {
+    case RemarkSeverity::kInfo: return "info";
+    case RemarkSeverity::kWarning: return "warning";
+    case RemarkSeverity::kError: return "error";
+  }
+  return "info";
+}
+
 IrStats compute_ir_stats(const ir::Program& program,
                          const std::vector<analysis::LoopSummary>& summaries) {
   IrStats stats;
@@ -98,6 +107,13 @@ void PassReport::note(std::string code, std::string message,
                            std::move(message), std::move(args)});
 }
 
+void PassReport::finding(
+    RemarkSeverity severity, std::string code, std::string message,
+    std::vector<std::pair<std::string, std::string>> args) {
+  remarks.push_back(Remark{RemarkKind::kNote, std::move(code),
+                           std::move(message), std::move(args), severity});
+}
+
 std::vector<std::string> PassReport::legacy_lines() const {
   std::vector<std::string> lines;
   for (const auto& r : remarks) {
@@ -122,6 +138,15 @@ std::vector<std::string> PipelineReport::legacy_lines() const {
     for (auto& line : report.legacy_lines()) lines.push_back(std::move(line));
   }
   return lines;
+}
+
+int PipelineReport::error_findings() const {
+  int errors = 0;
+  for (const auto& report : passes) {
+    for (const auto& r : report.remarks)
+      if (r.severity == RemarkSeverity::kError) ++errors;
+  }
+  return errors;
 }
 
 std::string PipelineReport::to_json(const std::string& program,
@@ -165,6 +190,7 @@ std::string PipelineReport::to_json(const std::string& program,
       const Remark& rem = p.remarks[r];
       if (r > 0) os << ", ";
       os << "{\"kind\": " << json_str(remark_kind_name(rem.kind))
+         << ", \"severity\": " << json_str(remark_severity_name(rem.severity))
          << ", \"code\": " << json_str(rem.code)
          << ", \"message\": " << json_str(rem.message) << ", \"args\": {";
       for (std::size_t a = 0; a < rem.args.size(); ++a) {

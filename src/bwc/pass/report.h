@@ -26,6 +26,13 @@ enum class RemarkKind { kApplied, kMissed, kNote };
 
 const char* remark_kind_name(RemarkKind kind);
 
+/// How serious a remark is. Ordinary pass remarks are kInfo; diagnostics
+/// passes (pass/lint.h) grade their findings, and bwcopt --lint exits
+/// nonzero when any kError finding was emitted.
+enum class RemarkSeverity { kInfo, kWarning, kError };
+
+const char* remark_severity_name(RemarkSeverity severity);
+
 /// One machine-readable observation from a pass run.
 struct Remark {
   RemarkKind kind = RemarkKind::kNote;
@@ -35,6 +42,7 @@ struct Remark {
   std::string message;
   /// Structured key=value detail (all values rendered as strings).
   std::vector<std::pair<std::string, std::string>> args;
+  RemarkSeverity severity = RemarkSeverity::kInfo;
 };
 
 /// Coarse shape of the IR, captured before and after every pass.
@@ -86,6 +94,9 @@ struct PassReport {
               std::vector<std::pair<std::string, std::string>> args = {});
   void note(std::string code, std::string message,
             std::vector<std::pair<std::string, std::string>> args = {});
+  /// A graded diagnostic finding (lint): a kNote remark with a severity.
+  void finding(RemarkSeverity severity, std::string code, std::string message,
+               std::vector<std::pair<std::string, std::string>> args = {});
 
   /// The legacy optimizer log lines for this pass: kApplied/kMissed remark
   /// messages in order, then the verify line when the checker ran.
@@ -106,6 +117,10 @@ struct PipelineReport {
 
   /// Legacy log lines of all passes, in pipeline order.
   std::vector<std::string> legacy_lines() const;
+
+  /// Number of kError-severity remarks across all passes (bwcopt --lint
+  /// exits 1 when nonzero).
+  int error_findings() const;
 
   /// Machine-readable rendering (schema "bwc-remarks-v1"; validated by
   /// tools/check_remarks_schema.py). `program` and `pipeline` name the

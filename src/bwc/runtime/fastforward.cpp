@@ -162,7 +162,7 @@ void binary_span_dispatch(double* l, const double* a, double av,
 /// Element pointer for iteration `lower` of an array operand, remapped to
 /// the low end of the span when the shared stride is descending so every
 /// kernel walks ascending (legal: the caller requires
-/// stream_loop_parallelizable, i.e. order-free iterations).
+/// stream_loop_parallel_safe, i.e. order-free iterations).
 double* span_base(const StreamOperand& o, std::int64_t lower, std::int64_t n,
                   const StreamContext& ctx) {
   const std::int64_t linear0 = o.lin_base + o.lin_coeff * lower - 1;
@@ -185,7 +185,7 @@ bool try_stream_values_fast(const StreamLoop& sl, std::int64_t lower,
   if (sl.body != StreamLoop::Body::kCopy &&
       sl.body != StreamLoop::Body::kBinary)
     return false;
-  if (!stream_loop_parallelizable(sl)) return false;
+  if (!stream_loop_parallel_safe(sl)) return false;
   const bool uses_b = sl.body == StreamLoop::Body::kBinary;
   for (const StreamOperand* o : {&sl.lhs, &sl.a, &sl.b}) {
     if (o == &sl.b && !uses_b) continue;

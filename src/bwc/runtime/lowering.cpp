@@ -417,11 +417,37 @@ class Lowerer {
     }
 
     sl.uniform_step_bytes = uniform_stream_step(sl);
+    sl.parallel_safety = certify_stream_parallel(sl);
 
     Op& op = emit(OpCode::kStreamLoop);
     op.slot = static_cast<std::int32_t>(out_.stream_loops.size());
     out_.stream_loops.push_back(sl);
     return true;
+  }
+
+  /// Static parallel-safety certificate of a stream loop: feed every
+  /// array access (bytes [base + coeff*i, base + coeff*i + elem) per
+  /// iteration, keyed by array slot as the non-aliasing address space)
+  /// to the symbolic prover. Reductions are order-carried by construction
+  /// (the FP fold is not associative), so they are proven unsafe outright.
+  static verify::Verdict certify_stream_parallel(const StreamLoop& sl) {
+    if (sl.body == StreamLoop::Body::kReduce || !sl.lhs_is_array)
+      return verify::Verdict::kDependent;
+    std::vector<verify::LinearAccess> accesses;
+    const bool uses_b = sl.body != StreamLoop::Body::kCopy;
+    for (const StreamOperand* o : {&sl.lhs, &sl.a, &sl.b}) {
+      if (o == &sl.b && !uses_b) continue;
+      if (o->kind != StreamOperand::Kind::kArray) continue;
+      verify::LinearAccess access;
+      access.write = o == &sl.lhs;
+      const std::int64_t elem = static_cast<std::int64_t>(o->elem_bytes);
+      access.base = o->lin_base * elem;
+      access.coeff = o->lin_coeff * elem;
+      access.elem_bytes = elem;
+      access.space = o->slot;
+      accesses.push_back(access);
+    }
+    return verify::certify_parallel_accesses(accesses, sl.lower, sl.upper);
   }
 
   /// The constant byte shift every array access of `sl` undergoes per

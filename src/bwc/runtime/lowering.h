@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bwc/ir/program.h"
+#include "bwc/verify/static_dependence.h"
 
 namespace bwc::runtime {
 
@@ -113,6 +114,14 @@ struct StreamLoop {
   /// translates by this constant each iteration -- the precondition for
   /// steady-state fast-forward (runtime/fastforward.h).
   std::int64_t uniform_step_bytes = 0;
+  /// Static parallel-safety certificate, computed once at lowering time
+  /// (verify::certify_parallel_accesses over the loop's byte-linear
+  /// accesses): kIndependent proves no two distinct iterations touch
+  /// overlapping bytes with a write involved, so *any* chunking of the
+  /// trip range is race-free and order-preserving; kDependent carries a
+  /// concrete cross-iteration conflict; kUnknown defers to the syntactic
+  /// stream_loop_parallelizable() test (stream_exec.h).
+  verify::Verdict parallel_safety = verify::Verdict::kUnknown;
 };
 
 /// One flat instruction. A plain struct (no unions) keeps the executor

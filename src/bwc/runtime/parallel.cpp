@@ -31,7 +31,7 @@ void ParallelScheduler::run(const StreamLoop& sl, const StreamContext& ctx,
   const std::int64_t trips = sl.upper - sl.lower + 1;
   if (trips <= 0) return;
   if (cores_ == 1 || trips < min_parallel_trips_ ||
-      !stream_loop_parallelizable(sl)) {
+      !stream_loop_parallel_safe(sl)) {
     run_stream_serial_with(sl, sl.lower, sl.upper, ctx, rec, fast_forward_,
                            exec);
     return;

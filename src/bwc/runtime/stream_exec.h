@@ -65,6 +65,17 @@ inline bool stream_loop_parallelizable(const StreamLoop& sl) {
   return true;
 }
 
+/// The chunk-safety decision the executors consult: the static certificate
+/// computed at lowering time rules when it proved something (it covers
+/// loops the syntactic test cannot, e.g. a write to 2i alongside a read of
+/// 2i+1, which never collide by a GCD argument); the syntactic test only
+/// decides the kUnknown remainder.
+inline bool stream_loop_parallel_safe(const StreamLoop& sl) {
+  if (sl.parallel_safety == verify::Verdict::kIndependent) return true;
+  if (sl.parallel_safety == verify::Verdict::kDependent) return false;
+  return stream_loop_parallelizable(sl);
+}
+
 namespace detail {
 
 /// Runtime cursor for one operand: either an invariant value (constants

@@ -9,7 +9,9 @@
 
 #include "bwc/verify/diagnostics.h"     // Report, Diagnostic
 #include "bwc/verify/events.h"          // concrete instance tracing
-#include "bwc/verify/observability.h"   // storage-pass certification
-#include "bwc/verify/structure.h"       // IR well-formedness
+#include "bwc/verify/observability.h"      // storage-pass certification
+#include "bwc/verify/static_dependence.h"  // symbolic dependence tests
+#include "bwc/verify/static_legality.h"    // static transform certificates
+#include "bwc/verify/structure.h"          // IR well-formedness
 #include "bwc/verify/traffic_bound.h"   // static traffic lower bounds
 #include "bwc/verify/translation.h"     // scheduling-pass validation

@@ -5,8 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <set>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 
 #include "bwc/analysis/dependence.h"
 #include "bwc/core/optimizer.h"
@@ -18,6 +23,8 @@
 #include "bwc/support/prng.h"
 #include "bwc/transform/distribute.h"
 #include "bwc/transform/fuse.h"
+#include "bwc/verify/events.h"
+#include "bwc/verify/static_dependence.h"
 #include "bwc/verify/verify.h"
 #include "bwc/workloads/random_programs.h"
 
@@ -226,6 +233,129 @@ TEST_P(PipelineSweep, RandomProgramsVerifiedAndChecksumPreserved) {
 INSTANTIATE_TEST_SUITE_P(SolversTimesOptions, PipelineSweep,
                          ::testing::Combine(::testing::Range(0, 5),
                                             ::testing::Range(0, 16)));
+
+// -- Static dependence oracle -------------------------------------------------
+//
+// Differential check of the symbolic dependence tests (verify::
+// summarize_dependences) against the event tracer's ground truth: for each
+// randomized program, derive the statement-pair dependences actually
+// observed in a concrete trace and require that the static summary never
+// claims independence for an observed dependence. The converse is fine --
+// a static kDependent whose witness lives at a different iteration of the
+// same bounds simply was not exercised by this trace. The undecided
+// fraction is logged so precision regressions are visible in test output.
+
+/// How one top-level statement touched one memory location in the trace.
+struct TopTouch {
+  int instances = 0;  // distinct dynamic instances touching the location
+  int writes = 0;     // how many of those instances write it
+  std::int64_t last_instance = -1;
+};
+
+void check_static_vs_trace(const Program& p, const std::string& label,
+                           std::int64_t* pairs, std::int64_t* unknown) {
+  const verify::DependenceSummary summary = verify::summarize_dependences(p);
+  *pairs += static_cast<std::int64_t>(summary.pairs.size());
+  for (const auto& d : summary.pairs)
+    if (d.verdict == verify::Verdict::kUnknown) ++*unknown;
+
+  verify::LocationSpace space;
+  verify::Report report;
+  const verify::EventTrace trace =
+      verify::trace_program(p, space, 50'000'000, &report);
+  ASSERT_FALSE(trace.truncated) << label;
+
+  std::unordered_map<verify::Location, std::map<int, TopTouch>> touched;
+  for (std::size_t idx = 0; idx < trace.instances.size(); ++idx) {
+    const verify::Instance& inst = trace.instances[idx];
+    const auto touch = [&](verify::Location loc, bool write) {
+      TopTouch& t = touched[loc][inst.top_index];
+      if (t.last_instance != static_cast<std::int64_t>(idx)) {
+        ++t.instances;
+        t.last_instance = static_cast<std::int64_t>(idx);
+      }
+      if (write) ++t.writes;
+    };
+    touch(inst.write, true);
+    for (const verify::Location loc : inst.reads) touch(loc, false);
+  }
+
+  // Observed dependences, keyed like StmtDependence: (stmt_a <= stmt_b,
+  // array, scalar). A self pair needs two distinct instances (the rhs
+  // loads of one instance precede its own store, matching the static
+  // model's same-iteration exclusion); a cross pair conflicts whenever
+  // both statements touch the location and at least one writes.
+  std::set<std::tuple<int, int, std::string, std::string>> observed;
+  for (const auto& [loc, per_top] : touched) {
+    std::string array, scalar;
+    if (space.is_scalar(loc))
+      scalar = space.scalar_name(space.slot_of(loc));
+    else
+      array = space.array_name(space.slot_of(loc));
+    for (auto ia = per_top.begin(); ia != per_top.end(); ++ia) {
+      if (ia->second.instances >= 2 && ia->second.writes >= 1)
+        observed.emplace(ia->first, ia->first, array, scalar);
+      for (auto ib = std::next(ia); ib != per_top.end(); ++ib) {
+        if (ia->second.writes + ib->second.writes >= 1)
+          observed.emplace(ia->first, ib->first, array, scalar);
+      }
+    }
+  }
+
+  for (const auto& [ta, tb, array, scalar] : observed) {
+    const verify::StmtDependence* match = nullptr;
+    for (const auto& d : summary.pairs) {
+      if (d.stmt_a == ta && d.stmt_b == tb && d.array == array &&
+          d.scalar == scalar) {
+        match = &d;
+        break;
+      }
+    }
+    const std::string where = array.empty() ? scalar : array;
+    ASSERT_NE(match, nullptr)
+        << label << ": dependence between statements " << ta << " and " << tb
+        << " on " << where << " was observed but the static summary has no "
+        << "entry for the pair";
+    ASSERT_NE(match->verdict, verify::Verdict::kIndependent)
+        << label << ": statically proven independent (decided by "
+        << match->decided_by << "), but a dependence between statements "
+        << ta << " and " << tb << " on " << where
+        << " was observed in the trace";
+  }
+}
+
+TEST(StaticDependenceOracle, NeverContradictsTraceOn500RandomPrograms) {
+  std::int64_t pairs = 0;
+  std::int64_t unknown = 0;
+  int programs = 0;
+  for (std::uint64_t seed = 1; seed <= 260; ++seed) {
+    {
+      Prng rng(seed);
+      const Program p = workloads::random_program(rng);
+      check_static_vs_trace(p, "1d seed=" + std::to_string(seed), &pairs,
+                            &unknown);
+      ++programs;
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+    {
+      Prng rng(seed);
+      const Program p = workloads::random_program_2d(rng, 12, 3);
+      check_static_vs_trace(p, "2d seed=" + std::to_string(seed), &pairs,
+                            &unknown);
+      ++programs;
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  ASSERT_GE(programs, 500);
+  ASSERT_GT(pairs, 0);
+  const double rate = 100.0 * static_cast<double>(unknown) /
+                      static_cast<double>(pairs);
+  RecordProperty("dependence_pairs", static_cast<int>(pairs));
+  RecordProperty("dependence_unknown", static_cast<int>(unknown));
+  std::cout << "static dependence oracle: " << programs << " programs, "
+            << pairs << " statement-pair tests, " << unknown
+            << " undecided (" << rate << "%)\n";
+}
 
 }  // namespace
 }  // namespace bwc

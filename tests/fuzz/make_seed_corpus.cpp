@@ -1,0 +1,50 @@
+// Seed-corpus generator for the parser fuzz harness: dumps the text form
+// of every bundled workload into a directory, so the fuzzer starts from
+// inputs that exercise the full grammar (loops, guards, reductions,
+// intrinsics, input streams) instead of discovering it byte by byte.
+//
+//   make_seed_corpus <dir>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bwc/ir/printer.h"
+#include "bwc/ir/program.h"
+#include "bwc/workloads/extra_programs.h"
+#include "bwc/workloads/paper_programs.h"
+
+namespace {
+
+int write_seed(const std::string& dir, const std::string& name,
+               const bwc::ir::Program& program) {
+  const std::string path = dir + "/" + name + ".bwc";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << bwc::ir::to_string(program);
+  std::cout << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: make_seed_corpus <dir>\n";
+    return 2;
+  }
+  const std::string dir = argv[1];
+  int rc = 0;
+  rc |= write_seed(dir, "fig6", bwc::workloads::fig6_original(64));
+  rc |= write_seed(dir, "fig7", bwc::workloads::fig7_original(64));
+  rc |= write_seed(dir, "sec21", bwc::workloads::sec21_both_loops(64));
+  rc |= write_seed(dir, "sec21_write", bwc::workloads::sec21_write_loop(64));
+  rc |= write_seed(dir, "sec21_read", bwc::workloads::sec21_read_loop(64));
+  rc |= write_seed(dir, "jacobi", bwc::workloads::jacobi_chain(64, 4));
+  rc |= write_seed(dir, "adi", bwc::workloads::adi_like(32));
+  rc |= write_seed(dir, "blur", bwc::workloads::blur_sharpen(64));
+  rc |= write_seed(dir, "cascade", bwc::workloads::reduction_cascade(64, 3));
+  return rc;
+}

@@ -1,0 +1,63 @@
+// libFuzzer harness for the IR text parser (ir/parser.h).
+//
+// The parser is the one bwc surface that consumes untrusted bytes, so it
+// must never crash, hang, or trip a sanitizer: malformed input has exactly
+// one legal outcome, a thrown bwc::Error. When the input does parse, the
+// printer/parser round-trip contract is checked as well: printing the
+// parsed program and parsing it again must succeed and reach a print
+// fixpoint (to_string is idempotent across a re-parse).
+//
+// Built behind -DBWC_FUZZ=ON (see tests/CMakeLists.txt). With a Clang
+// toolchain the target links libFuzzer (-fsanitize=fuzzer); other
+// compilers get a standalone driver that replays files given on the
+// command line, so the seed corpus doubles as a regression suite.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "bwc/ir/parser.h"
+#include "bwc/ir/printer.h"
+#include "bwc/support/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Cap the input: parse time is linear, but gigantic inputs only slow
+  // the fuzzer down without reaching new parser states.
+  if (size > 1 << 16) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const bwc::ir::Program program = bwc::ir::parse_program(text);
+    // Accepted input: the print/parse round trip must hold.
+    const std::string printed = bwc::ir::to_string(program);
+    const bwc::ir::Program reparsed = bwc::ir::parse_program(printed);
+    if (bwc::ir::to_string(reparsed) != printed) std::abort();
+  } catch (const bwc::Error&) {
+    // Malformed input: rejection via bwc::Error is the contract.
+  }
+  return 0;
+}
+
+#ifdef BWC_FUZZ_STANDALONE
+// Non-Clang builds: replay corpus files one by one instead of fuzzing.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open " << argv[i] << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+    std::cout << "ok: " << argv[i] << " (" << text.size() << " bytes)\n";
+  }
+  return 0;
+}
+#endif

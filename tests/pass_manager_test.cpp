@@ -384,9 +384,12 @@ TEST(PassReports, JsonRenderingIsWellFormedEnoughToFreeze) {
 
 TEST(LegacyLog, RenderLogIsByteIdenticalToPreRefactorOutput) {
   // Frozen from the pre-pass-manager optimizer. Do not edit these strings
-  // to make the test pass: they are the compatibility contract.
+  // to make the test pass: they are the compatibility contract. The freeze
+  // predates the static legality prover, so pin trace-only verification.
+  core::OptimizerOptions legacy;
+  legacy.static_verify = pass::StaticVerifyMode::kOff;
   const core::OptimizeResult fig7 =
-      core::optimize(workloads::fig7_original(1000));
+      core::optimize(workloads::fig7_original(1000), legacy);
   const std::vector<std::string> expected_fig7 = {
       "fusion (best(exact)): 2 loops -> 1 partitions; arrays loaded 3 -> 2",
       "verify (fusion): translation certified, 4002 instance(s) checked",
@@ -401,7 +404,7 @@ TEST(LegacyLog, RenderLogIsByteIdenticalToPreRefactorOutput) {
   EXPECT_EQ(core::render_log(fig7), rendered);
 
   const core::OptimizeResult fig6 =
-      core::optimize(workloads::fig6_original(2000));
+      core::optimize(workloads::fig6_original(2000), legacy);
   const std::vector<std::string> expected_fig6 = {
       "fusion (best(exact)): 4 loops -> 1 partitions; arrays loaded 7 -> 2",
       "verify (fusion): translation skipped: instance-level check needs "

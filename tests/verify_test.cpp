@@ -511,6 +511,9 @@ TEST(Pipeline, VerifyOffProducesNoVerifyLines) {
 TEST(Pipeline, OversizedProgramsDegradeToStructuralChecks) {
   core::OptimizerOptions opts;
   opts.verify_max_events = 1000;
+  // The static prover certifies fig7's transforms without replaying events;
+  // force trace-only verification so the event budget is actually exercised.
+  opts.static_verify = pass::StaticVerifyMode::kOff;
   const core::OptimizeResult result =
       core::optimize(workloads::fig7_original(400000), opts);
   bool skipped = false;

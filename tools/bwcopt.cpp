@@ -25,6 +25,7 @@
 #include "bwc/support/prng.h"
 #include "bwc/support/table.h"
 #include "bwc/verify/verify.h"
+#include "bwc/workloads/extra_programs.h"
 #include "bwc/workloads/paper_programs.h"
 #include "bwc/workloads/random_programs.h"
 
@@ -59,6 +60,11 @@ struct Options {
   bool verify_report = false;
   /// Run the independent verifier after every optimizer pass.
   bool verify_pipeline = true;
+  /// Static-prover-first checking policy: on|off|only.
+  std::string static_verify = "on";
+  /// Run the bwc-lint diagnostics pass over the input program instead of
+  /// optimizing; exit 1 on any error-severity finding.
+  bool lint = false;
   /// Serve repeated analysis queries from the AnalysisManager cache.
   bool cache_analyses = true;
   /// Fingerprint cache entries and fail on undeclared invalidations.
@@ -76,7 +82,7 @@ struct Flag {
 
 const Flag kFlags[] = {
     // Workload selection.
-    {"--program", "<fig6|fig7|sec21|random>",
+    {"--program", "<fig6|fig7|sec21|jacobi|adi|blur|cascade|random>",
      "workload to optimize (default fig7)",
      [](Options& o, const std::string& v) { o.program = v; }},
     {"--file", "<path>",
@@ -147,6 +153,19 @@ const Flag kFlags[] = {
      "skip the in-pipeline verifier (translation validation and "
      "observability certification run after every pass by default)",
      [](Options& o, const std::string&) { o.verify_pipeline = false; }},
+    {"--static-verify", "<on|off|only>",
+     "static-prover-first checking (default on): the symbolic legality "
+     "provers run before any trace replay and a proof skips the replay; "
+     "off is trace-only; only never replays (a static refutation fails, "
+     "an undecided check is reported as skipped)",
+     [](Options& o, const std::string& v) { o.static_verify = v; }},
+    {"--lint", "",
+     "run the bwc-lint diagnostics pass over the input program instead of "
+     "optimizing: dead stores, unreachable guard arms, analysis-opaque "
+     "contexts, loops already at the traffic lower bound; exit 1 on any "
+     "error-severity finding (combine with --remarks=json for the "
+     "machine-readable report)",
+     [](Options& o, const std::string&) { o.lint = true; }},
     {"--no-cache-analyses", "",
      "recompute every analysis query instead of serving it from the "
      "pass-manager cache (the pre-pass-manager behavior; results are "
@@ -251,6 +270,10 @@ Options parse(int argc, char** argv) {
   }
   if (!o.remarks.empty() && o.remarks != "json")
     usage_error("unknown remarks format: " + o.remarks + " (supported: json)");
+  if (o.static_verify != "on" && o.static_verify != "off" &&
+      o.static_verify != "only")
+    usage_error("unknown static-verify mode: " + o.static_verify +
+                " (supported: on, off, only)");
   if (o.cores < 1) usage_error("--cores must be >= 1");
   return o;
 }
@@ -267,6 +290,15 @@ ir::Program make_program(const Options& o) {
     return workloads::fig6_original(std::min<std::int64_t>(o.n, 2000));
   if (o.program == "fig7") return workloads::fig7_original(o.n);
   if (o.program == "sec21") return workloads::sec21_both_loops(o.n);
+  if (o.program == "jacobi")
+    return workloads::jacobi_chain(std::min<std::int64_t>(o.n, 100000), 4);
+  if (o.program == "adi")
+    return workloads::adi_like(std::min<std::int64_t>(o.n, 2000));
+  if (o.program == "blur")
+    return workloads::blur_sharpen(std::min<std::int64_t>(o.n, 100000));
+  if (o.program == "cascade")
+    return workloads::reduction_cascade(std::min<std::int64_t>(o.n, 100000),
+                                        3);
   if (o.program == "random") {
     Prng rng(o.seed);
     workloads::RandomProgramParams params;
@@ -333,10 +365,15 @@ int main(int argc, char** argv) {
     opts.auto_interchange = o.interchange;
     opts.scalar_replacement = o.scalar_replace;
     opts.verify = o.verify_pipeline;
+    opts.static_verify = o.static_verify == "off"
+                             ? pass::StaticVerifyMode::kOff
+                             : o.static_verify == "only"
+                                   ? pass::StaticVerifyMode::kOnly
+                                   : pass::StaticVerifyMode::kOn;
     opts.cache_analyses = o.cache_analyses;
     opts.audit_analyses = o.audit_analyses;
     opts.cores = o.cores;
-    opts.passes = effective_pipeline(o, opts);
+    opts.passes = o.lint ? "lint" : effective_pipeline(o, opts);
     if (o.print_after_all) {
       opts.print_after = [](const pass::Pass& pass,
                             const ir::Program& program) {
@@ -345,6 +382,26 @@ int main(int argc, char** argv) {
       };
     }
     const core::OptimizeResult result = core::optimize(original, opts);
+
+    if (o.lint) {
+      // Diagnostics mode: findings are the only product; exit 1 when any
+      // error-severity finding was emitted.
+      const int errors = result.pipeline.error_findings();
+      if (!o.remarks.empty()) {
+        const std::string name = o.file.empty() ? o.program : o.file;
+        std::cout << result.pipeline.to_json(name, opts.passes) << "\n";
+      } else {
+        for (const auto& pass_report : result.pipeline.passes) {
+          for (const auto& remark : pass_report.remarks) {
+            std::cout << "lint: [" << pass::remark_severity_name(
+                             remark.severity)
+                      << "] " << remark.code << ": " << remark.message
+                      << "\n";
+          }
+        }
+      }
+      return errors > 0 ? 1 : 0;
+    }
 
     if (!o.remarks.empty()) {
       // Machine-readable mode: the JSON document is the only stdout

@@ -4,6 +4,12 @@
 Usage:
     bwcopt --program fig7 --remarks=json | check_remarks_schema.py
     check_remarks_schema.py remarks.json
+    bwcopt --program fig7 --lint --remarks=json \
+        | check_remarks_schema.py --fail-on=error
+
+With --fail-on=SEVERITY (error, or warning to also gate on warnings), the
+checker additionally exits non-zero when any remark carries a finding of
+that severity or worse -- the CI gate for `bwcopt --lint` runs.
 
 The schema is the machine-readable pass-pipeline report documented in
 docs/PIPELINE.md: one object per run carrying the pipeline spec, the
@@ -22,6 +28,8 @@ import sys
 
 SCHEMA = "bwc-remarks-v1"
 REMARK_KINDS = {"applied", "missed", "note"}
+# Ordered least to most severe; see pass::RemarkSeverity.
+REMARK_SEVERITIES = ("info", "warning", "error")
 
 
 class Checker:
@@ -77,7 +85,8 @@ def check_verify(c: Checker, verify: object, path: str) -> None:
         c.fail(path + ".instances_checked", f"negative count {instances}")
 
 
-def check_remark(c: Checker, remark: object, path: str) -> None:
+def check_remark(c: Checker, remark: object, path: str) -> str | None:
+    """Validates one remark; returns its severity (for the --fail-on gate)."""
     kind = c.field(remark, path, "kind", str)
     if kind is not None and kind not in REMARK_KINDS:
         c.fail(path + ".kind", f"unknown remark kind '{kind}'")
@@ -85,11 +94,15 @@ def check_remark(c: Checker, remark: object, path: str) -> None:
     if code == "":
         c.fail(path + ".code", "empty remark code")
     c.field(remark, path, "message", str)
+    severity = c.field(remark, path, "severity", str)
+    if severity is not None and severity not in REMARK_SEVERITIES:
+        c.fail(path + ".severity", f"unknown severity '{severity}'")
     args = c.field(remark, path, "args", dict)
     if args is not None:
         for key, value in args.items():
             if not isinstance(value, str):
                 c.fail(f"{path}.args.{key}", "arg values must be strings")
+    return severity if severity in REMARK_SEVERITIES else None
 
 
 def check_pass(c: Checker, record: object, path: str) -> None:
@@ -123,12 +136,16 @@ def check_pass(c: Checker, record: object, path: str) -> None:
     check_verify(c, record.get("verify") if isinstance(record, dict) else None,
                  path + ".verify")
     remarks = c.field(record, path, "remarks", list)
+    severities = []
     if remarks is not None:
         for i, remark in enumerate(remarks):
-            check_remark(c, remark, f"{path}.remarks[{i}]")
+            severity = check_remark(c, remark, f"{path}.remarks[{i}]")
+            if severity is not None:
+                severities.append(severity)
+    return severities
 
 
-def check_report(c: Checker, report: object) -> None:
+def check_report(c: Checker, report: object) -> list[str]:
     schema = c.field(report, "$", "schema", str)
     if schema is not None and schema != SCHEMA:
         c.fail("$.schema", f"expected '{SCHEMA}', got '{schema}'")
@@ -140,19 +157,31 @@ def check_report(c: Checker, report: object) -> None:
             value = c.field(cache, "$.analysis_cache", key, int)
             if value is not None and value < 0:
                 c.fail(f"$.analysis_cache.{key}", f"negative count {value}")
+    severities = []
     passes = c.field(report, "$", "passes", list)
     if passes is not None:
         if not passes:
             c.fail("$.passes", "empty pipeline: no passes ran")
         for i, record in enumerate(passes):
-            check_pass(c, record, f"$.passes[{i}]")
+            severities += check_pass(c, record, f"$.passes[{i}]")
+    return severities
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) > 2:
+    fail_on = None
+    args = []
+    for arg in argv[1:]:
+        if arg.startswith("--fail-on="):
+            fail_on = arg.split("=", 1)[1]
+            if fail_on not in REMARK_SEVERITIES:
+                print(f"unknown --fail-on severity '{fail_on}'", file=sys.stderr)
+                return 2
+        else:
+            args.append(arg)
+    if len(args) > 1:
         print(__doc__, file=sys.stderr)
         return 2
-    source = open(argv[1]) if len(argv) == 2 else sys.stdin
+    source = open(args[0]) if len(args) == 1 else sys.stdin
     try:
         report = json.load(source)
     except json.JSONDecodeError as err:
@@ -163,11 +192,21 @@ def main(argv: list[str]) -> int:
             source.close()
 
     checker = Checker()
-    check_report(checker, report)
+    severities = check_report(checker, report)
     if checker.errors:
         for error in checker.errors:
             print(f"SCHEMA VIOLATION {error}", file=sys.stderr)
         return 1
+    if fail_on is not None:
+        threshold = REMARK_SEVERITIES.index(fail_on)
+        flagged = [s for s in severities
+                   if REMARK_SEVERITIES.index(s) >= threshold]
+        if flagged:
+            print(
+                f"{len(flagged)} finding(s) at severity >= {fail_on}",
+                file=sys.stderr,
+            )
+            return 1
     count = len(report.get("passes", []))
     print(f"remarks schema ok: {count} pass record(s)")
     return 0
