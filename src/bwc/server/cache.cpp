@@ -1,0 +1,149 @@
+#include "bwc/server/cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "bwc/support/prng.h"
+
+namespace fs = std::filesystem;
+
+namespace bwc::server {
+
+namespace {
+
+constexpr char kValueHeaderTag[] = "bwcd-cache-v1";
+
+std::string read_file_or_empty(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Write-to-temp + atomic rename; false on any failure. The temp name
+/// carries the pid so concurrent publishers on a shared directory never
+/// collide on it.
+bool write_file_atomic(const fs::path& path, const std::string& content) {
+  const fs::path tmp = path.string() + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << content;
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CompileCache::CompileCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string CompileCache::fingerprint(const std::string& text) {
+  // Same construction as runtime::native_fingerprint: two independent
+  // splitmix64 streams over the bytes, 128 bits hex.
+  std::uint64_t s0 = 0x9e3779b97f4a7c15ULL ^ text.size();
+  std::uint64_t s1 = 0xbf58476d1ce4e5b9ULL + text.size();
+  std::uint64_t h0 = 0;
+  std::uint64_t h1 = 0;
+  for (unsigned char ch : text) {
+    s0 ^= ch;
+    h0 ^= splitmix64(s0);
+    s1 ^= static_cast<std::uint64_t>(ch) << 8;
+    h1 ^= splitmix64(s1);
+  }
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(h0),
+                static_cast<unsigned long long>(h1));
+  return buf;
+}
+
+CompileCache::Lookup CompileCache::get(const std::string& key_text) {
+  Lookup result;
+  if (!enabled()) {
+    ++misses_;
+    return result;
+  }
+  const std::string fp = fingerprint(key_text);
+  const fs::path key_path = fs::path(dir_) / (fp + ".key");
+  const fs::path val_path = fs::path(dir_) / (fp + ".val");
+  const std::string stored_key = read_file_or_empty(key_path);
+  const std::string stored_val = read_file_or_empty(val_path);
+
+  const auto evict = [&] {
+    std::error_code ec;
+    fs::remove(key_path, ec);
+    fs::remove(val_path, ec);
+    ++evictions_;
+    ++misses_;
+  };
+
+  if (stored_key.empty() && stored_val.empty()) {
+    ++misses_;
+    return result;
+  }
+  if (stored_key != key_text) {
+    // Missing key file, torn publish, tampered key, or a fingerprint
+    // collision: the content check decides, the pair goes.
+    evict();
+    return result;
+  }
+  // Value header: "bwcd-cache-v1 <value-fp>\n" + value.
+  const std::size_t nl = stored_val.find('\n');
+  if (nl == std::string::npos) {
+    evict();
+    return result;
+  }
+  const std::string header = stored_val.substr(0, nl);
+  const std::string value = stored_val.substr(nl + 1);
+  const std::string expect =
+      std::string(kValueHeaderTag) + " " + fingerprint(value);
+  if (header != expect) {
+    evict();
+    return result;
+  }
+  ++hits_;
+  result.hit = true;
+  result.value = value;
+  return result;
+}
+
+void CompileCache::put(const std::string& key_text, const std::string& value) {
+  if (!enabled()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    ++store_failures_;
+    return;
+  }
+  const std::string fp = fingerprint(key_text);
+  const fs::path key_path = fs::path(dir_) / (fp + ".key");
+  const fs::path val_path = fs::path(dir_) / (fp + ".val");
+  const std::string framed_val =
+      std::string(kValueHeaderTag) + " " + fingerprint(value) + "\n" + value;
+  // Value first, key last: the key file's presence-and-match is what
+  // get() trusts, so a reader can never match a key whose value has not
+  // been published yet.
+  if (!write_file_atomic(val_path, framed_val) ||
+      !write_file_atomic(key_path, key_text)) {
+    ++store_failures_;
+  }
+}
+
+}  // namespace bwc::server

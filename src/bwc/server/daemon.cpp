@@ -1,0 +1,478 @@
+#include "bwc/server/daemon.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bwc/runtime/thread_pool.h"
+#include "bwc/server/frame.h"
+#include "bwc/support/error.h"
+
+namespace bwc::server {
+
+namespace {
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+struct Daemon::Impl {
+  explicit Impl(const DaemonOptions& opts)
+      : options(opts), service(opts.service), pool(opts.threads) {}
+
+  // -- One live connection ---------------------------------------------
+
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mutex;
+    std::atomic<bool> dead{false};
+    std::atomic<bool> reader_done{false};
+    std::thread reader;
+
+    /// The fd is closed here and only here: queued jobs hold shared_ptrs,
+    /// so the descriptor number cannot be recycled to a new connection
+    /// while a worker might still write to it. Reaping shuts the socket
+    /// down (which makes those writes fail fast) but never closes it.
+    ~Conn() {
+      if (fd >= 0) ::close(fd);
+    }
+
+    /// Send one framed payload; partial writes are completed, failures
+    /// mark the connection dead (the peer is gone -- nothing else to
+    /// do, and nothing else is affected).
+    void send_frame(const std::string& payload) {
+      const std::string bytes = encode_frame(payload);
+      std::lock_guard<std::mutex> lock(write_mutex);
+      if (dead.load()) return;
+      std::size_t off = 0;
+      while (off < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) continue;
+          dead.store(true);
+          return;
+        }
+        off += static_cast<std::size_t>(n);
+      }
+    }
+  };
+
+  struct Job {
+    std::shared_ptr<Conn> conn;
+    Request request;
+    std::int64_t deadline_us = 0;
+  };
+
+  // -- Plumbing ---------------------------------------------------------
+
+  DaemonOptions options;
+  Service service;
+  runtime::ThreadPool pool;
+
+  int listen_fd = -1;
+  int wake_pipe[2] = {-1, -1};
+
+  std::thread accept_thread;
+  std::thread dispatch_thread;
+  std::vector<std::shared_ptr<Conn>> conns;
+  std::mutex conns_mutex;
+
+  std::deque<Job> queue;
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;    // dispatcher waits for work
+  std::condition_variable drained_cv;  // stop() waits for empty queue
+  bool dispatch_busy = false;
+  /// Set under queue_mutex by stop() BEFORE the drain wait: nothing can
+  /// slip into the queue after the dispatcher retires, so no request is
+  /// ever accepted and then silently dropped.
+  bool queue_closed = false;
+
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> dispatcher_exit{false};
+  bool started = false;
+  bool stopped = false;
+  std::mutex lifecycle_mutex;
+
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_rejected{0};
+  std::atomic<std::uint64_t> frames{0};
+  std::atomic<std::uint64_t> malformed_frames{0};
+  std::atomic<std::uint64_t> truncated_frames{0};
+  std::atomic<std::uint64_t> overloaded{0};
+  std::atomic<std::uint64_t> timeouts{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> batched_jobs{0};
+
+  // -- Responses --------------------------------------------------------
+
+  static void reply(const std::shared_ptr<Conn>& conn,
+                    const Response& response) {
+    conn->send_frame(render_response(response));
+  }
+
+  void reply_error(const std::shared_ptr<Conn>& conn,
+                   const std::string& status, const std::string& message,
+                   std::uint64_t request_bytes) {
+    Response r;
+    r.status = status;
+    r.error = message;
+    const std::string payload = render_response(r);
+    service.record_rejection(status, message, request_bytes, payload.size());
+    conn->send_frame(payload);
+  }
+
+  // -- Reader side ------------------------------------------------------
+
+  /// One parsed frame. Returns false when the connection must close
+  /// (the stream lost sync).
+  bool handle_payload(const std::shared_ptr<Conn>& conn,
+                      const std::string& payload) {
+    ++frames;
+    if (payload.empty()) return true;  // keep-alive frame, ignored
+    Request request;
+    try {
+      request = parse_request(payload);
+    } catch (const Error& e) {
+      ++malformed_frames;
+      reply_error(conn, "error", e.what(), payload.size());
+      return true;  // frame boundary intact: connection stays
+    }
+    if (request.op != Request::Op::kOptimize) {
+      reply(conn, service.handle(request));
+      return true;
+    }
+    const std::int64_t timeout_ms = request.timeout_ms > 0
+                                        ? request.timeout_ms
+                                        : options.default_timeout_ms;
+    Job job;
+    job.conn = conn;
+    job.request = std::move(request);
+    job.deadline_us = steady_now_us() + timeout_ms * 1000;
+    // Decide under the lock, reply outside it: sends are bounded but
+    // can still take a while against a slow peer.
+    enum class Verdict { kQueued, kClosed, kFull };
+    Verdict verdict;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      if (queue_closed) {
+        verdict = Verdict::kClosed;
+      } else if (static_cast<int>(queue.size()) >= options.queue_max) {
+        verdict = Verdict::kFull;
+      } else {
+        queue.push_back(std::move(job));
+        verdict = Verdict::kQueued;
+      }
+    }
+    switch (verdict) {
+      case Verdict::kQueued: queue_cv.notify_one(); break;
+      case Verdict::kClosed:
+        reply_error(conn, "error", "[shutting-down] daemon is draining",
+                    payload.size());
+        break;
+      case Verdict::kFull:
+        ++overloaded;
+        reply_error(conn, "overloaded",
+                    "[overloaded] job queue is full (" +
+                        std::to_string(options.queue_max) +
+                        " requests); retry with backoff",
+                    payload.size());
+        break;
+    }
+    return true;
+  }
+
+  void reader_loop(const std::shared_ptr<Conn>& conn) {
+    FrameReader reader;
+    char buf[16384];
+    while (!conn->dead.load()) {
+      struct pollfd pfd = {conn->fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, 100);
+      if (stopping.load() && pr <= 0) break;
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (pr == 0) continue;
+      const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+      if (n == 0) {
+        if (reader.pending_bytes() > 0) ++truncated_frames;
+        break;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      reader.feed(buf, static_cast<std::size_t>(n));
+      std::string payload;
+      bool close_conn = false;
+      for (;;) {
+        const FrameStatus status = reader.next(&payload);
+        if (status == FrameStatus::kNeedMore) break;
+        if (status == FrameStatus::kOversized) {
+          ++malformed_frames;
+          reply_error(conn, "error",
+                      "[frame-too-large] length prefix exceeds " +
+                          std::to_string(kMaxFrameBytes) +
+                          " bytes; closing unsynchronized connection",
+                      0);
+          close_conn = true;
+          break;
+        }
+        if (!handle_payload(conn, payload)) {
+          close_conn = true;
+          break;
+        }
+      }
+      if (close_conn) break;
+    }
+    conn->reader_done.store(true);
+  }
+
+  // -- Accept side ------------------------------------------------------
+
+  void accept_loop() {
+    while (!stopping.load()) {
+      struct pollfd pfds[2] = {{listen_fd, POLLIN, 0},
+                               {wake_pipe[0], POLLIN, 0}};
+      const int pr = ::poll(pfds, 2, 500);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if ((pfds[1].revents & POLLIN) != 0) break;  // stop() woke us
+      if ((pfds[0].revents & POLLIN) == 0) {
+        reap_finished_conns();
+        continue;
+      }
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      // Bounded sends: a stuck peer makes writes fail instead of
+      // wedging a worker (and, transitively, the drain) forever.
+      struct timeval snd_timeout = {10, 0};
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd_timeout,
+                   sizeof snd_timeout);
+
+      auto conn = std::make_shared<Conn>();
+      conn->fd = fd;
+      {
+        std::lock_guard<std::mutex> lock(conns_mutex);
+        reap_finished_conns_locked();
+        if (static_cast<int>(conns.size()) >= options.max_connections) {
+          ++connections_rejected;
+          Response r;
+          r.status = "overloaded";
+          r.error = "[overloaded] connection limit reached";
+          conn->send_frame(render_response(r));
+          ::close(fd);
+          continue;
+        }
+        ++connections_accepted;
+        conn->reader = std::thread([this, conn] { reader_loop(conn); });
+        conns.push_back(conn);
+      }
+    }
+  }
+
+  void reap_finished_conns() {
+    std::lock_guard<std::mutex> lock(conns_mutex);
+    reap_finished_conns_locked();
+  }
+
+  void reap_finished_conns_locked() {
+    for (auto it = conns.begin(); it != conns.end();) {
+      if ((*it)->reader_done.load()) {
+        (*it)->reader.join();
+        ::shutdown((*it)->fd, SHUT_RDWR);
+        it = conns.erase(it);  // ~Conn closes the fd at last reference
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // -- Dispatch side ----------------------------------------------------
+
+  void dispatch_loop() {
+    std::vector<Job> batch;
+    while (true) {
+      batch.clear();
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex);
+        queue_cv.wait(lock, [this] {
+          return !queue.empty() || dispatcher_exit.load();
+        });
+        if (queue.empty() && dispatcher_exit.load()) return;
+        const int take = std::min<int>(options.batch_max,
+                                       static_cast<int>(queue.size()));
+        for (int i = 0; i < take; ++i) {
+          batch.push_back(std::move(queue.front()));
+          queue.pop_front();
+        }
+        dispatch_busy = true;
+      }
+      ++batches;
+      batched_jobs += batch.size();
+      pool.parallel_for(batch.size(), [&](std::size_t i) { run_job(batch[i]); });
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex);
+        dispatch_busy = false;
+      }
+      drained_cv.notify_all();
+    }
+  }
+
+  void run_job(Job& job) {
+    if (steady_now_us() > job.deadline_us) {
+      ++timeouts;
+      reply_error(job.conn, "timeout",
+                  "[timeout] request exceeded its queue-wait deadline",
+                  job.request.program.size());
+      return;
+    }
+    reply(job.conn, service.handle(job.request));
+  }
+
+  // -- Lifecycle --------------------------------------------------------
+
+  void start(int* bound_port) {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) throw Error("[bind-failed] cannot create socket");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+    if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+      throw Error("[bind-failed] cannot bind 127.0.0.1:" +
+                  std::to_string(options.port) + ": " + std::strerror(errno));
+    }
+    if (::listen(listen_fd, 128) != 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+      throw Error("[bind-failed] listen failed");
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr), &len);
+    *bound_port = ntohs(addr.sin_port);
+    if (::pipe(wake_pipe) != 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+      throw Error("[bind-failed] cannot create wake pipe");
+    }
+    accept_thread = std::thread([this] { accept_loop(); });
+    dispatch_thread = std::thread([this] { dispatch_loop(); });
+  }
+
+  void stop() {
+    stopping.store(true);
+    // Close the queue first (under its mutex): any reader that was
+    // mid-enqueue either made it in -- and will be drained -- or will
+    // see queue_closed and answer "[shutting-down]". Nothing can be
+    // accepted and then dropped.
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      queue_closed = true;
+    }
+    // Wake and retire the accept thread: no new connections.
+    if (wake_pipe[1] >= 0) {
+      const char b = 1;
+      [[maybe_unused]] const ssize_t n = ::write(wake_pipe[1], &b, 1);
+    }
+    if (accept_thread.joinable()) accept_thread.join();
+
+    // Drain: everything already queued is completed and answered.
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex);
+      drained_cv.wait(lock,
+                      [this] { return queue.empty() && !dispatch_busy; });
+    }
+    dispatcher_exit.store(true);
+    queue_cv.notify_all();
+    if (dispatch_thread.joinable()) dispatch_thread.join();
+
+    // Readers: shutdown wakes any blocked poll/recv with EOF; fds close
+    // when the last shared_ptr (possibly a late job reply) drops.
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex);
+      for (auto& conn : conns) ::shutdown(conn->fd, SHUT_RDWR);
+      for (auto& conn : conns) {
+        if (conn->reader.joinable()) conn->reader.join();
+      }
+      conns.clear();
+    }
+    if (listen_fd >= 0) ::close(listen_fd);
+    listen_fd = -1;
+    for (int& fd : wake_pipe) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+  }
+};
+
+Daemon::Daemon(const DaemonOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {
+  BWC_CHECK(options.threads >= 1, "daemon needs at least one worker thread");
+  BWC_CHECK(options.queue_max >= 1, "queue_max must be at least 1");
+  BWC_CHECK(options.batch_max >= 1, "batch_max must be at least 1");
+}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  std::lock_guard<std::mutex> lock(impl_->lifecycle_mutex);
+  BWC_CHECK(!impl_->started, "daemon already started");
+  impl_->start(&port_);
+  impl_->started = true;
+}
+
+void Daemon::stop() {
+  std::lock_guard<std::mutex> lock(impl_->lifecycle_mutex);
+  if (!impl_->started || impl_->stopped) return;
+  impl_->stop();
+  impl_->stopped = true;
+}
+
+const Service& Daemon::service() const { return impl_->service; }
+Service& Daemon::service() { return impl_->service; }
+
+Daemon::Counters Daemon::counters() const {
+  Counters c;
+  c.connections_accepted = impl_->connections_accepted.load();
+  c.connections_rejected = impl_->connections_rejected.load();
+  c.frames = impl_->frames.load();
+  c.malformed_frames = impl_->malformed_frames.load();
+  c.truncated_frames = impl_->truncated_frames.load();
+  c.overloaded = impl_->overloaded.load();
+  c.timeouts = impl_->timeouts.load();
+  c.batches = impl_->batches.load();
+  c.batched_jobs = impl_->batched_jobs.load();
+  return c;
+}
+
+}  // namespace bwc::server

@@ -1,0 +1,49 @@
+#include "bwc/server/frame.h"
+
+#include "bwc/support/error.h"
+
+namespace bwc::server {
+
+std::string encode_frame(const std::string& payload) {
+  BWC_CHECK(payload.size() <= kMaxFrameBytes, "frame payload exceeds cap");
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out += static_cast<char>((n >> 24) & 0xFF);
+  out += static_cast<char>((n >> 16) & 0xFF);
+  out += static_cast<char>((n >> 8) & 0xFF);
+  out += static_cast<char>(n & 0xFF);
+  out += payload;
+  return out;
+}
+
+void FrameReader::feed(const char* data, std::size_t size) {
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+FrameStatus FrameReader::next(std::string* payload) {
+  if (poisoned_) return FrameStatus::kOversized;
+  if (buffer_.size() - consumed_ < 4) return FrameStatus::kNeedMore;
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const std::uint32_t n = (static_cast<std::uint32_t>(p[0]) << 24) |
+                          (static_cast<std::uint32_t>(p[1]) << 16) |
+                          (static_cast<std::uint32_t>(p[2]) << 8) |
+                          static_cast<std::uint32_t>(p[3]);
+  if (n > kMaxFrameBytes) {
+    poisoned_ = true;
+    return FrameStatus::kOversized;
+  }
+  if (buffer_.size() - consumed_ - 4 < n) return FrameStatus::kNeedMore;
+  payload->assign(buffer_, consumed_ + 4, n);
+  consumed_ += 4 + n;
+  return FrameStatus::kFrame;
+}
+
+}  // namespace bwc::server

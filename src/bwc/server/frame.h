@@ -1,0 +1,59 @@
+// Wire framing for the bwcd protocol: length-prefixed payloads.
+//
+//   frame := u32 length (big-endian) | `length` payload bytes
+//
+// The payload is one JSON document (server/protocol.h). Length zero is a
+// legal empty frame (ignored by the daemon); lengths above kMaxFrameBytes
+// are a framing error -- the peer and the reader have lost sync, so the
+// connection must be torn down after an error reply. Everything below the
+// cap is just "need more bytes" until the payload arrives; a connection
+// that closes mid-frame is a truncated frame.
+//
+// FrameReader is a push parser over a growing buffer, so the daemon's
+// per-connection read loop, the in-process tests and the fuzz harness
+// (tests/fuzz/frame_fuzz.cpp) all drive the exact same byte-level code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bwc::server {
+
+/// Hard cap on one frame's payload. Programs and remark documents are
+/// KB-scale; 16 MiB leaves three orders of magnitude of headroom while
+/// bounding what one connection can make the daemon buffer.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Prepend the length prefix to a payload.
+std::string encode_frame(const std::string& payload);
+
+/// What FrameReader::next produced.
+enum class FrameStatus {
+  kNeedMore,   // no complete frame buffered yet
+  kFrame,      // one payload extracted
+  kOversized,  // length prefix exceeds kMaxFrameBytes; stream unsynchronized
+};
+
+class FrameReader {
+ public:
+  /// Append raw bytes from the wire.
+  void feed(const char* data, std::size_t size);
+  void feed(const std::string& data) { feed(data.data(), data.size()); }
+
+  /// Extract the next complete frame into `payload`. kOversized is
+  /// sticky: once the stream is unsynchronized every further call
+  /// reports it, and the connection owner must close.
+  FrameStatus next(std::string* payload);
+
+  /// Bytes buffered but not yet consumed (mid-frame on a closed
+  /// connection means the peer sent a truncated frame).
+  std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace bwc::server

@@ -1,0 +1,160 @@
+#include "bwc/server/protocol.h"
+
+#include <cmath>
+
+#include "bwc/support/error.h"
+
+namespace bwc::server {
+
+namespace {
+
+[[noreturn]] void bad_request(const std::string& why) {
+  throw Error("[bad-request] " + why);
+}
+
+/// Integer field with range checking: JSON numbers are doubles, so a
+/// fractional or out-of-range value is a schema violation, not a trunc.
+std::int64_t int_field(const JsonValue& doc, const std::string& key,
+                       std::int64_t fallback, std::int64_t lo,
+                       std::int64_t hi) {
+  const double v = doc.number_or(key, static_cast<double>(fallback));
+  if (std::floor(v) != v) bad_request("field \"" + key + "\" must be an integer");
+  if (v < static_cast<double>(lo) || v > static_cast<double>(hi))
+    bad_request("field \"" + key + "\" out of range [" + std::to_string(lo) +
+                ", " + std::to_string(hi) + "]");
+  return static_cast<std::int64_t>(v);
+}
+
+Request parse_request_schema(const JsonValue& doc);
+
+}  // namespace
+
+Request parse_request(const std::string& payload) {
+  // Malformed JSON throws "[bad-json]" from here; everything after is a
+  // schema question, so wrong-kind field errors from the typed lookups
+  // are re-coded "[bad-request]".
+  const JsonValue doc = parse_json(payload);
+  try {
+    return parse_request_schema(doc);
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    if (what.rfind("[bad-request]", 0) == 0) throw;
+    const std::size_t cut = what.rfind("] ");
+    bad_request(cut == std::string::npos ? what : what.substr(cut + 2));
+  }
+}
+
+namespace {
+
+Request parse_request_schema(const JsonValue& doc) {
+  if (!doc.is_object()) bad_request("request must be a JSON object");
+  // Strict schema: an unknown key is a misspelled option the client
+  // thinks is in effect -- reject instead of silently ignoring.
+  static const char* const kKnownKeys[] = {
+      "op",    "program", "pipeline", "machine",    "cores",
+      "scale", "engine",  "measure",  "timeout_ms",
+  };
+  for (const auto& member : doc.members()) {
+    bool known = false;
+    for (const char* key : kKnownKeys) known = known || member.first == key;
+    if (!known) bad_request("unknown field \"" + member.first + "\"");
+  }
+  Request r;
+  const std::string op = doc.string_or("op", "");
+  if (op == "optimize") {
+    r.op = Request::Op::kOptimize;
+  } else if (op == "stats") {
+    r.op = Request::Op::kStats;
+  } else if (op == "ping") {
+    r.op = Request::Op::kPing;
+  } else if (op.empty()) {
+    bad_request("missing required field \"op\"");
+  } else {
+    bad_request("unknown op \"" + op + "\"");
+  }
+  if (r.op != Request::Op::kOptimize) return r;
+
+  r.program = doc.string_or("program", "");
+  if (r.program.empty())
+    bad_request("op \"optimize\" requires a non-empty \"program\"");
+  r.pipeline = doc.string_or("pipeline", "");
+  r.machine = doc.string_or("machine", "o2k");
+  if (r.machine != "o2k" && r.machine != "exemplar" && r.machine != "modern")
+    bad_request("unknown machine \"" + r.machine +
+                "\" (supported: o2k, exemplar, modern)");
+  r.engine = doc.string_or("engine", "compiled");
+  if (r.engine != "compiled" && r.engine != "reference" &&
+      r.engine != "native")
+    bad_request("unknown engine \"" + r.engine +
+                "\" (supported: compiled, reference, native)");
+  r.cores = static_cast<int>(int_field(doc, "cores", 1, 1, 1024));
+  r.scale =
+      static_cast<std::uint64_t>(int_field(doc, "scale", 16, 1, 1 << 20));
+  r.measure = doc.bool_or("measure", true);
+  r.timeout_ms = int_field(doc, "timeout_ms", 0, 0, 86'400'000);
+  return r;
+}
+
+}  // namespace
+
+std::string render_request(const Request& request) {
+  JsonValue doc = JsonValue::object();
+  switch (request.op) {
+    case Request::Op::kStats:
+      doc.set("op", JsonValue::string("stats"));
+      return doc.render();
+    case Request::Op::kPing:
+      doc.set("op", JsonValue::string("ping"));
+      return doc.render();
+    case Request::Op::kOptimize: break;
+  }
+  doc.set("op", JsonValue::string("optimize"));
+  doc.set("program", JsonValue::string(request.program));
+  if (!request.pipeline.empty())
+    doc.set("pipeline", JsonValue::string(request.pipeline));
+  doc.set("machine", JsonValue::string(request.machine));
+  doc.set("cores", JsonValue::number(request.cores));
+  doc.set("scale", JsonValue::number(static_cast<double>(request.scale)));
+  doc.set("engine", JsonValue::string(request.engine));
+  doc.set("measure", JsonValue::boolean(request.measure));
+  if (request.timeout_ms > 0)
+    doc.set("timeout_ms",
+            JsonValue::number(static_cast<double>(request.timeout_ms)));
+  return doc.render();
+}
+
+std::string render_response(const Response& response) {
+  std::string out = "{\"schema\":";
+  out += json_quote(kSchemaName);
+  out += ",\"status\":" + json_quote(response.status);
+  out += ",\"cache_hit\":";
+  out += response.cache_hit ? "true" : "false";
+  out += ",\"elapsed_us\":" + std::to_string(response.elapsed_us);
+  if (!response.error.empty()) out += ",\"error\":" + json_quote(response.error);
+  if (!response.result_json.empty())
+    out += ",\"result\":" + response.result_json;
+  out += "}";
+  return out;
+}
+
+Response parse_response(const std::string& payload) {
+  const JsonValue doc = parse_json(payload);
+  if (!doc.is_object()) throw Error("[bad-response] not a JSON object");
+  const std::string schema = doc.string_or("schema", "");
+  if (schema != kSchemaName)
+    throw Error("[bad-response] schema \"" + schema + "\", expected \"" +
+                kSchemaName + "\"");
+  Response r;
+  r.status = doc.string_or("status", "");
+  if (r.status != "ok" && r.status != "error" && r.status != "overloaded" &&
+      r.status != "timeout")
+    throw Error("[bad-response] unknown status \"" + r.status + "\"");
+  r.cache_hit = doc.bool_or("cache_hit", false);
+  r.elapsed_us = static_cast<std::int64_t>(doc.number_or("elapsed_us", 0));
+  r.error = doc.string_or("error", "");
+  if (const JsonValue* result = doc.find("result"); result != nullptr)
+    r.result_json = result->render();
+  return r;
+}
+
+}  // namespace bwc::server

@@ -1,0 +1,195 @@
+#include "bwc/server/record_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "bwc/support/error.h"
+
+namespace bwc::server {
+
+namespace {
+
+constexpr char kMagic[] = "BWCDREC1";  // 8 bytes, no terminator on disk
+constexpr std::size_t kMagicLen = 8;
+constexpr std::uint8_t kTypeServed = 1;
+/// Cap on one record's payload: fingerprints and error codes are tiny,
+/// so anything larger is damage and ends a scan.
+constexpr std::uint32_t kMaxRecordBytes = 1 << 20;
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out += static_cast<char>(v & 0xFF);
+  out += static_cast<char>((v >> 8) & 0xFF);
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+/// Bounded little-endian readers over a byte span; all return false on
+/// truncation so the scanner can stop cleanly.
+struct Span {
+  const unsigned char* p;
+  std::size_t n;
+  std::size_t at = 0;
+
+  bool u8(std::uint8_t* v) {
+    if (at + 1 > n) return false;
+    *v = p[at++];
+    return true;
+  }
+  bool u16(std::uint16_t* v) {
+    if (at + 2 > n) return false;
+    *v = static_cast<std::uint16_t>(p[at] | (p[at + 1] << 8));
+    at += 2;
+    return true;
+  }
+  bool u64(std::uint64_t* v) {
+    if (at + 8 > n) return false;
+    std::uint64_t r = 0;
+    for (int i = 7; i >= 0; --i) r = (r << 8) | p[at + i];
+    at += 8;
+    *v = r;
+    return true;
+  }
+  bool bytes(std::string* out, std::size_t len) {
+    if (at + len > n) return false;
+    out->assign(reinterpret_cast<const char*>(p + at), len);
+    at += len;
+    return true;
+  }
+};
+
+std::string encode_served(const ServedRecord& r) {
+  std::string payload;
+  put_u64(payload, r.unix_micros);
+  payload += static_cast<char>(r.status);
+  payload += static_cast<char>(r.cache_hit ? 1 : 0);
+  put_u64(payload, r.elapsed_us);
+  put_u64(payload, r.request_bytes);
+  put_u64(payload, r.response_bytes);
+  put_u16(payload, static_cast<std::uint16_t>(r.key_fp.size()));
+  payload += r.key_fp;
+  put_u16(payload, static_cast<std::uint16_t>(r.detail.size()));
+  payload += r.detail;
+
+  std::string record;
+  put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  record += static_cast<char>(kTypeServed);
+  record += payload;
+  return record;
+}
+
+bool decode_served(const std::string& payload, ServedRecord* r) {
+  Span s{reinterpret_cast<const unsigned char*>(payload.data()),
+         payload.size()};
+  std::uint8_t status = 0;
+  std::uint8_t hit = 0;
+  std::uint16_t len = 0;
+  if (!s.u64(&r->unix_micros) || !s.u8(&status) || !s.u8(&hit) ||
+      !s.u64(&r->elapsed_us) || !s.u64(&r->request_bytes) ||
+      !s.u64(&r->response_bytes))
+    return false;
+  if (!s.u16(&len) || !s.bytes(&r->key_fp, len)) return false;
+  if (!s.u16(&len) || !s.bytes(&r->detail, len)) return false;
+  r->status = status;
+  r->cache_hit = hit != 0;
+  return true;
+}
+
+}  // namespace
+
+RecordLogWriter::RecordLogWriter(const std::string& path) {
+  if (path.empty()) return;
+  // O_RDWR, not O_WRONLY: the constructor reads the magic back on
+  // reopen (O_APPEND still pins every write to the tail).
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND,
+                        0644);  // NOLINT
+  if (fd < 0) {
+    ++failures_;
+    return;
+  }
+  // Fresh file: stamp the magic. Existing file: verify it so we never
+  // append records into something that is not a bwcd log.
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size == 0) {
+    if (::write(fd, kMagic, kMagicLen) !=
+        static_cast<ssize_t>(kMagicLen)) {
+      ::close(fd);
+      ++failures_;
+      return;
+    }
+  } else {
+    char head[kMagicLen];
+    const ssize_t got = ::pread(fd, head, kMagicLen, 0);
+    if (got != static_cast<ssize_t>(kMagicLen) ||
+        std::memcmp(head, kMagic, kMagicLen) != 0) {
+      ::close(fd);
+      ++failures_;
+      return;
+    }
+  }
+  fd_ = fd;
+}
+
+RecordLogWriter::~RecordLogWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void RecordLogWriter::append(const ServedRecord& record) {
+  const std::string bytes = encode_served(record);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  // O_APPEND makes the whole record one atomic append on local
+  // filesystems; a short write still only damages the tail, which the
+  // reader tolerates.
+  if (::write(fd_, bytes.data(), bytes.size()) !=
+      static_cast<ssize_t>(bytes.size())) {
+    ::close(fd_);
+    fd_ = -1;
+    ++failures_;
+    return;
+  }
+  ++written_;
+}
+
+std::vector<ServedRecord> read_record_log(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("[record-log] cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string data = ss.str();
+  if (data.size() < kMagicLen ||
+      std::memcmp(data.data(), kMagic, kMagicLen) != 0)
+    throw Error("[record-log] bad magic in " + path);
+
+  std::vector<ServedRecord> records;
+  std::size_t at = kMagicLen;
+  while (at + 5 <= data.size()) {
+    const auto* p = reinterpret_cast<const unsigned char*>(data.data() + at);
+    const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                              (static_cast<std::uint32_t>(p[1]) << 8) |
+                              (static_cast<std::uint32_t>(p[2]) << 16) |
+                              (static_cast<std::uint32_t>(p[3]) << 24);
+    const std::uint8_t type = p[4];
+    if (len > kMaxRecordBytes) break;          // damaged length: stop
+    if (at + 5 + len > data.size()) break;     // truncated tail: stop
+    const std::string payload = data.substr(at + 5, len);
+    at += 5 + len;
+    if (type != kTypeServed) continue;  // unknown type: skip, keep scanning
+    ServedRecord r;
+    if (!decode_served(payload, &r)) break;  // damaged payload: stop
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace bwc::server

@@ -1,0 +1,85 @@
+// Append-only binary record log of bwcd requests, for offline analysis.
+//
+// Follows the DataSeries shape -- compact fixed-layout records behind a
+// tagged, versioned container -- without the generality: one file, one
+// record type, sequential scans.
+//
+//   file   := magic "BWCDREC1" | record*
+//   record := u32 payload_len (LE) | u8 type | payload
+//
+// Type 1 (kServed) payload, all integers little-endian:
+//   u64 unix_micros          when serving finished
+//   u8  status               0 ok, 1 error, 2 overloaded, 3 timeout
+//   u8  cache_hit
+//   u64 elapsed_us           queue wait + service time
+//   u64 request_bytes        frame payload size in
+//   u64 response_bytes       frame payload size out
+//   u16 key_fp_len | bytes   cache-key fingerprint (empty for non-optimize)
+//   u16 detail_len | bytes   op name, or the error code on failures
+//
+// The writer appends under a mutex (one log per daemon); the reader
+// stops cleanly at a truncated tail -- a crashed daemon loses at most
+// its final partial record, never the file. Schema growth adds new
+// record types; readers skip types they do not know.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bwc::server {
+
+struct ServedRecord {
+  std::uint64_t unix_micros = 0;
+  std::uint8_t status = 0;
+  bool cache_hit = false;
+  std::uint64_t elapsed_us = 0;
+  std::uint64_t request_bytes = 0;
+  std::uint64_t response_bytes = 0;
+  std::string key_fp;
+  std::string detail;
+};
+
+/// Record-status byte values.
+enum : std::uint8_t {
+  kRecordOk = 0,
+  kRecordError = 1,
+  kRecordOverloaded = 2,
+  kRecordTimeout = 3,
+};
+
+class RecordLogWriter {
+ public:
+  /// Opens (creates or appends to) `path`; empty path disables the log.
+  /// A fresh file gets the magic; an existing one is appended to only
+  /// if its magic matches, otherwise the writer disables itself and
+  /// counts the failure rather than corrupting a foreign file.
+  explicit RecordLogWriter(const std::string& path);
+  ~RecordLogWriter();
+
+  RecordLogWriter(const RecordLogWriter&) = delete;
+  RecordLogWriter& operator=(const RecordLogWriter&) = delete;
+
+  bool enabled() const { return fd_ >= 0; }
+
+  /// Append one record; thread-safe. Failures disable the log (serving
+  /// must never block on logging).
+  void append(const ServedRecord& record);
+
+  std::uint64_t records_written() const { return written_; }
+  std::uint64_t failures() const { return failures_; }
+
+ private:
+  int fd_ = -1;
+  std::mutex mutex_;
+  std::uint64_t written_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+/// Scan a record log. Unknown record types are skipped; a truncated or
+/// damaged tail ends the scan (records before it are returned). Throws
+/// bwc::Error only when the file cannot be opened or the magic is wrong.
+std::vector<ServedRecord> read_record_log(const std::string& path);
+
+}  // namespace bwc::server

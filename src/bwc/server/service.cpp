@@ -1,0 +1,334 @@
+#include "bwc/server/service.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "bwc/core/optimizer.h"
+#include "bwc/ir/parser.h"
+#include "bwc/ir/printer.h"
+#include "bwc/machine/machine_model.h"
+#include "bwc/model/measure.h"
+#include "bwc/pass/pipeline_spec.h"
+#include "bwc/support/error.h"
+
+namespace bwc::server {
+
+namespace {
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t unix_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Canonical pipeline spec for a request: the explicit spec re-rendered
+/// through the parser, or the default pipeline. Throws on a bad spec.
+std::string canonical_pipeline(const Request& request) {
+  if (request.pipeline.empty()) return core::default_pipeline();
+  return pass::parse_pipeline_spec(request.pipeline).to_string();
+}
+
+machine::MachineModel make_machine(const Request& request) {
+  machine::MachineModel m;
+  if (request.machine == "o2k") {
+    m = machine::origin2000_r10k();
+  } else if (request.machine == "exemplar") {
+    m = machine::exemplar_pa8000();
+  } else {
+    m = machine::generic_modern();
+  }
+  return m.scaled(request.scale).with_cores(request.cores);
+}
+
+model::ExecEngine make_engine(const Request& request) {
+  if (request.engine == "reference") return model::ExecEngine::kReference;
+  if (request.engine == "native") return model::ExecEngine::kNative;
+  return model::ExecEngine::kCompiled;
+}
+
+JsonValue ir_stats_json(const pass::IrStats& s) {
+  JsonValue o = JsonValue::object();
+  o.set("loops", JsonValue::number(s.loops));
+  o.set("statements", JsonValue::number(s.statements));
+  o.set("arrays_referenced", JsonValue::number(s.arrays_referenced));
+  o.set("referenced_bytes",
+        JsonValue::number(static_cast<double>(s.referenced_bytes)));
+  return o;
+}
+
+/// The deterministic subset of a PassReport: everything except wall
+/// clocks and analysis-cache counters, which vary run to run and would
+/// break the cold-vs-hit bit-identity contract.
+JsonValue pass_report_json(const pass::PassReport& p) {
+  JsonValue o = JsonValue::object();
+  o.set("pass", JsonValue::string(p.pass));
+  o.set("label", JsonValue::string(p.label));
+  o.set("changed", JsonValue::boolean(p.changed));
+  o.set("ir_before", ir_stats_json(p.ir_before));
+  o.set("ir_after", ir_stats_json(p.ir_after));
+  o.set("traffic_bound_before",
+        JsonValue::number(static_cast<double>(p.traffic_bound_before)));
+  o.set("traffic_bound_after",
+        JsonValue::number(static_cast<double>(p.traffic_bound_after)));
+  if (p.verify.ran) {
+    JsonValue v = JsonValue::object();
+    v.set("check", JsonValue::string(p.verify.check));
+    v.set("skipped", JsonValue::boolean(p.verify.skipped));
+    if (p.verify.skipped)
+      v.set("skip_reason", JsonValue::string(p.verify.skip_reason));
+    v.set("instances_checked",
+          JsonValue::number(static_cast<double>(p.verify.instances_checked)));
+    o.set("verify", std::move(v));
+  }
+  JsonValue remarks = JsonValue::array();
+  for (const pass::Remark& r : p.remarks) {
+    JsonValue m = JsonValue::object();
+    m.set("kind", JsonValue::string(pass::remark_kind_name(r.kind)));
+    m.set("code", JsonValue::string(r.code));
+    m.set("message", JsonValue::string(r.message));
+    m.set("severity",
+          JsonValue::string(pass::remark_severity_name(r.severity)));
+    if (!r.args.empty()) {
+      // Pairs, not an object: remark args may repeat keys.
+      JsonValue args = JsonValue::array();
+      for (const auto& [k, v] : r.args) {
+        JsonValue pair = JsonValue::array();
+        pair.push_back(JsonValue::string(k));
+        pair.push_back(JsonValue::string(v));
+        args.push_back(std::move(pair));
+      }
+      m.set("args", std::move(args));
+    }
+    remarks.push_back(std::move(m));
+  }
+  o.set("remarks", std::move(remarks));
+  return o;
+}
+
+JsonValue measurement_json(const model::Measurement& m) {
+  JsonValue o = JsonValue::object();
+  o.set("memory_bytes",
+        JsonValue::number(static_cast<double>(m.profile.memory_bytes())));
+  o.set("register_bytes",
+        JsonValue::number(static_cast<double>(m.profile.register_bytes())));
+  o.set("flops", JsonValue::number(static_cast<double>(m.profile.flops)));
+  o.set("predicted_ms", JsonValue::number(m.time.total_s * 1e3));
+  o.set("binding", JsonValue::string(m.time.binding_resource));
+  o.set("checksum", JsonValue::number(m.exec.checksum));
+  return o;
+}
+
+}  // namespace
+
+Service::Service(const ServiceOptions& options)
+    : options_(options),
+      cache_(options.cache_dir),
+      log_(std::make_unique<RecordLogWriter>(options.record_log_path)) {}
+
+Service::~Service() = default;
+
+std::string Service::cache_key_text(const Request& request) const {
+  const ir::Program program = ir::parse_program(request.program);
+  const std::string canonical_text = ir::to_string(program);
+  const std::string spec = canonical_pipeline(request);
+  std::string key = "bwcd-key-v" + std::to_string(kProtocolVersion) + "\n";
+  key += "machine=" + request.machine + "\n";
+  key += "cores=" + std::to_string(request.cores) + "\n";
+  key += "scale=" + std::to_string(request.scale) + "\n";
+  key += std::string("measure=") + (request.measure ? "1" : "0") + "\n";
+  key += "pipeline=" + spec + "\n";
+  key += "program:\n" + canonical_text;
+  return key;
+}
+
+std::string Service::compute_result_body(const Request& request) {
+  const ir::Program original = ir::parse_program(request.program);
+  const std::string canonical_text = ir::to_string(original);
+  const std::string spec = canonical_pipeline(request);
+
+  core::OptimizerOptions opts;
+  opts.passes = spec;
+  opts.cores = request.cores;
+  const core::OptimizeResult result = core::optimize(original, opts);
+
+  JsonValue body = JsonValue::object();
+  body.set("schema", JsonValue::string(kSchemaName));
+  body.set("protocol_version", JsonValue::number(kProtocolVersion));
+  body.set("program", JsonValue::string(canonical_text));
+  body.set("pipeline", JsonValue::string(spec));
+  body.set("optimized", JsonValue::string(ir::to_string(result.program)));
+
+  JsonValue passes = JsonValue::array();
+  std::int64_t bound_first = -1;
+  std::int64_t bound_last = -1;
+  for (const pass::PassReport& p : result.pipeline.passes) {
+    if (bound_first < 0) bound_first = p.traffic_bound_before;
+    if (p.traffic_bound_after >= 0) bound_last = p.traffic_bound_after;
+    passes.push_back(pass_report_json(p));
+  }
+  body.set("passes", std::move(passes));
+  JsonValue bound = JsonValue::object();
+  bound.set("original_bytes",
+            JsonValue::number(static_cast<double>(bound_first)));
+  bound.set("optimized_bytes",
+            JsonValue::number(static_cast<double>(bound_last)));
+  body.set("traffic_bound", std::move(bound));
+
+  if (request.measure) {
+    const machine::MachineModel machine = make_machine(request);
+    model::MeasureOptions measure_opts;
+    measure_opts.engine = make_engine(request);
+    const model::Measurement before =
+        model::measure(original, machine, measure_opts);
+    const model::Measurement after =
+        model::measure(result.program, machine, measure_opts);
+    JsonValue m = JsonValue::object();
+    m.set("name", JsonValue::string(machine.name));
+    m.set("cores", JsonValue::number(request.cores));
+    m.set("scale", JsonValue::number(static_cast<double>(request.scale)));
+    m.set("original", measurement_json(before));
+    m.set("optimized", measurement_json(after));
+    m.set("traffic_ratio",
+          JsonValue::number(
+              after.profile.memory_bytes() == 0
+                  ? 0.0
+                  : static_cast<double>(before.profile.memory_bytes()) /
+                        static_cast<double>(after.profile.memory_bytes())));
+    m.set("speedup", JsonValue::number(after.time.total_s == 0.0
+                                           ? 0.0
+                                           : before.time.total_s /
+                                                 after.time.total_s));
+    body.set("machine", std::move(m));
+  }
+  return body.render();
+}
+
+Response Service::handle(const Request& request) {
+  ++requests_;
+  const std::int64_t t0 = now_us();
+  Response response;
+  std::string key_fp;
+  switch (request.op) {
+    case Request::Op::kPing: {
+      response.result_json = "{\"pong\":true}";
+      break;
+    }
+    case Request::Op::kStats: {
+      response = stats_response();
+      break;
+    }
+    case Request::Op::kOptimize: {
+      if (options_.debug_delay_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.debug_delay_ms));
+      }
+      try {
+        const std::string key = cache_key_text(request);
+        key_fp = CompileCache::fingerprint(key);
+        CompileCache::Lookup lookup = cache_.get(key);
+        if (lookup.hit) {
+          response.cache_hit = true;
+          response.result_json = std::move(lookup.value);
+        } else {
+          ++pipeline_runs_;
+          response.result_json = compute_result_body(request);
+          cache_.put(key, response.result_json);
+        }
+      } catch (const std::exception& e) {
+        response.status = "error";
+        response.error = e.what();
+        response.result_json.clear();
+      }
+      break;
+    }
+  }
+  response.elapsed_us = now_us() - t0;
+  if (response.status == "ok") {
+    ++ok_;
+  } else {
+    ++errors_;
+  }
+  log_served(request, response, key_fp);
+  return response;
+}
+
+Response Service::stats_response() const {
+  const Stats s = stats();
+  JsonValue o = JsonValue::object();
+  o.set("requests", JsonValue::number(static_cast<double>(s.requests)));
+  o.set("ok", JsonValue::number(static_cast<double>(s.ok)));
+  o.set("errors", JsonValue::number(static_cast<double>(s.errors)));
+  o.set("cache_hits", JsonValue::number(static_cast<double>(s.cache_hits)));
+  o.set("cache_misses",
+        JsonValue::number(static_cast<double>(s.cache_misses)));
+  o.set("cache_evictions",
+        JsonValue::number(static_cast<double>(s.cache_evictions)));
+  o.set("cache_store_failures",
+        JsonValue::number(static_cast<double>(s.cache_store_failures)));
+  o.set("pipeline_runs",
+        JsonValue::number(static_cast<double>(s.pipeline_runs)));
+  o.set("record_log_records",
+        JsonValue::number(static_cast<double>(s.record_log_records)));
+  Response r;
+  r.result_json = o.render();
+  return r;
+}
+
+Service::Stats Service::stats() const {
+  Stats s;
+  s.requests = requests_.load();
+  s.ok = ok_.load();
+  s.errors = errors_.load();
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_evictions = cache_.evictions();
+  s.cache_store_failures = cache_.store_failures();
+  s.pipeline_runs = pipeline_runs_.load();
+  s.record_log_records = log_->records_written();
+  return s;
+}
+
+void Service::record_rejection(const std::string& status,
+                               const std::string& detail,
+                               std::uint64_t request_bytes,
+                               std::uint64_t response_bytes) {
+  ++requests_;
+  ++errors_;
+  ServedRecord rec;
+  rec.unix_micros = unix_micros();
+  rec.status = status == "overloaded"  ? kRecordOverloaded
+               : status == "timeout"   ? kRecordTimeout
+                                       : kRecordError;
+  rec.request_bytes = request_bytes;
+  rec.response_bytes = response_bytes;
+  rec.detail = detail;
+  log_->append(rec);
+}
+
+void Service::log_served(const Request& request, const Response& response,
+                         const std::string& key_fp) {
+  ServedRecord rec;
+  rec.unix_micros = unix_micros();
+  rec.status = response.status == "ok" ? kRecordOk : kRecordError;
+  rec.cache_hit = response.cache_hit;
+  rec.elapsed_us = static_cast<std::uint64_t>(response.elapsed_us);
+  rec.request_bytes = request.program.size();
+  rec.response_bytes = response.result_json.size();
+  rec.key_fp = key_fp;
+  rec.detail = response.status == "ok"
+                   ? (request.op == Request::Op::kOptimize ? "optimize"
+                      : request.op == Request::Op::kStats  ? "stats"
+                                                           : "ping")
+                   : response.error.substr(0, 200);
+  log_->append(rec);
+}
+
+}  // namespace bwc::server

@@ -1,0 +1,121 @@
+// libFuzzer harness for the bwcd wire surface: frame reassembly
+// (server/frame.h), JSON parsing (server/json.h), and request schema
+// validation (server/protocol.h) -- the exact byte path an untrusted
+// client drives. The contracts under fuzz:
+//
+//   - FrameReader never crashes, hangs, or reads out of bounds, no
+//     matter how the input is chunked; kOversized is sticky.
+//   - parse_request has exactly two outcomes: a valid Request or a
+//     thrown bwc::Error ("[bad-json]" / "[bad-request]").
+//   - An accepted request re-renders and re-parses to the same request
+//     (render_request/parse_request round trip), and a response built
+//     from it renders and parses cleanly -- so nothing a client can
+//     send produces bytes the daemon cannot answer.
+//
+// Built behind -DBWC_FUZZ=ON (see tests/CMakeLists.txt). With Clang the
+// target links libFuzzer; other compilers get a standalone driver that
+// replays corpus files, so the seed corpus doubles as a regression
+// suite.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "bwc/server/frame.h"
+#include "bwc/server/protocol.h"
+#include "bwc/support/error.h"
+
+namespace {
+
+/// The first input byte picks the feed chunking, so the fuzzer explores
+/// reassembly boundaries as well as payload contents.
+std::size_t chunk_size(std::uint8_t selector, std::size_t size) {
+  switch (selector & 3) {
+    case 0: return 1;
+    case 1: return 7;
+    case 2: return 4096;
+    default: return size > 0 ? size : 1;
+  }
+}
+
+void check_request_payload(const std::string& payload) {
+  using bwc::server::Request;
+  try {
+    const Request request = bwc::server::parse_request(payload);
+    // Accepted: the render/parse round trip must reach a fixpoint.
+    const std::string rendered = bwc::server::render_request(request);
+    const Request reparsed = bwc::server::parse_request(rendered);
+    if (bwc::server::render_request(reparsed) != rendered) std::abort();
+    // And a response carrying this payload as its error detail must
+    // render and parse cleanly (escaping torture).
+    bwc::server::Response response;
+    response.status = "error";
+    response.error = payload.substr(0, 256);
+    const bwc::server::Response back =
+        bwc::server::parse_response(bwc::server::render_response(response));
+    if (back.error != response.error) std::abort();
+  } catch (const bwc::Error&) {
+    // Malformed input: rejection via bwc::Error is the contract.
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0 || size > (1 << 18)) return 0;
+  const std::size_t chunk = chunk_size(data[0], size - 1);
+  const char* bytes = reinterpret_cast<const char*>(data + 1);
+  const std::size_t wire_size = size - 1;
+
+  bwc::server::FrameReader reader;
+  bool poisoned = false;
+  std::size_t fed = 0;
+  while (fed < wire_size) {
+    const std::size_t n = std::min(chunk, wire_size - fed);
+    reader.feed(bytes + fed, n);
+    fed += n;
+    std::string payload;
+    while (true) {
+      const bwc::server::FrameStatus status = reader.next(&payload);
+      if (status == bwc::server::FrameStatus::kNeedMore) break;
+      if (status == bwc::server::FrameStatus::kOversized) {
+        poisoned = true;
+        break;
+      }
+      check_request_payload(payload);
+    }
+    if (poisoned) {
+      // Sticky: every further probe must keep reporting kOversized.
+      if (reader.next(&payload) != bwc::server::FrameStatus::kOversized)
+        std::abort();
+      break;
+    }
+  }
+  return 0;
+}
+
+#ifdef BWC_FUZZ_STANDALONE
+// Non-Clang builds: replay corpus files one by one instead of fuzzing.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open " << argv[i] << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+    std::cout << "ok: " << argv[i] << " (" << text.size() << " bytes)\n";
+  }
+  return 0;
+}
+#endif

@@ -1,0 +1,85 @@
+// Seed-corpus generator for the frame fuzz harness: dumps framed wire
+// images of real protocol traffic -- valid requests over every op,
+// malformed JSON, truncated frames, oversized prefixes -- so the fuzzer
+// starts from inputs that already reach deep protocol states.
+//
+//   make_frame_corpus <dir>
+//
+// Each file starts with one chunk-selector byte (frame_fuzz.cpp) before
+// the wire bytes.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bwc/ir/printer.h"
+#include "bwc/server/frame.h"
+#include "bwc/server/protocol.h"
+#include "bwc/workloads/paper_programs.h"
+
+namespace {
+
+int write_seed(const std::string& dir, const std::string& name,
+               const std::string& wire) {
+  const std::string path = dir + "/" + name + ".wire";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << '\x03' << wire;  // selector 3: feed everything in one chunk
+  std::cout << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: make_frame_corpus <dir>\n";
+    return 2;
+  }
+  using bwc::server::encode_frame;
+  using bwc::server::render_request;
+  using bwc::server::Request;
+  const std::string dir = argv[1];
+  int rc = 0;
+
+  Request ping;
+  ping.op = Request::Op::kPing;
+  rc |= write_seed(dir, "ping", encode_frame(render_request(ping)));
+
+  Request stats;
+  stats.op = Request::Op::kStats;
+  rc |= write_seed(dir, "stats", encode_frame(render_request(stats)));
+
+  Request optimize;
+  optimize.op = Request::Op::kOptimize;
+  optimize.program = bwc::ir::to_string(bwc::workloads::fig7_original(64));
+  rc |= write_seed(dir, "optimize", encode_frame(render_request(optimize)));
+
+  Request tuned = optimize;
+  tuned.pipeline = "interchange,fuse(solver=exact),reduce-storage";
+  tuned.machine = "exemplar";
+  tuned.cores = 4;
+  tuned.scale = 8;
+  tuned.engine = "reference";
+  tuned.measure = false;
+  tuned.timeout_ms = 1000;
+  rc |= write_seed(dir, "optimize_tuned",
+                   encode_frame(render_request(tuned)));
+
+  rc |= write_seed(dir, "two_frames", encode_frame(render_request(ping)) +
+                                          encode_frame(render_request(stats)));
+  rc |= write_seed(dir, "empty_frame", encode_frame(""));
+  rc |= write_seed(dir, "bad_json", encode_frame("{not json"));
+  rc |= write_seed(dir, "bad_schema",
+                   encode_frame(R"({"op":"optimize","cores":-1})"));
+  rc |= write_seed(dir, "unicode",
+                   encode_frame("\"\\ud83d\\ude00 caf\xc3\xa9\""));
+  rc |= write_seed(dir, "truncated",
+                   encode_frame(render_request(ping)).substr(0, 9));
+  rc |= write_seed(dir, "oversized", std::string("\xff\xff\xff\xff", 4));
+  rc |= write_seed(dir, "deep_nest",
+                   encode_frame("[[[[[[[[[[[[[[[[[[[[1]]]]]]]]]]]]]]]]]]]]"));
+  return rc;
+}

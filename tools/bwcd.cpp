@@ -1,0 +1,220 @@
+// bwcd — the optimizer-as-a-service daemon.
+//
+// Listens on 127.0.0.1, accepts length-prefixed JSON frames carrying
+// optimize/stats/ping requests (schema bwcd-v1, docs/SERVER.md),
+// schedules optimize jobs as batches on the runtime thread pool, and
+// serves repeated requests from an on-disk content-addressed compile
+// cache. SIGTERM/SIGINT trigger a graceful drain: queued requests are
+// answered, new ones are rejected, then the process exits 0.
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bwc/server/daemon.h"
+#include "bwc/support/error.h"
+
+namespace {
+
+using namespace bwc;
+
+struct Options {
+  server::DaemonOptions daemon;
+};
+
+struct Flag {
+  const char* name;
+  const char* value;
+  const char* help;
+  void (*apply)(Options&, const std::string&);
+};
+
+const Flag kFlags[] = {
+    {"--port", "<int>",
+     "TCP port to bind on 127.0.0.1 (default 0 = pick an ephemeral port "
+     "and print it)",
+     [](Options& o, const std::string& v) { o.daemon.port = std::stoi(v); }},
+    {"--threads", "<int>", "optimize worker threads (default 4)",
+     [](Options& o, const std::string& v) {
+       o.daemon.threads = std::stoi(v);
+     }},
+    {"--queue-max", "<int>",
+     "bounded job-queue capacity; a request arriving on a full queue is "
+     "answered \"overloaded\" immediately, never queued blind (default 64)",
+     [](Options& o, const std::string& v) {
+       o.daemon.queue_max = std::stoi(v);
+     }},
+    {"--batch-max", "<int>",
+     "max jobs drained per dispatcher batch -- one thread-pool "
+     "parallel_for per batch (default 8)",
+     [](Options& o, const std::string& v) {
+       o.daemon.batch_max = std::stoi(v);
+     }},
+    {"--max-connections", "<int>", "live-connection cap (default 256)",
+     [](Options& o, const std::string& v) {
+       o.daemon.max_connections = std::stoi(v);
+     }},
+    {"--timeout-ms", "<int>",
+     "default queue-wait deadline for requests that do not carry their "
+     "own timeout_ms (default 30000)",
+     [](Options& o, const std::string& v) {
+       o.daemon.default_timeout_ms = std::stoll(v);
+     }},
+    {"--cache-dir", "<path>",
+     "content-addressed compile cache directory; repeated identical "
+     "requests are served from disk without re-running the pipeline "
+     "(default off)",
+     [](Options& o, const std::string& v) {
+       o.daemon.service.cache_dir = v;
+     }},
+    {"--record-log", "<path>",
+     "append-only binary record log of every served request (format in "
+     "docs/SERVER.md; default off)",
+     [](Options& o, const std::string& v) {
+       o.daemon.service.record_log_path = v;
+     }},
+};
+
+void print_help(std::ostream& os) {
+  os << "bwcd -- serve the bandwidth optimizer over plain TCP\n\n"
+        "usage: bwcd [options]\n\n"
+        "Prints \"bwcd: listening on port N\" once ready. Speak the "
+        "protocol with\n`bwcopt bwcd-client` or any client that frames "
+        "JSON per docs/SERVER.md.\nSIGTERM/SIGINT drain gracefully.\n\n"
+        "options:\n";
+  for (const Flag& flag : kFlags) {
+    std::string head = "  ";
+    head += flag.name;
+    if (flag.value[0] != '\0') {
+      head += ' ';
+      head += flag.value;
+    }
+    os << head << "\n";
+    std::istringstream words(flag.help);
+    std::string word;
+    std::string line;
+    while (words >> word) {
+      if (!line.empty() && line.size() + 1 + word.size() > 70) {
+        os << "        " << line << "\n";
+        line.clear();
+      }
+      if (!line.empty()) line += " ";
+      line += word;
+    }
+    if (!line.empty()) os << "        " << line << "\n";
+  }
+  os << "  --help\n        print this help and exit\n";
+}
+
+[[noreturn]] void usage_error(const std::string& why) {
+  std::cerr << "bwcd: " << why << "\n"
+            << "usage: bwcd [options]; run bwcd --help for the flag list\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(std::cout);
+      std::exit(0);
+    }
+    std::string inline_value;
+    bool has_inline = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline = true;
+    }
+    const Flag* found = nullptr;
+    for (const Flag& flag : kFlags) {
+      if (arg == flag.name) {
+        found = &flag;
+        break;
+      }
+    }
+    if (found == nullptr) usage_error("unknown flag: " + arg);
+    std::string value;
+    if (has_inline) {
+      value = inline_value;
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      usage_error("flag " + arg + " requires a value " + found->value);
+    }
+    try {
+      found->apply(o, value);
+    } catch (const std::exception&) {
+      usage_error("bad value \"" + value + "\" for flag " + arg);
+    }
+  }
+  if (o.daemon.port < 0 || o.daemon.port > 65535)
+    usage_error("--port must be in [0, 65535]");
+  if (o.daemon.threads < 1) usage_error("--threads must be >= 1");
+  if (o.daemon.queue_max < 1) usage_error("--queue-max must be >= 1");
+  if (o.daemon.batch_max < 1) usage_error("--batch-max must be >= 1");
+  if (o.daemon.max_connections < 1)
+    usage_error("--max-connections must be >= 1");
+  return o;
+}
+
+// Self-pipe: the signal handler does the only async-signal-safe thing
+// (write one byte); the main thread blocks on the read end and runs the
+// actual drain outside signal context.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  try {
+    if (::pipe(g_signal_pipe) != 0) {
+      std::cerr << "bwcd: cannot create signal pipe: " << std::strerror(errno)
+                << "\n";
+      return 2;
+    }
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = on_signal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    server::Daemon daemon(o.daemon);
+    daemon.start();
+    std::cout << "bwcd: listening on port " << daemon.port() << std::endl;
+
+    // Block until SIGTERM/SIGINT.
+    char byte;
+    while (true) {
+      const ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+      if (n == 1) break;
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+    }
+    std::cout << "bwcd: draining" << std::endl;
+    daemon.stop();
+
+    const server::Service::Stats stats = daemon.service().stats();
+    std::cout << "bwcd: served " << stats.requests << " requests ("
+              << stats.cache_hits << " cache hits, " << stats.pipeline_runs
+              << " pipeline runs)" << std::endl;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bwcd: error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -21,6 +21,8 @@
 #include "bwc/machine/machine_model.h"
 #include "bwc/model/measure.h"
 #include "bwc/model/prediction.h"
+#include "bwc/server/client.h"
+#include "bwc/server/protocol.h"
 #include "bwc/support/error.h"
 #include "bwc/support/prng.h"
 #include "bwc/support/table.h"
@@ -350,9 +352,190 @@ std::string effective_pipeline(const Options& o,
   return spec;
 }
 
+// ---- bwcd-client: speak the bwcd-v1 protocol to a running daemon ----
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string op = "optimize";
+  /// Workload selection reuses the top-level table (--program/--file/...).
+  Options workload;
+  std::string pipeline;
+  bool measure = true;
+  std::int64_t timeout_ms = 0;
+  /// Print the raw response payload instead of the human summary.
+  bool json = false;
+};
+
+const Flag kClientFlags[] = {
+    {"--host", "<addr>", "daemon address (default 127.0.0.1)",
+     [](Options&, const std::string&) {}},
+    {"--port", "<int>", "daemon port (required)",
+     [](Options&, const std::string&) {}},
+    {"--op", "<optimize|stats|ping>", "request kind (default optimize)",
+     [](Options&, const std::string&) {}},
+    {"--program", "<fig6|fig7|sec21|jacobi|adi|blur|cascade|random>",
+     "workload to submit (default fig7)",
+     [](Options& o, const std::string& v) { o.program = v; }},
+    {"--file", "<path>", "submit the program from a text file instead",
+     [](Options& o, const std::string& v) { o.file = v; }},
+    {"--n", "<int>", "problem size (default 100000)",
+     [](Options& o, const std::string& v) { o.n = std::stoll(v); }},
+    {"--seed", "<int>", "PRNG seed for --program random (default 1)",
+     [](Options& o, const std::string& v) { o.seed = std::stoull(v); }},
+    {"--passes", "<spec>", "pipeline spec (default: the daemon default)",
+     [](Options&, const std::string&) {}},
+    {"--machine", "<o2k|exemplar|modern>", "machine model (default o2k)",
+     [](Options& o, const std::string& v) { o.machine = v; }},
+    {"--cores", "<int>", "core count (default 1)",
+     [](Options& o, const std::string& v) { o.cores = std::stoi(v); }},
+    {"--scale", "<int>", "cache scale divisor (default 16)",
+     [](Options& o, const std::string& v) { o.scale = std::stoull(v); }},
+    {"--engine", "<compiled|reference|native>",
+     "replay engine for the measurement (default compiled)",
+     [](Options& o, const std::string& v) { o.engine = v; }},
+    {"--no-measure", "", "skip the machine-model measurement",
+     [](Options&, const std::string&) {}},
+    {"--timeout-ms", "<int>",
+     "queue-wait deadline for this request (default: daemon default)",
+     [](Options&, const std::string&) {}},
+    {"--json", "", "print the raw response payload",
+     [](Options&, const std::string&) {}},
+};
+
+void print_client_help(std::ostream& os) {
+  os << "bwcopt bwcd-client -- submit one request to a running bwcd\n\n"
+        "usage: bwcopt bwcd-client --port <port> [options]\n\n"
+        "Exit 0 when the response status is \"ok\" (or \"pong\"), 1 on any "
+        "error\nstatus, 2 on bad usage or a transport failure.\n\noptions:\n";
+  for (const Flag& flag : kClientFlags) {
+    std::string head = "  " + std::string(flag.name);
+    if (flag.value[0] != '\0') head += " " + std::string(flag.value);
+    os << head << "\n        " << flag.help << "\n";
+  }
+  os << "  --help\n        print this help and exit\n";
+}
+
+[[noreturn]] void client_usage_error(const std::string& why) {
+  std::cerr << "bwcopt bwcd-client: " << why << "\n"
+            << "usage: bwcopt bwcd-client --port <port> [options]; run "
+               "bwcopt bwcd-client --help for the flag list\n";
+  std::exit(2);
+}
+
+ClientOptions parse_client(int argc, char** argv) {
+  ClientOptions c;
+  // argv[1] is the subcommand name; flags start at argv[2].
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_client_help(std::cout);
+      std::exit(0);
+    }
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const Flag* found = nullptr;
+    for (const Flag& flag : kClientFlags) {
+      if (arg == flag.name) {
+        found = &flag;
+        break;
+      }
+    }
+    if (found == nullptr) client_usage_error("unknown flag: " + arg);
+    const bool takes_value = found->value[0] != '\0';
+    if (takes_value && !has_value) {
+      if (i + 1 >= argc)
+        client_usage_error("flag " + arg + " requires a value " +
+                           found->value);
+      value = argv[++i];
+      has_value = true;
+    } else if (!takes_value && has_value) {
+      client_usage_error("flag " + arg + " takes no value");
+    }
+    try {
+      // Flags shared with the top-level table route through workload;
+      // client-only flags are handled here.
+      if (arg == "--host") {
+        c.host = value;
+      } else if (arg == "--port") {
+        c.port = std::stoi(value);
+      } else if (arg == "--op") {
+        c.op = value;
+      } else if (arg == "--passes") {
+        c.pipeline = value;
+      } else if (arg == "--no-measure") {
+        c.measure = false;
+      } else if (arg == "--timeout-ms") {
+        c.timeout_ms = std::stoll(value);
+      } else if (arg == "--json") {
+        c.json = true;
+      } else {
+        found->apply(c.workload, value);
+      }
+    } catch (const std::exception&) {
+      client_usage_error("bad value \"" + value + "\" for flag " + arg);
+    }
+  }
+  if (c.port < 1 || c.port > 65535)
+    client_usage_error("--port is required (1..65535)");
+  if (c.op != "optimize" && c.op != "stats" && c.op != "ping")
+    client_usage_error("unknown op: " + c.op +
+                       " (supported: optimize, stats, ping)");
+  return c;
+}
+
+int bwcd_client_main(int argc, char** argv) {
+  const ClientOptions c = parse_client(argc, argv);
+  try {
+    server::Request request;
+    if (c.op == "stats") {
+      request.op = server::Request::Op::kStats;
+    } else if (c.op == "ping") {
+      request.op = server::Request::Op::kPing;
+    } else {
+      request.op = server::Request::Op::kOptimize;
+      request.program = ir::to_string(make_program(c.workload));
+      request.pipeline = c.pipeline;
+      request.machine = c.workload.machine;
+      request.cores = c.workload.cores;
+      request.scale = c.workload.scale;
+      request.engine = c.workload.engine;
+      request.measure = c.measure;
+      request.timeout_ms = c.timeout_ms;
+    }
+    server::Client client(c.host, c.port);
+    const server::Response response = client.call(request);
+    if (c.json) {
+      std::cout << server::render_response(response) << "\n";
+    } else if (response.status == "ok") {
+      std::cout << "status: ok"
+                << (response.cache_hit ? " (cache hit)" : "") << " in "
+                << response.elapsed_us << " us\n";
+      if (!response.result_json.empty())
+        std::cout << response.result_json << "\n";
+    } else {
+      std::cout << "status: " << response.status << "\n";
+      if (!response.error.empty())
+        std::cout << "error: " << response.error << "\n";
+    }
+    return response.status == "ok" ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bwcopt bwcd-client: error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "bwcd-client")
+    return bwcd_client_main(argc, argv);
   const Options o = parse(argc, argv);
   try {
     const ir::Program original = make_program(o);
