@@ -1,0 +1,178 @@
+// Autotuner search quality and scaling: certificate rate, winner-vs-
+// default traffic, and thread-pool speedup.
+//
+//   autotune_search [--smoke] [--json]
+//
+// Runs the pipeline autotuner (tune/autotune.h) over the bundled paper
+// workloads with the small budget and reports, per workload, the
+// winner's memsim-measured traffic against the default core::optimize
+// pipeline and whether a within-gap lower-bound optimality certificate
+// was earned. The search is deterministic (fixed seed), so every metric
+// except the wall-clock speedup is exactly reproducible and pinned in
+// BENCH_baseline.json via tools/check_bench_regression.py.
+//
+// --smoke enforces the acceptance floors and exits non-zero when any
+// fails:
+//   - the winner is never worse than the default pipeline (exactness);
+//   - the winner is strictly better on at least one workload;
+//   - a within-gap certificate is earned on at least two workloads;
+//   - with >= 4 hardware threads, a fixed-budget search runs >= 2x
+//     faster on 4 threads than on 1 (skipped, with a note, on smaller
+//     machines -- the determinism contract is thread-count-independent
+//     and is tested separately in tests/autotune_test.cpp).
+// --json emits one JSON object for the regression checker. The speedup
+// metric is only emitted when it was measured, and deliberately has no
+// baseline entry (wall clock on shared CI wobbles; the >= 2x smoke
+// floor is the gate).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "bwc/ir/program.h"
+#include "bwc/tune/autotune.h"
+#include "bwc/workloads/extra_programs.h"
+#include "bwc/workloads/paper_programs.h"
+
+namespace {
+
+using namespace bwc;
+
+constexpr double kSpeedupFloor = 2.0;  // 4 threads vs 1, fixed budget
+
+struct Case {
+  std::string key;
+  ir::Program program;
+  std::uint64_t scale;
+};
+
+tune::TuneOptions options_for(std::uint64_t scale, int threads) {
+  tune::TuneOptions o;
+  o.budget = tune::parse_budget("small");
+  o.threads = threads;
+  o.machine = machine::origin2000_r10k().scaled(scale).with_cores(1);
+  return o;
+}
+
+double seconds_of(int threads) {
+  // A search that cannot stop early (jacobi stays far from its floor at
+  // this scale), so every thread count scores the identical candidate
+  // set and the comparison is pure scoring throughput.
+  const ir::Program program = workloads::jacobi_chain(128, 4);
+  tune::TuneOptions o = options_for(16, threads);
+  o.budget = 64;
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)tune::tune(program, o);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false, json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+
+  std::vector<Case> cases;
+  cases.push_back({"fig7", workloads::fig7_original(128), 16});
+  cases.push_back({"sec21", workloads::sec21_both_loops(128), 16});
+  cases.push_back({"blur", workloads::blur_sharpen(128), 16});
+  cases.push_back({"cascade", workloads::reduction_cascade(128, 3), 16});
+  cases.push_back({"stride", workloads::transposed_sweep(256), 512});
+
+  if (!json) {
+    bench::print_header("Autotuner: winner vs default, certificate rate" +
+                        std::string(smoke ? " (smoke)" : ""));
+    std::printf("%-10s %14s %14s %8s %6s\n", "workload", "default B",
+                "winner B", "ratio", "cert");
+  }
+
+  bool never_worse = true;
+  int strictly_better = 0;
+  int certificates = 0;
+  std::vector<std::pair<std::string, double>> metrics;
+  for (const Case& c : cases) {
+    const tune::TuneResult r = tune::tune(c.program, options_for(c.scale, 2));
+    const double ratio =
+        static_cast<double>(r.default_measured_bytes) /
+        static_cast<double>(r.winner_measured_bytes > 0
+                                ? r.winner_measured_bytes
+                                : 1);
+    never_worse =
+        never_worse && r.winner_measured_bytes <= r.default_measured_bytes;
+    if (r.winner_measured_bytes < r.default_measured_bytes)
+      ++strictly_better;
+    if (r.certificate.within_gap) ++certificates;
+    if (!json) {
+      std::printf("%-10s %14lld %14lld %7.2fx %6s\n", c.key.c_str(),
+                  static_cast<long long>(r.default_measured_bytes),
+                  static_cast<long long>(r.winner_measured_bytes), ratio,
+                  r.certificate.within_gap ? "yes" : "no");
+    }
+    metrics.emplace_back("traffic_ratio_" + c.key, ratio);
+  }
+  const double cert_rate =
+      static_cast<double>(certificates) / static_cast<double>(cases.size());
+  metrics.emplace_back("certificate_rate", cert_rate);
+
+  // Thread-pool scaling on a fixed budget, when the hardware can show it.
+  const unsigned hw = std::thread::hardware_concurrency();
+  double speedup = 0.0;
+  if (hw >= 4) {
+    const double t1 = seconds_of(1);
+    const double t4 = seconds_of(4);
+    speedup = t1 / t4;
+    if (!json)
+      std::printf("\nsearch wall clock, fixed budget: %.3fs @1 thread, "
+                  "%.3fs @4 threads (%.2fx)\n",
+                  t1, t4, speedup);
+  } else if (!json) {
+    std::printf("\nsearch speedup: skipped (%u hardware thread(s) < 4)\n",
+                hw);
+  }
+
+  if (json) {
+    std::printf("{\"bench\": \"autotune_search\"");
+    for (const auto& [key, value] : metrics)
+      std::printf(", \"%s\": %.3f", key.c_str(), value);
+    if (hw >= 4) std::printf(", \"search_speedup_4v1\": %.3f", speedup);
+    std::printf("}\n");
+  } else {
+    std::printf("\ncertificates: %d/%zu, strictly better: %d, never worse: "
+                "%s\n",
+                certificates, cases.size(), strictly_better,
+                never_worse ? "yes" : "NO");
+  }
+
+  if (smoke) {
+    bool ok = true;
+    if (!never_worse) {
+      std::printf("FAIL: winner worse than the default pipeline\n");
+      ok = false;
+    }
+    if (strictly_better < 1) {
+      std::printf("FAIL: no workload strictly improved over the default\n");
+      ok = false;
+    }
+    if (certificates < 2) {
+      std::printf("FAIL: %d within-gap certificate(s), need >= 2\n",
+                  certificates);
+      ok = false;
+    }
+    if (hw >= 4 && speedup < kSpeedupFloor) {
+      std::printf("FAIL: search speedup %.2fx below the %.1fx floor\n",
+                  speedup, kSpeedupFloor);
+      ok = false;
+    }
+    if (!ok) return 1;
+  }
+  return 0;
+}

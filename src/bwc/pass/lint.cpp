@@ -124,6 +124,31 @@ PassResult LintPass::run(ir::Program& program, AnalysisManager& am,
                    {{"top", std::to_string(t)}, {"arrays", names}});
   }
 
+  // Whole-program static traffic lower bound with its per-array
+  // breakdown (distinct keys, one per array), so remark consumers --
+  // the autotuner's users chief among them -- can see WHICH array keeps
+  // a candidate off the floor, not just the total.
+  const verify::TrafficBound& bound = am.traffic_bound(program);
+  {
+    std::vector<std::pair<std::string, std::string>> args;
+    args.emplace_back("lower_bound_bytes",
+                      std::to_string(bound.lower_bound_bytes));
+    args.emplace_back("flops_upper_bound",
+                      std::to_string(bound.flops_upper_bound));
+    for (const verify::ArrayFootprint& a : bound.arrays) {
+      args.emplace_back("array." + a.name + ".bound_bytes",
+                        std::to_string(a.bytes));
+      args.emplace_back("array." + a.name + ".exact",
+                        a.exact ? "true" : "false");
+    }
+    report.finding(RemarkSeverity::kInfo, "lint-traffic-bound",
+                   "static traffic lower bound " +
+                       std::to_string(bound.lower_bound_bytes) +
+                       " bytes across " +
+                       std::to_string(bound.arrays.size()) + " array(s)",
+                   std::move(args));
+  }
+
   // Whole-program dependence census from the cached analysis, so tools
   // reading the remarks see the prover's coverage at a glance.
   const verify::DependenceSummary& deps = am.dependence_summary(program);

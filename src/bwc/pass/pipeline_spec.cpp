@@ -74,9 +74,23 @@ PassSpec parse_pass(const std::string& entry, const std::string& full) {
     bad(full, "nested parentheses in \"" + spec.name + "\" parameters");
   }
   if (trim(body).empty()) return spec;  // "name()" == "name"
-  std::stringstream params(body);
-  std::string param;
-  while (std::getline(params, param, ',')) {
+  // Manual split: unlike getline, a trailing "," yields an (invalid)
+  // empty segment instead of vanishing, so "fuse(a=1,)" is rejected the
+  // same way "fuse(,a=1)" always was.
+  std::vector<std::string> entries;
+  std::string current;
+  for (const char c : body) {
+    if (c == ',') {
+      entries.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  entries.push_back(current);
+  for (const std::string& param : entries) {
+    if (trim(param).empty())
+      bad(full, "empty parameter in \"" + spec.name + "(...)\"");
     const std::size_t eq = param.find('=');
     if (eq == std::string::npos)
       bad(full, "parameter \"" + trim(param) + "\" is not key=value");
@@ -106,12 +120,41 @@ bool PassSpec::has_param(const std::string& key) const {
   return false;
 }
 
+namespace {
+
+/// The grammar has no escaping, so a value containing a separator (or
+/// whitespace the parser would trim away) cannot survive a round trip.
+/// Rendering such a spec would silently produce a different pipeline;
+/// fail loudly instead.
+bool renderable_value(const std::string& v) {
+  if (v.empty()) return false;
+  if (v.front() == ' ' || v.front() == '\t' || v.back() == ' ' ||
+      v.back() == '\t')
+    return false;
+  for (const char c : v) {
+    if (c == ',' || c == '(' || c == ')') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 std::string PassSpec::to_string() const {
+  if (!valid_name(name))
+    throw Error("cannot render pipeline spec: bad pass name \"" + name +
+                "\"");
   if (params.empty()) return name;
   std::ostringstream os;
   os << name << "(";
   for (std::size_t i = 0; i < params.size(); ++i) {
     if (i > 0) os << ",";
+    if (!valid_name(params[i].first))
+      throw Error("cannot render pipeline spec: bad parameter key \"" +
+                  params[i].first + "\"");
+    if (!renderable_value(params[i].second))
+      throw Error("cannot render pipeline spec: parameter \"" +
+                  params[i].first + "\" value \"" + params[i].second +
+                  "\" is not representable in the spec grammar");
     os << params[i].first << "=" << params[i].second;
   }
   os << ")";

@@ -26,6 +26,12 @@ struct PassSpec {
   std::string param(const std::string& key,
                     const std::string& fallback = "") const;
   bool has_param(const std::string& key) const;
+  /// Canonical rendering; parse_pipeline_spec round-trips it
+  /// byte-identically. Throws bwc::Error ("cannot render pipeline spec")
+  /// for a spec the grammar cannot represent: an invalid name or key, an
+  /// empty value, or a value containing ','/'('/')' or edge whitespace
+  /// (the grammar has no escaping, so rendering such a spec would
+  /// silently change it).
   std::string to_string() const;
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "bwc/support/error.h"
+#include "bwc/tune/autotune.h"
 
 namespace bwc::server {
 
@@ -51,8 +52,9 @@ Request parse_request_schema(const JsonValue& doc) {
   // Strict schema: an unknown key is a misspelled option the client
   // thinks is in effect -- reject instead of silently ignoring.
   static const char* const kKnownKeys[] = {
-      "op",    "program", "pipeline", "machine",    "cores",
-      "scale", "engine",  "measure",  "timeout_ms",
+      "op",       "program", "pipeline", "machine", "cores",     "scale",
+      "engine",   "measure", "timeout_ms", "strategy", "gap",    "budget",
+      "tune_seed",
   };
   for (const auto& member : doc.members()) {
     bool known = false;
@@ -63,6 +65,8 @@ Request parse_request_schema(const JsonValue& doc) {
   const std::string op = doc.string_or("op", "");
   if (op == "optimize") {
     r.op = Request::Op::kOptimize;
+  } else if (op == "tune") {
+    r.op = Request::Op::kTune;
   } else if (op == "stats") {
     r.op = Request::Op::kStats;
   } else if (op == "ping") {
@@ -72,11 +76,28 @@ Request parse_request_schema(const JsonValue& doc) {
   } else {
     bad_request("unknown op \"" + op + "\"");
   }
-  if (r.op != Request::Op::kOptimize) return r;
+  if (r.op == Request::Op::kStats || r.op == Request::Op::kPing) return r;
+
+  // Tune-only fields on optimize (and vice versa) are client confusion
+  // about what the op does -- reject like any other unknown key.
+  if (r.op == Request::Op::kOptimize) {
+    for (const char* key : {"strategy", "gap", "budget", "tune_seed"}) {
+      if (doc.find(key) != nullptr)
+        bad_request(std::string("field \"") + key +
+                    "\" is only valid for op \"tune\"");
+    }
+  } else {
+    // timeout_ms stays valid (the queue deadline is op-independent).
+    for (const char* key : {"pipeline", "measure"}) {
+      if (doc.find(key) != nullptr)
+        bad_request(std::string("field \"") + key +
+                    "\" is not valid for op \"tune\"");
+    }
+  }
 
   r.program = doc.string_or("program", "");
   if (r.program.empty())
-    bad_request("op \"optimize\" requires a non-empty \"program\"");
+    bad_request("op \"" + op + "\" requires a non-empty \"program\"");
   r.pipeline = doc.string_or("pipeline", "");
   r.machine = doc.string_or("machine", "o2k");
   if (r.machine != "o2k" && r.machine != "exemplar" && r.machine != "modern")
@@ -92,6 +113,25 @@ Request parse_request_schema(const JsonValue& doc) {
       static_cast<std::uint64_t>(int_field(doc, "scale", 16, 1, 1 << 20));
   r.measure = doc.bool_or("measure", true);
   r.timeout_ms = int_field(doc, "timeout_ms", 0, 0, 86'400'000);
+  if (r.op == Request::Op::kTune) {
+    r.strategy = doc.string_or("strategy", "beam");
+    try {
+      tune::parse_strategy(r.strategy);
+    } catch (const Error& e) {
+      bad_request(e.what());
+    }
+    r.gap = doc.number_or("gap", 5.0);
+    if (!(r.gap >= 0.0 && r.gap <= 1000.0))
+      bad_request("field \"gap\" out of range [0, 1000]");
+    r.budget = doc.string_or("budget", "small");
+    try {
+      tune::parse_budget(r.budget);
+    } catch (const Error& e) {
+      bad_request(e.what());
+    }
+    r.tune_seed = static_cast<std::uint64_t>(
+        int_field(doc, "tune_seed", 0, 0, (std::int64_t{1} << 53)));
+  }
   return r;
 }
 
@@ -106,17 +146,28 @@ std::string render_request(const Request& request) {
     case Request::Op::kPing:
       doc.set("op", JsonValue::string("ping"));
       return doc.render();
-    case Request::Op::kOptimize: break;
+    case Request::Op::kOptimize:
+    case Request::Op::kTune:
+      break;
   }
-  doc.set("op", JsonValue::string("optimize"));
+  const bool is_tune = request.op == Request::Op::kTune;
+  doc.set("op", JsonValue::string(is_tune ? "tune" : "optimize"));
   doc.set("program", JsonValue::string(request.program));
-  if (!request.pipeline.empty())
+  if (!is_tune && !request.pipeline.empty())
     doc.set("pipeline", JsonValue::string(request.pipeline));
   doc.set("machine", JsonValue::string(request.machine));
   doc.set("cores", JsonValue::number(request.cores));
   doc.set("scale", JsonValue::number(static_cast<double>(request.scale)));
   doc.set("engine", JsonValue::string(request.engine));
-  doc.set("measure", JsonValue::boolean(request.measure));
+  if (is_tune) {
+    doc.set("strategy", JsonValue::string(request.strategy));
+    doc.set("gap", JsonValue::number(request.gap));
+    doc.set("budget", JsonValue::string(request.budget));
+    doc.set("tune_seed",
+            JsonValue::number(static_cast<double>(request.tune_seed)));
+  } else {
+    doc.set("measure", JsonValue::boolean(request.measure));
+  }
   if (request.timeout_ms > 0)
     doc.set("timeout_ms",
             JsonValue::number(static_cast<double>(request.timeout_ms)));

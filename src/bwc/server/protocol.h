@@ -5,6 +5,9 @@
 //   {"op": "optimize", "program": "<IR text>", "pipeline": "<spec>",
 //    "machine": "o2k", "cores": 1, "scale": 16, "engine": "compiled",
 //    "measure": true, "timeout_ms": 30000}
+//   {"op": "tune", "program": "<IR text>", "strategy": "beam",
+//    "gap": 5.0, "budget": "small", "tune_seed": 0, "machine": "o2k",
+//    "cores": 1, "scale": 16, "engine": "compiled"}
 //   {"op": "stats"}        -- service counters
 //   {"op": "ping"}         -- liveness probe
 //
@@ -42,12 +45,22 @@ inline constexpr char kSchemaName[] = "bwcd-v1";
 inline constexpr int kProtocolVersion = 1;
 
 struct Request {
-  enum class Op { kOptimize, kStats, kPing };
+  enum class Op { kOptimize, kTune, kStats, kPing };
   Op op = Op::kOptimize;
   /// IR program in the printer's text format (ir/parser.h).
   std::string program;
-  /// PipelineSpec string; empty runs the default pipeline.
+  /// PipelineSpec string; empty runs the default pipeline. Rejected for
+  /// op "tune" (tune searches pipelines instead of accepting one).
   std::string pipeline;
+  /// Tune-only knobs (rejected on other ops): search strategy, the
+  /// certificate gap tolerance in percent, the evaluation budget
+  /// ("small" | "medium" | "large" | positive integer) and the search
+  /// seed. The daemon defaults to the small budget so one tune request
+  /// stays comparable to an optimize+measure in service time.
+  std::string strategy = "beam";
+  double gap = 5.0;
+  std::string budget = "small";
+  std::uint64_t tune_seed = 0;
   std::string machine = "o2k";  // o2k | exemplar | modern
   int cores = 1;
   std::uint64_t scale = 16;  // cache scale divisor for the machine model

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -17,6 +18,7 @@ namespace {
 constexpr char kMagic[] = "BWCDREC1";  // 8 bytes, no terminator on disk
 constexpr std::size_t kMagicLen = 8;
 constexpr std::uint8_t kTypeServed = 1;
+constexpr std::uint8_t kTypePipelineSpec = 2;
 /// Cap on one record's payload: fingerprints and error codes are tiny,
 /// so anything larger is damage and ends a scan.
 constexpr std::uint32_t kMaxRecordBytes = 1 << 20;
@@ -86,6 +88,28 @@ std::string encode_served(const ServedRecord& r) {
   record += static_cast<char>(kTypeServed);
   record += payload;
   return record;
+}
+
+std::string encode_pipeline_spec(std::uint64_t unix_micros,
+                                 const std::string& spec) {
+  std::string payload;
+  put_u64(payload, unix_micros);
+  put_u16(payload, static_cast<std::uint16_t>(spec.size()));
+  payload += spec;
+
+  std::string record;
+  put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  record += static_cast<char>(kTypePipelineSpec);
+  record += payload;
+  return record;
+}
+
+bool decode_pipeline_spec(const std::string& payload, std::string* spec) {
+  Span s{reinterpret_cast<const unsigned char*>(payload.data()),
+         payload.size()};
+  std::uint64_t micros = 0;
+  std::uint16_t len = 0;
+  return s.u64(&micros) && s.u16(&len) && s.bytes(spec, len);
 }
 
 bool decode_served(const std::string& payload, ServedRecord* r) {
@@ -161,6 +185,25 @@ void RecordLogWriter::append(const ServedRecord& record) {
   ++written_;
 }
 
+void RecordLogWriter::append_pipeline_spec(const std::string& spec) {
+  if (spec.empty() || spec.size() > 0xFFFF) return;
+  const auto micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  const std::string bytes = encode_pipeline_spec(micros, spec);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  if (::write(fd_, bytes.data(), bytes.size()) !=
+      static_cast<ssize_t>(bytes.size())) {
+    ::close(fd_);
+    fd_ = -1;
+    ++failures_;
+    return;
+  }
+  ++written_;
+}
+
 std::vector<ServedRecord> read_record_log(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("[record-log] cannot open " + path);
@@ -190,6 +233,37 @@ std::vector<ServedRecord> read_record_log(const std::string& path) {
     records.push_back(std::move(r));
   }
   return records;
+}
+
+std::vector<std::string> read_pipeline_specs(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};  // no log yet: nothing to seed with
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string data = ss.str();
+  if (data.size() < kMagicLen ||
+      std::memcmp(data.data(), kMagic, kMagicLen) != 0)
+    throw Error("[record-log] bad magic in " + path);
+
+  std::vector<std::string> specs;
+  std::size_t at = kMagicLen;
+  while (at + 5 <= data.size()) {
+    const auto* p = reinterpret_cast<const unsigned char*>(data.data() + at);
+    const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                              (static_cast<std::uint32_t>(p[1]) << 8) |
+                              (static_cast<std::uint32_t>(p[2]) << 16) |
+                              (static_cast<std::uint32_t>(p[3]) << 24);
+    const std::uint8_t type = p[4];
+    if (len > kMaxRecordBytes) break;
+    if (at + 5 + len > data.size()) break;
+    const std::string payload = data.substr(at + 5, len);
+    at += 5 + len;
+    if (type != kTypePipelineSpec) continue;
+    std::string spec;
+    if (!decode_pipeline_spec(payload, &spec)) break;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
 }
 
 }  // namespace bwc::server

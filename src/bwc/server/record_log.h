@@ -17,6 +17,15 @@
 //   u16 key_fp_len | bytes   cache-key fingerprint (empty for non-optimize)
 //   u16 detail_len | bytes   op name, or the error code on failures
 //
+// Type 2 (kPipelineSpec) payload:
+//   u64 unix_micros          when the spec was recorded
+//   u16 spec_len | bytes     canonical PipelineSpec string (the pipeline a
+//                            served optimize ran, or a tune op's winner)
+//
+// The pipeline-spec records make the log double as tuning history: the
+// autotuner seeds its starting population from them (bwcopt
+// --tune-seed-log, and the daemon's own tune op).
+//
 // The writer appends under a mutex (one log per daemon); the reader
 // stops cleanly at a truncated tail -- a crashed daemon loses at most
 // its final partial record, never the file. Schema growth adds new
@@ -67,6 +76,11 @@ class RecordLogWriter {
   /// must never block on logging).
   void append(const ServedRecord& record);
 
+  /// Append one pipeline-spec record (type 2); thread-safe. The spec
+  /// should be canonical (pass::PipelineSpec::to_string form). Empty
+  /// specs are not recorded (nothing to seed a search with).
+  void append_pipeline_spec(const std::string& spec);
+
   std::uint64_t records_written() const { return written_; }
   std::uint64_t failures() const { return failures_; }
 
@@ -81,5 +95,11 @@ class RecordLogWriter {
 /// damaged tail ends the scan (records before it are returned). Throws
 /// bwc::Error only when the file cannot be opened or the magic is wrong.
 std::vector<ServedRecord> read_record_log(const std::string& path);
+
+/// Scan a record log for pipeline-spec records (type 2), in file order,
+/// duplicates included. Same damage tolerance as read_record_log; returns
+/// an empty vector (rather than throwing) when the file does not exist,
+/// so callers can seed from a log that has not been written yet.
+std::vector<std::string> read_pipeline_specs(const std::string& path);
 
 }  // namespace bwc::server

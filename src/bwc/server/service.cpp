@@ -11,6 +11,11 @@
 #include "bwc/model/measure.h"
 #include "bwc/pass/pipeline_spec.h"
 #include "bwc/support/error.h"
+#include "bwc/tune/autotune.h"
+#include "bwc/verify/traffic_bound.h"
+
+#include <algorithm>
+#include <cstdio>
 
 namespace bwc::server {
 
@@ -211,6 +216,146 @@ std::string Service::compute_result_body(const Request& request) {
   return body.render();
 }
 
+std::string Service::tune_cache_key_text(
+    const Request& request, const std::vector<std::string>& seed_specs) {
+  const ir::Program program = ir::parse_program(request.program);
+  const std::string canonical_text = ir::to_string(program);
+  std::string key = "bwcd-tune-key-v" + std::to_string(kProtocolVersion) + "\n";
+  key += "machine=" + request.machine + "\n";
+  key += "cores=" + std::to_string(request.cores) + "\n";
+  key += "scale=" + std::to_string(request.scale) + "\n";
+  key += "strategy=" + request.strategy + "\n";
+  char gap[32];
+  std::snprintf(gap, sizeof(gap), "%.6g", request.gap);
+  key += std::string("gap=") + gap + "\n";
+  key += "budget=" + std::to_string(tune::parse_budget(request.budget)) + "\n";
+  key += "tune_seed=" + std::to_string(request.tune_seed) + "\n";
+  // The seed population steers the search, so it is part of the key:
+  // callers pass it sorted and deduped (tune_seed_specs), keeping the
+  // key order-independent of log history.
+  for (const std::string& spec : seed_specs) key += "seed-spec=" + spec + "\n";
+  key += "program:\n" + canonical_text;
+  return key;
+}
+
+std::string Service::compute_tune_result_body(
+    const Request& request, const std::vector<std::string>& seed_specs,
+    std::string* winner_spec) {
+  const ir::Program original = ir::parse_program(request.program);
+  const std::string canonical_text = ir::to_string(original);
+
+  tune::TuneOptions topts;
+  topts.strategy = tune::parse_strategy(request.strategy);
+  topts.gap_percent = request.gap;
+  topts.budget = tune::parse_budget(request.budget);
+  topts.seed = request.tune_seed;
+  topts.threads = request.cores;
+  topts.seed_specs = seed_specs;
+  topts.machine = make_machine(request);
+  topts.engine = make_engine(request);
+  const tune::TuneResult result = tune::tune(original, topts);
+  if (winner_spec != nullptr) *winner_spec = result.winner_spec;
+
+  JsonValue body = JsonValue::object();
+  body.set("schema", JsonValue::string(kSchemaName));
+  body.set("protocol_version", JsonValue::number(kProtocolVersion));
+  body.set("program", JsonValue::string(canonical_text));
+  body.set("strategy", JsonValue::string(request.strategy));
+  body.set("budget", JsonValue::number(topts.budget));
+  body.set("tune_seed",
+           JsonValue::number(static_cast<double>(request.tune_seed)));
+
+  JsonValue winner = JsonValue::object();
+  winner.set("pipeline", JsonValue::string(result.winner_spec));
+  winner.set("predicted_bytes",
+             JsonValue::number(
+                 static_cast<double>(result.winner_predicted_bytes)));
+  winner.set("measured_bytes",
+             JsonValue::number(
+                 static_cast<double>(result.winner_measured_bytes)));
+  body.set("winner", std::move(winner));
+
+  JsonValue fallback = JsonValue::object();
+  fallback.set("pipeline", JsonValue::string(result.default_spec));
+  fallback.set("measured_bytes",
+               JsonValue::number(
+                   static_cast<double>(result.default_measured_bytes)));
+  body.set("default", std::move(fallback));
+
+  JsonValue cert = JsonValue::object();
+  cert.set("within_gap", JsonValue::boolean(result.certificate.within_gap));
+  cert.set("floor_bytes",
+           JsonValue::number(
+               static_cast<double>(result.certificate.floor_bytes)));
+  cert.set("predicted_bytes",
+           JsonValue::number(
+               static_cast<double>(result.certificate.predicted_bytes)));
+  cert.set("measured_bytes",
+           JsonValue::number(
+               static_cast<double>(result.certificate.measured_bytes)));
+  cert.set("gap_percent", JsonValue::number(result.certificate.gap_percent));
+  cert.set("tolerance_percent",
+           JsonValue::number(result.certificate.tolerance_percent));
+  body.set("certificate", std::move(cert));
+
+  JsonValue floor = JsonValue::object();
+  floor.set("floor_bytes",
+            JsonValue::number(static_cast<double>(result.floor.floor_bytes)));
+  JsonValue regions = JsonValue::array();
+  for (const verify::FloorRegion& region : result.floor.arrays) {
+    JsonValue r = JsonValue::object();
+    r.set("array", JsonValue::string(region.name));
+    r.set("floor_bytes",
+          JsonValue::number(static_cast<double>(region.bytes)));
+    regions.push_back(std::move(r));
+  }
+  floor.set("arrays", std::move(regions));
+  body.set("floor", std::move(floor));
+
+  body.set("evaluated", JsonValue::number(result.evaluated));
+  body.set("infeasible", JsonValue::number(result.infeasible));
+  body.set("early_stop", JsonValue::boolean(result.early_stop));
+
+  JsonValue validated = JsonValue::array();
+  for (const tune::Validated& v : result.validated) {
+    JsonValue entry = JsonValue::object();
+    entry.set("pipeline", JsonValue::string(v.spec));
+    entry.set("predicted_bytes",
+              JsonValue::number(static_cast<double>(v.predicted_bytes)));
+    entry.set("measured_bytes",
+              JsonValue::number(static_cast<double>(v.measured_bytes)));
+    validated.push_back(std::move(entry));
+  }
+  body.set("validated", std::move(validated));
+
+  JsonValue seeds = JsonValue::array();
+  for (const std::string& spec : seed_specs)
+    seeds.push_back(JsonValue::string(spec));
+  body.set("seed_specs", std::move(seeds));
+
+  // The winner's per-pass reports plus the synthetic tune record with
+  // the certificate remark, same deterministic subset as optimize.
+  JsonValue passes = JsonValue::array();
+  for (const pass::PassReport& p : result.winner_pipeline.passes)
+    passes.push_back(pass_report_json(p));
+  passes.push_back(pass_report_json(result.report()));
+  body.set("passes", std::move(passes));
+  return body.render();
+}
+
+std::vector<std::string> Service::tune_seed_specs() const {
+  if (options_.record_log_path.empty()) return {};
+  std::vector<std::string> specs;
+  try {
+    specs = read_pipeline_specs(options_.record_log_path);
+  } catch (const Error&) {
+    return {};  // unreadable log: search simply starts unseeded
+  }
+  std::sort(specs.begin(), specs.end());
+  specs.erase(std::unique(specs.begin(), specs.end()), specs.end());
+  return specs;
+}
+
 Response Service::handle(const Request& request) {
   ++requests_;
   const std::int64_t t0 = now_us();
@@ -241,6 +386,33 @@ Response Service::handle(const Request& request) {
           ++pipeline_runs_;
           response.result_json = compute_result_body(request);
           cache_.put(key, response.result_json);
+          // Remember the pipeline that served: future tune ops seed
+          // their search population from these records.
+          log_->append_pipeline_spec(canonical_pipeline(request));
+        }
+      } catch (const std::exception& e) {
+        response.status = "error";
+        response.error = e.what();
+        response.result_json.clear();
+      }
+      break;
+    }
+    case Request::Op::kTune: {
+      try {
+        const std::vector<std::string> seeds = tune_seed_specs();
+        const std::string key = tune_cache_key_text(request, seeds);
+        key_fp = CompileCache::fingerprint(key);
+        CompileCache::Lookup lookup = cache_.get(key);
+        if (lookup.hit) {
+          response.cache_hit = true;
+          response.result_json = std::move(lookup.value);
+        } else {
+          ++pipeline_runs_;
+          std::string winner;
+          response.result_json =
+              compute_tune_result_body(request, seeds, &winner);
+          cache_.put(key, response.result_json);
+          log_->append_pipeline_spec(winner);
         }
       } catch (const std::exception& e) {
         response.status = "error";
@@ -325,6 +497,7 @@ void Service::log_served(const Request& request, const Response& response,
   rec.key_fp = key_fp;
   rec.detail = response.status == "ok"
                    ? (request.op == Request::Op::kOptimize ? "optimize"
+                      : request.op == Request::Op::kTune   ? "tune"
                       : request.op == Request::Op::kStats  ? "stats"
                                                            : "ping")
                    : response.error.substr(0, 200);

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bwc/server/cache.h"
 #include "bwc/server/protocol.h"
@@ -81,6 +82,25 @@ class Service {
   /// daemon responses against bit-for-bit. Throws bwc::Error on an
   /// invalid program/spec.
   static std::string compute_result_body(const Request& request);
+
+  /// The canonical cache-key text for a tune request. Includes the
+  /// sorted, deduped seed-spec population (`seed_specs`), because the
+  /// seeds steer the search: the same request against a log that has
+  /// since learned new pipelines is a different computation.
+  static std::string tune_cache_key_text(
+      const Request& request, const std::vector<std::string>& seed_specs);
+
+  /// Compute the deterministic result body for a tune request with the
+  /// given seed population (no timestamps, no wall clocks). The winning
+  /// spec is also written to `*winner_spec` when non-null.
+  static std::string compute_tune_result_body(
+      const Request& request, const std::vector<std::string>& seed_specs,
+      std::string* winner_spec);
+
+  /// The seed population the next tune request would use: canonical
+  /// pipeline-spec records from this service's record log, sorted and
+  /// deduped (empty when logging is off).
+  std::vector<std::string> tune_seed_specs() const;
 
   /// Record a response the daemon produced without reaching handle()
   /// (overloaded, timeout, frame/JSON errors), so the record log and

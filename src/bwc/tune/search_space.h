@@ -1,0 +1,43 @@
+// The autotuner's search space: pipelines as genomes.
+//
+// A candidate is just a PipelineSpec string ("interchange,fuse(solver=
+// exact),reduce-storage"), so the genome is already parseable, printable
+// and checkable by the existing pass machinery. The space is spanned by a
+// fixed gene pool (every registered transform pass, with the fusion
+// solver/shift parameter combinations enumerated as distinct genes) under
+// four edit moves -- insert, remove, swap, replace -- plus a splice
+// crossover for the genetic strategy. All randomness is drawn from a
+// caller-owned bwc::Prng so searches replay exactly from a seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bwc/support/prng.h"
+
+namespace bwc::tune {
+
+/// Hard cap on candidate pipeline length. The seven registered passes
+/// rarely pay off twice; capping keeps the space finite and the scoring
+/// cost bounded.
+inline constexpr int kMaxPasses = 8;
+
+/// The pass-spec genes the search composes: each registered transform
+/// pass, with fuse's solver/shift knobs expanded into distinct entries.
+const std::vector<std::string>& gene_pool();
+
+/// Canonical form of a spec string: parse + re-render (trims whitespace,
+/// folds "name()" to "name"). Throws bwc::Error on malformed input.
+std::string canonical_spec(const std::string& spec);
+
+/// One random edit: insert a gene, remove a pass, swap two positions, or
+/// replace a pass with a gene. Always returns a grammatical spec; may
+/// return the input unchanged only for the empty pipeline's no-op edits.
+std::string mutate_spec(const std::string& spec, Prng& rng);
+
+/// Splice crossover: a random prefix of `a` followed by a random suffix
+/// of `b`, truncated to kMaxPasses.
+std::string crossover_specs(const std::string& a, const std::string& b,
+                            Prng& rng);
+
+}  // namespace bwc::tune

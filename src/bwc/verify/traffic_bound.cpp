@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <set>
 #include <utility>
 
 #include "bwc/ir/stmt.h"
@@ -19,15 +20,41 @@ struct Ref {
   std::int64_t count = 0;     // distinct elements this ref alone touches
 };
 
+/// Floor-analysis view of one reference (reads and writes, guarded or
+/// not), recorded alongside Ref so compute_traffic_bound's inputs stay
+/// untouched. Boxes of guarded refs are over-approximations (the guard
+/// may suppress any subset), which is exactly what subtraction from an
+/// initial-read claim needs.
+struct FRef {
+  std::vector<Interval> box;
+  std::vector<ir::Affine> subs;
+  bool is_write = false;
+  bool guarded = false;  // under an unrefinable guard: may not execute
+  /// Definitely touches every element of box: unguarded boxes whose dims
+  /// each use at most one unit-coefficient variable, no variable shared
+  /// between dims.
+  bool covers_box = true;
+  /// The iteration->element map is injective over the whole enclosing
+  /// nest: covers_box conditions plus every in-scope loop variable used.
+  bool injective_full = true;
+  bool known = true;  // box computed (no unbound subscript variable)
+  int top_idx = 0;    // enclosing top-level statement, program order
+  int stmt_seq = 0;   // assignment visit order within the walk
+};
+
 class Analyzer {
  public:
   explicit Analyzer(const ir::Program& program) : program_(program) {}
 
   void run() {
-    for (const auto& s : program_.top()) walk(*s);
+    for (const auto& s : program_.top()) {
+      walk(*s);
+      ++top_idx_;
+    }
   }
 
   std::map<ir::ArrayId, std::vector<Ref>> refs;
+  std::map<ir::ArrayId, std::vector<FRef>> floor_refs;
   std::map<ir::ArrayId, int> guarded;
   std::int64_t flops = 0;
 
@@ -66,7 +93,38 @@ class Analyzer {
     return p;
   }
 
-  void record_ref(ir::ArrayId array, const std::vector<ir::Affine>& subs) {
+  void record_floor_ref(ir::ArrayId array, const std::vector<ir::Affine>& subs,
+                        bool is_write) {
+    FRef fr;
+    fr.subs = subs;
+    fr.is_write = is_write;
+    fr.guarded = guard_depth_ > 0;
+    fr.top_idx = top_idx_;
+    fr.stmt_seq = stmt_seq_;
+    std::set<std::string> used;
+    for (const auto& sub : subs) {
+      Interval r;
+      if (!range_of(sub, &r)) {
+        fr.known = false;
+        break;
+      }
+      fr.box.push_back(r);
+      int dim_vars = 0;
+      for (const auto& [name, coeff] : sub.terms()) {
+        ++dim_vars;
+        if (coeff != 1 && coeff != -1) fr.covers_box = false;
+        if (!used.insert(name).second) fr.covers_box = false;
+      }
+      if (dim_vars > 1) fr.covers_box = false;
+    }
+    if (!fr.known) fr.box.clear();
+    fr.injective_full = fr.covers_box && used.size() == env_.size();
+    floor_refs[array].push_back(std::move(fr));
+  }
+
+  void record_ref(ir::ArrayId array, const std::vector<ir::Affine>& subs,
+                  bool is_write = false) {
+    record_floor_ref(array, subs, is_write);
     if (guard_depth_ > 0) {
       ++guarded[array];
       return;
@@ -134,13 +192,15 @@ class Analyzer {
   void walk(const ir::Stmt& s) {
     switch (s.kind) {
       case ir::StmtKind::kArrayAssign:
-        record_ref(s.lhs_array, s.lhs_subscripts);
+        ++stmt_seq_;
+        record_ref(s.lhs_array, s.lhs_subscripts, /*is_write=*/true);
         if (s.rhs != nullptr) {
           walk_expr(*s.rhs);
           flops += trip_product() * expr_flops(*s.rhs);
         }
         return;
       case ir::StmtKind::kScalarAssign:
+        ++stmt_seq_;
         if (s.rhs != nullptr) {
           walk_expr(*s.rhs);
           flops += trip_product() * expr_flops(*s.rhs);
@@ -197,6 +257,8 @@ class Analyzer {
   const ir::Program& program_;
   std::vector<std::pair<std::string, Interval>> env_;
   int guard_depth_ = 0;
+  int top_idx_ = 0;
+  int stmt_seq_ = 0;
 };
 
 /// Exact cell count of a union of dense boxes via coordinate compression;
@@ -291,6 +353,166 @@ TrafficBound compute_traffic_bound(const ir::Program& program) {
     bound.arrays.push_back(std::move(fp));
   }
   return bound;
+}
+
+namespace {
+
+bool subs_equal(const std::vector<ir::Affine>& a,
+                const std::vector<ir::Affine>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+bool box_contains(const std::vector<Interval>& box,
+                  const std::vector<std::int64_t>& point) {
+  for (std::size_t d = 0; d < box.size(); ++d) {
+    if (point[d] < box[d].lo || point[d] > box[d].hi) return false;
+  }
+  return true;
+}
+
+/// A write that may precede read claim `c` never covers it when it is a
+/// same-statement or later-sibling write of byte-identical subscripts
+/// whose iteration->element map is injective over the whole nest: each
+/// element is then touched in exactly one iteration, and within it the
+/// read (RHS evaluation, or an earlier statement) runs before the store.
+bool exempt_from(const FRef& c, const FRef& w) {
+  return w.top_idx == c.top_idx && w.stmt_seq >= c.stmt_seq &&
+         w.injective_full && subs_equal(w.subs, c.subs);
+}
+
+}  // namespace
+
+DataFloor compute_data_floor(const ir::Program& program) {
+  Analyzer analyzer(program);
+  analyzer.run();
+
+  DataFloor floor;
+  for (ir::ArrayId a = 0; a < program.array_count(); ++a) {
+    const ir::ArrayDecl& decl = program.array(a);
+    FloorRegion region;
+    region.name = decl.name;
+    const std::size_t rank = decl.extents.size();
+    const bool is_output = program.is_output_array(a);
+
+    std::vector<const FRef*> claims;    // exact unguarded reads
+    std::vector<const FRef*> subtract;  // writes that may precede a read
+    std::vector<const FRef*> outputs;   // definite writes of output arrays
+    bool opaque_write = false;  // a write whose extent we cannot bound
+    const auto it = analyzer.floor_refs.find(a);
+    if (it != analyzer.floor_refs.end()) {
+      for (const FRef& fr : it->second) {
+        if (fr.is_write) {
+          if (!fr.known || fr.box.size() != rank) {
+            opaque_write = true;
+            continue;
+          }
+          subtract.push_back(&fr);
+          if (is_output && !fr.guarded && fr.covers_box)
+            outputs.push_back(&fr);
+        } else if (fr.known && !fr.guarded && fr.covers_box &&
+                   fr.box.size() == rank) {
+          claims.push_back(&fr);
+        }
+      }
+    }
+    // An unbounded write may cover any element before any read: no
+    // initial-read claim survives (output obligations are unaffected --
+    // more writes never shrink what must be produced).
+    if (opaque_write) claims.clear();
+
+    if (!claims.empty() || !outputs.empty()) {
+      // Coordinate compression over every involved box, then per-cell
+      // classification (same machinery as union_of_boxes, but each cell
+      // is tested against the claim/subtract/output structure).
+      std::vector<std::vector<std::int64_t>> coords(rank);
+      const auto add_box = [&](const FRef* r) {
+        for (std::size_t d = 0; d < rank; ++d) {
+          coords[d].push_back(r->box[d].lo);
+          coords[d].push_back(r->box[d].hi + 1);
+        }
+      };
+      for (const FRef* r : claims) add_box(r);
+      for (const FRef* r : subtract) add_box(r);
+      for (const FRef* r : outputs) add_box(r);
+      std::int64_t cells = 1;
+      bool overflow = rank == 0;
+      for (auto& c : coords) {
+        std::sort(c.begin(), c.end());
+        c.erase(std::unique(c.begin(), c.end()), c.end());
+        cells *= static_cast<std::int64_t>(c.size()) - 1;
+        if (cells > 2'000'000) {
+          overflow = true;  // contribute nothing: the floor stays sound
+          break;
+        }
+      }
+      if (!overflow) {
+        std::vector<std::size_t> idx(rank, 0);
+        std::vector<std::int64_t> point(rank, 0);
+        while (true) {
+          std::int64_t volume = 1;
+          for (std::size_t d = 0; d < rank; ++d) {
+            point[d] = coords[d][idx[d]];
+            volume *= coords[d][idx[d] + 1] - coords[d][idx[d]];
+          }
+          bool initial = false;
+          for (const FRef* c : claims) {
+            if (!box_contains(c->box, point)) continue;
+            bool covered = false;
+            for (const FRef* w : subtract) {
+              if (w->top_idx > c->top_idx) continue;  // runs strictly later
+              if (exempt_from(*c, *w)) continue;
+              if (box_contains(w->box, point)) {
+                covered = true;
+                break;
+              }
+            }
+            if (!covered) {
+              initial = true;
+              break;
+            }
+          }
+          bool written = false;
+          for (const FRef* o : outputs) {
+            if (box_contains(o->box, point)) {
+              written = true;
+              break;
+            }
+          }
+          if (initial) region.initial_read_elements += volume;
+          if (written) region.output_write_elements += volume;
+          if (initial || written) region.elements += volume;
+          std::size_t d = 0;
+          for (; d < rank; ++d) {
+            if (++idx[d] < coords[d].size() - 1) break;
+            idx[d] = 0;
+          }
+          if (d == rank) break;
+        }
+      }
+    }
+
+    region.bytes =
+        region.elements * static_cast<std::int64_t>(decl.elem_bytes);
+    floor.floor_bytes += region.bytes;
+    floor.arrays.push_back(std::move(region));
+  }
+  return floor;
+}
+
+std::string DataFloor::render() const {
+  std::string out = "data-movement floor: " + std::to_string(floor_bytes) +
+                    " bytes memory<->L2 (any equivalent program)\n";
+  for (const FloorRegion& r : arrays) {
+    out += "  " + r.name + ": " + std::to_string(r.elements) +
+           " element(s), " + std::to_string(r.bytes) + " byte(s) (" +
+           std::to_string(r.initial_read_elements) + " initial-read, " +
+           std::to_string(r.output_write_elements) + " output-write)\n";
+  }
+  return out;
 }
 
 std::string TrafficBound::render() const {

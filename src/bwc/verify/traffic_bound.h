@@ -59,4 +59,56 @@ struct TrafficBound {
 
 TrafficBound compute_traffic_bound(const ir::Program& program);
 
+/// One array's share of the essential data-movement floor.
+struct FloorRegion {
+  std::string name;
+  /// Elements whose first access is a read: their initial contents are
+  /// program inputs and must be fetched by any equivalent program.
+  std::int64_t initial_read_elements = 0;
+  /// Elements of observable output arrays the program definitely writes:
+  /// their final contents must be produced by any equivalent program.
+  std::int64_t output_write_elements = 0;
+  /// |initial-read region UNION output-write region| (an element in both
+  /// is counted once: one boundary crossing covers fetch and update on a
+  /// write-allocate hierarchy).
+  std::int64_t elements = 0;
+  std::int64_t bytes = 0;
+};
+
+/// The essential data-movement floor (the Olivry-style cold-footprint
+/// I/O bound, specialized to this IR): bytes that ANY observationally
+/// equivalent program must move across the memory<->L2 boundary, however
+/// it is scheduled, fused, contracted or store-eliminated. Per array it
+/// is the union of
+///
+///  - the initial-read region: elements read before any write of the
+///    same element could have covered them. A read claims its box only
+///    when it provably executes (unguarded) and provably touches every
+///    element of the box; every write that may precede the read
+///    subtracts its (over-approximated) box, except a same-statement
+///    write with byte-identical subscripts whose iteration->element map
+///    is injective over the full nest -- there the read of each element
+///    happens in the unique iteration that writes it, before the store.
+///  - the output-write region: elements of arrays marked as program
+///    outputs that are definitely written (unguarded, exactly-covering
+///    boxes only).
+///
+/// compute_data_floor(P) <= compute_traffic_bound(Q).lower_bound_bytes
+/// <= memsim-measured traffic of Q for every program Q equivalent to P
+/// whose initial reads are live and whose output writes store fresh
+/// values (true for every bundled workload; an adversarial program that
+/// rewrites an output with its initial contents can beat the output
+/// term). The autotuner's optimality certificates are gaps against this
+/// floor (docs/AUTOTUNE.md).
+struct DataFloor {
+  std::vector<FloorRegion> arrays;
+  /// Sum of per-array floor bytes.
+  std::int64_t floor_bytes = 0;
+
+  /// Human-readable table of the per-array regions and the total.
+  std::string render() const;
+};
+
+DataFloor compute_data_floor(const ir::Program& program);
+
 }  // namespace bwc::verify

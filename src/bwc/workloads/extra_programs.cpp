@@ -112,4 +112,27 @@ Program reduction_cascade(std::int64_t n, int kernels) {
   return p;
 }
 
+Program transposed_sweep(std::int64_t n) {
+  BWC_CHECK(n >= 4, "grid too small");
+  Program p("transposed sweep");
+  const ArrayId img = p.add_array("img", {n, n});
+  const ArrayId out = p.add_array("out", {n, n});
+  p.add_scalar("sum");
+  p.mark_output_scalar("sum");
+  p.mark_output_array(out);
+
+  // i is the fastest-varying storage dimension but the outermost loop:
+  // every access strides by n elements.
+  p.append(loop("i", 1, n,
+                loop("j", 1, n,
+                     assign(out, {v("i"), v("j")},
+                            lit(0.5) * at(img, v("i"), v("j")) + lit(0.25)))));
+  // The reduction already walks in storage order (stride 1).
+  p.append(assign("sum", lit(0.0)));
+  p.append(loop("j", 1, n,
+                loop("i", 1, n,
+                     assign("sum", sref("sum") + at(out, v("i"), v("j"))))));
+  return p;
+}
+
 }  // namespace bwc::workloads

@@ -30,4 +30,12 @@ ir::Program blur_sharpen(std::int64_t n);
 /// graph is a star around the input array (all loops fusable).
 ir::Program reduction_cascade(std::int64_t n, int kernels);
 
+/// Transposed sweep over an n x n grid: an elementwise map written with
+/// the loop order transposed against the (column-major) storage order --
+/// every access strides by n -- followed by a stride-1 reduction of the
+/// result. Interchanging the map nest makes the whole program stride-1;
+/// the default pipeline never reorders loops, so this is the workload
+/// where pipeline search beats the default ordering.
+ir::Program transposed_sweep(std::int64_t n);
+
 }  // namespace bwc::workloads

@@ -1,0 +1,64 @@
+// libFuzzer harness for the PipelineSpec parser (pass/pipeline_spec.h).
+//
+// The autotuner treats spec strings as its genome and the daemon accepts
+// them over the wire, so the parser must never crash, hang, or trip a
+// sanitizer: malformed input has exactly one legal outcome, a thrown
+// bwc::Error. When the input does parse, the render/parse round trip is
+// checked too: to_string of the parsed spec must itself parse, reproduce
+// the same spec, and re-render to a fixpoint. (A parsed spec is always
+// representable -- values cannot contain the grammar's delimiters -- so
+// to_string throwing here is a bug, caught by the abort.)
+//
+// Built behind -DBWC_FUZZ=ON (see tests/CMakeLists.txt). With a Clang
+// toolchain the target links libFuzzer; other compilers get a standalone
+// driver that replays corpus files as a regression check.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "bwc/pass/pipeline_spec.h"
+#include "bwc/support/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > 1 << 14) return 0;  // parse time is linear; keep inputs small
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const bwc::pass::PipelineSpec spec =
+        bwc::pass::parse_pipeline_spec(text);
+    // Accepted input: canonical rendering must reach a fixpoint.
+    const std::string rendered = spec.to_string();
+    const bwc::pass::PipelineSpec reparsed =
+        bwc::pass::parse_pipeline_spec(rendered);
+    if (reparsed.to_string() != rendered) std::abort();
+    if (reparsed.passes.size() != spec.passes.size()) std::abort();
+  } catch (const bwc::Error&) {
+    // Malformed input: rejection via bwc::Error is the contract.
+  }
+  return 0;
+}
+
+#ifdef BWC_FUZZ_STANDALONE
+// Non-Clang builds: replay corpus files one by one instead of fuzzing.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open " << argv[i] << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+    std::cout << "ok: " << argv[i] << " (" << text.size() << " bytes)\n";
+  }
+  return 0;
+}
+#endif

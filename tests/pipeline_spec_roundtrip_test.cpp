@@ -1,0 +1,133 @@
+// Randomized round-trip property test for PipelineSpec: the autotuner
+// uses spec strings as its genome, so parse(render(spec)) must be
+// byte-identical for every representable spec, and render must refuse
+// (rather than silently alter) anything the grammar cannot carry.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bwc/pass/pipeline_spec.h"
+#include "bwc/support/error.h"
+#include "bwc/support/prng.h"
+
+namespace bwc::pass {
+namespace {
+
+const char kNameChars[] = "abcdefghijklmnopqrstuvwxyz0123456789-";
+
+std::string random_name(Prng& rng) {
+  const std::size_t len = 1 + rng.uniform(8);
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i)
+    s += kNameChars[rng.uniform(sizeof(kNameChars) - 1)];
+  return s;
+}
+
+/// A grammatical value: non-empty, no ','/'('/')', no edge whitespace.
+/// Interior characters draw from a wider set than names, including
+/// '=' and interior spaces, which the grammar does allow.
+std::string random_value(Prng& rng) {
+  const char interior[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+      "0123456789-_.+=:/ ";
+  const char edge[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+      "0123456789-_.+=:/";
+  std::string s;
+  s += edge[rng.uniform(sizeof(edge) - 1)];
+  const std::size_t extra = rng.uniform(8);
+  for (std::size_t i = 0; i < extra; ++i)
+    s += interior[rng.uniform(sizeof(interior) - 1)];
+  if (!s.empty() && s.back() == ' ') s.back() = 'x';
+  return s;
+}
+
+PipelineSpec random_spec(Prng& rng) {
+  PipelineSpec spec;
+  const std::size_t passes = rng.uniform(5);
+  for (std::size_t p = 0; p < passes; ++p) {
+    PassSpec pass;
+    pass.name = random_name(rng);
+    const std::size_t params = rng.uniform(4);
+    for (std::size_t k = 0; k < params; ++k)
+      pass.params.emplace_back(random_name(rng), random_value(rng));
+    spec.passes.push_back(std::move(pass));
+  }
+  return spec;
+}
+
+void expect_specs_equal(const PipelineSpec& a, const PipelineSpec& b) {
+  ASSERT_EQ(a.passes.size(), b.passes.size());
+  for (std::size_t i = 0; i < a.passes.size(); ++i) {
+    EXPECT_EQ(a.passes[i].name, b.passes[i].name);
+    EXPECT_EQ(a.passes[i].params, b.passes[i].params);
+  }
+}
+
+// The core property, over thousands of random representable specs:
+// rendering then parsing reproduces the spec exactly (names, keys,
+// values, parameter order), and re-rendering is byte-identical.
+TEST(PipelineSpecRoundTrip, RandomizedRenderParseFixpoint) {
+  Prng rng(42);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const PipelineSpec spec = random_spec(rng);
+    const std::string rendered = spec.to_string();
+    const PipelineSpec reparsed = parse_pipeline_spec(rendered);
+    expect_specs_equal(spec, reparsed);
+    EXPECT_EQ(reparsed.to_string(), rendered);
+  }
+}
+
+// Parsing is whitespace-insensitive but rendering is canonical, so a
+// noisy spelling canonicalizes in one parse+render step and is then a
+// fixpoint.
+TEST(PipelineSpecRoundTrip, NoisySpellingCanonicalizesToFixpoint) {
+  const std::string noisy =
+      "  interchange ,fuse( solver = exact , shift=1 ) , reduce-storage ";
+  const std::string canonical = parse_pipeline_spec(noisy).to_string();
+  EXPECT_EQ(canonical,
+            "interchange,fuse(solver=exact,shift=1),reduce-storage");
+  EXPECT_EQ(parse_pipeline_spec(canonical).to_string(), canonical);
+}
+
+// Specs the grammar cannot represent must be refused by to_string, not
+// silently rendered into a string that parses back differently.
+TEST(PipelineSpecRoundTrip, UnrepresentableSpecsThrowOnRender) {
+  const auto render = [](const std::string& name, const std::string& key,
+                         const std::string& value) {
+    PassSpec pass;
+    pass.name = name;
+    if (!key.empty() || !value.empty()) pass.params.emplace_back(key, value);
+    return pass.to_string();
+  };
+  EXPECT_THROW(render("", "", ""), Error);            // empty name
+  EXPECT_THROW(render("Fuse", "", ""), Error);        // uppercase name
+  EXPECT_THROW(render("fu se", "", ""), Error);       // space in name
+  EXPECT_THROW(render("fuse", "Solver", "x"), Error); // invalid key
+  EXPECT_THROW(render("fuse", "solver", ""), Error);  // empty value
+  EXPECT_THROW(render("fuse", "solver", "a,b"), Error);
+  EXPECT_THROW(render("fuse", "solver", "a(b"), Error);
+  EXPECT_THROW(render("fuse", "solver", "a)b"), Error);
+  EXPECT_THROW(render("fuse", "solver", " x"), Error);  // edge whitespace
+  EXPECT_THROW(render("fuse", "solver", "x "), Error);
+}
+
+// Strict parsing: empty list segments are malformed, not ignored.
+TEST(PipelineSpecRoundTrip, RejectsEmptySegments) {
+  EXPECT_THROW(parse_pipeline_spec("fuse(a=1,)"), Error);
+  EXPECT_THROW(parse_pipeline_spec("fuse(,a=1)"), Error);
+  EXPECT_THROW(parse_pipeline_spec("fuse,,interchange"), Error);
+  EXPECT_THROW(parse_pipeline_spec(",fuse"), Error);
+  EXPECT_THROW(parse_pipeline_spec("fuse,"), Error);
+}
+
+TEST(PipelineSpecRoundTrip, EmptyPipelineIsItsOwnFixpoint) {
+  const PipelineSpec spec = parse_pipeline_spec("");
+  EXPECT_TRUE(spec.empty());
+  EXPECT_EQ(spec.to_string(), "");
+}
+
+}  // namespace
+}  // namespace bwc::pass

@@ -374,6 +374,35 @@ TEST(ServerProtocol, RequestRoundTrips) {
   EXPECT_EQ(back.timeout_ms, r.timeout_ms);
 }
 
+TEST(ServerProtocol, TuneRequestRoundTripsWithDefaults) {
+  const Request minimal =
+      parse_request(R"({"op":"tune","program":"double x\n"})");
+  EXPECT_EQ(minimal.op, Request::Op::kTune);
+  EXPECT_EQ(minimal.strategy, "beam");
+  EXPECT_DOUBLE_EQ(minimal.gap, 5.0);
+  EXPECT_EQ(minimal.budget, "small");
+  EXPECT_EQ(minimal.tune_seed, 0u);
+
+  Request r;
+  r.op = Request::Op::kTune;
+  r.program = "double a[10]\n";
+  r.strategy = "genetic";
+  r.gap = 2.5;
+  r.budget = "32";
+  r.tune_seed = 99;
+  r.machine = "modern";
+  r.cores = 2;
+  r.scale = 8;
+  const Request back = parse_request(render_request(r));
+  EXPECT_EQ(back.op, Request::Op::kTune);
+  EXPECT_EQ(back.strategy, r.strategy);
+  EXPECT_DOUBLE_EQ(back.gap, r.gap);
+  EXPECT_EQ(back.budget, r.budget);
+  EXPECT_EQ(back.tune_seed, r.tune_seed);
+  EXPECT_EQ(back.machine, r.machine);
+  EXPECT_EQ(back.cores, r.cores);
+}
+
 TEST(ServerProtocol, RejectsSchemaViolations) {
   const char* bad[] = {
       R"({"program":"x"})",                              // missing op
@@ -389,6 +418,15 @@ TEST(ServerProtocol, RejectsSchemaViolations) {
       R"({"op":"optimize","program":"x","bogus_key":1})",
       R"({"op":1})",
       R"([])",
+      // Cross-op confusion: tune-only knobs on optimize and vice versa.
+      R"({"op":"optimize","program":"x","strategy":"beam"})",
+      R"({"op":"optimize","program":"x","budget":"small"})",
+      R"({"op":"tune","program":"x","pipeline":"fuse"})",
+      R"({"op":"tune","program":"x","measure":false})",
+      R"({"op":"tune","program":"x","strategy":"annealing"})",
+      R"({"op":"tune","program":"x","budget":"gigantic"})",
+      R"({"op":"tune","program":"x","gap":-1})",
+      R"({"op":"tune","program":"x","tune_seed":0.5})",
   };
   for (const char* text : bad) {
     EXPECT_THROW(parse_request(text), Error) << "input: " << text;
@@ -537,6 +575,106 @@ TEST(ServerService, MeasureOffOmitsMachineSection) {
   const JsonValue v = parse_json(response.result_json);
   EXPECT_EQ(v.find("machine"), nullptr);
   EXPECT_NE(v.find("passes"), nullptr);
+}
+
+Request small_tune_request() {
+  Request r;
+  r.op = Request::Op::kTune;
+  r.program = small_program_text();
+  r.budget = "6";  // keep the search tiny: this is a protocol test
+  return r;
+}
+
+TEST(ServerService, TuneResponseCarriesWinnerAndCertificate) {
+  Service service(ServiceOptions{});
+  const Request request = small_tune_request();
+  const Response response = service.handle(request);
+  ASSERT_EQ(response.status, "ok") << response.error;
+  EXPECT_EQ(response.result_json,
+            Service::compute_tune_result_body(request, {}, nullptr));
+  const JsonValue v = parse_json(response.result_json);
+  ASSERT_NE(v.find("winner"), nullptr);
+  ASSERT_NE(v.find("default"), nullptr);
+  ASSERT_NE(v.find("certificate"), nullptr);
+  ASSERT_NE(v.find("floor"), nullptr);
+  ASSERT_NE(v.find("validated"), nullptr);
+  // The winner is never worse than the default pipeline: the default is
+  // always in the validated set.
+  const double winner =
+      v.find("winner")->number_or("measured_bytes", -1);
+  const double fallback =
+      v.find("default")->number_or("measured_bytes", -2);
+  EXPECT_GE(winner, 0);
+  EXPECT_LE(winner, fallback);
+  // The certificate chain: floor <= predicted <= measured.
+  const JsonValue* cert = v.find("certificate");
+  EXPECT_LE(cert->number_or("floor_bytes", 1e18),
+            cert->number_or("predicted_bytes", -1));
+  EXPECT_LE(cert->number_or("predicted_bytes", 1e18),
+            cert->number_or("measured_bytes", -1));
+}
+
+TEST(ServerService, TuneCacheHitIsBitIdenticalAndSkipsSearch) {
+  TempDir dir("tune-cache");
+  ServiceOptions options;
+  options.cache_dir = dir.path();
+  Service service(options);
+  const Request request = small_tune_request();
+
+  const Response cold = service.handle(request);
+  ASSERT_EQ(cold.status, "ok") << cold.error;
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(service.stats().pipeline_runs, 1u);
+
+  const Response warm = service.handle(request);
+  ASSERT_EQ(warm.status, "ok") << warm.error;
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.result_json, cold.result_json);
+  EXPECT_EQ(service.stats().pipeline_runs, 1u);
+}
+
+TEST(ServerService, TuneKeyTracksKnobsAndSeedPopulation) {
+  const Request a = small_tune_request();
+  Request b = a;
+  b.strategy = "genetic";
+  Request c = a;
+  c.gap = 1.0;
+  Request d = a;
+  d.tune_seed = 3;
+  EXPECT_NE(Service::tune_cache_key_text(a, {}),
+            Service::tune_cache_key_text(b, {}));
+  EXPECT_NE(Service::tune_cache_key_text(a, {}),
+            Service::tune_cache_key_text(c, {}));
+  EXPECT_NE(Service::tune_cache_key_text(a, {}),
+            Service::tune_cache_key_text(d, {}));
+  // The seed population steers the search, so it is part of the key --
+  // a log that has learned a new pipeline is a different computation.
+  EXPECT_NE(Service::tune_cache_key_text(a, {}),
+            Service::tune_cache_key_text(a, {"interchange"}));
+  // The replay engine stays excluded (engines are bit-identical).
+  Request e = a;
+  e.engine = "reference";
+  EXPECT_EQ(Service::tune_cache_key_text(a, {}),
+            Service::tune_cache_key_text(e, {}));
+}
+
+TEST(ServerService, OptimizePipelinesSeedTheTunePopulation) {
+  TempDir dir("tune-seeds");
+  std::system(("mkdir -p " + dir.path()).c_str());
+  ServiceOptions options;
+  options.record_log_path = dir.path() + "/rec.log";
+  Service service(options);
+  EXPECT_TRUE(service.tune_seed_specs().empty());
+  const Response served = service.handle(small_request());
+  ASSERT_EQ(served.status, "ok") << served.error;
+  // The served optimize's canonical pipeline is now in the log, ready
+  // to seed the next tune search.
+  const std::vector<std::string> seeds = service.tune_seed_specs();
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], "fuse(solver=best),reduce-storage,eliminate-stores");
+  // And read_record_log still sees only the type-1 serving record:
+  // readers skip record types they do not know.
+  EXPECT_EQ(read_record_log(options.record_log_path).size(), 1u);
 }
 
 TEST(ServerService, RecordsServedRequestsAndRejections) {

@@ -23,10 +23,12 @@
 #include "bwc/model/prediction.h"
 #include "bwc/server/client.h"
 #include "bwc/server/protocol.h"
+#include "bwc/server/record_log.h"
 #include "bwc/support/error.h"
 #include "bwc/support/prng.h"
 #include "bwc/support/table.h"
 #include "bwc/verify/verify.h"
+#include "bwc/tune/autotune.h"
 #include "bwc/workloads/extra_programs.h"
 #include "bwc/workloads/paper_programs.h"
 #include "bwc/workloads/random_programs.h"
@@ -71,10 +73,20 @@ struct Options {
   bool cache_analyses = true;
   /// Fingerprint cache entries and fail on undeclared invalidations.
   bool audit_analyses = false;
+  /// Search the pipeline space instead of running one pipeline.
+  bool tune = false;
+  std::string tune_strategy = "beam";
+  double tune_gap = 5.0;
+  std::string tune_budget = "medium";
+  std::uint64_t tune_seed = 0;
+  /// bwcd record log whose pipeline-spec records seed the population.
+  std::string tune_seed_log;
 };
 
 /// One entry of the flag table: every flag bwcopt accepts, its value
-/// placeholder (empty for boolean flags), one-line help, and its effect.
+/// placeholder (empty for boolean flags; starting with '[' for an
+/// optional inline value, e.g. "--tune" or "--tune=genetic"), one-line
+/// help, and its effect.
 struct Flag {
   const char* name;
   const char* value;  // e.g. "<int>"; "" for flags taking no value
@@ -84,7 +96,7 @@ struct Flag {
 
 const Flag kFlags[] = {
     // Workload selection.
-    {"--program", "<fig6|fig7|sec21|jacobi|adi|blur|cascade|random>",
+    {"--program", "<fig6|fig7|sec21|jacobi|adi|blur|cascade|stride|random>",
      "workload to optimize (default fig7)",
      [](Options& o, const std::string& v) { o.program = v; }},
     {"--file", "<path>",
@@ -178,6 +190,38 @@ const Flag kFlags[] = {
      "computed from and fail on a stale hit -- catches passes that "
      "mutate the program without declaring the invalidation",
      [](Options& o, const std::string&) { o.audit_analyses = true; }},
+    // Autotuning.
+    {"--tune", "[=beam|genetic]",
+     "search the pipeline space for this workload instead of running one "
+     "pipeline: seeded parallel beam (default) or genetic search over "
+     "PipelineSpec strings, scored by the static traffic bound with full "
+     "per-pass verification, top candidates validated in the machine "
+     "model; prints the winner, the default-pipeline comparison and the "
+     "lower-bound optimality certificate when one is earned "
+     "(docs/AUTOTUNE.md; the scoring pool uses --cores threads)",
+     [](Options& o, const std::string& v) {
+       o.tune = true;
+       if (!v.empty()) o.tune_strategy = v;
+     }},
+    {"--tune-gap", "<percent>",
+     "certificate tolerance: stop the search early and certify the winner "
+     "when its traffic is within this percentage of the data-movement "
+     "floor (default 5)",
+     [](Options& o, const std::string& v) { o.tune_gap = std::stod(v); }},
+    {"--tune-budget", "<small|medium|large|int>",
+     "maximum candidates scored: small=16, medium=48, large=128, or an "
+     "explicit count (default medium)",
+     [](Options& o, const std::string& v) { o.tune_budget = v; }},
+    {"--tune-seed", "<int>",
+     "search PRNG seed (default 0); a fixed seed replays the identical "
+     "search and winner at any --cores value",
+     [](Options& o, const std::string& v) {
+       o.tune_seed = std::stoull(v);
+     }},
+    {"--tune-seed-log", "<path>",
+     "seed the starting population with the pipeline-spec records of a "
+     "bwcd record log (docs/SERVER.md); missing file seeds nothing",
+     [](Options& o, const std::string& v) { o.tune_seed_log = v; }},
     {"--remarks", "<json>",
      "print the structured per-pass reports (remarks, timing, predicted "
      "traffic deltas) in the given format as the only output; skips "
@@ -200,7 +244,10 @@ void print_help(std::ostream& os) {
         "or any error.\n\noptions:\n";
   for (const Flag& flag : kFlags) {
     std::string head = "  " + std::string(flag.name);
-    if (flag.value[0] != '\0') head += " " + std::string(flag.value);
+    if (flag.value[0] == '[')
+      head += std::string(flag.value);  // optional inline value
+    else if (flag.value[0] != '\0')
+      head += " " + std::string(flag.value);
     os << head << "\n";
     // Wrap the help text at 70 columns under an 8-column indent.
     std::istringstream words(flag.help);
@@ -251,9 +298,14 @@ Options parse(int argc, char** argv) {
       }
     }
     if (found == nullptr) usage_error("unknown flag: " + arg);
-    const bool takes_value = found->value[0] != '\0';
+    const bool optional_value = found->value[0] == '[';
+    const bool takes_value = !optional_value && found->value[0] != '\0';
     std::string value;
-    if (takes_value) {
+    if (optional_value) {
+      // "--tune" and "--tune=genetic" are both valid; a following
+      // argument is never consumed.
+      if (has_inline) value = inline_value;
+    } else if (takes_value) {
       if (has_inline) {
         value = inline_value;
       } else if (i + 1 < argc) {
@@ -277,6 +329,17 @@ Options parse(int argc, char** argv) {
     usage_error("unknown static-verify mode: " + o.static_verify +
                 " (supported: on, off, only)");
   if (o.cores < 1) usage_error("--cores must be >= 1");
+  if (o.tune) {
+    try {
+      tune::parse_strategy(o.tune_strategy);
+      tune::parse_budget(o.tune_budget);
+    } catch (const Error& e) {
+      usage_error(e.what());
+    }
+    if (!(o.tune_gap >= 0.0 && o.tune_gap <= 1000.0))
+      usage_error("--tune-gap must be in [0, 1000]");
+    if (o.lint) usage_error("--tune and --lint are mutually exclusive");
+  }
   return o;
 }
 
@@ -301,6 +364,8 @@ ir::Program make_program(const Options& o) {
   if (o.program == "cascade")
     return workloads::reduction_cascade(std::min<std::int64_t>(o.n, 100000),
                                         3);
+  if (o.program == "stride")
+    return workloads::transposed_sweep(std::min<std::int64_t>(o.n, 2000));
   if (o.program == "random") {
     Prng rng(o.seed);
     workloads::RandomProgramParams params;
@@ -352,6 +417,81 @@ std::string effective_pipeline(const Options& o,
   return spec;
 }
 
+// ---- autotune mode: search the pipeline space for the workload ----
+
+int run_tune(const Options& o, const ir::Program& original) {
+  tune::TuneOptions topts;
+  topts.strategy = tune::parse_strategy(o.tune_strategy);
+  topts.gap_percent = o.tune_gap;
+  topts.budget = tune::parse_budget(o.tune_budget);
+  topts.seed = o.tune_seed;
+  topts.threads = o.cores;
+  topts.machine = make_machine(o);
+  topts.engine = make_engine(o.engine);
+  if (!o.tune_seed_log.empty())
+    topts.seed_specs = server::read_pipeline_specs(o.tune_seed_log);
+  const tune::TuneResult result = tune::tune(original, topts);
+
+  if (!o.remarks.empty()) {
+    // Winner's per-pass reports plus the synthetic tune record carrying
+    // the certificate, as one schema-valid bwc-remarks-v1 document.
+    pass::PipelineReport report = result.winner_pipeline;
+    report.passes.push_back(result.report());
+    const std::string name = o.file.empty() ? o.program : o.file;
+    std::cout << report.to_json(name, result.winner_spec) << "\n";
+    return 0;
+  }
+
+  std::cout << "autotune: " << tune::strategy_name(topts.strategy)
+            << " search, budget " << topts.budget << ", gap "
+            << o.tune_gap << "%, seed " << o.tune_seed << ", "
+            << topts.threads
+            << (topts.threads == 1 ? " thread\n" : " threads\n");
+  std::cout << "evaluated " << result.evaluated << " candidates ("
+            << result.infeasible << " infeasible)"
+            << (result.early_stop ? "; stopped early within the gap"
+                                  : "")
+            << "\n\n";
+
+  TextTable t("validated on " + topts.machine.name);
+  t.set_header({"", "pipeline", "predicted", "measured"});
+  for (const tune::Validated& v : result.validated) {
+    const char* mark = v.spec == result.winner_spec    ? "winner"
+                       : v.spec == result.default_spec ? "default"
+                                                       : "";
+    t.add_row({mark, v.spec.empty() ? "(no passes)" : v.spec,
+               fmt_bytes(static_cast<double>(v.predicted_bytes)),
+               fmt_bytes(static_cast<double>(v.measured_bytes))});
+  }
+  std::cout << t.render() << "\n";
+
+  std::cout << "data-movement floor: " << result.floor.floor_bytes
+            << " bytes\n";
+  for (const verify::FloorRegion& region : result.floor.arrays)
+    std::cout << "  " << region.name << ": " << region.bytes
+              << " bytes\n";
+  const tune::Certificate& cert = result.certificate;
+  if (cert.within_gap) {
+    std::cout << "certificate: winner is OPTIMAL within " << o.tune_gap
+              << "% -- measured " << cert.measured_bytes << " bytes is "
+              << fmt_fixed(cert.gap_percent, 2) << "% above the floor\n";
+  } else if (cert.gap_percent < 0) {
+    std::cout << "certificate: none (zero floor: the program moves no "
+                 "mandatory data)\n";
+  } else {
+    std::cout << "certificate: none -- measured " << cert.measured_bytes
+              << " bytes is " << fmt_fixed(cert.gap_percent, 2)
+              << "% above the floor (tolerance " << o.tune_gap << "%)\n";
+  }
+
+  // The default pipeline is always in the validated set, so this can
+  // only fire on an autotuner bug.
+  const bool ok = result.winner_measured_bytes <= result.default_measured_bytes;
+  if (!ok)
+    std::cout << "winner vs default: WORSE -- please report a bug\n";
+  return ok ? 0 : 1;
+}
+
 // ---- bwcd-client: speak the bwcd-v1 protocol to a running daemon ----
 
 struct ClientOptions {
@@ -363,6 +503,11 @@ struct ClientOptions {
   std::string pipeline;
   bool measure = true;
   std::int64_t timeout_ms = 0;
+  /// Tune-op knobs (--op tune).
+  std::string strategy = "beam";
+  double gap = 5.0;
+  std::string budget = "small";
+  std::uint64_t tune_seed = 0;
   /// Print the raw response payload instead of the human summary.
   bool json = false;
 };
@@ -372,9 +517,9 @@ const Flag kClientFlags[] = {
      [](Options&, const std::string&) {}},
     {"--port", "<int>", "daemon port (required)",
      [](Options&, const std::string&) {}},
-    {"--op", "<optimize|stats|ping>", "request kind (default optimize)",
+    {"--op", "<optimize|tune|stats|ping>", "request kind (default optimize)",
      [](Options&, const std::string&) {}},
-    {"--program", "<fig6|fig7|sec21|jacobi|adi|blur|cascade|random>",
+    {"--program", "<fig6|fig7|sec21|jacobi|adi|blur|cascade|stride|random>",
      "workload to submit (default fig7)",
      [](Options& o, const std::string& v) { o.program = v; }},
     {"--file", "<path>", "submit the program from a text file instead",
@@ -395,6 +540,17 @@ const Flag kClientFlags[] = {
      "replay engine for the measurement (default compiled)",
      [](Options& o, const std::string& v) { o.engine = v; }},
     {"--no-measure", "", "skip the machine-model measurement",
+     [](Options&, const std::string&) {}},
+    {"--strategy", "<beam|genetic>",
+     "tune-op search strategy (default beam)",
+     [](Options&, const std::string&) {}},
+    {"--gap", "<percent>", "tune-op certificate tolerance (default 5)",
+     [](Options&, const std::string&) {}},
+    {"--budget", "<small|medium|large|int>",
+     "tune-op evaluation budget (default small; the daemon keeps tune "
+     "requests comparable to optimize in service time)",
+     [](Options&, const std::string&) {}},
+    {"--tune-seed", "<int>", "tune-op search seed (default 0)",
      [](Options&, const std::string&) {}},
     {"--timeout-ms", "<int>",
      "queue-wait deadline for this request (default: daemon default)",
@@ -473,6 +629,14 @@ ClientOptions parse_client(int argc, char** argv) {
         c.measure = false;
       } else if (arg == "--timeout-ms") {
         c.timeout_ms = std::stoll(value);
+      } else if (arg == "--strategy") {
+        c.strategy = value;
+      } else if (arg == "--gap") {
+        c.gap = std::stod(value);
+      } else if (arg == "--budget") {
+        c.budget = value;
+      } else if (arg == "--tune-seed") {
+        c.tune_seed = std::stoull(value);
       } else if (arg == "--json") {
         c.json = true;
       } else {
@@ -484,9 +648,10 @@ ClientOptions parse_client(int argc, char** argv) {
   }
   if (c.port < 1 || c.port > 65535)
     client_usage_error("--port is required (1..65535)");
-  if (c.op != "optimize" && c.op != "stats" && c.op != "ping")
+  if (c.op != "optimize" && c.op != "tune" && c.op != "stats" &&
+      c.op != "ping")
     client_usage_error("unknown op: " + c.op +
-                       " (supported: optimize, stats, ping)");
+                       " (supported: optimize, tune, stats, ping)");
   return c;
 }
 
@@ -499,15 +664,24 @@ int bwcd_client_main(int argc, char** argv) {
     } else if (c.op == "ping") {
       request.op = server::Request::Op::kPing;
     } else {
-      request.op = server::Request::Op::kOptimize;
+      const bool is_tune = c.op == "tune";
+      request.op = is_tune ? server::Request::Op::kTune
+                           : server::Request::Op::kOptimize;
       request.program = ir::to_string(make_program(c.workload));
-      request.pipeline = c.pipeline;
       request.machine = c.workload.machine;
       request.cores = c.workload.cores;
       request.scale = c.workload.scale;
       request.engine = c.workload.engine;
-      request.measure = c.measure;
       request.timeout_ms = c.timeout_ms;
+      if (is_tune) {
+        request.strategy = c.strategy;
+        request.gap = c.gap;
+        request.budget = c.budget;
+        request.tune_seed = c.tune_seed;
+      } else {
+        request.pipeline = c.pipeline;
+        request.measure = c.measure;
+      }
     }
     server::Client client(c.host, c.port);
     const server::Response response = client.call(request);
@@ -539,6 +713,7 @@ int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
   try {
     const ir::Program original = make_program(o);
+    if (o.tune) return run_tune(o, original);
 
     core::OptimizerOptions opts;
     opts.solver = make_solver(o.solver);
