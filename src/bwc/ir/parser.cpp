@@ -178,10 +178,49 @@ class Parser {
       extents.push_back(s.integer());
       while (s.consume(',')) extents.push_back(s.integer());
       s.expect(']');
-      p.add_array(name, extents);
+      const ArrayId id = p.add_array(name, extents);
+      if (s.consume_word("layout")) parse_layout(p, id, s);
     } else {
       p.add_scalar(name);
     }
+  }
+
+  /// layout(order=[..],pad=[..],group=k) -- each field optional, any order,
+  /// at most once. The decl's check_layout() validates the contents.
+  void parse_layout(Program& p, ArrayId id, LineScanner& s) {
+    ir::ArrayLayout layout;
+    s.expect('(');
+    bool saw_order = false, saw_pad = false, saw_group = false;
+    if (!s.consume(')')) {
+      do {
+        const std::string field = s.identifier();
+        s.expect('=');
+        if (field == "order" && !saw_order) {
+          saw_order = true;
+          s.expect('[');
+          layout.order.push_back(static_cast<int>(s.integer()));
+          while (s.consume(','))
+            layout.order.push_back(static_cast<int>(s.integer()));
+          s.expect(']');
+        } else if (field == "pad" && !saw_pad) {
+          saw_pad = true;
+          s.expect('[');
+          layout.pad.push_back(s.integer());
+          while (s.consume(',')) layout.pad.push_back(s.integer());
+          s.expect(']');
+        } else if (field == "group" && !saw_group) {
+          saw_group = true;
+          const std::int64_t g = s.integer();
+          if (g < 0) s.fail("layout group must be non-negative");
+          layout.group = static_cast<int>(g);
+        } else {
+          s.fail("unknown or repeated layout field '" + field + "'");
+        }
+      } while (s.consume(','));
+      s.expect(')');
+    }
+    p.mutable_array(id).layout = std::move(layout);
+    p.mutable_array(id).check_layout();
   }
 
   void parse_outputs(Program& p, const std::string& rest) {

@@ -135,7 +135,42 @@ std::string to_string(const Program& p) {
       if (d) os << ",";
       os << a.extents[d];
     }
-    os << "]\n";
+    os << "]";
+    if (!a.layout.is_default()) {
+      // Only the non-default parts print, so programs written before
+      // layouts existed round-trip byte-identically.
+      os << " layout(";
+      bool first = true;
+      const auto field = [&os, &first](const char* name) {
+        if (!first) os << ",";
+        first = false;
+        os << name << "=";
+      };
+      if (!a.layout.order.empty()) {
+        field("order");
+        os << "[";
+        for (std::size_t d = 0; d < a.layout.order.size(); ++d) {
+          if (d) os << ",";
+          os << a.layout.order[d];
+        }
+        os << "]";
+      }
+      if (!a.layout.pad.empty()) {
+        field("pad");
+        os << "[";
+        for (std::size_t d = 0; d < a.layout.pad.size(); ++d) {
+          if (d) os << ",";
+          os << a.layout.pad[d];
+        }
+        os << "]";
+      }
+      if (a.layout.group >= 0) {
+        field("group");
+        os << a.layout.group;
+      }
+      os << ")";
+    }
+    os << "\n";
   }
   for (const auto& s : p.scalars()) os << "double " << s << "\n";
   std::ostringstream body;

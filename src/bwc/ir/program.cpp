@@ -30,6 +30,61 @@ std::int64_t ArrayDecl::linearize(
   return linear;
 }
 
+void ArrayDecl::check_layout() const {
+  const std::size_t rank = extents.size();
+  if (!layout.order.empty()) {
+    BWC_CHECK(layout.order.size() == rank,
+              "layout order arity mismatch for array " + name);
+    std::vector<bool> seen(rank, false);
+    for (int d : layout.order) {
+      BWC_CHECK(d >= 0 && static_cast<std::size_t>(d) < rank &&
+                    !seen[static_cast<std::size_t>(d)],
+                "layout order is not a permutation for array " + name);
+      seen[static_cast<std::size_t>(d)] = true;
+    }
+  }
+  if (!layout.pad.empty()) {
+    BWC_CHECK(layout.pad.size() == rank,
+              "layout pad arity mismatch for array " + name);
+    for (std::int64_t p : layout.pad)
+      BWC_CHECK(p >= 0, "layout pad must be non-negative for array " + name);
+  }
+}
+
+std::int64_t ArrayDecl::padded_element_count() const {
+  check_layout();
+  std::int64_t n = 1;
+  for (std::size_t k = 0; k < extents.size(); ++k) n *= padded_extent(k);
+  return n;
+}
+
+std::vector<std::int64_t> ArrayDecl::layout_strides() const {
+  check_layout();
+  std::vector<std::int64_t> strides(extents.size(), 0);
+  std::int64_t stride = 1;
+  for (std::size_t k = 0; k < extents.size(); ++k) {
+    strides[static_cast<std::size_t>(storage_dim(k))] = stride;
+    stride *= padded_extent(k);
+  }
+  return strides;
+}
+
+std::int64_t ArrayDecl::layout_offset(
+    const std::vector<std::int64_t>& indices) const {
+  BWC_CHECK(indices.size() == extents.size(),
+            "index arity mismatch for array " + name);
+  const std::vector<std::int64_t> strides = layout_strides();
+  std::int64_t offset = 0;
+  for (std::size_t d = 0; d < extents.size(); ++d) {
+    const std::int64_t idx = indices[d] - 1;
+    BWC_CHECK(idx >= 0 && idx < extents[d],
+              "index out of bounds for array " + name + " dim " +
+                  std::to_string(d) + ": " + std::to_string(indices[d]));
+    offset += idx * strides[d];
+  }
+  return offset;
+}
+
 ArrayId Program::add_array(const std::string& name,
                            std::vector<std::int64_t> extents,
                            std::uint64_t elem_bytes) {
@@ -102,6 +157,16 @@ bool Program::is_output_array(ArrayId id) const {
          output_arrays_.end();
 }
 
+std::vector<ArrayId> Program::interleave_group(int group) const {
+  std::vector<ArrayId> members;
+  if (group < 0) return members;
+  for (int i = 0; i < array_count(); ++i) {
+    if (arrays_[static_cast<std::size_t>(i)].layout.group == group)
+      members.push_back(i);
+  }
+  return members;
+}
+
 Program Program::clone() const {
   Program p(name_);
   p.arrays_ = arrays_;
@@ -124,12 +189,49 @@ bool equal(const Program& a, const Program& b) {
     const auto& da = a.array(i);
     const auto& db = b.array(i);
     if (da.name != db.name || da.extents != db.extents ||
-        da.elem_bytes != db.elem_bytes)
+        da.elem_bytes != db.elem_bytes || da.layout != db.layout)
       return false;
   }
   return a.scalars() == b.scalars() && equal(a.top(), b.top()) &&
          a.output_scalars() == b.output_scalars() &&
          a.output_arrays() == b.output_arrays();
+}
+
+ArrayAddressing resolve_addressing(const Program& program, ArrayId id) {
+  const ArrayDecl& decl = program.array(id);
+  decl.check_layout();
+  ArrayAddressing out;
+  if (decl.layout.group < 0) {
+    out.addr_scale = decl.elem_bytes;
+    out.member_offset = 0;
+    out.alloc_bytes =
+        static_cast<std::uint64_t>(decl.padded_element_count()) *
+        decl.elem_bytes;
+    out.owns_allocation = true;
+    out.owner = id;
+    return out;
+  }
+  const std::vector<ArrayId> members =
+      program.interleave_group(decl.layout.group);
+  BWC_CHECK(!members.empty(), "empty interleave group for array " + decl.name);
+  const std::int64_t slots = decl.padded_element_count();
+  std::uint64_t rank = 0;
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    const ArrayDecl& member = program.array(members[m]);
+    BWC_CHECK(member.elem_bytes == decl.elem_bytes &&
+                  member.padded_element_count() == slots,
+              "interleave group " + std::to_string(decl.layout.group) +
+                  " members disagree on element size or padded extent");
+    if (members[m] == id) rank = static_cast<std::uint64_t>(m);
+  }
+  const std::uint64_t group_size = members.size();
+  out.addr_scale = group_size * decl.elem_bytes;
+  out.member_offset = rank * decl.elem_bytes;
+  out.alloc_bytes =
+      static_cast<std::uint64_t>(slots) * group_size * decl.elem_bytes;
+  out.owns_allocation = rank == 0;
+  out.owner = members[0];
+  return out;
 }
 
 }  // namespace bwc::ir

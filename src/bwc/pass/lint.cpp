@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "bwc/analysis/layout_traffic.h"
 #include "bwc/verify/static_dependence.h"
 
 namespace bwc::pass {
@@ -147,6 +148,34 @@ PassResult LintPass::run(ir::Program& program, AnalysisManager& am,
                        " bytes across " +
                        std::to_string(bound.arrays.size()) + " array(s)",
                    std::move(args));
+  }
+
+  // Arrays whose dominant access stride maps repeatedly onto the same few
+  // cache sets for the simulator's geometry: the sweep's lines exceed what
+  // those sets can hold, so revisits re-miss regardless of cache size.
+  // The layout passes (transpose-layout, pad-arrays) exist to fix this.
+  {
+    const analysis::LayoutGeometry geometry;
+    const analysis::LayoutTrafficEstimate est =
+        analysis::estimate_layout_traffic(program, geometry);
+    for (const analysis::ArrayLayoutTraffic& a : est.arrays) {
+      if (!a.conflict) continue;
+      report.finding(
+          RemarkSeverity::kWarning, "lint-conflict-stride",
+          "array " + a.name + " has dominant stride " +
+              std::to_string(a.dominant_stride_bytes) + " bytes mapping to " +
+              std::to_string(a.distinct_sets) + " of " +
+              std::to_string(geometry.sets) +
+              " cache sets; its sweeps thrash the " +
+              std::to_string(geometry.ways) + "-way cache",
+          {{"array", a.name},
+           {"stride_bytes", std::to_string(a.dominant_stride_bytes)},
+           {"distinct_sets", std::to_string(a.distinct_sets)},
+           {"sets", std::to_string(geometry.sets)},
+           {"ways", std::to_string(geometry.ways)},
+           {"set_phase", std::to_string(a.set_phase)},
+           {"line_bytes_estimate", std::to_string(a.line_bytes_estimate)}});
+    }
   }
 
   // Whole-program dependence census from the cached analysis, so tools

@@ -6,9 +6,11 @@
 #include "bwc/fusion/solvers.h"
 #include "bwc/pass/lint.h"
 #include "bwc/support/error.h"
+#include "bwc/analysis/layout_traffic.h"
 #include "bwc/transform/distribute.h"
 #include "bwc/transform/fuse.h"
 #include "bwc/transform/interchange.h"
+#include "bwc/transform/layout.h"
 #include "bwc/transform/regrouping.h"
 #include "bwc/transform/scalar_replacement.h"
 #include "bwc/transform/storage_reduction.h"
@@ -312,6 +314,100 @@ verify::Report DistributePass::check(const ir::Program& before,
 }
 
 // ---------------------------------------------------------------------------
+// layout passes (transpose-layout, regroup-arrays, pad-arrays)
+
+namespace {
+
+/// Shared tail of the three layout passes: publish the estimator's
+/// per-array line-traffic breakdown (before vs after), record the
+/// applied/missed remarks, and install the transformed program. Layout
+/// changes alter printed IR and simulated addressing, so nothing cached
+/// survives (the default PreservedAnalyses::none()).
+PassResult finish_layout_pass(ir::Program& program, PassReport& report,
+                              transform::LayoutResult result,
+                              const std::string& label,
+                              const std::string& code_prefix) {
+  const analysis::LayoutTrafficEstimate before =
+      analysis::estimate_layout_traffic(program);
+  const analysis::LayoutTrafficEstimate after =
+      analysis::estimate_layout_traffic(result.program);
+  for (int a = 0; a < program.array_count(); ++a) {
+    if (before.of(a).accesses == 0 && after.of(a).accesses == 0) continue;
+    report.per_array.push_back({program.array(a).name,
+                                before.of(a).line_bytes_estimate,
+                                after.of(a).line_bytes_estimate});
+  }
+  PassResult pr;
+  if (result.actions.empty()) {
+    report.missed(code_prefix + "-no-candidates",
+                  label + ": no profitable layout change");
+    return pr;
+  }
+  for (const auto& action : result.actions)
+    report.applied(code_prefix + "-applied", label + ": " + action);
+  report.note(
+      code_prefix + "-traffic",
+      "estimated line traffic " + std::to_string(before.total_line_bytes) +
+          " -> " + std::to_string(after.total_line_bytes) + " bytes",
+      {{"line_bytes_before", std::to_string(before.total_line_bytes)},
+       {"line_bytes_after", std::to_string(after.total_line_bytes)}});
+  program = std::move(result.program);
+  pr.changed = true;
+  return pr;
+}
+
+verify::Report check_layout_pass(const ir::Program& before,
+                                 const ir::Program& after,
+                                 const CheckOptions& options) {
+  return static_first(before, after, options, verify::prove_layout_change,
+                      "static-layout-change", "layout-change", [&] {
+                        return verify::validate_translation(
+                            before, after, {options.max_events});
+                      });
+}
+
+}  // namespace
+
+PassResult TransposeLayoutPass::run(ir::Program& program, AnalysisManager& am,
+                                    PassReport& report) {
+  (void)am;  // vote census walks the program itself
+  return finish_layout_pass(program, report, transform::transpose_layouts(program),
+                            "layout transpose", "transpose-layout");
+}
+
+verify::Report TransposeLayoutPass::check(const ir::Program& before,
+                                          const ir::Program& after,
+                                          const CheckOptions& options) const {
+  return check_layout_pass(before, after, options);
+}
+
+PassResult RegroupArraysPass::run(ir::Program& program, AnalysisManager& am,
+                                  PassReport& report) {
+  (void)am;
+  return finish_layout_pass(program, report, transform::regroup_layouts(program),
+                            "layout regrouping", "regroup-arrays");
+}
+
+verify::Report RegroupArraysPass::check(const ir::Program& before,
+                                        const ir::Program& after,
+                                        const CheckOptions& options) const {
+  return check_layout_pass(before, after, options);
+}
+
+PassResult PadArraysPass::run(ir::Program& program, AnalysisManager& am,
+                              PassReport& report) {
+  (void)am;
+  return finish_layout_pass(program, report, transform::pad_layouts(program),
+                            "layout padding", "pad-arrays");
+}
+
+verify::Report PadArraysPass::check(const ir::Program& before,
+                                    const ir::Program& after,
+                                    const CheckOptions& options) const {
+  return check_layout_pass(before, after, options);
+}
+
+// ---------------------------------------------------------------------------
 // registry
 
 namespace {
@@ -380,6 +476,18 @@ std::unique_ptr<Pass> create_pass(const PassSpec& spec) {
   if (spec.name == "distribute") {
     expect_no_params(spec);
     return std::make_unique<DistributePass>();
+  }
+  if (spec.name == "transpose-layout") {
+    expect_no_params(spec);
+    return std::make_unique<TransposeLayoutPass>();
+  }
+  if (spec.name == "regroup-arrays") {
+    expect_no_params(spec);
+    return std::make_unique<RegroupArraysPass>();
+  }
+  if (spec.name == "pad-arrays") {
+    expect_no_params(spec);
+    return std::make_unique<PadArraysPass>();
   }
   if (spec.name == "lint") {
     expect_no_params(spec);

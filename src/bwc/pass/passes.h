@@ -11,6 +11,9 @@
 //   scalar-replace    rotating-scalar register reuse
 //   regroup           inter-array data regrouping
 //   distribute        maximal loop distribution (fusion's inverse)
+//   transpose-layout  storage-order permutation toward innermost access
+//   regroup-arrays    SoA -> AoS interleave groups (layout-level regroup)
+//   pad-arrays        conflict-breaking inter-dimension / base padding
 //   lint              diagnostics only: bwc-lint findings (pass/lint.h)
 #pragma once
 
@@ -102,6 +105,43 @@ class DistributePass : public Pass {
  public:
   std::string name() const override { return "distribute"; }
   std::string label() const override { return "distribution"; }
+  PassResult run(ir::Program& program, AnalysisManager& am,
+                 PassReport& report) override;
+  verify::Report check(const ir::Program& before, const ir::Program& after,
+                       const CheckOptions& options) const override;
+};
+
+/// The layout-transform passes (transform/layout.h). They rewrite only
+/// ArrayLayout declarations -- statements, values and checksums are
+/// untouched -- and grade profitability with the layout-aware line-traffic
+/// estimator, whose per-array before/after figures they publish as the
+/// PassReport's per_array breakdown. Verified by prove_layout_change
+/// (structural: layout-stripped programs must be identical), with trace
+/// validation as the fallback.
+class TransposeLayoutPass : public Pass {
+ public:
+  std::string name() const override { return "transpose-layout"; }
+  std::string label() const override { return "layout transpose"; }
+  PassResult run(ir::Program& program, AnalysisManager& am,
+                 PassReport& report) override;
+  verify::Report check(const ir::Program& before, const ir::Program& after,
+                       const CheckOptions& options) const override;
+};
+
+class RegroupArraysPass : public Pass {
+ public:
+  std::string name() const override { return "regroup-arrays"; }
+  std::string label() const override { return "layout regrouping"; }
+  PassResult run(ir::Program& program, AnalysisManager& am,
+                 PassReport& report) override;
+  verify::Report check(const ir::Program& before, const ir::Program& after,
+                       const CheckOptions& options) const override;
+};
+
+class PadArraysPass : public Pass {
+ public:
+  std::string name() const override { return "pad-arrays"; }
+  std::string label() const override { return "layout padding"; }
   PassResult run(ir::Program& program, AnalysisManager& am,
                  PassReport& report) override;
   verify::Report check(const ir::Program& before, const ir::Program& after,

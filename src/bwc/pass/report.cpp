@@ -185,6 +185,15 @@ std::string PipelineReport::to_json(const std::string& program,
     } else {
       os << ", \"verify\": null";
     }
+    os << ", \"per_array\": [";
+    for (std::size_t a = 0; a < p.per_array.size(); ++a) {
+      const ArrayTraffic& t = p.per_array[a];
+      if (a > 0) os << ", ";
+      os << "{\"name\": " << json_str(t.name)
+         << ", \"bytes_before\": " << t.bytes_before
+         << ", \"bytes_after\": " << t.bytes_after << "}";
+    }
+    os << "]";
     os << ", \"remarks\": [";
     for (std::size_t r = 0; r < p.remarks.size(); ++r) {
       const Remark& rem = p.remarks[r];

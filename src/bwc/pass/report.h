@@ -69,6 +69,16 @@ struct VerifyOutcome {
   std::uint64_t instances_checked = 0;
 };
 
+/// Per-array traffic attribution: estimated line-granular bytes an array
+/// moves before and after a pass (analysis::estimate_layout_traffic).
+/// Layout passes fill one entry per referenced array; other passes leave
+/// the breakdown empty.
+struct ArrayTraffic {
+  std::string name;
+  std::int64_t bytes_before = 0;
+  std::int64_t bytes_after = 0;
+};
+
 /// Everything one pass run produced.
 struct PassReport {
   std::string pass;   // PipelineSpec name, e.g. "fuse"
@@ -84,6 +94,8 @@ struct PassReport {
   std::int64_t traffic_bound_after = -1;
   VerifyOutcome verify;
   std::vector<Remark> remarks;
+  /// Per-array line-traffic breakdown; empty unless the pass computed one.
+  std::vector<ArrayTraffic> per_array;
 
   /// after - before, or 0 when either side was not computed.
   std::int64_t traffic_bound_delta() const;

@@ -84,10 +84,18 @@ const char* cmp_c(ir::CmpOp op) {
 /// the context and returns 1, which the host maps to the VM's exact
 /// out-of-bounds error text. `err_array` is the array slot, or -1 for an
 /// input stream.
-void emit_locate(std::string& out, const LoweredProgram& lp, const Op& op,
-                 int err_array) {
-  out += "    i64 lin = 0;\n";
+/// Returns the name of the variable holding the 0-based *layout* slot
+/// offset for addressing: `lin` itself under a default layout, else a
+/// separately accumulated `lay` (layout strides differ from storage
+/// strides only for permuted or padded multi-dimensional arrays).
+std::string emit_locate(std::string& out, const LoweredProgram& lp,
+                        const Op& op, int err_array) {
   const LoweredDim* dims = lp.dims.data() + op.first_dim;
+  bool layout_differs = false;
+  for (std::uint32_t d = 0; d < op.dim_count; ++d)
+    if (dims[d].layout_stride != dims[d].stride) layout_differs = true;
+  out += "    i64 lin = 0;\n";
+  if (layout_differs) out += "    i64 lay = 0;\n";
   for (std::uint32_t d = 0; d < op.dim_count; ++d) {
     out += "    {\n";
     out += "      const i64 idx = " + lin_c(lp, dims[d].index) + ";\n";
@@ -98,13 +106,18 @@ void emit_locate(std::string& out, const LoweredProgram& lp, const Op& op,
     out += "        return 1;\n";
     out += "      }\n";
     out += "      lin += (idx - 1) * " + lit_i64(dims[d].stride) + ";\n";
+    if (layout_differs) {
+      out += "      lay += (idx - 1) * " + lit_i64(dims[d].layout_stride) +
+             ";\n";
+    }
     out += "    }\n";
   }
+  return layout_differs ? "lay" : "lin";
 }
 
-std::string array_addr_c(const Op& op, const std::string& lin) {
-  return "B" + std::to_string(op.slot) + " + (u64)" + lin + " * " +
-         lit_u64(op.elem_bytes);
+std::string array_addr_c(const Op& op, const std::string& offset) {
+  return "B" + std::to_string(op.slot) + " + (u64)" + offset + " * " +
+         lit_u64(op.addr_scale);
 }
 
 /// Emit `int bwc_run(bwc_native_ctx*)`: the generic bytecode walked as
@@ -147,23 +160,25 @@ void emit_run(std::string& out, const LoweredProgram& lp) {
                ", lin);\n";
         out += "  }\n";
         break;
-      case OpCode::kLoadArray:
+      case OpCode::kLoadArray: {
         out += "  {\n";
-        emit_locate(out, lp, op, op.slot);
-        out += "    ctx->rec_load(ctx->sink, " + array_addr_c(op, "lin") +
+        const std::string off = emit_locate(out, lp, op, op.slot);
+        out += "    ctx->rec_load(ctx->sink, " + array_addr_c(op, off) +
                ", " + lit_u64(op.elem_bytes) + ");\n";
         out += "    *sp++ = A" + std::to_string(op.slot) + "[lin];\n";
         out += "  }\n";
         break;
-      case OpCode::kStoreArray:
+      }
+      case OpCode::kStoreArray: {
         out += "  {\n";
         out += "    const double v = *--sp;\n";
-        emit_locate(out, lp, op, op.slot);
-        out += "    ctx->rec_store(ctx->sink, " + array_addr_c(op, "lin") +
+        const std::string off = emit_locate(out, lp, op, op.slot);
+        out += "    ctx->rec_store(ctx->sink, " + array_addr_c(op, off) +
                ", " + lit_u64(op.elem_bytes) + ");\n";
         out += "    A" + std::to_string(op.slot) + "[lin] = v;\n";
         out += "  }\n";
         break;
+      }
       case OpCode::kLoadArray1:
       case OpCode::kStoreArray1: {
         const bool is_store = op.code == OpCode::kStoreArray1;
@@ -283,7 +298,7 @@ void emit_cursor(std::string& out, const StreamOperand& o, const char* name,
       out += "  double* " + n + "_p = A" + slot + " + " + n + "_lin0;\n";
       if (hooks) {
         out += "  u64 " + n + "_addr = B" + slot + " + (u64)" + n +
-               "_lin0 * " + lit_u64(o.elem_bytes) + ";\n";
+               "_lin0 * " + lit_u64(o.addr_scale) + ";\n";
       }
       break;
     }
@@ -316,7 +331,7 @@ void emit_advance(std::string& out, const StreamOperand& o, const char* name,
   out += "    " + n + "_p += " + lit_i64(o.lin_coeff) + ";\n";
   if (hooks) {
     const std::int64_t step_bytes =
-        o.lin_coeff * static_cast<std::int64_t>(o.elem_bytes);
+        o.lin_coeff * static_cast<std::int64_t>(o.addr_scale);
     out += "    " + n + "_addr += (u64)" + lit_i64(step_bytes) + ";\n";
   }
 }

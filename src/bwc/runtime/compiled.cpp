@@ -47,9 +47,14 @@ class Vm {
 
   /// Evaluate and bounds-check an access's subscripts; returns the 0-based
   /// linear element index (column-major strides are baked into the dims).
-  std::int64_t locate(const Op& op, const char* what) const {
+  /// When `layout_offset` is non-null it also receives the 0-based slot
+  /// offset under the array's declared layout (equal to `linear` for a
+  /// default layout).
+  std::int64_t locate(const Op& op, const char* what,
+                      std::int64_t* layout_offset = nullptr) const {
     const LoweredDim* dims = lp_.dims.data() + op.first_dim;
     std::int64_t linear = 0;
+    std::int64_t slot_offset = 0;
     for (std::uint32_t d = 0; d < op.dim_count; ++d) {
       const std::int64_t idx = eval_lin(dims[d].index);
       if (idx < 1 || idx > dims[d].extent) {
@@ -57,7 +62,9 @@ class Vm {
                     std::to_string(d) + ": " + std::to_string(idx));
       }
       linear += (idx - 1) * dims[d].stride;
+      slot_offset += (idx - 1) * dims[d].layout_stride;
     }
+    if (layout_offset != nullptr) *layout_offset = slot_offset;
     return linear;
   }
 
@@ -130,21 +137,24 @@ void Vm::run() {
       }
       case OpCode::kLoadArray: {
         const auto a = static_cast<std::size_t>(op.slot);
+        std::int64_t slot_offset = 0;
         const std::int64_t linear =
-            locate(op, lp_.arrays[a].name.c_str());
-        recorder_.load(bases[a] + static_cast<std::uint64_t>(linear) *
-                                      op.elem_bytes,
+            locate(op, lp_.arrays[a].name.c_str(), &slot_offset);
+        recorder_.load(bases[a] + static_cast<std::uint64_t>(slot_offset) *
+                                      op.addr_scale,
                        op.elem_bytes);
         *sp++ = data[a][linear];
         ++pc;
         break;
       }
       case OpCode::kLoadArray1: {
+        // 1-D layout offsets equal the logical linear index (no permutation
+        // or interior padding is possible), so only the pitch changes.
         const std::int64_t idx = op.lin_base + op.lin_coeff * iters[op.iter];
         if (idx < 1 || idx > op.extent) out_of_bounds(op, idx);
         const std::int64_t linear = idx - 1;
         recorder_.load(
-            bases[op.slot] + static_cast<std::uint64_t>(linear) * op.elem_bytes,
+            bases[op.slot] + static_cast<std::uint64_t>(linear) * op.addr_scale,
             op.elem_bytes);
         *sp++ = data[op.slot][linear];
         ++pc;
@@ -156,7 +166,7 @@ void Vm::run() {
         if (idx < 1 || idx > op.extent) out_of_bounds(op, idx);
         const std::int64_t linear = idx - 1;
         recorder_.store(
-            bases[op.slot] + static_cast<std::uint64_t>(linear) * op.elem_bytes,
+            bases[op.slot] + static_cast<std::uint64_t>(linear) * op.addr_scale,
             op.elem_bytes);
         data[op.slot][linear] = value;
         ++pc;
@@ -198,10 +208,11 @@ void Vm::run() {
       case OpCode::kStoreArray: {
         const double value = *--sp;
         const auto a = static_cast<std::size_t>(op.slot);
+        std::int64_t slot_offset = 0;
         const std::int64_t linear =
-            locate(op, lp_.arrays[a].name.c_str());
-        recorder_.store(bases[a] + static_cast<std::uint64_t>(linear) *
-                                       op.elem_bytes,
+            locate(op, lp_.arrays[a].name.c_str(), &slot_offset);
+        recorder_.store(bases[a] + static_cast<std::uint64_t>(slot_offset) *
+                                       op.addr_scale,
                         op.elem_bytes);
         data[a][linear] = value;
         ++pc;

@@ -26,10 +26,20 @@ struct ExecState {
               "array alignment must be a power of two");
     std::uint64_t next = opts.base_address;
     storage.reserve(lp.arrays.size());
-    for (const auto& decl : lp.arrays) {
-      next = (next + align - 1) / align * align;
-      bases.push_back(next);
-      next += static_cast<std::uint64_t>(decl.element_count) * decl.elem_bytes;
+    std::vector<std::uint64_t> alloc_base(lp.arrays.size(), 0);
+    for (std::size_t a = 0; a < lp.arrays.size(); ++a) {
+      const auto& decl = lp.arrays[a];
+      // Same walk as the reference interpreter's Machine: one aligned
+      // allocation per owner (padded + interleaved size), group members
+      // offset into the owner's range. Storage stays logical-dense.
+      if (static_cast<std::size_t>(decl.alloc_owner) == a) {
+        next = (next + align - 1) / align * align;
+        alloc_base[a] = next;
+        next += decl.alloc_bytes;
+      } else {
+        alloc_base[a] = alloc_base[static_cast<std::size_t>(decl.alloc_owner)];
+      }
+      bases.push_back(alloc_base[a] + decl.member_offset);
       std::vector<double>& d = storage.emplace_back();
       d.resize(static_cast<std::size_t>(decl.element_count));
       for (std::int64_t k = 0; k < decl.element_count; ++k)

@@ -372,9 +372,9 @@ void replay_stream_accesses(const StreamLoop& sl, std::int64_t lower,
     const std::int64_t linear0 = o.lin_base + o.lin_coeff * lower - 1;
     Cursor& c = cursors[n++];
     c.addr = bases[static_cast<std::size_t>(o.slot)] +
-             static_cast<std::uint64_t>(linear0) * o.elem_bytes;
+             static_cast<std::uint64_t>(linear0) * o.addr_scale;
     c.bytes = o.elem_bytes;
-    c.step = o.lin_coeff * static_cast<std::int64_t>(o.elem_bytes);
+    c.step = o.lin_coeff * static_cast<std::int64_t>(o.addr_scale);
     c.is_store = is_store;
   };
   add(sl.a, /*is_store=*/false);

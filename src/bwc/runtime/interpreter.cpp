@@ -37,11 +37,29 @@ class Machine {
     BWC_CHECK(align > 0 && (align & (align - 1)) == 0,
               "array alignment must be a power of two");
     std::uint64_t next = opts.base_address;
+    std::vector<std::uint64_t> alloc_base(
+        static_cast<std::size_t>(program.array_count()), 0);
     for (int a = 0; a < program.array_count(); ++a) {
       const auto& decl = program.array(a);
-      next = (next + align - 1) / align * align;
-      bases_.push_back(next);
-      next += decl.byte_size();
+      // The layout decides the simulated address range: padded allocation
+      // sizes, and one shared allocation per interleave group (placed at
+      // the owning -- lowest-id -- member's walk position). Storage stays
+      // logical-dense; only addresses move.
+      const ir::ArrayAddressing addressing = ir::resolve_addressing(program, a);
+      if (addressing.owns_allocation) {
+        next = (next + align - 1) / align * align;
+        alloc_base[static_cast<std::size_t>(a)] = next;
+        next += addressing.alloc_bytes;
+      } else {
+        alloc_base[static_cast<std::size_t>(a)] =
+            alloc_base[static_cast<std::size_t>(addressing.owner)];
+      }
+      bases_.push_back(alloc_base[static_cast<std::size_t>(a)] +
+                       addressing.member_offset);
+      addr_scale_.push_back(addressing.addr_scale);
+      layout_default_.push_back(decl.layout.order.empty() &&
+                                decl.layout.pad.empty());
+      layout_strides_.push_back(decl.layout_strides());
       // Deterministic nonzero initial contents keyed by the array's name.
       const int key = initial_key(decl.name);
       std::vector<double>& data = storage_.emplace_back();
@@ -90,8 +108,9 @@ class Machine {
   }
 
   /// Evaluate subscripts to 1-based indices, then to (address, linear).
-  /// Reuses a scratch index buffer so steady-state replay does not pay a
-  /// heap allocation per array reference.
+  /// `linear` is the logical storage index (layout-invariant); the address
+  /// follows the declared layout. Reuses a scratch index buffer so
+  /// steady-state replay does not pay a heap allocation per reference.
   std::pair<std::uint64_t, std::int64_t> locate(
       ArrayId array, const std::vector<Affine>& subs) const {
     const auto& decl = program_.array(array);
@@ -99,9 +118,17 @@ class Machine {
     idx.resize(subs.size());
     for (std::size_t d = 0; d < subs.size(); ++d) idx[d] = eval_affine(subs[d]);
     const std::int64_t linear = decl.linearize(idx);
+    std::int64_t layout_offset = linear;
+    if (!layout_default_[static_cast<std::size_t>(array)]) {
+      const auto& strides = layout_strides_[static_cast<std::size_t>(array)];
+      layout_offset = 0;
+      for (std::size_t d = 0; d < idx.size(); ++d)
+        layout_offset += (idx[d] - 1) * strides[d];
+    }
     const std::uint64_t addr =
         bases_[static_cast<std::size_t>(array)] +
-        static_cast<std::uint64_t>(linear) * decl.elem_bytes;
+        static_cast<std::uint64_t>(layout_offset) *
+            addr_scale_[static_cast<std::size_t>(array)];
     return {addr, linear};
   }
 
@@ -223,6 +250,9 @@ class Machine {
   const Program& program_;
   Recorder recorder_;
   std::vector<std::uint64_t> bases_;
+  std::vector<std::uint64_t> addr_scale_;
+  std::vector<bool> layout_default_;
+  std::vector<std::vector<std::int64_t>> layout_strides_;
   std::vector<std::vector<double>> storage_;
   std::map<std::string, double> scalars_;
   std::vector<std::pair<std::string, std::int64_t>> loop_env_;

@@ -25,12 +25,19 @@ class Lowerer {
   LoweredProgram run() {
     for (int a = 0; a < program_.array_count(); ++a) {
       const auto& decl = program_.array(a);
+      const ir::ArrayAddressing addressing =
+          ir::resolve_addressing(program_, a);
+      addressing_.push_back(addressing);
       LoweredArray la;
       la.name = decl.name;
       la.extents = decl.extents;
       la.elem_bytes = decl.elem_bytes;
       la.element_count = decl.element_count();
       la.initial_key = initial_key(decl.name);
+      la.addr_scale = addressing.addr_scale;
+      la.member_offset = addressing.member_offset;
+      la.alloc_bytes = addressing.owns_allocation ? addressing.alloc_bytes : 0;
+      la.alloc_owner = addressing.owns_allocation ? a : addressing.owner;
       out_.arrays.push_back(std::move(la));
     }
     out_.name = program_.name();
@@ -77,12 +84,18 @@ class Lowerer {
 
   /// Lower subscripts against explicit extents, baking in column-major
   /// strides. Shared by array references (array extents) and input reads
-  /// (original stream extents).
+  /// (original stream extents). `layout_strides`, when non-null, supplies
+  /// the per-logical-dimension slot strides of the array's declared
+  /// layout; inputs (and default layouts) address exactly like storage.
   std::pair<std::uint32_t, std::uint32_t> lower_dims(
       const std::vector<Affine>& subs,
-      const std::vector<std::int64_t>& extents, const std::string& what) {
+      const std::vector<std::int64_t>& extents, const std::string& what,
+      const std::vector<std::int64_t>* layout_strides = nullptr) {
     BWC_CHECK(subs.size() == extents.size(),
               "subscript arity mismatch for " + what);
+    BWC_CHECK(layout_strides == nullptr ||
+                  layout_strides->size() == subs.size(),
+              "layout stride arity mismatch for " + what);
     const auto first = static_cast<std::uint32_t>(out_.dims.size());
     std::int64_t stride = 1;
     for (std::size_t d = 0; d < subs.size(); ++d) {
@@ -90,6 +103,7 @@ class Lowerer {
       dim.index = lower_affine(subs[d]);
       dim.extent = extents[d];
       dim.stride = stride;
+      dim.layout_stride = layout_strides ? (*layout_strides)[d] : stride;
       out_.dims.push_back(dim);
       stride *= extents[d];
     }
@@ -148,13 +162,16 @@ class Lowerer {
       }
       case ExprKind::kArrayRef: {
         const auto& decl = program_.array(e.array);
-        const auto [first, count] =
-            lower_dims(e.subscripts, decl.extents, "array " + decl.name);
+        const auto strides = decl.layout_strides();
+        const auto [first, count] = lower_dims(e.subscripts, decl.extents,
+                                               "array " + decl.name, &strides);
         Op& op = emit(OpCode::kLoadArray);
         op.slot = e.array;
         op.first_dim = first;
         op.dim_count = count;
         op.elem_bytes = decl.elem_bytes;
+        op.addr_scale = addressing_[static_cast<std::size_t>(e.array)]
+                            .addr_scale;
         try_specialize_access(op, OpCode::kLoadArray1);
         push();
         return;
@@ -203,13 +220,16 @@ class Lowerer {
       case StmtKind::kArrayAssign: {
         lower_expr(*s.rhs);
         const auto& decl = program_.array(s.lhs_array);
-        const auto [first, count] =
-            lower_dims(s.lhs_subscripts, decl.extents, "array " + decl.name);
+        const auto strides = decl.layout_strides();
+        const auto [first, count] = lower_dims(
+            s.lhs_subscripts, decl.extents, "array " + decl.name, &strides);
         Op& op = emit(OpCode::kStoreArray);
         op.slot = s.lhs_array;
         op.first_dim = first;
         op.dim_count = count;
         op.elem_bytes = decl.elem_bytes;
+        op.addr_scale = addressing_[static_cast<std::size_t>(s.lhs_array)]
+                            .addr_scale;
         try_specialize_access(op, OpCode::kStoreArray1);
         pop();
         return;
@@ -324,6 +344,10 @@ class Lowerer {
     out->lin_base = base;
     out->lin_coeff = coeff;
     out->elem_bytes = decl.elem_bytes;
+    // 1-D layouts never permute and padding only grows the allocation, so
+    // the slot offset equals the logical linear index; only the byte scale
+    // (interleave pitch) differs from a packed array.
+    out->addr_scale = addressing_[static_cast<std::size_t>(array)].addr_scale;
     return true;
   }
 
@@ -440,10 +464,12 @@ class Lowerer {
       if (o->kind != StreamOperand::Kind::kArray) continue;
       verify::LinearAccess access;
       access.write = o == &sl.lhs;
-      const std::int64_t elem = static_cast<std::int64_t>(o->elem_bytes);
-      access.base = o->lin_base * elem;
-      access.coeff = o->lin_coeff * elem;
-      access.elem_bytes = elem;
+      // Addresses advance at the layout's slot pitch; each access still
+      // touches elem_bytes of payload at its slot.
+      const std::int64_t scale = static_cast<std::int64_t>(o->addr_scale);
+      access.base = o->lin_base * scale;
+      access.coeff = o->lin_coeff * scale;
+      access.elem_bytes = static_cast<std::int64_t>(o->elem_bytes);
       access.space = o->slot;
       accesses.push_back(access);
     }
@@ -457,19 +483,20 @@ class Lowerer {
   static std::int64_t uniform_stream_step(const StreamLoop& sl) {
     if (sl.body == StreamLoop::Body::kReduce || !sl.lhs_is_array) return 0;
     const std::int64_t step =
-        sl.lhs.lin_coeff * static_cast<std::int64_t>(sl.lhs.elem_bytes);
+        sl.lhs.lin_coeff * static_cast<std::int64_t>(sl.lhs.addr_scale);
     if (step == 0) return 0;
     const bool uses_b = sl.body != StreamLoop::Body::kCopy;
     for (const StreamOperand* o : {&sl.a, &sl.b}) {
       if (o == &sl.b && !uses_b) continue;
       if (o->kind != StreamOperand::Kind::kArray) continue;
-      if (o->lin_coeff * static_cast<std::int64_t>(o->elem_bytes) != step)
+      if (o->lin_coeff * static_cast<std::int64_t>(o->addr_scale) != step)
         return 0;
     }
     return step;
   }
 
   const Program& program_;
+  std::vector<ir::ArrayAddressing> addressing_;
   LoweredProgram out_;
   std::vector<std::pair<std::string, std::int32_t>> loop_scope_;
   std::size_t stack_depth_ = 0;

@@ -48,11 +48,14 @@ struct LinExpr {
 
 /// One subscript dimension of an array or input access. `index` yields the
 /// 1-based subscript; legal range is [1, extent]; `stride` is the element
-/// stride of this dimension under column-major layout.
+/// stride of this dimension under column-major layout (the *logical*
+/// storage stride); `layout_stride` is its slot stride in the declared
+/// ArrayLayout (equal to `stride` under the default layout).
 struct LoweredDim {
   LinExpr index;
   std::int64_t extent = 0;
   std::int64_t stride = 1;
+  std::int64_t layout_stride = 1;
 };
 
 enum class OpCode : std::uint8_t {
@@ -88,6 +91,9 @@ struct StreamOperand {
   std::int64_t lin_base = 0;   // kArray subscript intercept
   std::int64_t lin_coeff = 0;  // kArray subscript slope in the loop var
   std::uint64_t elem_bytes = 8;
+  /// Simulated bytes between consecutive layout slots (elem_bytes when the
+  /// array is not interleaved); the cursor step is lin_coeff * addr_scale.
+  std::uint64_t addr_scale = 8;
 };
 
 /// A fused innermost loop: `for i = lower..upper` around one streaming
@@ -146,16 +152,34 @@ struct Op {
   std::int64_t lin_base = 0;  // subscript = lin_base + lin_coeff*iters[iter]
   std::int64_t lin_coeff = 0;
   std::int64_t extent = 0;    // legal subscript range [1, extent]
+  /// Simulated bytes between consecutive layout slots of the accessed
+  /// array (kLoadArray/kStoreArray and the Array1 forms).
+  std::uint64_t addr_scale = 8;
 };
 
 /// Everything the executor needs about one declared array, with the
-/// name-derived initial-contents key resolved ahead of time.
+/// name-derived initial-contents key resolved ahead of time. Storage is
+/// always logical-dense (element_count doubles, subscript-linearized);
+/// the addressing fields place the array in the simulated address space
+/// according to its declared ArrayLayout: every element address is
+///   walk_base(alloc_owner) + member_offset + layout_offset * addr_scale.
 struct LoweredArray {
   std::string name;
   std::vector<std::int64_t> extents;
   std::uint64_t elem_bytes = 8;
   std::int64_t element_count = 0;
   int initial_key = 0;
+  /// Bytes between consecutive layout slots (elem_bytes, or group size *
+  /// elem_bytes for interleaved arrays).
+  std::uint64_t addr_scale = 8;
+  /// Byte offset of this member inside its allocation (interleave rank).
+  std::uint64_t member_offset = 0;
+  /// Allocation size at this array's walk position; 0 for group members
+  /// that share an earlier member's allocation (the walk skips them).
+  std::uint64_t alloc_bytes = 0;
+  /// Array id whose walk position hosts this array's bytes (self unless
+  /// interleaved with a lower-id member).
+  std::int32_t alloc_owner = 0;
 };
 
 /// A program lowered to slots and bytecode. Self-contained: owns copies of

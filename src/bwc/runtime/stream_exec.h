@@ -86,7 +86,7 @@ struct StreamCursor {
   double* p = nullptr;
   std::uint64_t addr = 0;
   std::int64_t step = 0;        // elements per iteration (may be <= 0)
-  std::int64_t step_bytes = 0;  // step * elem_bytes
+  std::int64_t step_bytes = 0;  // step * addr_scale (simulated byte shift)
   std::uint64_t bytes = 8;
 };
 
@@ -104,13 +104,15 @@ inline StreamCursor make_stream_cursor(const StreamOperand& o,
     case StreamOperand::Kind::kIter:
       break;  // read substitutes the iteration value
     case StreamOperand::Kind::kArray: {
+      // 1-D slot offsets equal the logical linear index under any layout;
+      // the address pitch (addr_scale) carries the interleave factor.
       const std::int64_t linear0 = o.lin_base + o.lin_coeff * lower - 1;
       c.p = ctx.data[static_cast<std::size_t>(o.slot)] + linear0;
       c.addr = ctx.bases[static_cast<std::size_t>(o.slot)] +
-               static_cast<std::uint64_t>(linear0) * o.elem_bytes;
+               static_cast<std::uint64_t>(linear0) * o.addr_scale;
       c.step = o.lin_coeff;
       c.bytes = o.elem_bytes;
-      c.step_bytes = o.lin_coeff * static_cast<std::int64_t>(o.elem_bytes);
+      c.step_bytes = o.lin_coeff * static_cast<std::int64_t>(o.addr_scale);
       break;
     }
   }

@@ -44,12 +44,15 @@ struct Scored {
   int npasses = 0;
 };
 
-/// Iterations spent on references whose stride-1 (first) subscript is
-/// driven by an outer loop variable instead of the innermost one: each
-/// such reference jumps a whole column per inner step and will fetch one
-/// line per element once the column set outgrows the cache. Zero for a
-/// fully stride-1 schedule. A cheap static proxy for the traffic the
-/// distinct-byte bound cannot see.
+/// Iterations spent on references whose stride-1 subscript is driven by
+/// an outer loop variable instead of the innermost one: each such
+/// reference jumps a whole column per inner step and will fetch one line
+/// per element once the column set outgrows the cache. Zero for a fully
+/// stride-1 schedule. Layout-aware: the stride-1 subscript is the one the
+/// array's declared layout stores fastest (storage_dim(0)), so a
+/// transpose-layout gene can clear the penalty without rescheduling.
+/// A cheap static proxy for the traffic the distinct-byte bound cannot
+/// see.
 std::int64_t stride_penalty(const ir::Program& program) {
   std::int64_t penalty = 0;
   for (const int idx : program.top_loop_indices()) {
@@ -58,11 +61,13 @@ std::int64_t stride_penalty(const ir::Program& program) {
     const std::string& inner = s.loop_vars.back();
     const std::int64_t weight = std::max<std::int64_t>(1, s.trip_count());
     for (const auto& [array, access] : s.arrays) {
+      const auto fastest =
+          static_cast<std::size_t>(program.array(array).storage_dim(0));
       const auto tally = [&](const std::vector<std::vector<ir::Affine>>& refs) {
         for (const auto& ref : refs) {
-          if (ref.empty() || ref[0].uses(inner)) continue;
+          if (fastest >= ref.size() || ref[fastest].uses(inner)) continue;
           for (const std::string& outer : s.loop_vars) {
-            if (outer != inner && ref[0].uses(outer)) {
+            if (outer != inner && ref[fastest].uses(outer)) {
               penalty += weight;
               break;
             }

@@ -31,6 +31,9 @@ std::vector<PassSpec> parse_genes() {
       "scalar-replace",
       "regroup",
       "distribute",
+      "transpose-layout",
+      "regroup-arrays",
+      "pad-arrays",
   };
   std::vector<PassSpec> genes;
   for (const char* g : kGenes)

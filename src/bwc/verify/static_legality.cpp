@@ -1115,4 +1115,37 @@ LegalityResult prove_storage_reduction(const ir::Program& before,
   return res;
 }
 
+LegalityResult prove_layout_change(const ir::Program& before,
+                                   const ir::Program& after) {
+  LegalityResult res;
+  // Every declared layout in `after` must stand on its own: a malformed
+  // permutation, negative padding, or incoherent interleave group is a
+  // refutation, not an imprecision.
+  for (int a = 0; a < after.array_count(); ++a) {
+    try {
+      after.array(a).check_layout();
+      (void)ir::resolve_addressing(after, a);
+    } catch (const std::exception& e) {
+      res.reason = std::string("invalid-layout: ") + e.what();
+      res.verdict = LegalityVerdict::kRefuted;
+      return res;
+    }
+    ++res.pairs_checked;
+  }
+  // Strip layouts from both sides; what remains must be the identical
+  // program. Anything else (a rewritten statement, a resized array) is
+  // outside this prover's model.
+  ir::Program sb = before.clone();
+  ir::Program sa = after.clone();
+  for (ir::Program* p : {&sb, &sa})
+    for (int a = 0; a < p->array_count(); ++a)
+      p->mutable_array(a).layout = ir::ArrayLayout{};
+  if (!ir::equal(sb, sa)) {
+    res.reason = "not-a-pure-layout-change";
+    return res;
+  }
+  res.verdict = LegalityVerdict::kProven;
+  return res;
+}
+
 }  // namespace bwc::verify

@@ -76,4 +76,14 @@ LegalityResult prove_store_elimination(const ir::Program& before,
 LegalityResult prove_storage_reduction(const ir::Program& before,
                                        const ir::Program& after);
 
+/// Prove a pure layout change (transpose-layout / regroup-arrays /
+/// pad-arrays): stripping every ArrayLayout back to the default must make
+/// the two programs structurally identical, and every layout `after`
+/// declares must be internally valid (well-formed permutation and padding,
+/// coherent interleave groups). Layouts only remap simulated addresses --
+/// storage stays logical-dense -- so this suffices for value preservation
+/// on all inputs.
+LegalityResult prove_layout_change(const ir::Program& before,
+                                   const ir::Program& after);
+
 }  // namespace bwc::verify

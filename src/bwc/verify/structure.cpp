@@ -49,6 +49,101 @@ class StructureChecker {
         report_->error("array-elem-bytes-zero",
                        "array '" + a.name + "' has zero element size");
       }
+      check_layout(a);
+    }
+    check_interleave_groups();
+  }
+
+  void check_layout(const ir::ArrayDecl& a) {
+    const std::size_t rank = a.extents.size();
+    bool order_ok = true;
+    if (!a.layout.order.empty()) {
+      if (a.layout.order.size() != rank) {
+        order_ok = false;
+      } else {
+        std::vector<bool> seen(rank, false);
+        for (int d : a.layout.order) {
+          if (d < 0 || static_cast<std::size_t>(d) >= rank ||
+              seen[static_cast<std::size_t>(d)]) {
+            order_ok = false;
+            break;
+          }
+          seen[static_cast<std::size_t>(d)] = true;
+        }
+      }
+      if (!order_ok) {
+        report_->error("layout-order-invalid",
+                       "array '" + a.name +
+                           "' layout order is not a permutation of its " +
+                           std::to_string(rank) + " dimension(s)");
+      }
+    }
+    if (!a.layout.pad.empty()) {
+      if (a.layout.pad.size() != rank) {
+        report_->error("layout-pad-arity",
+                       "array '" + a.name + "' layout pad has " +
+                           std::to_string(a.layout.pad.size()) +
+                           " entries for rank " + std::to_string(rank));
+      } else {
+        for (std::int64_t pad : a.layout.pad) {
+          if (pad < 0) {
+            report_->error("layout-pad-negative",
+                           "array '" + a.name +
+                               "' layout pad entry is negative");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  /// Interleaved members must agree on element size and padded slot count
+  /// (their elements alternate in one allocation), and a group of one is
+  /// almost certainly a transform bug -- a lone member pays the stretched
+  /// addr_scale with nobody to share lines with.
+  void check_interleave_groups() {
+    std::vector<int> groups;
+    for (const auto& a : program_.arrays()) {
+      if (a.layout.group >= 0 &&
+          std::find(groups.begin(), groups.end(), a.layout.group) ==
+              groups.end())
+        groups.push_back(a.layout.group);
+    }
+    for (int group : groups) {
+      const std::vector<ir::ArrayId> members =
+          program_.interleave_group(group);
+      if (members.size() < 2) {
+        report_->error("layout-group-singleton",
+                       "interleave group " + std::to_string(group) +
+                           " has a single member");
+        continue;
+      }
+      const ir::ArrayDecl& first = program_.array(members[0]);
+      std::int64_t slots = -1;
+      for (ir::ArrayId id : members) {
+        const ir::ArrayDecl& m = program_.array(id);
+        if (m.elem_bytes != first.elem_bytes) {
+          report_->error("layout-group-elem-bytes",
+                         "interleave group " + std::to_string(group) +
+                             " members disagree on element size");
+          break;
+        }
+        // Skip members whose own layout is malformed (reported above);
+        // padded_element_count() throws on them.
+        std::int64_t count = -1;
+        try {
+          count = m.padded_element_count();
+        } catch (const std::exception&) {
+          continue;
+        }
+        if (slots < 0) slots = count;
+        if (count != slots) {
+          report_->error("layout-group-shape",
+                         "interleave group " + std::to_string(group) +
+                             " members disagree on padded element count");
+          break;
+        }
+      }
     }
   }
 

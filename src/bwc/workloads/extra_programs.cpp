@@ -135,4 +135,21 @@ Program transposed_sweep(std::int64_t n) {
   return p;
 }
 
+Program conflict_streams(std::int64_t n, int k) {
+  BWC_CHECK(n >= 4, "streams too short");
+  BWC_CHECK(k >= 1, "need at least one stream");
+  Program p("conflict streams");
+  std::vector<ArrayId> streams;
+  for (int j = 0; j < k; ++j)
+    streams.push_back(p.add_array("s" + std::to_string(j), {n}));
+  p.add_scalar("acc");
+  p.mark_output_scalar("acc");
+
+  p.append(assign("acc", lit(0.0)));
+  ir::ExprPtr sum = at(streams[0], v("i"));
+  for (int j = 1; j < k; ++j) sum = std::move(sum) + at(streams[j], v("i"));
+  p.append(loop("i", 1, n, assign("acc", sref("acc") + std::move(sum))));
+  return p;
+}
+
 }  // namespace bwc::workloads

@@ -38,4 +38,13 @@ ir::Program reduction_cascade(std::int64_t n, int kernels);
 /// where pipeline search beats the default ordering.
 ir::Program transposed_sweep(std::int64_t n);
 
+/// k read-only streams of n doubles each, reduced into one scalar by a
+/// single loop. When n * 8 bytes is a multiple of the L1 way span every
+/// array's base lands on the same cache-set phase (allocations are
+/// aligned), so k > associativity co-walked streams evict each other on
+/// every access; regroup-arrays folds them into one interleaved stream
+/// and the conflict disappears. With n = 2048 (16 KiB per array) and the
+/// default 32 KiB / 2-way / 32-byte-line L1, k >= 3 thrashes.
+ir::Program conflict_streams(std::int64_t n, int k);
+
 }  // namespace bwc::workloads

@@ -46,5 +46,15 @@ int main(int argc, char** argv) {
   rc |= write_seed(dir, "adi", bwc::workloads::adi_like(32));
   rc |= write_seed(dir, "blur", bwc::workloads::blur_sharpen(64));
   rc |= write_seed(dir, "cascade", bwc::workloads::reduction_cascade(64, 3));
+  // Layout-annotated seed: a transposed + padded 2-D array and an
+  // interleave group, so the fuzzer starts with the layout(...) grammar.
+  bwc::ir::Program lay = bwc::workloads::transposed_sweep(16);
+  lay.mutable_array(0).layout.order = {1, 0};
+  lay.mutable_array(0).layout.pad = {3, 0};
+  bwc::ir::Program grp = bwc::workloads::conflict_streams(32, 3);
+  for (int a = 0; a < grp.array_count(); ++a)
+    grp.mutable_array(a).layout.group = 0;
+  rc |= write_seed(dir, "layout", lay);
+  rc |= write_seed(dir, "layout_group", grp);
   return rc;
 }

@@ -105,6 +105,23 @@ def check_remark(c: Checker, remark: object, path: str) -> str | None:
     return severity if severity in REMARK_SEVERITIES else None
 
 
+def check_per_array(c: Checker, entries: object, path: str) -> None:
+    """Per-array traffic breakdown: what each pass did to each array's
+    estimated line traffic. Always present (empty for passes that do not
+    publish a breakdown)."""
+    if entries is None:
+        return
+    for i, entry in enumerate(entries):
+        entry_path = f"{path}[{i}]"
+        name = c.field(entry, entry_path, "name", str)
+        if name == "":
+            c.fail(entry_path + ".name", "empty array name")
+        for key in ("bytes_before", "bytes_after"):
+            value = c.field(entry, entry_path, key, int)
+            if value is not None and value < 0:
+                c.fail(f"{entry_path}.{key}", f"negative byte count {value}")
+
+
 def check_pass(c: Checker, record: object, path: str) -> None:
     for key in ("pass", "label"):
         name = c.field(record, path, key, str)
@@ -135,6 +152,8 @@ def check_pass(c: Checker, record: object, path: str) -> None:
 
     check_verify(c, record.get("verify") if isinstance(record, dict) else None,
                  path + ".verify")
+    check_per_array(c, c.field(record, path, "per_array", list),
+                    path + ".per_array")
     remarks = c.field(record, path, "remarks", list)
     severities = []
     if remarks is not None:
